@@ -1,0 +1,55 @@
+// Substrate microbenchmarks: the crypto layer every protocol pays for.
+#include <benchmark/benchmark.h>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+
+namespace {
+
+using namespace unidir;
+using namespace unidir::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = bytes_of("per-process-secret-key-material!");
+  const Bytes msg(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, msg));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Sign(benchmark::State& state) {
+  KeyRegistry registry;
+  const Signer signer = registry.generate_key();
+  const Bytes msg(256, 0x11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signer.sign(msg));
+  }
+}
+BENCHMARK(BM_Sign);
+
+void BM_Verify(benchmark::State& state) {
+  KeyRegistry registry;
+  const Signer signer = registry.generate_key();
+  const Bytes msg(256, 0x11);
+  const Signature sig = signer.sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.verify(sig, msg));
+  }
+}
+BENCHMARK(BM_Verify);
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Experiment E2/E4 (performance side): cost of one round under each round
+// implementation, swept over group size. Counters report simulated
+// virtual time per round and shared-memory operations / network messages
+// per round — the quantities that distinguish the models, since wall time
+// only measures the simulator.
+//
+// Also runs the DESIGN.md §6 ablation: full re-reads vs incremental reads
+// in the shared-memory unidirectional round.
+#include <benchmark/benchmark.h>
+
+#include "broadcast/rb_uni_round.h"
+#include "broadcast/srb_hub.h"
+#include "rounds/msg_rounds.h"
+#include "rounds/shmem_uni_round.h"
+#include "sim/adversaries.h"
+
+namespace {
+
+using namespace unidir;
+using namespace unidir::rounds;
+
+constexpr sim::Channel kRoundCh = 1;
+constexpr Time kDelta = 4;
+constexpr int kRoundsPerRun = 10;
+
+class Runner final : public sim::Process {
+ public:
+  std::unique_ptr<RoundDriver> driver;
+  int target = kRoundsPerRun;
+
+ protected:
+  void on_start() override { go(); }
+
+ private:
+  void go() {
+    if (driver->completed_rounds() >= static_cast<RoundNum>(target)) return;
+    driver->start_round(Bytes(64, 0x42),
+                        [this](RoundNum, const std::vector<Received>&) {
+                          go();
+                        });
+  }
+};
+
+struct RunStats {
+  double virtual_ticks_per_round = 0;
+  double ops_per_round = 0;  // memory ops or network messages
+};
+
+template <typename MakeDriver>
+RunStats run_rounds(std::size_t n, MakeDriver make_driver, bool shmem) {
+  sim::World w(7, std::make_unique<sim::RandomDelayAdversary>(1, kDelta));
+  shmem::MemoryHost memory(w.simulator(), sim::Rng(11));
+  ShmemRoundBoard board(n);
+  std::vector<Runner*> runners;
+  for (std::size_t i = 0; i < n; ++i) runners.push_back(&w.spawn<Runner>());
+  for (std::size_t i = 0; i < n; ++i)
+    runners[i]->driver = make_driver(*runners[i], memory, board,
+                                     static_cast<ProcessId>(i), w);
+  w.start();
+  w.run_to_quiescence();
+  RunStats out;
+  const double total_rounds = static_cast<double>(n) * kRoundsPerRun;
+  out.virtual_ticks_per_round = static_cast<double>(w.now()) / kRoundsPerRun;
+  out.ops_per_round =
+      (shmem ? static_cast<double>(memory.invocations())
+             : static_cast<double>(w.network().stats().messages_sent)) /
+      total_rounds;
+  return out;
+}
+
+void report(benchmark::State& state, const RunStats& stats) {
+  state.counters["virtual_ticks/round"] = stats.virtual_ticks_per_round;
+  state.counters["ops/round"] = stats.ops_per_round;
+}
+
+void BM_ShmemUniRound_FullReads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RunStats stats;
+  for (auto _ : state) {
+    stats = run_rounds(
+        n,
+        [](sim::Process&, shmem::MemoryHost& memory, ShmemRoundBoard& board,
+           ProcessId self, sim::World&) -> std::unique_ptr<RoundDriver> {
+          auto d = std::make_unique<ShmemUniRoundDriver>(memory, board, self);
+          d->set_full_reads(true);
+          return d;
+        },
+        /*shmem=*/true);
+  }
+  report(state, stats);
+}
+BENCHMARK(BM_ShmemUniRound_FullReads)->Arg(3)->Arg(5)->Arg(9)->Arg(17)->Arg(33);
+
+void BM_ShmemUniRound_IncrementalReads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RunStats stats;
+  for (auto _ : state) {
+    stats = run_rounds(
+        n,
+        [](sim::Process&, shmem::MemoryHost& memory, ShmemRoundBoard& board,
+           ProcessId self, sim::World&) -> std::unique_ptr<RoundDriver> {
+          auto d = std::make_unique<ShmemUniRoundDriver>(memory, board, self);
+          d->set_full_reads(false);
+          return d;
+        },
+        /*shmem=*/true);
+  }
+  report(state, stats);
+}
+BENCHMARK(BM_ShmemUniRound_IncrementalReads)
+    ->Arg(3)->Arg(5)->Arg(9)->Arg(17)->Arg(33);
+
+void BM_DeltaSyncUniRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RunStats stats;
+  for (auto _ : state) {
+    stats = run_rounds(
+        n,
+        [](sim::Process& host, shmem::MemoryHost&, ShmemRoundBoard&,
+           ProcessId, sim::World&) -> std::unique_ptr<RoundDriver> {
+          return std::make_unique<DeltaSyncRoundDriver>(host, kRoundCh,
+                                                        2 * kDelta);
+        },
+        /*shmem=*/false);
+  }
+  report(state, stats);
+}
+BENCHMARK(BM_DeltaSyncUniRound)->Arg(3)->Arg(5)->Arg(9)->Arg(17)->Arg(33);
+
+void BM_LockstepBiRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RunStats stats;
+  for (auto _ : state) {
+    stats = run_rounds(
+        n,
+        [](sim::Process& host, shmem::MemoryHost&, ShmemRoundBoard&,
+           ProcessId, sim::World&) -> std::unique_ptr<RoundDriver> {
+          return std::make_unique<LockstepBiRoundDriver>(host, kRoundCh,
+                                                         kDelta + 1);
+        },
+        /*shmem=*/false);
+  }
+  report(state, stats);
+}
+BENCHMARK(BM_LockstepBiRound)->Arg(3)->Arg(5)->Arg(9)->Arg(17)->Arg(33);
+
+void BM_AsyncZeroRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RunStats stats;
+  for (auto _ : state) {
+    stats = run_rounds(
+        n,
+        [n](sim::Process& host, shmem::MemoryHost&, ShmemRoundBoard&,
+            ProcessId, sim::World&) -> std::unique_ptr<RoundDriver> {
+          return std::make_unique<AsyncZeroRoundDriver>(host, kRoundCh, n,
+                                                        (n - 1) / 3);
+        },
+        /*shmem=*/false);
+  }
+  report(state, stats);
+}
+BENCHMARK(BM_AsyncZeroRound)->Arg(4)->Arg(7)->Arg(10)->Arg(16)->Arg(34);
+
+/// The f=1 corner case: a unidirectional round costs two RB phases.
+void BM_RbUniRoundF1(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t ticks = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t iters = 0;
+  for (auto _ : state) {
+    sim::World w(7, std::make_unique<sim::RandomDelayAdversary>(1, kDelta));
+    auto hub = std::make_unique<broadcast::SrbHub>(w, 99);
+    std::vector<Runner*> runners;
+    for (std::size_t i = 0; i < n; ++i) runners.push_back(&w.spawn<Runner>());
+    for (auto* r : runners)
+      r->driver = std::make_unique<broadcast::RbUniRoundDriver>(*r, *hub);
+    w.start();
+    w.run_to_quiescence();
+    ticks += w.now();
+    msgs += w.network().stats().messages_sent;
+    ++iters;
+  }
+  state.counters["virtual_ticks/round"] =
+      static_cast<double>(ticks) / static_cast<double>(iters) / kRoundsPerRun;
+  state.counters["ops/round"] =
+      static_cast<double>(msgs) /
+      (static_cast<double>(iters * n) * kRoundsPerRun);
+}
+BENCHMARK(BM_RbUniRoundF1)->Arg(3)->Arg(5)->Arg(9)->Arg(17);
+
+}  // namespace

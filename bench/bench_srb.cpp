@@ -1,0 +1,174 @@
+// Experiment E5 (performance side): the three SRB implementations side by
+// side, swept over group size —
+//
+//   SrbHub        trusted primitive (what hardware gives you): O(n)
+//                 messages per broadcast, delivery latency ~ one hop.
+//   Bracha        message passing, n > 3f: O(n^2) messages, 3 hops.
+//   UniSrb        Algorithm 1 over shared-memory unidirectional rounds,
+//                 n >= 2t+1: rounds of O(n) register ops, L1/L2 proof
+//                 traffic; payload bytes grow with proof size (the §6
+//                 ablation measures that growth).
+//
+// The expected *shape* (not absolute numbers): hub < Bracha in messages;
+// Bracha needs n > 3f while UniSrb matches the hub's n >= 2t+1 resilience
+// at the price of round-driven latency and proof-sized payloads.
+#include <benchmark/benchmark.h>
+
+#include "broadcast/bracha.h"
+#include "broadcast/echo.h"
+#include "broadcast/srb_from_uni.h"
+#include "broadcast/srb_hub.h"
+#include "rounds/shmem_uni_round.h"
+#include "sim/adversaries.h"
+
+namespace {
+
+using namespace unidir;
+using namespace unidir::broadcast;
+
+constexpr int kMessages = 5;
+
+class Host final : public sim::Process {};
+
+struct Stats {
+  double ticks = 0;
+  double msgs_per_bcast = 0;
+  double bytes_per_bcast = 0;
+  bool all_delivered = true;
+};
+
+void report(benchmark::State& state, const Stats& s) {
+  state.counters["virtual_ticks"] = s.ticks;
+  state.counters["net_msgs/bcast"] = s.msgs_per_bcast;
+  state.counters["bytes/bcast"] = s.bytes_per_bcast;
+  if (!s.all_delivered) state.SkipWithError("delivery incomplete");
+}
+
+void BM_SrbHub(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Stats s;
+  for (auto _ : state) {
+    sim::World w(3, std::make_unique<sim::RandomDelayAdversary>(1, 5));
+    SrbHub hub(w, 1);
+    std::vector<std::unique_ptr<SrbHubEndpoint>> eps;
+    for (std::size_t i = 0; i < n; ++i)
+      eps.push_back(hub.make_endpoint(w.spawn<Host>()));
+    w.start();
+    for (int k = 0; k < kMessages; ++k)
+      eps[0]->broadcast(Bytes(64, 0x42));
+    w.run_to_quiescence();
+    s.ticks = static_cast<double>(w.now());
+    s.msgs_per_bcast =
+        static_cast<double>(w.network().stats().messages_sent) / kMessages;
+    s.bytes_per_bcast =
+        static_cast<double>(w.network().stats().bytes_sent) / kMessages;
+    for (auto& ep : eps)
+      if (ep->delivered_up_to(0) != kMessages) s.all_delivered = false;
+  }
+  report(state, s);
+}
+BENCHMARK(BM_SrbHub)->Arg(4)->Arg(7)->Arg(13)->Arg(25)->Arg(49);
+
+void BM_Bracha(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t f = (n - 1) / 3;
+  Stats s;
+  for (auto _ : state) {
+    sim::World w(3, std::make_unique<sim::RandomDelayAdversary>(1, 5));
+    std::vector<std::unique_ptr<BrachaEndpoint>> eps;
+    for (std::size_t i = 0; i < n; ++i)
+      eps.push_back(std::make_unique<BrachaEndpoint>(w.spawn<Host>(), 1, n, f));
+    w.start();
+    for (int k = 0; k < kMessages; ++k)
+      eps[0]->broadcast(Bytes(64, 0x42));
+    w.run_to_quiescence();
+    s.ticks = static_cast<double>(w.now());
+    s.msgs_per_bcast =
+        static_cast<double>(w.network().stats().messages_sent) / kMessages;
+    s.bytes_per_bcast =
+        static_cast<double>(w.network().stats().bytes_sent) / kMessages;
+    for (auto& ep : eps)
+      if (ep->delivered_up_to(0) != kMessages) s.all_delivered = false;
+  }
+  report(state, s);
+}
+BENCHMARK(BM_Bracha)->Arg(4)->Arg(7)->Arg(13)->Arg(25)->Arg(49);
+
+/// DESIGN.md §6 ablation: signed-echo consistent broadcast vs Bracha —
+/// same n > 3f bound, O(n) vs O(n²) messages, weaker (no totality).
+void BM_SignedEcho(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t f = (n - 1) / 3;
+  Stats s;
+  for (auto _ : state) {
+    sim::World w(3, std::make_unique<sim::RandomDelayAdversary>(1, 5));
+    std::vector<std::unique_ptr<EchoBroadcastEndpoint>> eps;
+    for (std::size_t i = 0; i < n; ++i)
+      eps.push_back(
+          std::make_unique<EchoBroadcastEndpoint>(w.spawn<Host>(), 1, n, f));
+    w.start();
+    for (int k = 0; k < kMessages; ++k)
+      eps[0]->broadcast(Bytes(64, 0x42));
+    w.run_to_quiescence();
+    s.ticks = static_cast<double>(w.now());
+    s.msgs_per_bcast =
+        static_cast<double>(w.network().stats().messages_sent) / kMessages;
+    s.bytes_per_bcast =
+        static_cast<double>(w.network().stats().bytes_sent) / kMessages;
+    for (auto& ep : eps)
+      if (ep->delivered_up_to(0) != kMessages) s.all_delivered = false;
+  }
+  report(state, s);
+}
+BENCHMARK(BM_SignedEcho)->Arg(4)->Arg(7)->Arg(13)->Arg(25)->Arg(49);
+
+void BM_UniSrbOverSharedMemory(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t t = (n - 1) / 2;
+
+  class Node final : public sim::Process {
+   public:
+    std::unique_ptr<rounds::RoundDriver> driver;
+    std::unique_ptr<UniSrbEndpoint> srb;
+    std::vector<Bytes> to_broadcast;
+    void on_start() override {
+      for (auto& m : to_broadcast) srb->broadcast(m);
+      srb->start();
+    }
+  };
+
+  Stats s;
+  double mem_ops = 0;
+  double payload_bytes = 0;
+  for (auto _ : state) {
+    sim::World w(3, std::make_unique<sim::ImmediateAdversary>());
+    shmem::MemoryHost memory(w.simulator(), sim::Rng(5));
+    rounds::ShmemRoundBoard board(n);
+    std::vector<Node*> nodes;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& node = w.spawn<Node>();
+      node.driver = std::make_unique<rounds::ShmemUniRoundDriver>(
+          memory, board, static_cast<ProcessId>(i));
+      node.srb = std::make_unique<UniSrbEndpoint>(node, *node.driver, n, t);
+      nodes.push_back(&node);
+    }
+    for (int k = 0; k < kMessages; ++k)
+      nodes[0]->to_broadcast.push_back(Bytes(64, 0x42));
+    w.start();
+    w.run_to_quiescence();
+    s.ticks = static_cast<double>(w.now());
+    mem_ops = static_cast<double>(memory.invocations()) / kMessages;
+    payload_bytes = 0;
+    for (auto* node : nodes)
+      payload_bytes += static_cast<double>(node->srb->payload_bytes_sent());
+    payload_bytes /= kMessages;
+    for (auto* node : nodes)
+      if (node->srb->delivered_up_to(0) != kMessages) s.all_delivered = false;
+  }
+  s.msgs_per_bcast = mem_ops;          // register ops play the message role
+  s.bytes_per_bcast = payload_bytes;   // includes L1/L2 proof bytes
+  report(state, s);
+}
+BENCHMARK(BM_UniSrbOverSharedMemory)->Arg(3)->Arg(5)->Arg(9)->Arg(17);
+
+}  // namespace

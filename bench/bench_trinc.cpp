@@ -1,0 +1,135 @@
+// Experiment E1 (performance side): throughput of the trusted-hardware
+// attestation primitives — TrInc, A2M, A2M-over-TrInc, and the SGX USIG —
+// plus the Theorem-1 construction's attest path (TrInc from SRB), whose
+// cost is a *broadcast*, not a local signature: the gap between using
+// hardware and simulating it from a broadcast primitive.
+#include <benchmark/benchmark.h>
+
+#include "broadcast/srb_hub.h"
+#include "sim/adversaries.h"
+#include "trusted/a2m.h"
+#include "trusted/a2m_from_trinc.h"
+#include "trusted/trinc.h"
+#include "trusted/trinc_from_srb.h"
+#include "trusted/usig.h"
+
+namespace {
+
+using namespace unidir;
+using namespace unidir::trusted;
+
+void BM_TrincAttest(benchmark::State& state) {
+  crypto::KeyRegistry keys;
+  TrincAuthority authority(keys);
+  Trinket trinket = authority.make_trinket(0);
+  const Bytes msg(128, 0x42);
+  SeqNum c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trinket.attest(++c, msg));
+  }
+}
+BENCHMARK(BM_TrincAttest);
+
+void BM_TrincCheck(benchmark::State& state) {
+  crypto::KeyRegistry keys;
+  TrincAuthority authority(keys);
+  Trinket trinket = authority.make_trinket(0);
+  const auto attestation = *trinket.attest(1, Bytes(128, 0x42));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(authority.check(attestation, 0));
+  }
+}
+BENCHMARK(BM_TrincCheck);
+
+void BM_A2mAppend(benchmark::State& state) {
+  crypto::KeyRegistry keys;
+  A2mAuthority authority(keys);
+  A2m device = authority.make_device(0);
+  const LogId log = device.create_log();
+  const Bytes value(128, 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.append(log, value));
+  }
+}
+BENCHMARK(BM_A2mAppend);
+
+void BM_A2mLookupAttest(benchmark::State& state) {
+  crypto::KeyRegistry keys;
+  A2mAuthority authority(keys);
+  A2m device = authority.make_device(0);
+  const LogId log = device.create_log();
+  (void)device.append(log, Bytes(128, 0x42));
+  const Bytes nonce = bytes_of("challenge");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.lookup(log, 1, nonce));
+  }
+}
+BENCHMARK(BM_A2mLookupAttest);
+
+void BM_A2mOverTrincAppend(benchmark::State& state) {
+  crypto::KeyRegistry keys;
+  TrincAuthority authority(keys);
+  A2mFromTrinc device(authority.make_trinket(0));
+  const LogId log = device.create_log();
+  const Bytes value(128, 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.append(log, value));
+  }
+}
+BENCHMARK(BM_A2mOverTrincAppend);
+
+void BM_UsigCreateUi(benchmark::State& state) {
+  crypto::KeyRegistry keys;
+  UsigEnclave usig(keys);
+  const Bytes msg(128, 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(usig.create_ui(msg));
+  }
+}
+BENCHMARK(BM_UsigCreateUi);
+
+void BM_UsigVerifyUi(benchmark::State& state) {
+  crypto::KeyRegistry keys;
+  UsigEnclave usig(keys);
+  const Bytes msg(128, 0x42);
+  const UniqueIdentifier ui = usig.create_ui(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UsigEnclave::verify_ui(keys, usig.key(), ui, msg));
+  }
+}
+BENCHMARK(BM_UsigVerifyUi);
+
+/// Theorem-1 attest: one attestation = one SRB broadcast through the hub
+/// to n processes, i.e. O(n) network messages instead of one local MAC.
+/// virtual_ticks counts simulated time until every process can check it.
+void BM_TrincFromSrbAttest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t total_msgs = 0;
+  std::uint64_t total_ticks = 0;
+  for (auto _ : state) {
+    class Host final : public sim::Process {};
+    sim::World w(42, std::make_unique<sim::RandomDelayAdversary>(1, 5));
+    broadcast::SrbHub hub(w, 1);
+    std::vector<std::unique_ptr<broadcast::SrbHubEndpoint>> eps;
+    std::vector<std::unique_ptr<TrincFromSrb>> trincs;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& host = w.spawn<Host>();
+      eps.push_back(hub.make_endpoint(host));
+      trincs.push_back(std::make_unique<TrincFromSrb>(*eps.back(), host.id()));
+    }
+    w.start();
+    SeqNum c = 0;
+    for (int k = 0; k < 10; ++k)
+      benchmark::DoNotOptimize(trincs[0]->attest(++c, Bytes(128, 0x42)));
+    w.run_to_quiescence();
+    total_msgs += w.network().stats().messages_sent;
+    total_ticks += w.now();
+  }
+  state.counters["net_msgs/attest"] = static_cast<double>(total_msgs) /
+                                      (10.0 * static_cast<double>(state.iterations()));
+  state.counters["virtual_ticks"] =
+      static_cast<double>(total_ticks) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_TrincFromSrbAttest)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace

@@ -1,0 +1,96 @@
+// A Byzantine fault tolerant key-value store on trusted hardware.
+//
+// Runs a MinBFT replica group (n = 2f+1 = 3, each replica holding a
+// simulated SGX USIG enclave), serves a client workload, then crashes the
+// primary mid-run and shows the view change recovering — all inside the
+// deterministic simulator.
+//
+// Build & run:  ./build/examples/minbft_kv
+#include <cstdio>
+
+#include "agreement/minbft.h"
+#include "agreement/state_machines.h"
+#include "sim/adversaries.h"
+
+using namespace unidir;
+using namespace unidir::agreement;
+
+int main() {
+  constexpr std::size_t kF = 1;
+  constexpr std::size_t kN = 2 * kF + 1;
+
+  sim::World world(/*seed=*/7,
+                   std::make_unique<sim::RandomDelayAdversary>(1, 6));
+  SgxUsigDirectory usigs(world.keys());
+
+  MinBftReplica::Options options;
+  options.f = kF;
+  for (ProcessId i = 0; i < kN; ++i) options.replicas.push_back(i);
+
+  std::vector<MinBftReplica*> replicas;
+  for (std::size_t i = 0; i < kN; ++i)
+    replicas.push_back(&world.spawn<MinBftReplica>(
+        options, usigs, std::make_unique<KvStateMachine>()));
+
+  SmrClient::Options copt;
+  copt.replicas = options.replicas;
+  copt.f = kF;
+  auto& client = world.spawn<SmrClient>(copt);
+
+  std::printf("MinBFT KV store: n=%zu replicas tolerate f=%zu Byzantine "
+              "(PBFT would need %zu)\n\n",
+              kN, kF, 3 * kF + 1);
+
+  auto put = [&](std::string key, std::string value) {
+    client.submit(KvStateMachine::put_op(key, value),
+                  [key, value, &world](const Bytes&) {
+                    std::printf("  t=%-5llu PUT %s=%s committed\n",
+                                static_cast<unsigned long long>(world.now()),
+                                key.c_str(), value.c_str());
+                  });
+  };
+  auto get = [&](std::string key) {
+    client.submit(KvStateMachine::get_op(key),
+                  [key, &world](const Bytes& result) {
+                    std::printf("  t=%-5llu GET %s -> \"%s\"\n",
+                                static_cast<unsigned long long>(world.now()),
+                                key.c_str(), string_of(result).c_str());
+                  });
+  };
+
+  put("language", "c++20");
+  put("paper", "classifying trusted hardware");
+  get("language");
+  put("venue", "PODC 2021");
+  get("venue");
+
+  world.start();
+  // Serve the first couple of requests under the original primary…
+  world.run_until([&] { return client.completed() >= 2; });
+  std::printf("\n  t=%-5llu *** crashing the primary (replica 0) ***\n\n",
+              static_cast<unsigned long long>(world.now()));
+  world.crash(0);
+  world.run_to_quiescence();
+
+  std::puts("");
+  std::printf("client completed %llu/5 requests\n",
+              static_cast<unsigned long long>(client.completed()));
+  for (auto* r : replicas) {
+    if (!world.correct(r->id())) continue;
+    std::printf("replica %u: view=%llu, executed %llu commands, state "
+                "digest %s…\n",
+                r->id(), static_cast<unsigned long long>(r->view()),
+                static_cast<unsigned long long>(r->executed_count()),
+                to_hex(ByteSpan(r->state_digest().data(), 8)).c_str());
+  }
+
+  // The safety property, checked explicitly:
+  std::vector<std::pair<ProcessId, const std::vector<ExecutionRecord>*>> logs;
+  for (auto* r : replicas)
+    if (world.correct(r->id()))
+      logs.emplace_back(r->id(), &r->execution_log());
+  const auto divergence = check_execution_consistency(logs);
+  std::printf("execution logs prefix-consistent: %s\n",
+              divergence ? divergence->c_str() : "yes");
+  return divergence ? 1 : 0;
+}

@@ -1,0 +1,93 @@
+// Quickstart: the library in five minutes.
+//
+//  1. Build a simulated asynchronous world of processes.
+//  2. Give each process a TrInc trinket and exchange attested messages —
+//     non-equivocation from trusted hardware.
+//  3. Run sequenced reliable broadcast from *unidirectional rounds* over
+//     simulated SWMR shared memory — the paper's Algorithm 1 — and watch
+//     every process deliver the same stream.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "broadcast/srb_from_uni.h"
+#include "rounds/shmem_uni_round.h"
+#include "sim/adversaries.h"
+#include "trusted/trinc.h"
+
+using namespace unidir;
+
+namespace {
+
+/// A process hosting an Algorithm-1 SRB endpoint over shared memory.
+class Node final : public sim::Process {
+ public:
+  std::unique_ptr<rounds::ShmemUniRoundDriver> driver;
+  std::unique_ptr<broadcast::UniSrbEndpoint> srb;
+  std::vector<Bytes> to_broadcast;
+
+ protected:
+  void on_start() override {
+    srb->set_deliver([this](const broadcast::Delivery& d) {
+      std::printf("  node %u delivered (sender=%u, seq=%llu): \"%s\"\n", id(),
+                  d.sender, static_cast<unsigned long long>(d.seq),
+                  string_of(d.message).c_str());
+    });
+    for (auto& m : to_broadcast) srb->broadcast(m);
+    srb->start();
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::puts("== 1. trusted hardware: TrInc non-equivocation ==");
+  {
+    crypto::KeyRegistry keys;
+    trusted::TrincAuthority authority(keys);
+    trusted::Trinket trinket = authority.make_trinket(/*owner=*/0);
+
+    const auto a1 = trinket.attest(1, bytes_of("transfer $10 to alice"));
+    std::printf("  attest(c=1): %s\n", a1 ? "ok" : "refused");
+    const auto a2 = trinket.attest(1, bytes_of("transfer $10 to bob"));
+    std::printf("  attest(c=1) again with a DIFFERENT message: %s  "
+                "<- equivocation prevented by the device\n",
+                a2 ? "ok (BUG!)" : "refused");
+    std::printf("  anyone can check the first attestation: %s\n",
+                authority.check(*a1, 0) ? "valid" : "invalid");
+  }
+
+  std::puts("");
+  std::puts("== 2. SRB from unidirectional rounds (Algorithm 1) ==");
+  std::puts("   3 processes, t=1, over simulated SWMR shared memory:");
+  {
+    // A deterministic world: same seed, same execution, every run.
+    sim::World world(/*seed=*/2026,
+                     std::make_unique<sim::RandomDelayAdversary>(1, 4));
+    shmem::MemoryHost memory(world.simulator(), sim::Rng(7));
+    rounds::ShmemRoundBoard board(/*n=*/3);
+
+    std::vector<Node*> nodes;
+    for (ProcessId i = 0; i < 3; ++i) {
+      auto& node = world.spawn<Node>();
+      node.driver = std::make_unique<rounds::ShmemUniRoundDriver>(
+          memory, board, i);
+      node.srb = std::make_unique<broadcast::UniSrbEndpoint>(
+          node, *node.driver, /*n=*/3, /*t=*/1);
+      nodes.push_back(&node);
+    }
+    nodes[0]->to_broadcast = {bytes_of("block #1"), bytes_of("block #2")};
+    nodes[2]->to_broadcast = {bytes_of("hello from node 2")};
+
+    world.start();
+    world.run_to_quiescence();
+
+    std::printf("  done in %llu virtual ticks, %llu rounds at node 0\n",
+                static_cast<unsigned long long>(world.now()),
+                static_cast<unsigned long long>(nodes[0]->srb->rounds_run()));
+  }
+  std::puts("");
+  std::puts("next steps: examples/minbft_kv (BFT key-value store),");
+  std::puts("            examples/separation_demo (the impossibility proof, live)");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// The paper's separation, live: trusted logs (SRB) cannot give you
+// unidirectional communication.
+//
+// Constructs the three scenarios of Section 4.1 in the simulator, prints
+// what each group of processes observes, and shows (a) that the scenarios
+// are indistinguishable exactly as the proof requires, and (b) the
+// resulting unidirectionality violation in Scenario 3. Then runs the f=1
+// corner case, where reliable broadcast CAN build a unidirectional round.
+//
+// Build & run:  ./build/examples/separation_demo
+#include <cstdio>
+
+#include "broadcast/rb_uni_round.h"
+#include "broadcast/srb_hub.h"
+#include "core/separation.h"
+#include "rounds/checkers.h"
+#include "sim/adversaries.h"
+
+using namespace unidir;
+
+namespace {
+
+void print_flag(const char* label, bool ok) {
+  std::printf("    %-58s %s\n", label, ok ? "CONFIRMED" : "** FAILED **");
+}
+
+class RoundRunner final : public sim::Process {
+ public:
+  std::unique_ptr<broadcast::RbUniRoundDriver> driver;
+  void on_start() override {
+    driver->start_round(bytes_of("round-1 message"), nullptr);
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::puts("THE SEPARATION (Section 4.1): SRB =/=> unidirectionality");
+  std::puts("  n = 7, f = 2; Q = {0..4}, C1 = {5}, C2 = {6}");
+  std::puts("  Scenario 1: C1 crashed, C2->Q delayed forever");
+  std::puts("  Scenario 2: C2 crashed, C1->Q delayed forever");
+  std::puts("  Scenario 3: nobody faulty, all C1/C2 outbound delayed\n");
+
+  const auto r = core::run_srb_uni_separation(/*n=*/7, /*f=*/2, /*seed=*/1);
+  print_flag("every correct process finished its round", r.rounds_completed);
+  print_flag("Q cannot tell Scenario 1 from Scenario 3",
+             r.q_cannot_tell_1_from_3);
+  print_flag("Q cannot tell Scenario 2 from Scenario 3",
+             r.q_cannot_tell_2_from_3);
+  print_flag("C1 cannot tell Scenario 2 from Scenario 3",
+             r.c1_cannot_tell_2_from_3);
+  print_flag("C2 cannot tell Scenario 1 from Scenario 3",
+             r.c2_cannot_tell_1_from_3);
+  print_flag("Scenario 3: C1, C2 both correct, neither heard the other",
+             r.unidirectionality_violated);
+  std::printf("\n  => theorem %s\n\n",
+              r.holds() ? "REPRODUCED: non-equivocation alone cannot break "
+                          "a network partition"
+                        : "FAILED to reproduce");
+
+  std::puts("THE CORNER CASE (Appendix): f=1, n>=3 — RB => unidirectionality");
+  std::puts("  n = 4; the direct links between processes 0 and 1 are cut;");
+  std::puts("  the two-phase forwarding protocol relays through the rest:\n");
+  {
+    auto adversary = std::make_unique<sim::PartitionAdversary>();
+    adversary->block_bidirectional({0}, {1});
+    sim::World w(/*seed=*/5, std::move(adversary));
+    broadcast::SrbHub hub(w, /*channel=*/1);
+    std::vector<RoundRunner*> runners;
+    for (int i = 0; i < 4; ++i) runners.push_back(&w.spawn<RoundRunner>());
+    for (auto* runner : runners)
+      runner->driver = std::make_unique<broadcast::RbUniRoundDriver>(*runner,
+                                                                     hub);
+    w.start();
+    w.run_to_quiescence();
+
+    std::vector<rounds::ProcessHistory> hist;
+    for (auto* runner : runners)
+      hist.push_back(rounds::history_of(runner->id(), *runner->driver));
+    const auto violation = rounds::check_unidirectional(hist);
+    const auto& rec0 = runners[0]->driver->history().at(0);
+    const auto& rec1 = runners[1]->driver->history().at(0);
+    const bool p0_heard_p1 = rounds::received_from(hist[0], 1, 1);
+    const bool p1_heard_p0 = rounds::received_from(hist[1], 0, 1);
+    std::printf("    process 0 received round-1 messages from %zu peers "
+                "(heard p1: %s)\n",
+                rec0.received.size(), p0_heard_p1 ? "yes" : "no");
+    std::printf("    process 1 received round-1 messages from %zu peers "
+                "(heard p0: %s)\n",
+                rec1.received.size(), p1_heard_p0 ? "yes" : "no");
+    print_flag("unidirectionality holds despite the severed pair",
+               !violation.has_value());
+    std::printf("\n  => with a single fault, the relays smuggle at least one "
+                "direction through.\n");
+    return (r.holds() && !violation.has_value()) ? 0 : 1;
+  }
+}

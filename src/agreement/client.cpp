@@ -1,0 +1,84 @@
+#include "agreement/client.h"
+
+#include "common/check.h"
+
+namespace unidir::agreement {
+
+SmrClient::SmrClient(Options options) : options_(std::move(options)) {
+  UNIDIR_REQUIRE(!options_.replicas.empty());
+  UNIDIR_REQUIRE(options_.f + 1 <= options_.replicas.size());
+  UNIDIR_REQUIRE(options_.max_outstanding >= 1);
+  register_channel(kClientReplyCh,
+                   [this](ProcessId from, const Bytes& payload) {
+                     on_reply(from, payload);
+                   });
+}
+
+void SmrClient::on_start() {
+  started_ = true;
+  issue_ready();
+}
+
+void SmrClient::submit(Bytes op, DoneFn done) {
+  queue_.push_back({std::move(op), std::move(done)});
+  if (started_) issue_ready();
+}
+
+void SmrClient::issue_ready() {
+  while (!queue_.empty() && in_flight_.size() < options_.max_outstanding) {
+    QueuedOp next = std::move(queue_.front());
+    queue_.pop_front();
+    InFlight req;
+    req.cmd.client = id();
+    req.cmd.request_id = ++next_request_id_;
+    req.cmd.op = std::move(next.op);
+    req.done = std::move(next.done);
+    req.issued_at = world().now();
+    const std::uint64_t rid = req.cmd.request_id;
+    send_request(req.cmd);
+    in_flight_.emplace(rid, std::move(req));
+    arm_resend(rid);
+  }
+}
+
+void SmrClient::send_request(const Command& cmd) {
+  const Bytes wire = serde::encode(cmd);
+  for (ProcessId r : options_.replicas) send(r, kClientRequestCh, wire);
+}
+
+void SmrClient::arm_resend(std::uint64_t request_id) {
+  if (options_.resend_timeout == 0) return;
+  set_timer(options_.resend_timeout, [this, request_id] {
+    auto it = in_flight_.find(request_id);
+    if (it == in_flight_.end()) return;  // completed meanwhile
+    send_request(it->second.cmd);
+    arm_resend(request_id);
+  });
+}
+
+void SmrClient::on_reply(ProcessId from, const Bytes& payload) {
+  Reply reply;
+  try {
+    reply = serde::decode<Reply>(payload);
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  auto it = in_flight_.find(reply.request_id);
+  if (it == in_flight_.end()) return;
+  InFlight& req = it->second;
+  std::set<ProcessId>& voters = req.votes[reply.result];
+  voters.insert(from);
+  if (voters.size() < options_.f + 1) return;
+
+  // f+1 matching replies: at least one from a correct replica.
+  ++completed_;
+  latencies_.push_back(world().now() - req.issued_at);
+  output("smr-complete", serde::encode(reply.request_id));
+  DoneFn done = std::move(req.done);
+  const Bytes result = reply.result;
+  in_flight_.erase(it);
+  issue_ready();
+  if (done) done(result);
+}
+
+}  // namespace unidir::agreement

@@ -1,0 +1,78 @@
+// SMR client: submits operations to a replica group and accepts a result
+// once f+1 replicas report the same reply (at least one of them correct).
+// Protocol-agnostic: works against MinBFT and PBFT alike.
+//
+// Supports closed-loop operation (one request at a time, the default) and
+// pipelining (`max_outstanding` > 1) for throughput experiments.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <set>
+
+#include "agreement/smr.h"
+#include "sim/world.h"
+
+namespace unidir::agreement {
+
+/// Channel conventions shared by replicas and clients.
+inline constexpr sim::Channel kClientRequestCh = 50;
+inline constexpr sim::Channel kClientReplyCh = 51;
+inline constexpr sim::Channel kMinBftCh = 52;
+inline constexpr sim::Channel kPbftCh = 53;
+
+class SmrClient final : public sim::Process {
+ public:
+  struct Options {
+    std::vector<ProcessId> replicas;
+    std::size_t f = 0;
+    /// Re-broadcast an unanswered request after this many ticks
+    /// (0 disables). Resends are what let a request survive a primary
+    /// that crashed before proposing it.
+    Time resend_timeout = 400;
+    /// Requests allowed in flight simultaneously (pipeline depth).
+    std::size_t max_outstanding = 1;
+  };
+
+  explicit SmrClient(Options options);
+
+  using DoneFn = std::function<void(const Bytes& result)>;
+
+  /// Submits an operation; issued when a pipeline slot frees up.
+  void submit(Bytes op, DoneFn done = nullptr);
+
+  std::uint64_t completed() const { return completed_; }
+  std::size_t outstanding() const { return in_flight_.size(); }
+  /// Per-request latency in virtual ticks, completion order.
+  const std::vector<Time>& latencies() const { return latencies_; }
+
+ protected:
+  void on_start() override;
+
+ private:
+  struct QueuedOp {
+    Bytes op;
+    DoneFn done;
+  };
+  struct InFlight {
+    Command cmd;
+    DoneFn done;
+    Time issued_at = 0;
+    std::map<Bytes, std::set<ProcessId>> votes;  // result -> replicas
+  };
+
+  void issue_ready();
+  void send_request(const Command& cmd);
+  void arm_resend(std::uint64_t request_id);
+  void on_reply(ProcessId from, const Bytes& payload);
+
+  Options options_;
+  std::deque<QueuedOp> queue_;
+  bool started_ = false;
+  std::uint64_t next_request_id_ = 0;
+  std::map<std::uint64_t, InFlight> in_flight_;  // by request_id
+  std::uint64_t completed_ = 0;
+  std::vector<Time> latencies_;
+};
+
+}  // namespace unidir::agreement

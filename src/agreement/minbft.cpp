@@ -1,0 +1,640 @@
+#include "agreement/minbft.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace unidir::agreement {
+
+namespace {
+
+constexpr std::uint8_t kPrepare = 1;
+constexpr std::uint8_t kCommit = 2;
+constexpr std::uint8_t kCheckpoint = 3;
+constexpr std::uint8_t kViewChange = 4;
+constexpr std::uint8_t kNewView = 5;
+
+Bytes prepare_binding(ViewNum view, const Command& cmd) {
+  serde::Writer w;
+  w.str("minbft-prep");
+  w.uvarint(view);
+  cmd.encode(w);
+  return w.take();
+}
+
+Bytes commit_binding(ViewNum view, SeqNum primary_counter,
+                     const Command& cmd) {
+  serde::Writer w;
+  w.str("minbft-comm");
+  w.uvarint(view);
+  w.uvarint(primary_counter);
+  cmd.encode(w);
+  return w.take();
+}
+
+Bytes checkpoint_binding(std::uint64_t executed, const Bytes& digest) {
+  serde::Writer w;
+  w.str("minbft-cp");
+  w.uvarint(executed);
+  w.bytes(digest);
+  return w.take();
+}
+
+using VcEntry = MinBftVcEntry;
+
+Bytes view_change_binding(ViewNum target, const std::vector<VcEntry>& entries,
+                          const std::vector<Command>& pending) {
+  serde::Writer w;
+  w.str("minbft-vc");
+  w.uvarint(target);
+  serde::write(w, entries);
+  serde::write(w, pending);
+  return w.take();
+}
+
+struct PrepareWire {
+  ViewNum view = 0;
+  Command cmd;
+  trusted::UniqueIdentifier ui;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(view);
+    cmd.encode(w);
+    ui.encode(w);
+  }
+  static PrepareWire decode(serde::Reader& r) {
+    PrepareWire p;
+    p.view = r.uvarint();
+    p.cmd = Command::decode(r);
+    p.ui = trusted::UniqueIdentifier::decode(r);
+    return p;
+  }
+};
+
+struct CommitWire {
+  ViewNum view = 0;
+  Command cmd;
+  trusted::UniqueIdentifier primary_ui;
+  trusted::UniqueIdentifier replica_ui;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(view);
+    cmd.encode(w);
+    primary_ui.encode(w);
+    replica_ui.encode(w);
+  }
+  static CommitWire decode(serde::Reader& r) {
+    CommitWire c;
+    c.view = r.uvarint();
+    c.cmd = Command::decode(r);
+    c.primary_ui = trusted::UniqueIdentifier::decode(r);
+    c.replica_ui = trusted::UniqueIdentifier::decode(r);
+    return c;
+  }
+};
+
+struct CheckpointWire {
+  std::uint64_t executed = 0;
+  Bytes digest;
+  crypto::Signature sig;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(executed);
+    w.bytes(digest);
+    sig.encode(w);
+  }
+  static CheckpointWire decode(serde::Reader& r) {
+    CheckpointWire c;
+    c.executed = r.uvarint();
+    c.digest = r.bytes();
+    c.sig = crypto::Signature::decode(r);
+    return c;
+  }
+};
+
+struct ViewChangeWire {
+  ViewNum target = 0;
+  std::vector<VcEntry> entries;    // accepted slots, with order info
+  std::vector<Command> pending;    // buffered requests never slotted
+  crypto::Signature sig;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(target);
+    serde::write(w, entries);
+    serde::write(w, pending);
+    sig.encode(w);
+  }
+  static ViewChangeWire decode(serde::Reader& r) {
+    ViewChangeWire v;
+    v.target = r.uvarint();
+    v.entries = serde::read<std::vector<VcEntry>>(r);
+    v.pending = serde::read<std::vector<Command>>(r);
+    v.sig = crypto::Signature::decode(r);
+    return v;
+  }
+};
+
+struct NewViewWire {
+  ViewNum target = 0;
+  crypto::Signature sig;  // over ("minbft-nv", target)
+
+  static Bytes binding(ViewNum target) {
+    serde::Writer w;
+    w.str("minbft-nv");
+    w.uvarint(target);
+    return w.take();
+  }
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(target);
+    sig.encode(w);
+  }
+  static NewViewWire decode(serde::Reader& r) {
+    NewViewWire v;
+    v.target = r.uvarint();
+    v.sig = crypto::Signature::decode(r);
+    return v;
+  }
+};
+
+template <typename Wire>
+Bytes tagged(std::uint8_t tag, const Wire& wire) {
+  serde::Writer w;
+  w.u8(tag);
+  wire.encode(w);
+  return w.take();
+}
+
+}  // namespace
+
+void MinBftVcEntry::encode(serde::Writer& w) const {
+  w.uvarint(view);
+  w.uvarint(counter);
+  cmd.encode(w);
+}
+
+MinBftVcEntry MinBftVcEntry::decode(serde::Reader& r) {
+  MinBftVcEntry e;
+  e.view = r.uvarint();
+  e.counter = r.uvarint();
+  e.cmd = Command::decode(r);
+  return e;
+}
+
+Bytes MinBftReplica::encode_prepare_for_test(UsigDirectory& usigs,
+                                             ProcessId as, ViewNum view,
+                                             const Command& cmd) {
+  PrepareWire p;
+  p.view = view;
+  p.cmd = cmd;
+  p.ui = usigs.create_ui(as, prepare_binding(view, cmd));
+  return tagged(kPrepare, p);
+}
+
+MinBftReplica::MinBftReplica(Options options, UsigDirectory& usigs,
+                             std::unique_ptr<StateMachine> machine)
+    : options_(std::move(options)),
+      usigs_(usigs),
+      machine_(std::move(machine)) {
+  UNIDIR_REQUIRE(machine_ != nullptr);
+  UNIDIR_REQUIRE_MSG(options_.replicas.size() >= 2 * options_.f + 1,
+                     "MinBFT requires n >= 2f+1");
+  if (options_.commit_quorum == 0) options_.commit_quorum = options_.f + 1;
+  UNIDIR_REQUIRE_MSG(options_.commit_quorum >= options_.f + 1 &&
+                         options_.commit_quorum <= options_.replicas.size(),
+                     "commit quorum must be in [f+1, n]");
+  register_channel(kClientRequestCh,
+                   [this](ProcessId from, const Bytes& payload) {
+                     on_request(from, payload);
+                   });
+  register_channel(kMinBftCh, [this](ProcessId from, const Bytes& payload) {
+    on_protocol(from, payload);
+  });
+}
+
+void MinBftReplica::on_start() {
+  UNIDIR_CHECK_MSG(is_replica(id()),
+                   "replica id must appear in Options::replicas");
+}
+
+bool MinBftReplica::is_replica(ProcessId p) const {
+  return std::find(options_.replicas.begin(), options_.replicas.end(), p) !=
+         options_.replicas.end();
+}
+
+// ---- client requests ----------------------------------------------------------
+
+void MinBftReplica::on_request(ProcessId from, const Bytes& payload) {
+  Command cmd;
+  try {
+    cmd = serde::decode<Command>(payload);
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  if (cmd.client != from) return;  // clients speak only for themselves
+
+  if (const auto cached = dedup_.lookup(cmd)) {
+    reply_to(cmd, *cached);
+    return;
+  }
+  const bool fresh = pending_.emplace(cmd.key(), cmd).second;
+  if (fresh) arm_request_timer(cmd);
+  if (!in_view_change_ && is_primary()) propose(cmd);
+}
+
+void MinBftReplica::propose(const Command& cmd) {
+  // A command may only occupy one slot per view.
+  for (const auto& [counter, slot] : slots_)
+    if (slot.cmd.key() == cmd.key()) return;
+
+  PrepareWire p;
+  p.view = view_;
+  p.cmd = cmd;
+  p.ui = usigs_.create_ui(id(), prepare_binding(view_, cmd));
+  // Our own UI consumption advances our own stream: messages from peers
+  // embedding this UI must not wait for us to "receive" it.
+  ui_high_[id()] = p.ui.counter;
+  broadcast(kMinBftCh, tagged(kPrepare, p));
+  // Our own PREPARE is our commit vote.
+  accept_slot(p.view, p.cmd, p.ui);
+  try_execute();
+}
+
+// ---- protocol messages ----------------------------------------------------------
+
+void MinBftReplica::on_protocol(ProcessId from, const Bytes& payload) {
+  if (!is_replica(from)) return;
+  serde::Reader r(payload);
+  std::uint8_t tag = 0;
+  Bytes body;
+  try {
+    tag = r.u8();
+    body = r.raw(r.remaining());
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  switch (tag) {
+    case kPrepare: handle_prepare(from, body); break;
+    case kCommit: handle_commit(from, body); break;
+    case kCheckpoint: handle_checkpoint(from, body); break;
+    case kViewChange: handle_view_change(from, body); break;
+    case kNewView: handle_new_view(from, body); break;
+    default: break;
+  }
+}
+
+bool MinBftReplica::accept_slot(ViewNum view,
+                                const Command& cmd,
+                                const trusted::UniqueIdentifier& primary_ui) {
+  if (view != view_ || in_view_change_) return false;
+  auto it = slots_.find(primary_ui.counter);
+  if (it != slots_.end()) {
+    // USIG uniqueness: a second, different command under the same counter
+    // cannot verify; matching content just merges.
+    return it->second.cmd == cmd;
+  }
+  if (view_base_counter_ == 0) {
+    view_base_counter_ = primary_ui.counter;
+    next_exec_counter_ = primary_ui.counter;
+  } else if (primary_ui.counter < view_base_counter_) {
+    return false;  // before this view's window
+  }
+  Slot slot;
+  slot.cmd = cmd;
+  slot.primary_ui = primary_ui;
+  slot.committers.insert(primary_of(view_));
+  slots_.emplace(primary_ui.counter, std::move(slot));
+  vc_archive_.push_back({view, primary_ui.counter, cmd});
+  return true;
+}
+
+void MinBftReplica::sequenced(ProcessId sender, SeqNum counter,
+                              std::function<void()> action) {
+  SeqNum& high = ui_high_[sender];
+  if (counter <= high) {
+    action();  // already due; handlers are idempotent
+    return;
+  }
+  if (counter > high + 1) {
+    ui_waiting_[sender][counter].push_back(std::move(action));
+    return;
+  }
+  high = counter;
+  action();
+  // Drain any actions the gap closure unblocked.
+  auto& waiting = ui_waiting_[sender];
+  while (true) {
+    auto it = waiting.find(high + 1);
+    if (it == waiting.end()) return;
+    high = it->first;
+    std::vector<std::function<void()>> actions = std::move(it->second);
+    waiting.erase(it);
+    for (auto& fn : actions) fn();
+  }
+}
+
+void MinBftReplica::handle_prepare(ProcessId from, const Bytes& body) {
+  PrepareWire p;
+  try {
+    p = serde::decode<PrepareWire>(body);
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  if (from == id()) return;
+  // UI validity is checked at arrival (a forged UI must not advance the
+  // sender's stream); all protocol-state checks wait until the counter is
+  // due, so that semantically stale-but-genuine UIs still advance it.
+  if (!usigs_.verify(from, p.ui, prepare_binding(p.view, p.cmd))) return;
+  sequenced(from, p.ui.counter, [this, from, p]() {
+    when_in_view(p.view, [this, from, p]() {
+      if (from != primary_of(view_)) return;
+      if (!accept_slot(p.view, p.cmd, p.ui)) return;
+      maybe_send_own_commit(p.ui.counter);
+      // The request is now in flight under this view; make sure a timer
+      // guards it even if the client's REQUEST never reached us directly.
+      if (!dedup_.lookup(p.cmd) &&
+          pending_.emplace(p.cmd.key(), p.cmd).second)
+        arm_request_timer(p.cmd);
+      try_execute();
+    });
+  });
+}
+
+void MinBftReplica::handle_commit(ProcessId from, const Bytes& body) {
+  CommitWire c;
+  try {
+    c = serde::decode<CommitWire>(body);
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  if (from == id()) return;
+  const ProcessId prepare_author = primary_of(c.view);
+  if (!usigs_.verify(prepare_author, c.primary_ui,
+                     prepare_binding(c.view, c.cmd)))
+    return;
+  if (!usigs_.verify(from, c.replica_ui,
+                     commit_binding(c.view, c.primary_ui.counter, c.cmd)))
+    return;
+  // Double sequencing: the commit is ordered in the sender's UI stream,
+  // and the embedded PREPARE in the primary's.
+  sequenced(from, c.replica_ui.counter, [this, from, c, prepare_author]() {
+    sequenced(prepare_author, c.primary_ui.counter, [this, from, c]() {
+      when_in_view(c.view, [this, from, c]() {
+        if (from == primary_of(view_)) return;  // its vote is its PREPARE
+        // A COMMIT carries the full PREPARE, so it can open the slot (and
+        // prompt our own vote) even if the PREPARE itself never reached us.
+        if (!accept_slot(c.view, c.cmd, c.primary_ui)) return;
+        slots_.at(c.primary_ui.counter).committers.insert(from);
+        maybe_send_own_commit(c.primary_ui.counter);
+        try_execute();
+      });
+    });
+  });
+}
+
+void MinBftReplica::when_in_view(ViewNum view, std::function<void()> action) {
+  if (view < view_) return;  // stale
+  if (view == view_ && !in_view_change_) {
+    action();
+    return;
+  }
+  view_waiting_[view].push_back(std::move(action));
+}
+
+void MinBftReplica::maybe_send_own_commit(SeqNum primary_counter) {
+  if (is_primary()) return;
+  Slot& slot = slots_.at(primary_counter);
+  if (!slot.committers.insert(id()).second) return;
+  CommitWire c;
+  c.view = view_;
+  c.cmd = slot.cmd;
+  c.primary_ui = slot.primary_ui;
+  c.replica_ui = usigs_.create_ui(
+      id(), commit_binding(view_, primary_counter, slot.cmd));
+  ui_high_[id()] = c.replica_ui.counter;  // see propose()
+  broadcast(kMinBftCh, tagged(kCommit, c));
+}
+
+void MinBftReplica::try_execute() {
+  if (next_exec_counter_ == 0) return;
+  while (true) {
+    auto it = slots_.find(next_exec_counter_);
+    if (it == slots_.end()) return;
+    Slot& slot = it->second;
+    if (slot.executed) {
+      ++next_exec_counter_;
+      continue;
+    }
+    if (slot.committers.size() < options_.commit_quorum) return;
+    execute(slot);
+    ++next_exec_counter_;
+  }
+}
+
+void MinBftReplica::execute(Slot& slot) {
+  slot.executed = true;
+  Bytes result;
+  if (const auto cached = dedup_.lookup(slot.cmd)) {
+    result = *cached;  // exactly-once: re-proposed after a view change
+  } else {
+    result = machine_->apply(slot.cmd.op);
+    dedup_.record(slot.cmd, result);
+    log_.push_back({slot.cmd, result});
+    output("smr-exec", serde::encode(slot.cmd));
+    maybe_checkpoint();
+  }
+  pending_.erase(slot.cmd.key());
+  reply_to(slot.cmd, result);
+}
+
+void MinBftReplica::reply_to(const Command& cmd, const Bytes& result) {
+  Reply reply;
+  reply.request_id = cmd.request_id;
+  reply.result = result;
+  send(cmd.client, kClientReplyCh, serde::encode(reply));
+}
+
+// ---- checkpoints ----------------------------------------------------------------
+
+void MinBftReplica::maybe_checkpoint() {
+  if (options_.checkpoint_interval == 0) return;
+  if (log_.size() % options_.checkpoint_interval != 0) return;
+  CheckpointWire cp;
+  cp.executed = log_.size();
+  cp.digest = crypto::digest_bytes(machine_->digest());
+  cp.sig = signer().sign(checkpoint_binding(cp.executed, cp.digest));
+  broadcast(kMinBftCh, tagged(kCheckpoint, cp));
+  cp_votes_[cp.executed][cp.digest].insert(id());
+}
+
+void MinBftReplica::handle_checkpoint(ProcessId from, const Bytes& body) {
+  CheckpointWire cp;
+  try {
+    cp = serde::decode<CheckpointWire>(body);
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  if (cp.sig.key != world().key_of(from)) return;
+  if (!world().keys().verify(cp.sig,
+                             checkpoint_binding(cp.executed, cp.digest)))
+    return;
+  auto& voters = cp_votes_[cp.executed][cp.digest];
+  voters.insert(from);
+  if (voters.size() >= options_.f + 1 && cp.executed > stable_checkpoint_)
+    stable_checkpoint_ = cp.executed;
+}
+
+// ---- view change ----------------------------------------------------------------
+
+void MinBftReplica::arm_request_timer(const Command& cmd) {
+  const auto key = cmd.key();
+  const ViewNum armed_view = view_;
+  set_timer(options_.view_change_timeout, [this, key, armed_view] {
+    if (!pending_.contains(key)) return;  // executed meanwhile
+    if (in_view_change_) return;          // one attempt at a time
+    // Still pending after a full timeout in the same view: the primary is
+    // not making progress for us.
+    if (view_ == armed_view) start_view_change(view_ + 1);
+  });
+}
+
+void MinBftReplica::start_view_change(ViewNum target) {
+  if (target <= view_) return;
+  in_view_change_ = true;
+  vc_target_ = target;
+  ++view_changes_;
+
+  ViewChangeWire vc;
+  vc.target = target;
+  // Report every slot we ever accepted (with its original order) plus any
+  // buffered client requests that never made it into a slot.
+  vc.entries = vc_archive_;
+  for (const auto& [key, cmd] : pending_) vc.pending.push_back(cmd);
+  vc.sig =
+      signer().sign(view_change_binding(target, vc.entries, vc.pending));
+  broadcast(kMinBftCh, tagged(kViewChange, vc));
+  vc_msgs_[target][id()] = VcReport{vc.entries, vc.pending};
+  maybe_assume_primacy(target);
+
+  // If this attempt stalls, either escalate (when f+1 replicas agree the
+  // view is broken — the next primary may be dead too) or abandon and
+  // rejoin the current view (when we are alone: a spurious timeout, e.g.
+  // pre-GST straggling, must not strand us outside a healthy view).
+  set_timer(options_.view_change_timeout, [this, target] {
+    if (!in_view_change_ || vc_target_ != target) return;
+    if (vc_msgs_[target].size() >= options_.f + 1) {
+      start_view_change(target + 1);
+    } else {
+      abandon_view_change();
+    }
+  });
+}
+
+void MinBftReplica::abandon_view_change() {
+  in_view_change_ = false;
+  // Replay whatever the attempt made us buffer for the view we never left.
+  auto it = view_waiting_.find(view_);
+  if (it != view_waiting_.end()) {
+    std::vector<std::function<void()>> actions = std::move(it->second);
+    view_waiting_.erase(it);
+    for (auto& fn : actions) fn();
+  }
+  // Anything still unserved gets a fresh clock (and hence a fresh chance
+  // to demand a view change, now or under a later, supported attempt).
+  for (const auto& [key, cmd] : pending_) arm_request_timer(cmd);
+}
+
+void MinBftReplica::handle_view_change(ProcessId from, const Bytes& body) {
+  ViewChangeWire vc;
+  try {
+    vc = serde::decode<ViewChangeWire>(body);
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  if (vc.target <= view_) return;
+  if (vc.sig.key != world().key_of(from)) return;
+  if (!world().keys().verify(
+          vc.sig, view_change_binding(vc.target, vc.entries, vc.pending)))
+    return;
+  vc_msgs_[vc.target][from] =
+      VcReport{std::move(vc.entries), std::move(vc.pending)};
+
+  // Join: f+1 replicas want a higher view, so at least one correct one
+  // does; we follow even if our own timer has not fired.
+  if (vc_msgs_[vc.target].size() >= options_.f + 1 &&
+      (!in_view_change_ || vc_target_ < vc.target))
+    start_view_change(vc.target);
+  maybe_assume_primacy(vc.target);
+}
+
+void MinBftReplica::maybe_assume_primacy(ViewNum target) {
+  if (primary_of(target) != id()) return;
+  if (target <= view_) return;
+  auto it = vc_msgs_.find(target);
+  if (it == vc_msgs_.end() || it->second.size() < options_.f + 1) return;
+
+  // Announce and take over.
+  NewViewWire nv;
+  nv.target = target;
+  nv.sig = signer().sign(NewViewWire::binding(target));
+  broadcast(kMinBftCh, tagged(kNewView, nv));
+  enter_view(target);
+
+  // Re-propose in a consistent order: first every reported slot, sorted
+  // by its ORIGINAL (view, counter) — so replicas that already executed a
+  // command and replicas executing it only now agree on its position —
+  // then never-slotted requests in deterministic key order. Exactly-once
+  // is preserved by per-client deduplication at execution time.
+  std::map<std::tuple<ViewNum, SeqNum>, Command> slotted;
+  std::map<std::pair<ProcessId, std::uint64_t>, Command> loose;
+  std::set<std::pair<ProcessId, std::uint64_t>> seen;
+  for (const auto& [reporter, report] : it->second) {
+    for (const VcEntry& e : report.entries)
+      slotted.emplace(std::make_tuple(e.view, e.counter), e.cmd);
+    for (const Command& cmd : report.pending) loose.emplace(cmd.key(), cmd);
+  }
+  auto consider = [&](const Command& cmd) {
+    if (!seen.insert(cmd.key()).second) return;
+    if (dedup_.lookup(cmd)) return;  // already executed everywhere we know
+    if (pending_.emplace(cmd.key(), cmd).second) arm_request_timer(cmd);
+    propose(cmd);
+  };
+  for (const auto& [order, cmd] : slotted) consider(cmd);
+  for (const auto& [key, cmd] : loose) consider(cmd);
+}
+
+void MinBftReplica::handle_new_view(ProcessId from, const Bytes& body) {
+  NewViewWire nv;
+  try {
+    nv = serde::decode<NewViewWire>(body);
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  if (nv.target <= view_) return;
+  if (from != primary_of(nv.target)) return;
+  if (nv.sig.key != world().key_of(from)) return;
+  if (!world().keys().verify(nv.sig, NewViewWire::binding(nv.target))) return;
+  enter_view(nv.target);
+  // Pending requests restart their clocks under the new primary.
+  for (const auto& [key, cmd] : pending_) arm_request_timer(cmd);
+}
+
+void MinBftReplica::enter_view(ViewNum v) {
+  view_ = v;
+  in_view_change_ = false;
+  slots_.clear();
+  view_base_counter_ = 0;
+  next_exec_counter_ = 0;
+  // Replay protocol messages that arrived for this view before we entered
+  // it, and drop anything for views that can no longer happen.
+  auto stale_end = view_waiting_.lower_bound(v);
+  view_waiting_.erase(view_waiting_.begin(), stale_end);
+  auto it = view_waiting_.find(v);
+  if (it == view_waiting_.end()) return;
+  std::vector<std::function<void()>> actions = std::move(it->second);
+  view_waiting_.erase(it);
+  for (auto& fn : actions) fn();
+}
+
+}  // namespace unidir::agreement

@@ -1,0 +1,190 @@
+// MinBFT-style state machine replication on trusted counters (Veronese et
+// al., "Efficient Byzantine Fault-Tolerance", IEEE TC 2012) — the flagship
+// application of the paper's trusted-log class: with a USIG per replica,
+// BFT SMR needs only n = 2f+1 replicas and two communication phases,
+// versus PBFT's n = 3f+1 and three phases.
+//
+// Normal operation (view v, primary = replicas[v mod n]):
+//
+//   client   → all      : REQUEST(cmd)
+//   primary  → all      : PREPARE(v, cmd, UI_p)      UI_p from its USIG
+//   replica  → all      : COMMIT(v, cmd, UI_p, UI_i) on accepting PREPARE
+//   everyone executes cmd once f+1 replicas (the primary's PREPARE counts
+//   as its COMMIT) have committed it, in UI_p-counter order; replies to
+//   the client, which waits for f+1 matching replies.
+//
+// The USIG is the non-equivocation mechanism: the primary cannot assign
+// one counter value to two commands, so the order it proposes is unique
+// by construction; counter gaps can only stall progress (answered by a
+// view change), never fork it.
+//
+// View change (simplified relative to Veronese et al.; see DESIGN.md):
+// replicas that time out on a pending request broadcast VIEW-CHANGE(v+1)
+// carrying every command they have accepted-but-not-executed or merely
+// buffered; the new primary collects f+1 of them, announces NEW-VIEW and
+// re-proposes the union in deterministic order. Exactly-once execution is
+// preserved by per-client request-id deduplication. The full protocol
+// additionally UI-stamps view-change messages and audits counter
+// continuity across views, which matters only for Byzantine behaviour
+// *during* view changes; our fault-injection tests cover crash faults at
+// arbitrary points plus Byzantine equivocation in normal operation.
+#pragma once
+
+#include <set>
+
+#include "agreement/client.h"
+#include "agreement/smr.h"
+#include "agreement/usig_directory.h"
+#include "sim/world.h"
+
+namespace unidir::agreement {
+
+/// An accepted slot as archived for (and reported in) view changes:
+/// (view, counter) preserves the original proposal order.
+struct MinBftVcEntry {
+  ViewNum view = 0;
+  SeqNum counter = 0;
+  Command cmd;
+
+  void encode(serde::Writer& w) const;
+  static MinBftVcEntry decode(serde::Reader& r);
+};
+
+class MinBftReplica final : public sim::Process {
+ public:
+  struct Options {
+    std::vector<ProcessId> replicas;  // ids, in rank order; includes self
+    std::size_t f = 0;
+    Time view_change_timeout = 300;
+    SeqNum checkpoint_interval = 16;
+    /// Commit quorum size; 0 means the MinBFT default of f+1. Larger
+    /// quorums (up to n) are the conservative-quorum ablation: more
+    /// certainty per slot, more latency, and liveness only while that
+    /// many replicas are responsive.
+    std::size_t commit_quorum = 0;
+  };
+
+  MinBftReplica(Options options, UsigDirectory& usigs,
+                std::unique_ptr<StateMachine> machine);
+
+  // -- introspection ---------------------------------------------------------
+  ViewNum view() const { return view_; }
+  bool is_primary() const { return primary_of(view_) == id(); }
+  const std::vector<ExecutionRecord>& execution_log() const { return log_; }
+  std::uint64_t executed_count() const { return log_.size(); }
+  crypto::Digest state_digest() const { return machine_->digest(); }
+  /// Highest execution count agreed stable via checkpoints.
+  std::uint64_t stable_checkpoint() const { return stable_checkpoint_; }
+  std::uint64_t view_changes_seen() const { return view_changes_; }
+
+  /// Builds a signed PREPARE wire message outside any replica — exposed so
+  /// adversarial tests can drive Byzantine primaries by hand.
+  static Bytes encode_prepare_for_test(UsigDirectory& usigs, ProcessId as,
+                                       ViewNum view, const Command& cmd);
+
+ protected:
+  void on_start() override;
+
+ private:
+  struct Slot {
+    Command cmd;
+    trusted::UniqueIdentifier primary_ui;
+    std::set<ProcessId> committers;  // includes the primary and self
+    bool executed = false;
+  };
+
+  ProcessId primary_of(ViewNum v) const {
+    return options_.replicas[static_cast<std::size_t>(v) %
+                             options_.replicas.size()];
+  }
+  std::size_t n() const { return options_.replicas.size(); }
+  bool is_replica(ProcessId p) const;
+
+  // message handling
+  void on_request(ProcessId from, const Bytes& payload);
+  void on_protocol(ProcessId from, const Bytes& payload);
+  void handle_prepare(ProcessId from, const Bytes& body);
+  void handle_commit(ProcessId from, const Bytes& body);
+
+  /// The sequential-UI rule of MinBFT: a receiver processes each sender's
+  /// UI-stamped messages strictly in counter order. `action` runs when
+  /// `counter` becomes due (immediately if already processed — handlers
+  /// are idempotent); future counters buffer. Without this rule a
+  /// Byzantine primary could fork the log by showing different counters
+  /// to different backups.
+  void sequenced(ProcessId sender, SeqNum counter,
+                 std::function<void()> action);
+
+  /// Runs `action` now if `view` is current and stable; buffers it until
+  /// enter_view(view) if the view is in the future (or being changed to);
+  /// drops it if the view is past. NEW-VIEW and the first PREPAREs of a
+  /// view race on an asynchronous network; without this, a replica that
+  /// sees the PREPARE first would silently lose it.
+  void when_in_view(ViewNum view, std::function<void()> action);
+  void handle_checkpoint(ProcessId from, const Bytes& body);
+  void handle_view_change(ProcessId from, const Bytes& body);
+  void handle_new_view(ProcessId from, const Bytes& body);
+
+  // normal path
+  void propose(const Command& cmd);
+  bool accept_slot(ViewNum view, const Command& cmd,
+                   const trusted::UniqueIdentifier& primary_ui);
+  /// Casts and broadcasts this replica's COMMIT for an accepted slot
+  /// (no-op for the primary, whose PREPARE is its vote).
+  void maybe_send_own_commit(SeqNum primary_counter);
+  void try_execute();
+  void execute(Slot& slot);
+  void reply_to(const Command& cmd, const Bytes& result);
+  void maybe_checkpoint();
+
+  // view change
+  void arm_request_timer(const Command& cmd);
+  void start_view_change(ViewNum target);
+  /// Gives up an unsupported view-change attempt and rejoins the current
+  /// view (replaying the messages buffered during the attempt).
+  void abandon_view_change();
+  void maybe_assume_primacy(ViewNum target);
+  void enter_view(ViewNum v);
+
+  Options options_;
+  UsigDirectory& usigs_;
+  std::unique_ptr<StateMachine> machine_;
+
+  ViewNum view_ = 0;
+  bool in_view_change_ = false;
+  ViewNum vc_target_ = 0;
+
+  // Current-view ordering state.
+  std::map<SeqNum, Slot> slots_;        // primary UI counter -> slot
+  SeqNum view_base_counter_ = 0;        // first accepted counter this view
+  SeqNum next_exec_counter_ = 0;        // next counter to execute (0=unset)
+
+  // Sequential-UI tracking: highest processed counter per sender, and
+  // actions waiting for the gap to close.
+  std::map<ProcessId, SeqNum> ui_high_;
+  std::map<ProcessId, std::map<SeqNum, std::vector<std::function<void()>>>>
+      ui_waiting_;
+
+  // Actions waiting for a future view to start.
+  std::map<ViewNum, std::vector<std::function<void()>>> view_waiting_;
+
+  // Client-facing state.
+  std::map<std::pair<ProcessId, std::uint64_t>, Command> pending_;
+  ExecutionDeduper dedup_;
+  std::vector<ExecutionRecord> log_;
+
+  // Checkpoints.
+  std::uint64_t stable_checkpoint_ = 0;
+  std::map<std::uint64_t, std::map<Bytes, std::set<ProcessId>>> cp_votes_;
+
+  // View change bookkeeping.
+  struct VcReport {
+    std::vector<MinBftVcEntry> entries;
+    std::vector<Command> pending;
+  };
+  std::vector<MinBftVcEntry> vc_archive_;  // every slot ever accepted
+  std::map<ViewNum, std::map<ProcessId, VcReport>> vc_msgs_;
+  std::uint64_t view_changes_ = 0;
+};
+
+}  // namespace unidir::agreement

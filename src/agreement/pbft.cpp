@@ -1,0 +1,607 @@
+#include "agreement/pbft.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace unidir::agreement {
+
+namespace {
+
+constexpr std::uint8_t kPrePrepare = 1;
+constexpr std::uint8_t kPrepare = 2;
+constexpr std::uint8_t kCommit = 3;
+constexpr std::uint8_t kCheckpoint = 4;
+constexpr std::uint8_t kViewChange = 5;
+constexpr std::uint8_t kNewView = 6;
+
+Bytes command_digest(const Command& cmd) {
+  const crypto::Digest d = crypto::Sha256::hash(serde::encode(cmd));
+  return crypto::digest_bytes(d);
+}
+
+Bytes preprepare_binding(ViewNum view, SeqNum seq, const Command& cmd) {
+  serde::Writer w;
+  w.str("pbft-pp");
+  w.uvarint(view);
+  w.uvarint(seq);
+  cmd.encode(w);
+  return w.take();
+}
+
+Bytes vote_binding(std::string_view phase, ViewNum view, SeqNum seq,
+                   const Bytes& digest) {
+  serde::Writer w;
+  w.str(phase);
+  w.uvarint(view);
+  w.uvarint(seq);
+  w.bytes(digest);
+  return w.take();
+}
+
+Bytes checkpoint_binding(std::uint64_t executed, const Bytes& digest) {
+  serde::Writer w;
+  w.str("pbft-cp");
+  w.uvarint(executed);
+  w.bytes(digest);
+  return w.take();
+}
+
+Bytes view_change_binding(ViewNum target,
+                          const std::vector<PbftVcEntry>& entries,
+                          const std::vector<Command>& pending) {
+  serde::Writer w;
+  w.str("pbft-vc");
+  w.uvarint(target);
+  serde::write(w, entries);
+  serde::write(w, pending);
+  return w.take();
+}
+
+struct PrePrepareWire {
+  ViewNum view = 0;
+  SeqNum seq = 0;
+  Command cmd;
+  crypto::Signature sig;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(view);
+    w.uvarint(seq);
+    cmd.encode(w);
+    sig.encode(w);
+  }
+  static PrePrepareWire decode(serde::Reader& r) {
+    PrePrepareWire p;
+    p.view = r.uvarint();
+    p.seq = r.uvarint();
+    p.cmd = Command::decode(r);
+    p.sig = crypto::Signature::decode(r);
+    return p;
+  }
+};
+
+struct VoteWire {  // PREPARE and COMMIT share shape
+  ViewNum view = 0;
+  SeqNum seq = 0;
+  Bytes digest;
+  crypto::Signature sig;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(view);
+    w.uvarint(seq);
+    w.bytes(digest);
+    sig.encode(w);
+  }
+  static VoteWire decode(serde::Reader& r) {
+    VoteWire v;
+    v.view = r.uvarint();
+    v.seq = r.uvarint();
+    v.digest = r.bytes();
+    v.sig = crypto::Signature::decode(r);
+    return v;
+  }
+};
+
+struct CheckpointWire {
+  std::uint64_t executed = 0;
+  Bytes digest;
+  crypto::Signature sig;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(executed);
+    w.bytes(digest);
+    sig.encode(w);
+  }
+  static CheckpointWire decode(serde::Reader& r) {
+    CheckpointWire c;
+    c.executed = r.uvarint();
+    c.digest = r.bytes();
+    c.sig = crypto::Signature::decode(r);
+    return c;
+  }
+};
+
+struct ViewChangeWire {
+  ViewNum target = 0;
+  std::vector<PbftVcEntry> entries;
+  std::vector<Command> pending;
+  crypto::Signature sig;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(target);
+    serde::write(w, entries);
+    serde::write(w, pending);
+    sig.encode(w);
+  }
+  static ViewChangeWire decode(serde::Reader& r) {
+    ViewChangeWire v;
+    v.target = r.uvarint();
+    v.entries = serde::read<std::vector<PbftVcEntry>>(r);
+    v.pending = serde::read<std::vector<Command>>(r);
+    v.sig = crypto::Signature::decode(r);
+    return v;
+  }
+};
+
+struct NewViewWire {
+  ViewNum target = 0;
+  crypto::Signature sig;
+
+  static Bytes binding(ViewNum target) {
+    serde::Writer w;
+    w.str("pbft-nv");
+    w.uvarint(target);
+    return w.take();
+  }
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(target);
+    sig.encode(w);
+  }
+  static NewViewWire decode(serde::Reader& r) {
+    NewViewWire v;
+    v.target = r.uvarint();
+    v.sig = crypto::Signature::decode(r);
+    return v;
+  }
+};
+
+template <typename Wire>
+Bytes tagged(std::uint8_t tag, const Wire& wire) {
+  serde::Writer w;
+  w.u8(tag);
+  wire.encode(w);
+  return w.take();
+}
+
+}  // namespace
+
+void PbftVcEntry::encode(serde::Writer& w) const {
+  w.uvarint(view);
+  w.uvarint(seq);
+  cmd.encode(w);
+}
+
+PbftVcEntry PbftVcEntry::decode(serde::Reader& r) {
+  PbftVcEntry e;
+  e.view = r.uvarint();
+  e.seq = r.uvarint();
+  e.cmd = Command::decode(r);
+  return e;
+}
+
+Bytes PbftReplica::encode_preprepare_for_test(const crypto::Signer& signer,
+                                              ViewNum view, SeqNum seq,
+                                              const Command& cmd) {
+  PrePrepareWire pp;
+  pp.view = view;
+  pp.seq = seq;
+  pp.cmd = cmd;
+  pp.sig = signer.sign(preprepare_binding(view, seq, cmd));
+  return tagged(kPrePrepare, pp);
+}
+
+PbftReplica::PbftReplica(Options options,
+                         std::unique_ptr<StateMachine> machine)
+    : options_(std::move(options)), machine_(std::move(machine)) {
+  UNIDIR_REQUIRE(machine_ != nullptr);
+  UNIDIR_REQUIRE_MSG(options_.replicas.size() >= 3 * options_.f + 1,
+                     "PBFT requires n >= 3f+1");
+  register_channel(kClientRequestCh,
+                   [this](ProcessId from, const Bytes& payload) {
+                     on_request(from, payload);
+                   });
+  register_channel(kPbftCh, [this](ProcessId from, const Bytes& payload) {
+    on_protocol(from, payload);
+  });
+}
+
+void PbftReplica::on_start() {
+  UNIDIR_CHECK_MSG(is_replica(id()),
+                   "replica id must appear in Options::replicas");
+}
+
+bool PbftReplica::is_replica(ProcessId p) const {
+  return std::find(options_.replicas.begin(), options_.replicas.end(), p) !=
+         options_.replicas.end();
+}
+
+// ---- client requests -----------------------------------------------------------
+
+void PbftReplica::on_request(ProcessId from, const Bytes& payload) {
+  Command cmd;
+  try {
+    cmd = serde::decode<Command>(payload);
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  if (cmd.client != from) return;
+  if (const auto cached = dedup_.lookup(cmd)) {
+    reply_to(cmd, *cached);
+    return;
+  }
+  const bool fresh = pending_.emplace(cmd.key(), cmd).second;
+  if (fresh) arm_request_timer(cmd);
+  if (!in_view_change_ && is_primary()) propose(cmd);
+}
+
+void PbftReplica::propose(const Command& cmd) {
+  for (const auto& [seq, slot] : slots_)
+    if (slot.cmd.key() == cmd.key()) return;
+
+  PrePrepareWire pp;
+  pp.view = view_;
+  pp.seq = next_propose_seq_++;
+  pp.cmd = cmd;
+  pp.sig = signer().sign(preprepare_binding(pp.view, pp.seq, cmd));
+  broadcast(kPbftCh, tagged(kPrePrepare, pp));
+
+  Slot& slot = slots_[pp.seq];
+  slot.cmd = cmd;
+  slot.digest = command_digest(cmd);
+  slot.have_preprepare = true;
+  vc_archive_.push_back({view_, pp.seq, cmd});
+  step(pp.seq);
+}
+
+// ---- protocol messages -----------------------------------------------------------
+
+void PbftReplica::on_protocol(ProcessId from, const Bytes& payload) {
+  if (!is_replica(from)) return;
+  serde::Reader r(payload);
+  std::uint8_t tag = 0;
+  Bytes body;
+  try {
+    tag = r.u8();
+    body = r.raw(r.remaining());
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  switch (tag) {
+    case kPrePrepare: handle_preprepare(from, body); break;
+    case kPrepare: handle_prepare(from, body); break;
+    case kCommit: handle_commit(from, body); break;
+    case kCheckpoint: handle_checkpoint(from, body); break;
+    case kViewChange: handle_view_change(from, body); break;
+    case kNewView: handle_new_view(from, body); break;
+    default: break;
+  }
+}
+
+void PbftReplica::handle_preprepare(ProcessId from, const Bytes& body) {
+  PrePrepareWire pp;
+  try {
+    pp = serde::decode<PrePrepareWire>(body);
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  if (from == id() || pp.seq == 0) return;
+  if (pp.sig.key != world().key_of(from)) return;
+  if (!world().keys().verify(pp.sig,
+                             preprepare_binding(pp.view, pp.seq, pp.cmd)))
+    return;
+  when_in_view(pp.view, [this, from, pp]() {
+    if (from != primary_of(view_)) return;
+    Slot& slot = slots_[pp.seq];
+    if (slot.have_preprepare) return;  // first pre-prepare per slot wins
+    slot.cmd = pp.cmd;
+    slot.digest = command_digest(pp.cmd);
+    slot.have_preprepare = true;
+    vc_archive_.push_back({view_, pp.seq, pp.cmd});
+
+    if (!dedup_.lookup(pp.cmd) &&
+        pending_.emplace(pp.cmd.key(), pp.cmd).second)
+      arm_request_timer(pp.cmd);
+
+    if (!slot.sent_prepare) {
+      slot.sent_prepare = true;
+      slot.prepares[slot.digest].insert(id());
+      VoteWire v;
+      v.view = view_;
+      v.seq = pp.seq;
+      v.digest = slot.digest;
+      v.sig = signer().sign(vote_binding("pbft-prepare", v.view, v.seq,
+                                         v.digest));
+      broadcast(kPbftCh, tagged(kPrepare, v));
+    }
+    step(pp.seq);
+  });
+}
+
+void PbftReplica::handle_prepare(ProcessId from, const Bytes& body) {
+  VoteWire v;
+  try {
+    v = serde::decode<VoteWire>(body);
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  if (from == id()) return;
+  if (v.sig.key != world().key_of(from)) return;
+  if (!world().keys().verify(
+          v.sig, vote_binding("pbft-prepare", v.view, v.seq, v.digest)))
+    return;
+  when_in_view(v.view, [this, from, v]() {
+    if (from == primary_of(view_)) return;  // the primary never prepares
+    slots_[v.seq].prepares[v.digest].insert(from);
+    step(v.seq);
+  });
+}
+
+void PbftReplica::handle_commit(ProcessId from, const Bytes& body) {
+  VoteWire v;
+  try {
+    v = serde::decode<VoteWire>(body);
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  if (from == id()) return;
+  if (v.sig.key != world().key_of(from)) return;
+  if (!world().keys().verify(
+          v.sig, vote_binding("pbft-commit", v.view, v.seq, v.digest)))
+    return;
+  when_in_view(v.view, [this, from, v]() {
+    slots_[v.seq].commits[v.digest].insert(from);
+    step(v.seq);
+  });
+}
+
+void PbftReplica::when_in_view(ViewNum view, std::function<void()> action) {
+  if (view < view_) return;
+  if (view == view_ && !in_view_change_) {
+    action();
+    return;
+  }
+  view_waiting_[view].push_back(std::move(action));
+}
+
+void PbftReplica::step(SeqNum seq) {
+  auto it = slots_.find(seq);
+  if (it == slots_.end()) return;
+  Slot& slot = it->second;
+  if (!slot.have_preprepare) return;
+
+  // prepared: the pre-prepare plus 2f PREPAREs for the same digest
+  // (the primary's pre-prepare stands in for its prepare).
+  const bool prepared =
+      slot.prepares[slot.digest].size() >= 2 * options_.f;
+  if (prepared && !slot.sent_commit) {
+    slot.sent_commit = true;
+    slot.commits[slot.digest].insert(id());
+    VoteWire v;
+    v.view = view_;
+    v.seq = seq;
+    v.digest = slot.digest;
+    v.sig = signer().sign(vote_binding("pbft-commit", v.view, v.seq,
+                                       v.digest));
+    broadcast(kPbftCh, tagged(kCommit, v));
+  }
+  try_execute();
+}
+
+void PbftReplica::try_execute() {
+  while (true) {
+    auto it = slots_.find(next_exec_seq_);
+    if (it == slots_.end()) return;
+    Slot& slot = it->second;
+    if (slot.executed) {
+      ++next_exec_seq_;
+      continue;
+    }
+    if (!slot.have_preprepare || !slot.sent_commit) return;
+    if (slot.commits[slot.digest].size() < 2 * options_.f + 1) return;
+    execute(slot);
+    ++next_exec_seq_;
+  }
+}
+
+void PbftReplica::execute(Slot& slot) {
+  slot.executed = true;
+  Bytes result;
+  if (const auto cached = dedup_.lookup(slot.cmd)) {
+    result = *cached;
+  } else {
+    result = machine_->apply(slot.cmd.op);
+    dedup_.record(slot.cmd, result);
+    log_.push_back({slot.cmd, result});
+    output("smr-exec", serde::encode(slot.cmd));
+    maybe_checkpoint();
+  }
+  pending_.erase(slot.cmd.key());
+  reply_to(slot.cmd, result);
+}
+
+void PbftReplica::reply_to(const Command& cmd, const Bytes& result) {
+  Reply reply;
+  reply.request_id = cmd.request_id;
+  reply.result = result;
+  send(cmd.client, kClientReplyCh, serde::encode(reply));
+}
+
+// ---- checkpoints -----------------------------------------------------------------
+
+void PbftReplica::maybe_checkpoint() {
+  if (options_.checkpoint_interval == 0) return;
+  if (log_.size() % options_.checkpoint_interval != 0) return;
+  CheckpointWire cp;
+  cp.executed = log_.size();
+  cp.digest = crypto::digest_bytes(machine_->digest());
+  cp.sig = signer().sign(checkpoint_binding(cp.executed, cp.digest));
+  broadcast(kPbftCh, tagged(kCheckpoint, cp));
+  cp_votes_[cp.executed][cp.digest].insert(id());
+}
+
+void PbftReplica::handle_checkpoint(ProcessId from, const Bytes& body) {
+  CheckpointWire cp;
+  try {
+    cp = serde::decode<CheckpointWire>(body);
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  if (cp.sig.key != world().key_of(from)) return;
+  if (!world().keys().verify(cp.sig,
+                             checkpoint_binding(cp.executed, cp.digest)))
+    return;
+  auto& voters = cp_votes_[cp.executed][cp.digest];
+  voters.insert(from);
+  // PBFT stabilizes a checkpoint at 2f+1 matching votes.
+  if (voters.size() >= 2 * options_.f + 1 &&
+      cp.executed > stable_checkpoint_)
+    stable_checkpoint_ = cp.executed;
+}
+
+// ---- view change -----------------------------------------------------------------
+
+void PbftReplica::arm_request_timer(const Command& cmd) {
+  const auto key = cmd.key();
+  const ViewNum armed_view = view_;
+  set_timer(options_.view_change_timeout, [this, key, armed_view] {
+    if (!pending_.contains(key)) return;
+    if (in_view_change_) return;
+    if (view_ == armed_view) start_view_change(view_ + 1);
+  });
+}
+
+void PbftReplica::start_view_change(ViewNum target) {
+  if (target <= view_) return;
+  in_view_change_ = true;
+  vc_target_ = target;
+  ++view_changes_;
+
+  ViewChangeWire vc;
+  vc.target = target;
+  vc.entries = vc_archive_;
+  for (const auto& [key, cmd] : pending_) vc.pending.push_back(cmd);
+  vc.sig =
+      signer().sign(view_change_binding(target, vc.entries, vc.pending));
+  broadcast(kPbftCh, tagged(kViewChange, vc));
+  vc_msgs_[target][id()] = VcReport{vc.entries, vc.pending};
+  maybe_assume_primacy(target);
+
+  // Escalate only with f+1 supporters; otherwise abandon the attempt and
+  // rejoin the current view (see MinBftReplica::start_view_change).
+  set_timer(options_.view_change_timeout, [this, target] {
+    if (!in_view_change_ || vc_target_ != target) return;
+    if (vc_msgs_[target].size() >= options_.f + 1) {
+      start_view_change(target + 1);
+    } else {
+      abandon_view_change();
+    }
+  });
+}
+
+void PbftReplica::abandon_view_change() {
+  in_view_change_ = false;
+  auto it = view_waiting_.find(view_);
+  if (it != view_waiting_.end()) {
+    std::vector<std::function<void()>> actions = std::move(it->second);
+    view_waiting_.erase(it);
+    for (auto& fn : actions) fn();
+  }
+  for (const auto& [key, cmd] : pending_) arm_request_timer(cmd);
+}
+
+void PbftReplica::handle_view_change(ProcessId from, const Bytes& body) {
+  ViewChangeWire vc;
+  try {
+    vc = serde::decode<ViewChangeWire>(body);
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  if (vc.target <= view_) return;
+  if (vc.sig.key != world().key_of(from)) return;
+  if (!world().keys().verify(
+          vc.sig, view_change_binding(vc.target, vc.entries, vc.pending)))
+    return;
+  vc_msgs_[vc.target][from] =
+      VcReport{std::move(vc.entries), std::move(vc.pending)};
+
+  // Join once f+1 replicas demand a higher view (at least one correct).
+  if (vc_msgs_[vc.target].size() >= options_.f + 1 &&
+      (!in_view_change_ || vc_target_ < vc.target))
+    start_view_change(vc.target);
+  maybe_assume_primacy(vc.target);
+}
+
+void PbftReplica::maybe_assume_primacy(ViewNum target) {
+  if (primary_of(target) != id()) return;
+  if (target <= view_) return;
+  auto it = vc_msgs_.find(target);
+  // PBFT requires a 2f+1 quorum of view-change messages.
+  if (it == vc_msgs_.end() || it->second.size() < 2 * options_.f + 1) return;
+
+  NewViewWire nv;
+  nv.target = target;
+  nv.sig = signer().sign(NewViewWire::binding(target));
+  broadcast(kPbftCh, tagged(kNewView, nv));
+  enter_view(target);
+
+  std::map<std::tuple<ViewNum, SeqNum>, Command> slotted;
+  std::map<std::pair<ProcessId, std::uint64_t>, Command> loose;
+  std::set<std::pair<ProcessId, std::uint64_t>> seen;
+  for (const auto& [reporter, report] : it->second) {
+    for (const PbftVcEntry& e : report.entries)
+      slotted.emplace(std::make_tuple(e.view, e.seq), e.cmd);
+    for (const Command& cmd : report.pending) loose.emplace(cmd.key(), cmd);
+  }
+  auto consider = [&](const Command& cmd) {
+    if (!seen.insert(cmd.key()).second) return;
+    if (dedup_.lookup(cmd)) return;
+    if (pending_.emplace(cmd.key(), cmd).second) arm_request_timer(cmd);
+    propose(cmd);
+  };
+  for (const auto& [order, cmd] : slotted) consider(cmd);
+  for (const auto& [key, cmd] : loose) consider(cmd);
+}
+
+void PbftReplica::handle_new_view(ProcessId from, const Bytes& body) {
+  NewViewWire nv;
+  try {
+    nv = serde::decode<NewViewWire>(body);
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  if (nv.target <= view_) return;
+  if (from != primary_of(nv.target)) return;
+  if (nv.sig.key != world().key_of(from)) return;
+  if (!world().keys().verify(nv.sig, NewViewWire::binding(nv.target))) return;
+  enter_view(nv.target);
+  for (const auto& [key, cmd] : pending_) arm_request_timer(cmd);
+}
+
+void PbftReplica::enter_view(ViewNum v) {
+  view_ = v;
+  in_view_change_ = false;
+  slots_.clear();
+  next_propose_seq_ = 1;
+  next_exec_seq_ = 1;
+  auto stale_end = view_waiting_.lower_bound(v);
+  view_waiting_.erase(view_waiting_.begin(), stale_end);
+  auto it = view_waiting_.find(v);
+  if (it == view_waiting_.end()) return;
+  std::vector<std::function<void()>> actions = std::move(it->second);
+  view_waiting_.erase(it);
+  for (auto& fn : actions) fn();
+}
+
+}  // namespace unidir::agreement

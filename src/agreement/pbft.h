@@ -1,0 +1,147 @@
+// PBFT-style state machine replication (Castro & Liskov, OSDI'99) — the
+// no-trusted-hardware baseline: n = 3f+1 replicas, three communication
+// phases, quadratic message complexity.
+//
+// Normal operation (view v, primary = replicas[v mod n]):
+//
+//   client   → all : REQUEST(cmd)
+//   primary  → all : PRE-PREPARE(v, s, cmd)            signed
+//   replica  → all : PREPARE(v, s, digest)             signed, non-primary
+//   *prepared* at 2f PREPAREs matching the PRE-PREPARE
+//   replica  → all : COMMIT(v, s, digest)              signed
+//   *committed* at 2f+1 COMMITs; execute in s order; reply; client waits
+//   for f+1 matching replies.
+//
+// Compare MinBFT (minbft.h): the 2f+1 quorums and the extra PREPARE phase
+// are exactly the cost of having no non-equivocation device — the primary
+// could assign one sequence number to two commands, and the prepare phase
+// exists to catch that. bench_minbft_vs_pbft measures the difference.
+//
+// The view change follows the same simplified certificate-carrying scheme
+// as MinBftReplica (see that header and DESIGN.md), with PBFT-sized
+// quorums (2f+1 view-change messages).
+#pragma once
+
+#include <set>
+
+#include "agreement/client.h"
+#include "agreement/smr.h"
+#include "sim/world.h"
+
+namespace unidir::agreement {
+
+/// Accepted pre-prepare archived for view changes (same role as
+/// MinBftVcEntry).
+struct PbftVcEntry {
+  ViewNum view = 0;
+  SeqNum seq = 0;
+  Command cmd;
+
+  void encode(serde::Writer& w) const;
+  static PbftVcEntry decode(serde::Reader& r);
+};
+
+class PbftReplica final : public sim::Process {
+ public:
+  struct Options {
+    std::vector<ProcessId> replicas;  // ids in rank order; includes self
+    std::size_t f = 0;
+    Time view_change_timeout = 300;
+    SeqNum checkpoint_interval = 16;
+  };
+
+  PbftReplica(Options options, std::unique_ptr<StateMachine> machine);
+
+  ViewNum view() const { return view_; }
+  bool is_primary() const { return primary_of(view_) == id(); }
+  const std::vector<ExecutionRecord>& execution_log() const { return log_; }
+  std::uint64_t executed_count() const { return log_.size(); }
+  crypto::Digest state_digest() const { return machine_->digest(); }
+  std::uint64_t stable_checkpoint() const { return stable_checkpoint_; }
+  std::uint64_t view_changes_seen() const { return view_changes_; }
+
+  /// Builds a signed PRE-PREPARE wire message outside any replica —
+  /// exposed so adversarial tests can drive Byzantine primaries by hand.
+  static Bytes encode_preprepare_for_test(const crypto::Signer& signer,
+                                          ViewNum view, SeqNum seq,
+                                          const Command& cmd);
+
+ protected:
+  void on_start() override;
+
+ private:
+  struct Slot {
+    Command cmd;
+    Bytes digest;  // digest of the command, as voted on
+    bool have_preprepare = false;
+    bool sent_prepare = false;
+    bool sent_commit = false;
+    bool executed = false;
+    std::map<Bytes, std::set<ProcessId>> prepares;  // digest -> voters
+    std::map<Bytes, std::set<ProcessId>> commits;
+  };
+
+  ProcessId primary_of(ViewNum v) const {
+    return options_.replicas[static_cast<std::size_t>(v) %
+                             options_.replicas.size()];
+  }
+  std::size_t n() const { return options_.replicas.size(); }
+  bool is_replica(ProcessId p) const;
+
+  void on_request(ProcessId from, const Bytes& payload);
+  void on_protocol(ProcessId from, const Bytes& payload);
+  void handle_preprepare(ProcessId from, const Bytes& body);
+  void handle_prepare(ProcessId from, const Bytes& body);
+  void handle_commit(ProcessId from, const Bytes& body);
+  void handle_checkpoint(ProcessId from, const Bytes& body);
+  void handle_view_change(ProcessId from, const Bytes& body);
+  void handle_new_view(ProcessId from, const Bytes& body);
+
+  /// Same role as MinBftReplica::when_in_view: run now if `view` is
+  /// current and stable, buffer for a future view, drop if past.
+  void when_in_view(ViewNum view, std::function<void()> action);
+
+  void propose(const Command& cmd);
+  void step(SeqNum seq);
+  void try_execute();
+  void execute(Slot& slot);
+  void reply_to(const Command& cmd, const Bytes& result);
+  void maybe_checkpoint();
+
+  void arm_request_timer(const Command& cmd);
+  void start_view_change(ViewNum target);
+  /// Gives up an unsupported view-change attempt and rejoins the current
+  /// view (replaying the messages buffered during the attempt).
+  void abandon_view_change();
+  void maybe_assume_primacy(ViewNum target);
+  void enter_view(ViewNum v);
+
+  Options options_;
+  std::unique_ptr<StateMachine> machine_;
+
+  ViewNum view_ = 0;
+  bool in_view_change_ = false;
+  ViewNum vc_target_ = 0;
+
+  std::map<SeqNum, Slot> slots_;  // current-view slots by sequence number
+  SeqNum next_propose_seq_ = 1;   // primary's next sequence number
+  SeqNum next_exec_seq_ = 1;      // next slot to execute (per view)
+
+  std::map<std::pair<ProcessId, std::uint64_t>, Command> pending_;
+  ExecutionDeduper dedup_;
+  std::vector<ExecutionRecord> log_;
+
+  std::uint64_t stable_checkpoint_ = 0;
+  std::map<std::uint64_t, std::map<Bytes, std::set<ProcessId>>> cp_votes_;
+
+  struct VcReport {
+    std::vector<PbftVcEntry> entries;
+    std::vector<Command> pending;
+  };
+  std::vector<PbftVcEntry> vc_archive_;
+  std::map<ViewNum, std::map<ProcessId, VcReport>> vc_msgs_;
+  std::map<ViewNum, std::vector<std::function<void()>>> view_waiting_;
+  std::uint64_t view_changes_ = 0;
+};
+
+}  // namespace unidir::agreement

@@ -1,0 +1,69 @@
+#include "agreement/smr.h"
+
+#include <sstream>
+
+namespace unidir::agreement {
+
+void Command::encode(serde::Writer& w) const {
+  w.uvarint(client);
+  w.uvarint(request_id);
+  w.bytes(op);
+}
+
+Command Command::decode(serde::Reader& r) {
+  Command c;
+  c.client = serde::read<ProcessId>(r);
+  c.request_id = r.uvarint();
+  c.op = r.bytes();
+  return c;
+}
+
+void Reply::encode(serde::Writer& w) const {
+  w.uvarint(request_id);
+  w.bytes(result);
+}
+
+Reply Reply::decode(serde::Reader& r) {
+  Reply rep;
+  rep.request_id = r.uvarint();
+  rep.result = r.bytes();
+  return rep;
+}
+
+std::optional<std::string> check_execution_consistency(
+    const std::vector<std::pair<ProcessId,
+                                const std::vector<ExecutionRecord>*>>& logs) {
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    for (std::size_t j = i + 1; j < logs.size(); ++j) {
+      const auto& [pi, li] = logs[i];
+      const auto& [pj, lj] = logs[j];
+      const std::size_t common = std::min(li->size(), lj->size());
+      for (std::size_t k = 0; k < common; ++k) {
+        if (!((*li)[k] == (*lj)[k])) {
+          std::ostringstream os;
+          os << "replicas " << pi << " and " << pj
+             << " diverge at execution index " << k << ": ("
+             << (*li)[k].command.client << "," << (*li)[k].command.request_id
+             << ") vs (" << (*lj)[k].command.client << ","
+             << (*lj)[k].command.request_id << ")";
+          return os.str();
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Bytes> ExecutionDeduper::lookup(const Command& cmd) const {
+  auto it = clients_.find(cmd.client);
+  if (it == clients_.end()) return std::nullopt;
+  auto rt = it->second.find(cmd.request_id);
+  if (rt == it->second.end()) return std::nullopt;
+  return rt->second;
+}
+
+void ExecutionDeduper::record(const Command& cmd, const Bytes& result) {
+  clients_[cmd.client].emplace(cmd.request_id, result);
+}
+
+}  // namespace unidir::agreement

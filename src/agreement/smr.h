@@ -1,0 +1,85 @@
+// Shared scaffolding for the state-machine-replication protocols
+// (MinBFT and PBFT): commands, replies, the state-machine interface, and
+// the execution log that consistency checkers compare across replicas.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/serde.h"
+#include "common/types.h"
+#include "crypto/sha256.h"
+
+namespace unidir::agreement {
+
+/// A client operation to be totally ordered and executed.
+struct Command {
+  ProcessId client = kNoProcess;
+  std::uint64_t request_id = 0;  // per-client, strictly increasing
+  Bytes op;
+
+  bool operator==(const Command&) const = default;
+
+  /// Identity for exactly-once execution.
+  std::pair<ProcessId, std::uint64_t> key() const {
+    return {client, request_id};
+  }
+
+  void encode(serde::Writer& w) const;
+  static Command decode(serde::Reader& r);
+};
+
+struct Reply {
+  std::uint64_t request_id = 0;
+  Bytes result;
+
+  void encode(serde::Writer& w) const;
+  static Reply decode(serde::Reader& r);
+};
+
+/// The replicated application. Determinism is the application's
+/// obligation: equal op sequences must produce equal results and digests.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+  virtual Bytes apply(const Bytes& op) = 0;
+  /// Digest of the current state (checkpoints compare these).
+  virtual crypto::Digest digest() const = 0;
+};
+
+/// What a replica executed, in order — the object of the SMR safety
+/// property: correct replicas' execution logs must be prefix-consistent.
+struct ExecutionRecord {
+  Command command;
+  Bytes result;
+
+  bool operator==(const ExecutionRecord&) const = default;
+};
+
+/// Checks prefix consistency of execution logs across correct replicas.
+/// Returns a description of the first divergence, or nullopt.
+std::optional<std::string> check_execution_consistency(
+    const std::vector<std::pair<ProcessId,
+                                const std::vector<ExecutionRecord>*>>& logs);
+
+/// Exactly-once execution helper shared by both protocols: remembers every
+/// executed (client, request_id) with its reply, so re-proposals after
+/// view changes and client resends re-send the cached result instead of
+/// re-applying. Supports pipelined clients (multiple outstanding request
+/// ids), at the cost of unpruned per-client reply history — acceptable for
+/// the bounded executions this library runs (see DESIGN.md §7).
+class ExecutionDeduper {
+ public:
+  /// The cached reply if this exact command was executed before.
+  std::optional<Bytes> lookup(const Command& cmd) const;
+  void record(const Command& cmd, const Bytes& result);
+
+ private:
+  std::map<ProcessId, std::map<std::uint64_t, Bytes>> clients_;
+};
+
+}  // namespace unidir::agreement

@@ -1,0 +1,116 @@
+#include "agreement/state_machines.h"
+
+#include "common/check.h"
+
+namespace unidir::agreement {
+
+namespace {
+
+constexpr std::uint8_t kPut = 1;
+constexpr std::uint8_t kGet = 2;
+constexpr std::uint8_t kDel = 3;
+constexpr std::uint8_t kAdd = 4;
+constexpr std::uint8_t kRead = 5;
+
+}  // namespace
+
+Bytes KvStateMachine::put_op(std::string_view key, std::string_view value) {
+  serde::Writer w;
+  w.u8(kPut);
+  w.str(key);
+  w.str(value);
+  return w.take();
+}
+
+Bytes KvStateMachine::get_op(std::string_view key) {
+  serde::Writer w;
+  w.u8(kGet);
+  w.str(key);
+  return w.take();
+}
+
+Bytes KvStateMachine::del_op(std::string_view key) {
+  serde::Writer w;
+  w.u8(kDel);
+  w.str(key);
+  return w.take();
+}
+
+Bytes KvStateMachine::apply(const Bytes& op) {
+  serde::Reader r(op);
+  const std::uint8_t kind = r.u8();
+  switch (kind) {
+    case kPut: {
+      std::string key = r.str();
+      std::string value = r.str();
+      r.expect_done();
+      std::string& slot = table_[key];
+      Bytes previous = bytes_of(slot);
+      slot = std::move(value);
+      return previous;
+    }
+    case kGet: {
+      std::string key = r.str();
+      r.expect_done();
+      auto it = table_.find(key);
+      return it == table_.end() ? Bytes{} : bytes_of(it->second);
+    }
+    case kDel: {
+      std::string key = r.str();
+      r.expect_done();
+      auto it = table_.find(key);
+      if (it == table_.end()) return {};
+      Bytes previous = bytes_of(it->second);
+      table_.erase(it);
+      return previous;
+    }
+    default:
+      // Unknown ops execute as deterministic no-ops: all replicas agree.
+      return {};
+  }
+}
+
+crypto::Digest KvStateMachine::digest() const {
+  serde::Writer w;
+  for (const auto& [key, value] : table_) {
+    w.str(key);
+    w.str(value);
+  }
+  return crypto::Sha256::hash(w.buffer());
+}
+
+Bytes CounterStateMachine::add_op(std::int64_t delta) {
+  serde::Writer w;
+  w.u8(kAdd);
+  w.svarint(delta);
+  return w.take();
+}
+
+Bytes CounterStateMachine::read_op() {
+  serde::Writer w;
+  w.u8(kRead);
+  return w.take();
+}
+
+Bytes CounterStateMachine::apply(const Bytes& op) {
+  serde::Reader r(op);
+  const std::uint8_t kind = r.u8();
+  switch (kind) {
+    case kAdd: {
+      value_ += r.svarint();
+      r.expect_done();
+      return serde::encode(value_);
+    }
+    case kRead:
+      r.expect_done();
+      return serde::encode(value_);
+    default:
+      return {};
+  }
+}
+
+crypto::Digest CounterStateMachine::digest() const {
+  return crypto::Sha256::hash(serde::encode(value_));
+}
+
+}  // namespace unidir::agreement

@@ -1,0 +1,48 @@
+// Example replicated state machines: a key-value store and a counter.
+//
+// Operation wire formats are tiny command languages; both machines are
+// deterministic, as SMR requires.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "agreement/smr.h"
+
+namespace unidir::agreement {
+
+/// Key-value store. Ops:
+///   PUT key value → previous value (empty if none)
+///   GET key       → value (empty if none)
+///   DEL key       → previous value
+class KvStateMachine final : public StateMachine {
+ public:
+  static Bytes put_op(std::string_view key, std::string_view value);
+  static Bytes get_op(std::string_view key);
+  static Bytes del_op(std::string_view key);
+
+  Bytes apply(const Bytes& op) override;
+  crypto::Digest digest() const override;
+
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  std::map<std::string, std::string> table_;
+};
+
+/// A counter supporting ADD(delta) → new value, and READ → value.
+class CounterStateMachine final : public StateMachine {
+ public:
+  static Bytes add_op(std::int64_t delta);
+  static Bytes read_op();
+
+  Bytes apply(const Bytes& op) override;
+  crypto::Digest digest() const override;
+
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+}  // namespace unidir::agreement

@@ -1,0 +1,23 @@
+#include "agreement/very_weak.h"
+
+namespace unidir::agreement {
+
+VeryWeakAgreement::VeryWeakAgreement(sim::Process& host,
+                                     rounds::RoundDriver& driver)
+    : host_(host), driver_(driver) {}
+
+void VeryWeakAgreement::run(Bytes input, CommitFn on_commit) {
+  driver_.start_round(
+      input, [this, input, on_commit = std::move(on_commit)](
+                 RoundNum, const std::vector<rounds::Received>& received) {
+        committed_ = true;
+        bool conflicting = false;
+        for (const rounds::Received& r : received)
+          if (r.message != input) conflicting = true;
+        value_ = conflicting ? std::nullopt : std::optional<Bytes>(input);
+        host_.output("vwa-commit", value_ ? *value_ : bytes_of("<bot>"));
+        if (on_commit) on_commit(value_);
+      });
+}
+
+}  // namespace unidir::agreement

@@ -1,0 +1,43 @@
+// Very weak Byzantine agreement from one unidirectional round (n > f) —
+// the paper's algorithm:
+//
+//   send v to all; wait until the end of the round;
+//   if any received value differs from v, commit ⊥; else commit v.
+//
+// Agreement (modulo ⊥): if correct p commits v ≠ ⊥, then for any correct
+// q, either p received q's input (so q sent v) or — by unidirectionality —
+// q received p's v and so commits v or ⊥. Validity: all-correct,
+// same-input executions never see a differing value.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/bytes.h"
+#include "rounds/round_driver.h"
+#include "sim/world.h"
+
+namespace unidir::agreement {
+
+class VeryWeakAgreement {
+ public:
+  /// `driver` must be a dedicated unidirectional round driver.
+  VeryWeakAgreement(sim::Process& host, rounds::RoundDriver& driver);
+
+  using CommitFn = std::function<void(const std::optional<Bytes>&)>;
+
+  /// Runs the one-round protocol with input `v`. `on_commit` receives the
+  /// committed value, or nullopt for ⊥.
+  void run(Bytes input, CommitFn on_commit);
+
+  bool committed() const { return committed_; }
+  const std::optional<Bytes>& value() const { return value_; }
+
+ private:
+  sim::Process& host_;
+  rounds::RoundDriver& driver_;
+  bool committed_ = false;
+  std::optional<Bytes> value_;
+};
+
+}  // namespace unidir::agreement

@@ -1,0 +1,81 @@
+#include "agreement/weak_agreement.h"
+
+#include "agreement/state_machines.h"
+#include "common/check.h"
+
+namespace unidir::agreement {
+
+Bytes FirstWriteStateMachine::write_op(const Bytes& value) {
+  serde::Writer w;
+  w.bytes(value);
+  return w.take();
+}
+
+Bytes FirstWriteStateMachine::apply(const Bytes& op) {
+  if (!value_) {
+    try {
+      serde::Reader r(op);
+      Bytes proposed = r.bytes();
+      r.expect_done();
+      value_ = std::move(proposed);
+    } catch (const serde::DecodeError&) {
+      // A malformed proposal is a deterministic no-op; the register stays
+      // open for the next writer.
+      return {};
+    }
+  }
+  return *value_;
+}
+
+crypto::Digest FirstWriteStateMachine::digest() const {
+  serde::Writer w;
+  w.boolean(value_.has_value());
+  if (value_) w.bytes(*value_);
+  return crypto::Sha256::hash(w.buffer());
+}
+
+WeakAgreementCluster::WeakAgreementCluster(sim::World& world,
+                                           UsigDirectory& usigs,
+                                           Options options,
+                                           std::vector<Bytes> inputs)
+    : options_(options) {
+  UNIDIR_REQUIRE(options_.n >= 1);
+  UNIDIR_REQUIRE_MSG(options_.n >= 2 * options_.f + 1,
+                     "weak agreement from non-equivocation needs n >= 2f+1");
+  UNIDIR_REQUIRE(inputs.size() == options_.n);
+
+  MinBftReplica::Options ropt;
+  ropt.f = options_.f;
+  ropt.view_change_timeout = options_.view_change_timeout;
+  for (std::size_t i = 0; i < options_.n; ++i)
+    ropt.replicas.push_back(static_cast<ProcessId>(i));
+  for (std::size_t i = 0; i < options_.n; ++i)
+    replicas_.push_back(&world.spawn<MinBftReplica>(
+        ropt, usigs, std::make_unique<FirstWriteStateMachine>()));
+
+  commits_.resize(options_.n);
+  SmrClient::Options copt;
+  copt.replicas = ropt.replicas;
+  copt.f = options_.f;
+  for (std::size_t i = 0; i < options_.n; ++i) {
+    auto& client = world.spawn<SmrClient>(copt);
+    clients_.push_back(&client);
+    client.submit(FirstWriteStateMachine::write_op(inputs[i]),
+                  [this, i](const Bytes& result) { commits_[i] = result; });
+  }
+}
+
+std::optional<Bytes> WeakAgreementCluster::value_of(std::size_t party) const {
+  UNIDIR_REQUIRE(party < commits_.size());
+  return commits_[party];
+}
+
+bool WeakAgreementCluster::all_committed(const sim::World& world) const {
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    if (world.crashed(clients_[i]->id())) continue;
+    if (!commits_[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace unidir::agreement

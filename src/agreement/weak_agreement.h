@@ -1,0 +1,72 @@
+// Weak Byzantine agreement with n >= 2f+1 from non-equivocation +
+// transferable signatures — the Preliminaries claim the paper builds on
+// ("a system with non-equivocation and transferable signatures can
+// tolerate the corruptions of any minority of the processes when solving
+// weak Byzantine agreement").
+//
+// Realization: the n parties run MinBFT (whose USIG is the
+// non-equivocation mechanism) over a first-write-wins register; each
+// party submits its input; everyone commits the register's final value.
+//
+//   agreement   — SMR execution consistency: one first write, everywhere.
+//   termination — MinBFT liveness under partial synchrony.
+//   weak validity — if all parties are correct and share input v, every
+//                 proposal is v, so the first write is v.
+//
+// Under strong validity this would need n > 3f (Malkhi et al.) — which is
+// exactly the gap the paper's classification circles.
+#pragma once
+
+#include "agreement/minbft.h"
+#include "agreement/smr.h"
+
+namespace unidir::agreement {
+
+/// The replicated object: a write-once register. Every op is a write
+/// attempt; the first one sticks and every op returns the sticking value.
+class FirstWriteStateMachine final : public StateMachine {
+ public:
+  static Bytes write_op(const Bytes& value);
+
+  Bytes apply(const Bytes& op) override;
+  crypto::Digest digest() const override;
+
+  const std::optional<Bytes>& value() const { return value_; }
+
+ private:
+  std::optional<Bytes> value_;
+};
+
+/// Spawns and wires a weak-agreement instance: n MinBFT replicas over
+/// FirstWriteStateMachine plus one submitting client per party. Query the
+/// outcome after running the world to quiescence.
+class WeakAgreementCluster {
+ public:
+  struct Options {
+    std::size_t n = 0;  // parties (= replicas); requires n >= 2f+1
+    std::size_t f = 0;
+    Time view_change_timeout = 300;
+  };
+
+  /// Spawns 2n processes (replicas then clients) into `world`. Inputs are
+  /// per party; party i's replica is process i, its client process n+i.
+  WeakAgreementCluster(sim::World& world, UsigDirectory& usigs,
+                       Options options, std::vector<Bytes> inputs);
+
+  /// Party i's committed value, nullopt if its client has not completed.
+  /// All completed parties return the same value (agreement).
+  std::optional<Bytes> value_of(std::size_t party) const;
+
+  /// True once every non-crashed party committed.
+  bool all_committed(const sim::World& world) const;
+
+  MinBftReplica& replica(std::size_t party) { return *replicas_[party]; }
+
+ private:
+  Options options_;
+  std::vector<MinBftReplica*> replicas_;
+  std::vector<SmrClient*> clients_;
+  std::vector<std::optional<Bytes>> commits_;
+};
+
+}  // namespace unidir::agreement

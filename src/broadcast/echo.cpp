@@ -1,0 +1,190 @@
+#include "broadcast/echo.h"
+
+#include "common/serde.h"
+
+namespace unidir::broadcast {
+
+namespace {
+
+constexpr std::uint8_t kSend = 1;
+constexpr std::uint8_t kEcho = 2;
+constexpr std::uint8_t kFinal = 3;
+
+struct Wire {
+  std::uint8_t type = 0;
+  SeqNum seq = 0;
+  Bytes message;                                            // Send / Final
+  crypto::Signature echo_sig;                               // Echo
+  std::vector<std::pair<ProcessId, crypto::Signature>> certificate;  // Final
+
+  void encode(serde::Writer& w) const {
+    w.u8(type);
+    w.uvarint(seq);
+    switch (type) {
+      case kSend:
+        w.bytes(message);
+        break;
+      case kEcho:
+        echo_sig.encode(w);
+        break;
+      case kFinal:
+        w.bytes(message);
+        serde::write(w, certificate);
+        break;
+      default:
+        break;
+    }
+  }
+  static Wire decode(serde::Reader& r) {
+    Wire m;
+    m.type = r.u8();
+    m.seq = r.uvarint();
+    switch (m.type) {
+      case kSend:
+        m.message = r.bytes();
+        break;
+      case kEcho:
+        m.echo_sig = crypto::Signature::decode(r);
+        break;
+      case kFinal:
+        m.message = r.bytes();
+        m.certificate = serde::read<
+            std::vector<std::pair<ProcessId, crypto::Signature>>>(r);
+        break;
+      default:
+        throw serde::DecodeError("bad echo-broadcast type");
+    }
+    return m;
+  }
+};
+
+}  // namespace
+
+EchoBroadcastEndpoint::EchoBroadcastEndpoint(sim::Process& host,
+                                             sim::Channel channel,
+                                             std::size_t n, std::size_t f)
+    : host_(host), channel_(channel), n_(n), f_(f) {
+  UNIDIR_REQUIRE_MSG(n > 3 * f, "echo broadcast requires n > 3f");
+  host_.register_channel(channel,
+                         [this](ProcessId from, const Bytes& payload) {
+                           on_wire(from, payload);
+                         });
+}
+
+Bytes EchoBroadcastEndpoint::echo_binding(ProcessId sender, SeqNum seq,
+                                          const Bytes& message) {
+  serde::Writer w;
+  w.str("echo-bcast");
+  w.uvarint(sender);
+  w.uvarint(seq);
+  w.bytes(crypto::digest_bytes(crypto::Sha256::hash(message)));
+  return w.take();
+}
+
+void EchoBroadcastEndpoint::broadcast(Bytes message) {
+  const SeqNum seq = ++my_seq_;
+  SenderSlot& slot = my_slots_[seq];
+  slot.message = message;
+  // Echo our own copy locally.
+  slot.echoes.emplace(
+      host_.id(),
+      host_.signer().sign(echo_binding(host_.id(), seq, message)));
+  Wire w;
+  w.type = kSend;
+  w.seq = seq;
+  w.message = std::move(message);
+  sent_ += host_.world().size() - 1;
+  host_.broadcast(channel_, serde::encode(w));
+}
+
+void EchoBroadcastEndpoint::on_wire(ProcessId from, const Bytes& payload) {
+  Wire w;
+  try {
+    w = serde::decode<Wire>(payload);
+  } catch (const serde::DecodeError&) {
+    return;
+  }
+  if (w.seq == 0) return;
+  switch (w.type) {
+    case kSend: handle_send(from, w.seq, std::move(w.message)); break;
+    case kEcho: handle_echo(from, w.seq, w.echo_sig); break;
+    case kFinal:
+      handle_final(from, w.seq, std::move(w.message), w.certificate);
+      break;
+    default: break;
+  }
+}
+
+void EchoBroadcastEndpoint::handle_send(ProcessId from, SeqNum seq,
+                                        Bytes message) {
+  // One echo per (sender, seq), ever — the consistency anchor.
+  auto [it, fresh] = echoed_.emplace(std::make_pair(from, seq), message);
+  if (!fresh) return;
+  Wire w;
+  w.type = kEcho;
+  w.seq = seq;
+  w.echo_sig = host_.signer().sign(echo_binding(from, seq, message));
+  ++sent_;
+  host_.send(from, channel_, serde::encode(w));
+}
+
+void EchoBroadcastEndpoint::handle_echo(ProcessId from, SeqNum seq,
+                                        const crypto::Signature& sig) {
+  auto it = my_slots_.find(seq);
+  if (it == my_slots_.end() || it->second.finalized) return;
+  SenderSlot& slot = it->second;
+  if (sig.key != host_.world().key_of(from)) return;
+  if (!host_.world().keys().verify(
+          sig, echo_binding(host_.id(), seq, slot.message)))
+    return;
+  slot.echoes.emplace(from, sig);
+  if (slot.echoes.size() < quorum()) return;
+
+  slot.finalized = true;
+  Wire w;
+  w.type = kFinal;
+  w.seq = seq;
+  w.message = slot.message;
+  for (const auto& [pid, s] : slot.echoes) w.certificate.emplace_back(pid, s);
+  sent_ += host_.world().size() - 1;
+  host_.broadcast(channel_, serde::encode(w));
+  // Deliver locally: the certificate is ours.
+  accepted_[host_.id()][seq] = slot.message;
+  flush(host_.id());
+}
+
+void EchoBroadcastEndpoint::handle_final(
+    ProcessId from, SeqNum seq, Bytes message,
+    const std::vector<std::pair<ProcessId, crypto::Signature>>& certificate) {
+  if (seq <= delivered_up_to(from)) return;
+  const Bytes binding = echo_binding(from, seq, message);
+  std::set<ProcessId> voters;
+  for (const auto& [pid, sig] : certificate) {
+    if (pid >= host_.world().size()) continue;
+    if (sig.key != host_.world().key_of(pid)) continue;
+    if (!host_.world().keys().verify(sig, binding)) continue;
+    voters.insert(pid);
+  }
+  if (voters.size() < quorum()) return;
+  accepted_[from][seq] = std::move(message);
+  flush(from);
+}
+
+void EchoBroadcastEndpoint::flush(ProcessId sender) {
+  auto& buffer = accepted_[sender];
+  while (true) {
+    const SeqNum next = delivered_up_to(sender) + 1;
+    auto it = buffer.find(next);
+    if (it == buffer.end()) return;
+    Delivery d;
+    d.sender = sender;
+    d.seq = next;
+    d.message = std::move(it->second);
+    buffer.erase(it);
+    host_.output("srb-deliver", serde::encode(std::pair<ProcessId, SeqNum>{
+                                    d.sender, d.seq}));
+    record_delivery(std::move(d));
+  }
+}
+
+}  // namespace unidir::broadcast

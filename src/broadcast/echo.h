@@ -1,0 +1,71 @@
+// Signed echo broadcast (Reiter-style consistent broadcast), sequenced —
+// the signature-based alternative to Bracha at the same n > 3f bound but
+// with O(n) messages per broadcast instead of O(n²):
+//
+//   sender → all : SEND(seq, m)
+//   replica→ sender : ECHO(seq, sig over digest)         — a signed vote
+//   sender → all : FINAL(seq, m, ⌈(n+f+1)/2⌉ echo sigs)  — a certificate
+//
+// Two valid certificates for the same (sender, seq) share a correct
+// echoer, and a correct replica echoes one value per slot — so no two
+// correct processes deliver different values (consistency). What the
+// cheaper protocol gives up relative to Bracha is *totality*: a faulty
+// sender can produce a certificate and show it to only some processes;
+// there is no READY amplification to finish the job. The SRB "agreement"
+// property therefore only holds for correct senders — which is exactly
+// the trade bench_srb quantifies (see the totality test in echo tests).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "broadcast/srb.h"
+#include "crypto/signature.h"
+#include "sim/world.h"
+
+namespace unidir::broadcast {
+
+class EchoBroadcastEndpoint final : public SrbEndpoint {
+ public:
+  /// n = group size, f = fault bound; requires n > 3f.
+  EchoBroadcastEndpoint(sim::Process& host, sim::Channel channel,
+                        std::size_t n, std::size_t f);
+
+  void broadcast(Bytes message) override;
+
+  std::uint64_t protocol_messages_sent() const { return sent_; }
+
+ private:
+  struct SenderSlot {  // state for my own in-flight broadcasts, by seq
+    Bytes message;
+    std::map<ProcessId, crypto::Signature> echoes;
+    bool finalized = false;
+  };
+
+  static Bytes echo_binding(ProcessId sender, SeqNum seq,
+                            const Bytes& message);
+
+  void on_wire(ProcessId from, const Bytes& payload);
+  void handle_send(ProcessId from, SeqNum seq, Bytes message);
+  void handle_echo(ProcessId from, SeqNum seq,
+                   const crypto::Signature& sig);
+  void handle_final(ProcessId from, SeqNum seq, Bytes message,
+                    const std::vector<std::pair<ProcessId, crypto::Signature>>&
+                        certificate);
+  void flush(ProcessId sender);
+
+  std::size_t quorum() const { return (n_ + f_) / 2 + 1; }
+
+  sim::Process& host_;
+  sim::Channel channel_;
+  std::size_t n_;
+  std::size_t f_;
+  SeqNum my_seq_ = 0;
+  std::uint64_t sent_ = 0;
+  std::map<SeqNum, SenderSlot> my_slots_;
+  /// Echoed values per (sender, seq): one echo per slot, ever.
+  std::map<std::pair<ProcessId, SeqNum>, Bytes> echoed_;
+  std::map<ProcessId, std::map<SeqNum, Bytes>> accepted_;
+};
+
+}  // namespace unidir::broadcast

@@ -1,0 +1,165 @@
+#include "broadcast/rb_uni_round.h"
+
+#include "common/serde.h"
+
+namespace unidir::broadcast {
+
+namespace {
+
+Bytes phase1_signing_bytes(ProcessId origin, RoundNum round,
+                           const Bytes& value) {
+  serde::Writer w;
+  w.str("rb-uni-round");
+  w.uvarint(origin);
+  w.uvarint(round);
+  w.bytes(value);
+  return w.take();
+}
+
+/// A signed phase-1 value as carried inside phase-2 forwards.
+struct ForwardedVal {
+  ProcessId origin = kNoProcess;
+  Bytes value;
+  crypto::Signature sig;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(origin);
+    w.bytes(value);
+    sig.encode(w);
+  }
+  static ForwardedVal decode(serde::Reader& r) {
+    ForwardedVal v;
+    v.origin = serde::read<ProcessId>(r);
+    v.value = r.bytes();
+    v.sig = crypto::Signature::decode(r);
+    return v;
+  }
+};
+
+struct Wire {
+  RoundNum round = 0;
+  std::uint8_t phase = 0;
+  Bytes value;              // phase 1
+  crypto::Signature sig;    // phase 1
+  std::vector<ForwardedVal> forwards;  // phase 2
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(round);
+    w.u8(phase);
+    if (phase == 1) {
+      w.bytes(value);
+      sig.encode(w);
+    } else {
+      serde::write(w, forwards);
+    }
+  }
+  static Wire decode(serde::Reader& r) {
+    Wire m;
+    m.round = r.uvarint();
+    m.phase = r.u8();
+    if (m.phase == 1) {
+      m.value = r.bytes();
+      m.sig = crypto::Signature::decode(r);
+    } else if (m.phase == 2) {
+      m.forwards = serde::read<std::vector<ForwardedVal>>(r);
+    } else {
+      throw serde::DecodeError("bad phase");
+    }
+    return m;
+  }
+};
+
+}  // namespace
+
+RbUniRoundDriver::RbUniRoundDriver(sim::Process& host, SrbHub& hub)
+    : host_(host), rb_(hub.make_endpoint(host)) {
+  UNIDIR_REQUIRE_MSG(host.world().size() >= 3,
+                     "RB->uni corner case requires n >= 3");
+  rb_->set_deliver([this](const Delivery& d) { on_delivery(d); });
+}
+
+void RbUniRoundDriver::start_round(Bytes message,
+                                   rounds::RoundDriver::Callback done) {
+  active_round_ = begin(message);
+  done_ = std::move(done);
+  stage_ = 1;
+  Wire w;
+  w.round = active_round_;
+  w.phase = 1;
+  w.value = std::move(message);
+  w.sig = host_.signer().sign(
+      phase1_signing_bytes(host_.id(), active_round_, w.value));
+  rb_->broadcast(serde::encode(w));
+  check_progress();  // early arrivals may already satisfy the quorum
+}
+
+void RbUniRoundDriver::absorb_phase1(ProcessId origin, RoundNum round,
+                                     Phase1Entry entry) {
+  auto [it, inserted] = phase1_[round].emplace(origin, std::move(entry));
+  if (inserted && origin != host_.id()) add_fresh(origin, it->second.value);
+}
+
+void RbUniRoundDriver::on_delivery(const Delivery& d) {
+  Wire w;
+  try {
+    w = serde::decode<Wire>(d.message);
+  } catch (const serde::DecodeError&) {
+    return;  // Byzantine payload inside the trusted RB envelope
+  }
+  const sim::World& world = host_.world();
+  if (w.phase == 1) {
+    // The RB layer authenticates d.sender; the signature makes the value
+    // *transferable* inside phase-2 forwards.
+    if (w.sig.key != world.key_of(d.sender)) return;
+    if (!world.keys().verify(w.sig,
+                             phase1_signing_bytes(d.sender, w.round, w.value)))
+      return;
+    absorb_phase1(d.sender, w.round, Phase1Entry{std::move(w.value), w.sig});
+  } else {
+    // Validate forwards; a phase-2 message counts toward the quorum only
+    // if it carries valid values from >= 2 distinct originators.
+    std::set<ProcessId> origins;
+    for (ForwardedVal& f : w.forwards) {
+      if (f.origin >= world.size()) continue;
+      if (f.sig.key != world.key_of(f.origin)) continue;
+      if (!world.keys().verify(f.sig,
+                               phase1_signing_bytes(f.origin, w.round, f.value)))
+        continue;
+      origins.insert(f.origin);
+      absorb_phase1(f.origin, w.round, Phase1Entry{std::move(f.value), f.sig});
+    }
+    if (origins.size() >= 2) phase2_senders_[w.round].insert(d.sender);
+  }
+  check_progress();
+}
+
+void RbUniRoundDriver::check_progress() {
+  if (stage_ == 1) {
+    const auto& p1 = phase1_[active_round_];
+    if (p1.size() < quorum()) return;
+    // Phase 2: forward everything received.
+    Wire w;
+    w.round = active_round_;
+    w.phase = 2;
+    for (const auto& [origin, entry] : p1)
+      w.forwards.push_back({origin, entry.value, entry.sig});
+    stage_ = 2;
+    rb_->broadcast(serde::encode(w));
+  }
+  if (stage_ == 2) {
+    if (phase2_senders_[active_round_].size() < quorum()) return;
+    stage_ = 0;
+    const RoundNum round = active_round_;
+    active_round_ = 0;
+    std::vector<rounds::Received> received;
+    for (const auto& [origin, entry] : phase1_[round]) {
+      if (origin == host_.id()) continue;
+      received.push_back({origin, entry.value});
+    }
+    auto done = std::move(done_);
+    done_ = nullptr;
+    finish(std::move(received), done);
+  }
+}
+
+}  // namespace unidir::broadcast

@@ -1,0 +1,60 @@
+// Unidirectional rounds from reliable broadcast, for the corner case
+// f = 1, n ≥ 3 — the paper's Appendix B claim.
+//
+// The general separation (Section 4.1) says SRB cannot implement
+// unidirectionality; this driver shows the one exception. Per round:
+//
+//   Phase 1: RB-broadcast (r, v, σ); wait for valid phase-1 messages from
+//            n−1 distinct processes (own delivery counts).
+//   Phase 2: RB-broadcast all phase-1 messages received; wait for phase-2
+//            messages from n−1 distinct processes, each carrying signed
+//            values from ≥ 2 distinct originators.
+//
+// Why it works with one fault: the n−1 processes a correct p hears from in
+// phase 2 overlap every other correct p′'s phase-1 audience; since phase-2
+// messages must contain ≥2 unforgeable values, the relays smuggle p's value
+// to p′ (or vice versa) even if the direct link never delivers.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "broadcast/srb_hub.h"
+#include "rounds/round_driver.h"
+
+namespace unidir::broadcast {
+
+class RbUniRoundDriver final : public rounds::RoundDriver {
+ public:
+  /// `hub` supplies the reliable-broadcast primitive the construction
+  /// assumes. Requires n ≥ 3; the unidirectional guarantee tolerates f = 1.
+  RbUniRoundDriver(sim::Process& host, SrbHub& hub);
+
+  void start_round(Bytes message, rounds::RoundDriver::Callback done) override;
+
+ private:
+  struct Phase1Entry {
+    Bytes value;
+    crypto::Signature sig;
+  };
+
+  void on_delivery(const Delivery& d);
+  void absorb_phase1(ProcessId origin, RoundNum round, Phase1Entry entry);
+  void check_progress();
+  std::size_t quorum() const { return host_.world().size() - 1; }
+
+  sim::Process& host_;
+  std::unique_ptr<SrbHubEndpoint> rb_;
+
+  RoundNum active_round_ = 0;
+  int stage_ = 0;  // 0 idle, 1 waiting for phase-1 quorum, 2 for phase-2
+  rounds::RoundDriver::Callback done_;
+
+  // Buffers survive across rounds (peers may run ahead).
+  // phase1_[r][origin] = first valid signed value from `origin` in round r.
+  std::map<RoundNum, std::map<ProcessId, Phase1Entry>> phase1_;
+  // phase2_senders_[r] = processes whose round-r phase-2 message was valid.
+  std::map<RoundNum, std::set<ProcessId>> phase2_senders_;
+};
+
+}  // namespace unidir::broadcast

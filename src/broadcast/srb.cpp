@@ -1,0 +1,120 @@
+#include "broadcast/srb.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace unidir::broadcast {
+
+SeqNum SrbEndpoint::delivered_up_to(ProcessId sender) const {
+  auto it = high_.find(sender);
+  return it == high_.end() ? 0 : it->second;
+}
+
+void SrbEndpoint::record_delivery(Delivery d) {
+  SeqNum& high = high_[d.sender];
+  UNIDIR_CHECK_MSG(d.seq == high + 1,
+                   "SRB implementation delivered out of order");
+  high = d.seq;
+  delivered_.push_back(d);
+  if (deliver_) deliver_(delivered_.back());
+}
+
+const char* to_string(SrbViolation::Kind kind) {
+  switch (kind) {
+    case SrbViolation::Kind::Validity: return "validity";
+    case SrbViolation::Kind::Agreement: return "agreement";
+    case SrbViolation::Kind::Sequencing: return "sequencing";
+    case SrbViolation::Kind::Integrity: return "integrity";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string describe(ProcessId who, const Delivery& d) {
+  std::ostringstream os;
+  os << "p" << who << " delivered (sender=" << d.sender << ", seq=" << d.seq
+     << ", msg=" << to_hex(d.message).substr(0, 16) << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<SrbViolation> check_srb(const std::vector<SrbView>& views) {
+  // Sequencing: per (receiver, sender), delivered seqs must be 1,2,3,…
+  for (const SrbView& v : views) {
+    std::map<ProcessId, SeqNum> next;
+    for (const Delivery& d : v.endpoint->delivered()) {
+      SeqNum& expect = next[d.sender];
+      if (d.seq != expect + 1) {
+        return SrbViolation{SrbViolation::Kind::Sequencing,
+                            describe(v.id, d) + " but expected seq " +
+                                std::to_string(expect + 1)};
+      }
+      expect = d.seq;
+    }
+  }
+
+  // Integrity: deliveries attributed to a correct sender must match what
+  // that sender actually broadcast.
+  for (const SrbView& receiver : views) {
+    for (const Delivery& d : receiver.endpoint->delivered()) {
+      for (const SrbView& sender : views) {
+        if (sender.id != d.sender) continue;
+        if (d.seq > sender.broadcasts.size() ||
+            sender.broadcasts[d.seq - 1] != d.message) {
+          return SrbViolation{SrbViolation::Kind::Integrity,
+                              describe(receiver.id, d) +
+                                  " which the sender never broadcast"};
+        }
+      }
+    }
+  }
+
+  // Agreement: any delivery by one correct process must exist identically
+  // at every correct process (interpreted at quiescence).
+  for (const SrbView& a : views) {
+    for (const Delivery& d : a.endpoint->delivered()) {
+      for (const SrbView& b : views) {
+        bool found = false;
+        for (const Delivery& e : b.endpoint->delivered()) {
+          if (e.sender == d.sender && e.seq == d.seq) {
+            if (e.message != d.message) {
+              return SrbViolation{
+                  SrbViolation::Kind::Agreement,
+                  describe(a.id, d) + " but " + describe(b.id, e)};
+            }
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return SrbViolation{SrbViolation::Kind::Agreement,
+                              describe(a.id, d) + " but p" +
+                                  std::to_string(b.id) + " never did"};
+        }
+      }
+    }
+  }
+
+  // Validity: everything a correct sender broadcast must be delivered by
+  // every correct process.
+  for (const SrbView& sender : views) {
+    for (SeqNum k = 1; k <= sender.broadcasts.size(); ++k) {
+      for (const SrbView& receiver : views) {
+        if (receiver.endpoint->delivered_up_to(sender.id) < k) {
+          return SrbViolation{
+              SrbViolation::Kind::Validity,
+              "p" + std::to_string(receiver.id) + " never delivered seq " +
+                  std::to_string(k) + " from correct sender p" +
+                  std::to_string(sender.id)};
+        }
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace unidir::broadcast

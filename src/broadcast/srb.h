@@ -1,0 +1,102 @@
+// Sequenced reliable broadcast (SRB): interface and property checkers.
+//
+// The paper's Definition 1. A designated sender broadcasts a stream of
+// messages with sequence numbers 1,2,3,…; the primitive guarantees:
+//   (1) validity     — a correct sender's messages are eventually delivered
+//                      by every correct process;
+//   (2) agreement    — if any correct process delivers (k, m) from p, every
+//                      correct process eventually does;
+//   (3) sequencing   — deliveries from p happen in sequence-number order
+//                      with no gaps;
+//   (4) integrity    — only messages p actually broadcast are delivered
+//                      from p.
+//
+// Three implementations live in this module, one per power class:
+//   SrbHub         — a *trusted primitive* (the "given" SRB the paper's
+//                    reductions assume; analogous to hardware).
+//   SrbFromBracha  — message passing, n > 3f (the classic bound).
+//   SrbFromUni     — unidirectional rounds, n ≥ 2t+1 (the paper's Alg. 1).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace unidir::broadcast {
+
+/// One delivery event as observed by one process.
+struct Delivery {
+  ProcessId sender = kNoProcess;
+  SeqNum seq = 0;
+  Bytes message;
+
+  bool operator==(const Delivery&) const = default;
+};
+
+using DeliverFn = std::function<void(const Delivery&)>;
+
+/// Per-process handle to an SRB implementation. All three implementations
+/// expose this interface, so tests and applications are implementation-
+/// agnostic.
+class SrbEndpoint {
+ public:
+  virtual ~SrbEndpoint() = default;
+  SrbEndpoint() = default;
+  SrbEndpoint(const SrbEndpoint&) = delete;
+  SrbEndpoint& operator=(const SrbEndpoint&) = delete;
+
+  /// Broadcasts `message` as this process (the next sequence number is
+  /// assigned automatically). Any process may act as a sender.
+  virtual void broadcast(Bytes message) = 0;
+
+  /// Registers the delivery callback (at most one).
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Everything delivered so far, in delivery order.
+  const std::vector<Delivery>& delivered() const { return delivered_; }
+
+  /// Highest contiguous sequence number delivered from `sender`.
+  SeqNum delivered_up_to(ProcessId sender) const;
+
+ protected:
+  /// Implementations call this on every delivery.
+  void record_delivery(Delivery d);
+
+ private:
+  DeliverFn deliver_;
+  std::vector<Delivery> delivered_;
+  std::map<ProcessId, SeqNum> high_;
+};
+
+// ---- property checkers ---------------------------------------------------
+
+/// What one correct process contributes to an SRB property check.
+struct SrbView {
+  ProcessId id = kNoProcess;
+  const SrbEndpoint* endpoint = nullptr;
+  /// Messages this process broadcast (in order), if it acted as a sender
+  /// and is correct. seq of broadcasts[i] is i+1.
+  std::vector<Bytes> broadcasts;
+};
+
+/// A violated SRB property, with a human-readable witness.
+struct SrbViolation {
+  enum class Kind { Validity, Agreement, Sequencing, Integrity };
+  Kind kind = Kind::Validity;
+  std::string detail;
+};
+
+/// Checks all four properties over the quiesced execution. `views` must
+/// contain only correct processes. Eventual properties (validity,
+/// agreement) are interpreted at quiescence: what should "eventually"
+/// happen must have happened by the time the execution went idle.
+std::optional<SrbViolation> check_srb(const std::vector<SrbView>& views);
+
+const char* to_string(SrbViolation::Kind kind);
+
+}  // namespace unidir::broadcast

@@ -1,0 +1,118 @@
+#include "broadcast/srb_hub.h"
+
+#include "common/serde.h"
+
+namespace unidir::broadcast {
+
+namespace {
+
+/// Wire format of a hub-authenticated copy.
+struct HubWire {
+  ProcessId sender = kNoProcess;
+  SeqNum seq = 0;
+  Bytes message;
+  crypto::Signature hub_sig;
+
+  Bytes signed_bytes() const {
+    serde::Writer w;
+    w.str("srb-hub");
+    w.uvarint(sender);
+    w.uvarint(seq);
+    w.bytes(message);
+    return w.take();
+  }
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(sender);
+    w.uvarint(seq);
+    w.bytes(message);
+    hub_sig.encode(w);
+  }
+  static HubWire decode(serde::Reader& r) {
+    HubWire h;
+    h.sender = serde::read<ProcessId>(r);
+    h.seq = r.uvarint();
+    h.message = r.bytes();
+    h.hub_sig = crypto::Signature::decode(r);
+    return h;
+  }
+};
+
+}  // namespace
+
+SrbHub::SrbHub(sim::World& world, sim::Channel channel)
+    : world_(world), channel_(channel), hub_key_(world.keys().generate_key()) {}
+
+std::unique_ptr<SrbHubEndpoint> SrbHub::make_endpoint(sim::Process& host) {
+  return std::unique_ptr<SrbHubEndpoint>(new SrbHubEndpoint(*this, host));
+}
+
+SeqNum SrbHub::submit(ProcessId sender, const Bytes& message) {
+  const SeqNum seq = ++next_seq_[sender];
+  HubWire wire;
+  wire.sender = sender;
+  wire.seq = seq;
+  wire.message = message;
+  wire.hub_sig = hub_key_.sign(wire.signed_bytes());
+  const Bytes payload = serde::encode(wire);
+  // Ship one copy per process (including the sender: RB delivers to self),
+  // each under independent adversary control.
+  for (ProcessId p = 0; p < world_.size(); ++p)
+    world_.network().send(sender, p, channel_, payload);
+  return seq;
+}
+
+bool SrbHub::verify(ProcessId sender, SeqNum seq, const Bytes& message,
+                    const crypto::Signature& sig) const {
+  HubWire wire;
+  wire.sender = sender;
+  wire.seq = seq;
+  wire.message = message;
+  return world_.keys().verify(sig, wire.signed_bytes());
+}
+
+SrbHubEndpoint::SrbHubEndpoint(SrbHub& hub, sim::Process& host)
+    : hub_(hub), host_(host), self_(host.id()) {
+  host_.register_channel(hub_.channel_,
+                         [this](ProcessId, const Bytes& payload) {
+                           on_wire(payload);
+                         });
+}
+
+void SrbHubEndpoint::broadcast(Bytes message) {
+  hub_.submit(self_, std::move(message));
+}
+
+void SrbHubEndpoint::on_wire(const Bytes& payload) {
+  HubWire wire;
+  try {
+    wire = serde::decode<HubWire>(payload);
+  } catch (const serde::DecodeError&) {
+    return;  // spoofed or corrupt
+  }
+  // The hub signature is what makes the primitive trusted: a Byzantine
+  // process sending directly on this channel cannot produce it.
+  if (!hub_.verify(wire.sender, wire.seq, wire.message, wire.hub_sig)) return;
+  if (wire.seq <= delivered_up_to(wire.sender)) return;  // duplicate
+  pending_[wire.sender][wire.seq] = std::move(wire.message);
+  try_deliver(wire.sender);
+}
+
+void SrbHubEndpoint::try_deliver(ProcessId sender) {
+  auto& buffer = pending_[sender];
+  while (true) {
+    const SeqNum next = delivered_up_to(sender) + 1;
+    auto it = buffer.find(next);
+    if (it == buffer.end()) return;
+    Delivery d;
+    d.sender = sender;
+    d.seq = next;
+    d.message = std::move(it->second);
+    buffer.erase(it);
+    host_.output("srb-deliver", serde::encode(std::pair<ProcessId, SeqNum>{
+                                    d.sender, d.seq}));
+    record_delivery(std::move(d));
+  }
+}
+
+}  // namespace unidir::broadcast

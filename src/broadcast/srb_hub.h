@@ -1,0 +1,80 @@
+// SrbHub: sequenced reliable broadcast as a *trusted primitive*.
+//
+// The paper's reductions treat SRB as a given (it is what trusted-log
+// hardware like A2M/TrInc/SGX provides, up to interface). SrbHub plays
+// that role in the simulator: a trusted component that
+//
+//   * assigns sequence numbers itself — a Byzantine sender cannot
+//     equivocate or skip numbers (non-equivocation by construction),
+//   * authenticates deliveries with a hub-private key no process holds —
+//     a Byzantine process cannot inject or spoof deliveries,
+//   * ships copies over the ordinary network, so the asynchronous
+//     adversary retains full control of *when* (or, within a finite
+//     execution, whether-yet) each copy arrives. This is exactly the
+//     paper's point: trusted logs give non-equivocation, NOT delivery
+//     guarantees, which is why they cannot break network partitions
+//     (Section 4.1's impossibility, experiment E3).
+//
+// Per-recipient, per-sender delivery is forced into sequence order by
+// buffering out-of-order arrivals.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "broadcast/srb.h"
+#include "crypto/signature.h"
+#include "sim/world.h"
+
+namespace unidir::broadcast {
+
+class SrbHubEndpoint;
+
+class SrbHub {
+ public:
+  /// `channel` must be unused by other components of the attached hosts.
+  SrbHub(sim::World& world, sim::Channel channel);
+
+  /// Creates the endpoint for `host` and claims `channel` on it. One
+  /// endpoint per process.
+  std::unique_ptr<SrbHubEndpoint> make_endpoint(sim::Process& host);
+
+  sim::World& world() { return world_; }
+
+ private:
+  friend class SrbHubEndpoint;
+
+  /// Trusted entry point: assigns the next sequence number for `sender`
+  /// and ships authenticated copies to every process.
+  SeqNum submit(ProcessId sender, const Bytes& message);
+
+  bool verify(ProcessId sender, SeqNum seq, const Bytes& message,
+              const crypto::Signature& sig) const;
+
+  sim::World& world_;
+  sim::Channel channel_;
+  crypto::Signer hub_key_;  // never handed to processes
+  std::map<ProcessId, SeqNum> next_seq_;
+};
+
+class SrbHubEndpoint final : public SrbEndpoint {
+ public:
+  void broadcast(Bytes message) override;
+
+  ProcessId self() const { return self_; }
+
+ private:
+  friend class SrbHub;
+  SrbHubEndpoint(SrbHub& hub, sim::Process& host);
+
+  void on_wire(const Bytes& payload);
+  void try_deliver(ProcessId sender);
+
+  SrbHub& hub_;
+  sim::Process& host_;
+  ProcessId self_;
+  // Out-of-order buffer: sender -> seq -> message.
+  std::map<ProcessId, std::map<SeqNum, Bytes>> pending_;
+};
+
+}  // namespace unidir::broadcast

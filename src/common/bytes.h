@@ -1,0 +1,37 @@
+// Byte-buffer utilities used for message payloads, signatures and hashing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unidir {
+
+/// The wire representation of every message, attestation and proof in the
+/// library. Protocols serialize their structs to Bytes (see serde.h) so that
+/// signing and hashing operate on a canonical encoding.
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Renders bytes as lowercase hex (for logs and test diagnostics).
+std::string to_hex(ByteSpan data);
+
+/// Parses lowercase/uppercase hex. Throws std::invalid_argument on bad input.
+Bytes from_hex(std::string_view hex);
+
+/// Copies a UTF-8/ASCII string into a byte buffer.
+Bytes bytes_of(std::string_view s);
+
+/// Interprets a byte buffer as a string (no validation).
+std::string string_of(ByteSpan data);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, ByteSpan src);
+
+/// Constant-time equality, as used for comparing authenticators. Returns
+/// false on length mismatch without early exit on content.
+bool constant_time_equal(ByteSpan a, ByteSpan b);
+
+}  // namespace unidir

@@ -1,0 +1,62 @@
+// Invariant checking macros.
+//
+// UNIDIR_CHECK is for internal invariants: a failure indicates a bug in this
+// library, and throws unidir::InternalError. UNIDIR_REQUIRE is for caller
+// preconditions and throws std::invalid_argument. Both are always enabled:
+// this library is used to *validate* distributed protocols, so silent
+// undefined behaviour is never acceptable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace unidir {
+
+/// Thrown when an internal invariant of the library is violated.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'R') throw std::invalid_argument(os.str());
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace unidir
+
+#define UNIDIR_CHECK(expr)                                                   \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::unidir::detail::check_failed("CHECK", #expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define UNIDIR_CHECK_MSG(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::unidir::detail::check_failed("CHECK", #expr, __FILE__, __LINE__, \
+                                     (msg));                              \
+  } while (false)
+
+#define UNIDIR_REQUIRE(expr)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::unidir::detail::check_failed("REQUIRE", #expr, __FILE__, __LINE__, \
+                                     "");                                 \
+  } while (false)
+
+#define UNIDIR_REQUIRE_MSG(expr, msg)                                       \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::unidir::detail::check_failed("REQUIRE", #expr, __FILE__, __LINE__, \
+                                     (msg));                                \
+  } while (false)

@@ -1,0 +1,36 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace unidir::log {
+
+namespace {
+Level g_threshold = Level::Warn;
+}  // namespace
+
+Level threshold() { return g_threshold; }
+
+void set_threshold(Level level) { g_threshold = level; }
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+
+void emit(Level level, const char* file, int line, const std::string& msg) {
+  // Strip directories from the file path for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p)
+    if (*p == '/') base = p + 1;
+  std::fprintf(stderr, "[%s] %s:%d %s\n", level_name(level), base, line,
+               msg.c_str());
+}
+
+}  // namespace unidir::log

@@ -1,0 +1,40 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded, so the logger is too.
+// Logging defaults to Warn so tests and benches stay quiet; examples raise
+// the level to show protocol traces.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace unidir::log {
+
+enum class Level { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global log threshold; messages below it are discarded.
+Level threshold();
+void set_threshold(Level level);
+
+/// Emits a line to stderr. Prefer the UNIDIR_LOG macro below.
+void emit(Level level, const char* file, int line, const std::string& msg);
+
+const char* level_name(Level level);
+
+}  // namespace unidir::log
+
+#define UNIDIR_LOG(level, expr)                                          \
+  do {                                                                   \
+    if ((level) >= ::unidir::log::threshold()) {                         \
+      std::ostringstream unidir_log_os;                                  \
+      unidir_log_os << expr; /* NOLINT */                                \
+      ::unidir::log::emit((level), __FILE__, __LINE__,                   \
+                          unidir_log_os.str());                          \
+    }                                                                    \
+  } while (false)
+
+#define UNIDIR_TRACE(expr) UNIDIR_LOG(::unidir::log::Level::Trace, expr)
+#define UNIDIR_DEBUG(expr) UNIDIR_LOG(::unidir::log::Level::Debug, expr)
+#define UNIDIR_INFO(expr) UNIDIR_LOG(::unidir::log::Level::Info, expr)
+#define UNIDIR_WARN(expr) UNIDIR_LOG(::unidir::log::Level::Warn, expr)
+#define UNIDIR_ERROR(expr) UNIDIR_LOG(::unidir::log::Level::Error, expr)

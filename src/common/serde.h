@@ -1,0 +1,264 @@
+// Compact deterministic binary serialization.
+//
+// Every protocol message in the library is encoded with this codec before it
+// is sent, signed or hashed. Determinism matters: signatures are computed
+// over the encoding, so two semantically equal values must encode to the
+// same bytes. Integers are encoded as LEB128 varints; byte strings are
+// length-prefixed; containers are size-prefixed and element-ordered.
+//
+// User types participate by providing member functions
+//     void encode(Writer&) const;
+//     static T decode(Reader&);
+// or via the free-function customization point `serde_encode` /
+// `serde_decode` found by ADL (used for third-party and enum types).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace unidir::serde {
+
+/// Thrown by Reader when the input is truncated or malformed. Protocols
+/// treat this as "message from a Byzantine process": they catch it at the
+/// deserialization boundary and drop the message.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Unsigned LEB128.
+  void uvarint(std::uint64_t v);
+  /// Zig-zag signed varint.
+  void svarint(std::int64_t v);
+
+  /// Length-prefixed raw bytes.
+  void bytes(ByteSpan data);
+  void str(std::string_view s);
+
+  /// Raw bytes with no length prefix (caller knows the length).
+  void raw(ByteSpan data);
+
+  const Bytes& buffer() const { return out_; }
+  Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) : data_(data) {}
+
+  std::uint8_t u8();
+  bool boolean();
+  std::uint64_t uvarint();
+  std::int64_t svarint();
+  Bytes bytes();
+  std::string str();
+  Bytes raw(std::size_t n);
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Throws DecodeError unless all input has been consumed. Call at the end
+  /// of a message decode to reject trailing garbage.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- generic encode/decode ------------------------------------------------
+
+template <typename T>
+concept MemberEncodable = requires(const T& t, Writer& w) { t.encode(w); };
+
+template <typename T>
+concept MemberDecodable = requires(Reader& r) {
+  { T::decode(r) } -> std::convertible_to<T>;
+};
+
+template <typename T>
+  requires std::unsigned_integral<T>
+void write(Writer& w, T v) {
+  w.uvarint(v);
+}
+
+template <typename T>
+  requires std::signed_integral<T>
+void write(Writer& w, T v) {
+  w.svarint(v);
+}
+
+inline void write(Writer& w, bool v) { w.boolean(v); }
+inline void write(Writer& w, const Bytes& v) { w.bytes(v); }
+inline void write(Writer& w, const std::string& v) { w.str(v); }
+
+template <MemberEncodable T>
+void write(Writer& w, const T& v) {
+  v.encode(w);
+}
+
+template <typename T>
+void write(Writer& w, const std::vector<T>& v)
+  requires(!std::same_as<T, std::uint8_t>)
+{
+  w.uvarint(v.size());
+  for (const T& e : v) write(w, e);
+}
+
+template <typename T>
+void write(Writer& w, const std::optional<T>& v) {
+  w.boolean(v.has_value());
+  if (v) write(w, *v);
+}
+
+template <typename A, typename B>
+void write(Writer& w, const std::pair<A, B>& v) {
+  write(w, v.first);
+  write(w, v.second);
+}
+
+template <typename K, typename V>
+void write(Writer& w, const std::map<K, V>& v) {
+  w.uvarint(v.size());
+  for (const auto& [k, val] : v) {
+    write(w, k);
+    write(w, val);
+  }
+}
+
+template <typename T>
+struct Decode;  // primary template: specialized below
+
+template <typename T>
+  requires std::unsigned_integral<T>
+struct Decode<T> {
+  static T run(Reader& r) {
+    std::uint64_t v = r.uvarint();
+    if (v > std::numeric_limits<T>::max())
+      throw DecodeError("integer out of range");
+    return static_cast<T>(v);
+  }
+};
+
+template <typename T>
+  requires std::signed_integral<T>
+struct Decode<T> {
+  static T run(Reader& r) {
+    std::int64_t v = r.svarint();
+    if (v > std::numeric_limits<T>::max() || v < std::numeric_limits<T>::min())
+      throw DecodeError("integer out of range");
+    return static_cast<T>(v);
+  }
+};
+
+template <>
+struct Decode<bool> {
+  static bool run(Reader& r) { return r.boolean(); }
+};
+
+template <>
+struct Decode<Bytes> {
+  static Bytes run(Reader& r) { return r.bytes(); }
+};
+
+template <>
+struct Decode<std::string> {
+  static std::string run(Reader& r) { return r.str(); }
+};
+
+template <MemberDecodable T>
+struct Decode<T> {
+  static T run(Reader& r) { return T::decode(r); }
+};
+
+template <typename T>
+  requires(!std::same_as<T, std::uint8_t>)
+struct Decode<std::vector<T>> {
+  static std::vector<T> run(Reader& r) {
+    std::uint64_t n = r.uvarint();
+    // Guard against absurd sizes from malformed input before allocating.
+    if (n > r.remaining()) throw DecodeError("vector length exceeds input");
+    std::vector<T> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) out.push_back(Decode<T>::run(r));
+    return out;
+  }
+};
+
+template <typename T>
+struct Decode<std::optional<T>> {
+  static std::optional<T> run(Reader& r) {
+    if (!r.boolean()) return std::nullopt;
+    return Decode<T>::run(r);
+  }
+};
+
+template <typename A, typename B>
+struct Decode<std::pair<A, B>> {
+  static std::pair<A, B> run(Reader& r) {
+    A a = Decode<A>::run(r);
+    B b = Decode<B>::run(r);
+    return {std::move(a), std::move(b)};
+  }
+};
+
+template <typename K, typename V>
+struct Decode<std::map<K, V>> {
+  static std::map<K, V> run(Reader& r) {
+    std::uint64_t n = r.uvarint();
+    if (n > r.remaining()) throw DecodeError("map length exceeds input");
+    std::map<K, V> out;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      K k = Decode<K>::run(r);
+      V v = Decode<V>::run(r);
+      out.emplace(std::move(k), std::move(v));
+    }
+    return out;
+  }
+};
+
+template <typename T>
+T read(Reader& r) {
+  return Decode<T>::run(r);
+}
+
+/// Encodes a single value to a fresh buffer.
+template <typename T>
+Bytes encode(const T& v) {
+  Writer w;
+  write(w, v);
+  return w.take();
+}
+
+/// Decodes a single value, requiring the buffer to be fully consumed.
+template <typename T>
+T decode(ByteSpan data) {
+  Reader r(data);
+  T v = read<T>(r);
+  r.expect_done();
+  return v;
+}
+
+}  // namespace unidir::serde

@@ -1,0 +1,28 @@
+// Core type aliases shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace unidir {
+
+/// Identifier of a process in a distributed system. Dense, zero-based.
+using ProcessId = std::uint32_t;
+
+/// Virtual time in the discrete-event simulator (abstract "ticks").
+using Time = std::uint64_t;
+
+/// Sequence number used by broadcasts, trusted counters and logs.
+/// The paper's sequence numbers start at 1; 0 means "none yet".
+using SeqNum = std::uint64_t;
+
+/// Round number of a round-based protocol. Rounds start at 1.
+using RoundNum = std::uint64_t;
+
+/// View number of a view-based SMR protocol (MinBFT / PBFT).
+using ViewNum = std::uint64_t;
+
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+}  // namespace unidir

@@ -1,0 +1,78 @@
+// The paper's contribution: a classification of trusted-hardware
+// non-equivocation mechanisms by communication power.
+//
+//   bidirectional  (lock-step synchrony)
+//        ↑ strictly stronger
+//   unidirectional (shared-memory mechanisms: SWMR, sticky bits, PEATS)
+//        ↑ strictly stronger (except f = 1, n ≥ 3)
+//   SRB / trusted logs (A2M, TrInc, SGX-style counters)
+//        ↑ stronger
+//   zero-directional (plain asynchrony)
+//
+// This module renders the paper's Figure 1 as a report assembled from
+// *executable evidence*: each edge of the diagram is backed by either a
+// construction that ran and passed its property checks in this repository,
+// a separation experiment whose scenario construction succeeded, or a
+// literature citation (for edges the paper itself takes from prior work).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace unidir::core {
+
+/// One node in the classification diagram.
+enum class PowerClass : std::uint8_t {
+  Bidirectional,    // lock-step synchronous rounds
+  Unidirectional,   // shared-memory mechanisms
+  SequencedRb,      // SRB / trusted logs (A2M, TrInc, SGX)
+  ZeroDirectional,  // asynchronous message passing
+};
+
+const char* to_string(PowerClass c);
+/// Example mechanisms in each class (the paper's inventory).
+std::string mechanisms_of(PowerClass c);
+
+/// The nature of the evidence behind an edge.
+enum class EdgeKind : std::uint8_t {
+  Implements,  // A can implement B (a construction exists)
+  Separation,  // A cannot implement B (a scenario family exists)
+};
+
+enum class Evidence : std::uint8_t {
+  ExperimentPassed,  // ran in this repository and held
+  ExperimentFailed,  // ran and did NOT hold (a reproduction failure!)
+  Literature,        // cited by the paper; not re-proved here
+};
+
+struct ClassificationEdge {
+  PowerClass from = PowerClass::ZeroDirectional;
+  PowerClass to = PowerClass::ZeroDirectional;
+  EdgeKind kind = EdgeKind::Implements;
+  Evidence evidence = Evidence::Literature;
+  std::string witness;  // which experiment/bench/test backs it
+
+  std::string describe() const;
+};
+
+class ClassificationReport {
+ public:
+  void add(ClassificationEdge edge);
+
+  const std::vector<ClassificationEdge>& edges() const { return edges_; }
+  bool all_experiments_passed() const;
+
+  /// Renders the Figure-1 diagram plus the evidence table.
+  std::string render() const;
+
+ private:
+  std::vector<ClassificationEdge> edges_;
+};
+
+/// Runs every experiment this repository implements and assembles the
+/// full report — the programmatic regeneration of Figure 1. `quick`
+/// shrinks the parameter sweeps (used by tests; benches run full size).
+ClassificationReport build_classification_report(std::uint64_t seed,
+                                                 bool quick = false);
+
+}  // namespace unidir::core

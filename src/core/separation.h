@@ -1,0 +1,79 @@
+// Executable impossibility proofs.
+//
+// The paper's negative results are proved by constructing families of
+// executions that some process cannot tell apart. This module *runs* those
+// constructions in the simulator and checks, mechanically, both halves of
+// each argument: (a) the indistinguishability of the constructed
+// executions, via transcript comparison, and (b) the property violation
+// the indistinguishability forces.
+//
+//  * run_srb_uni_separation — Section 4.1: SRB cannot implement
+//    unidirectionality (n > 2f, f > 1). Three scenarios over a trusted
+//    SRB; in Scenario 3 two correct processes complete a round without
+//    either hearing the other.
+//
+//  * run_rb_vwa_impossibility — the classic partition argument: reliable
+//    broadcast cannot solve very weak agreement with n <= 2f. Five worlds;
+//    in World 5 the two halves commit different non-⊥ values.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace unidir::core {
+
+/// Result of the SRB ⇏ unidirectionality experiment (E3).
+struct SrbUniSeparation {
+  // Sanity: every relevant process finished its round in every scenario.
+  bool rounds_completed = false;
+  // Indistinguishability, exactly as the proof claims:
+  bool q_cannot_tell_1_from_3 = false;   // Q's views: Scenario 1 vs 3
+  bool q_cannot_tell_2_from_3 = false;   // Q's views: Scenario 2 vs 3
+  bool c1_cannot_tell_2_from_3 = false;  // C1's view: Scenario 2 vs 3
+  bool c2_cannot_tell_1_from_3 = false;  // C2's view: Scenario 1 vs 3
+  // The forced violation: in Scenario 3 both C1 and C2 are correct, both
+  // sent, and neither received the other's round message.
+  bool unidirectionality_violated = false;
+
+  /// True iff the whole theorem was reproduced.
+  bool holds() const {
+    return rounds_completed && q_cannot_tell_1_from_3 &&
+           q_cannot_tell_2_from_3 && c1_cannot_tell_2_from_3 &&
+           c2_cannot_tell_1_from_3 && unidirectionality_violated;
+  }
+  std::string describe() const;
+};
+
+/// Runs the three-scenario construction with |Q| = n−f, |C1| = 1,
+/// |C2| = f−1 (the first member of C2 is the witness pair partner).
+/// Requires n > 2f and f > 1.
+SrbUniSeparation run_srb_uni_separation(std::size_t n, std::size_t f,
+                                        std::uint64_t seed);
+
+/// Result of the RB ⇏ very-weak-agreement experiment (E7).
+struct RbVwaImpossibility {
+  bool all_terminated = false;
+  // The proof's chain of indistinguishabilities:
+  bool p_cannot_tell_1_from_2 = false;  // P: World 1 (Q crashed) vs 2
+  bool p_cannot_tell_2_from_5 = false;  // P: World 2 vs 5
+  bool q_cannot_tell_3_from_4 = false;  // Q: World 3 (P crashed) vs 4
+  bool q_cannot_tell_4_from_5 = false;  // Q: World 4 vs 5
+  // The forced violation: in World 5, P commits 0 and Q commits 1.
+  bool agreement_violated = false;
+
+  bool holds() const {
+    return all_terminated && p_cannot_tell_1_from_2 &&
+           p_cannot_tell_2_from_5 && q_cannot_tell_3_from_4 &&
+           q_cannot_tell_4_from_5 && agreement_violated;
+  }
+  std::string describe() const;
+};
+
+/// Runs the five-world construction with two halves of size n/2 each.
+/// Requires n even, n >= 2, and models f = n/2.
+RbVwaImpossibility run_rb_vwa_impossibility(std::size_t n,
+                                            std::uint64_t seed);
+
+}  // namespace unidir::core

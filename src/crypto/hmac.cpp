@@ -1,0 +1,35 @@
+#include "crypto/hmac.h"
+
+#include <array>
+
+namespace unidir::crypto {
+
+Digest hmac_sha256(ByteSpan key, ByteSpan message) {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> k{};
+  if (key.size() > kBlock) {
+    const Digest kd = Sha256::hash(key);
+    std::copy(kd.begin(), kd.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad;
+  std::array<std::uint8_t, kBlock> opad;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+}  // namespace unidir::crypto

@@ -1,0 +1,12 @@
+// HMAC-SHA256 (RFC 2104).
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace unidir::crypto {
+
+/// Computes HMAC-SHA256(key, message).
+Digest hmac_sha256(ByteSpan key, ByteSpan message);
+
+}  // namespace unidir::crypto

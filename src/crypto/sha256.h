@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used as the hash underlying HMAC signatures, attestation digests, and
+// hash-chained trusted logs. The implementation is a straightforward,
+// portable one: this library's performance story is about protocol message
+// complexity, not hash throughput.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace unidir::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(ByteSpan data);
+  /// Finalizes and returns the digest. The object must not be reused after.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(ByteSpan data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+/// Digest as a Bytes value (for serialization).
+Bytes digest_bytes(const Digest& d);
+
+/// Parses a 32-byte buffer into a Digest. Throws on size mismatch.
+Digest digest_from_bytes(ByteSpan data);
+
+}  // namespace unidir::crypto

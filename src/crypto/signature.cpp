@@ -1,0 +1,40 @@
+#include "crypto/signature.h"
+
+#include "common/check.h"
+#include "crypto/hmac.h"
+
+namespace unidir::crypto {
+
+Signer KeyRegistry::generate_key() {
+  const KeyId id = next_key_++;
+  // Derive a per-key secret deterministically so whole-world executions are
+  // reproducible from the simulator seed alone.
+  serde::Writer w;
+  w.uvarint(seed_counter_);
+  w.uvarint(id);
+  seed_counter_ = seed_counter_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  const Digest d = Sha256::hash(w.buffer());
+  secrets_.emplace(id, Bytes(d.begin(), d.end()));
+  return Signer(this, id);
+}
+
+Signature KeyRegistry::sign_internal(KeyId key, ByteSpan message) const {
+  auto it = secrets_.find(key);
+  UNIDIR_CHECK_MSG(it != secrets_.end(), "signing with unknown key");
+  const Digest mac = hmac_sha256(it->second, message);
+  return Signature{key, Bytes(mac.begin(), mac.end())};
+}
+
+bool KeyRegistry::verify(const Signature& sig, ByteSpan message) const {
+  auto it = secrets_.find(sig.key);
+  if (it == secrets_.end()) return false;
+  const Digest mac = hmac_sha256(it->second, message);
+  return constant_time_equal(ByteSpan(mac.data(), mac.size()), sig.mac);
+}
+
+Signature Signer::sign(ByteSpan message) const {
+  UNIDIR_REQUIRE_MSG(registry_ != nullptr, "sign() on a null Signer");
+  return registry_->sign_internal(key_, message);
+}
+
+}  // namespace unidir::crypto

@@ -1,0 +1,98 @@
+// Unforgeable transferable signatures (simulated PKI).
+//
+// The paper assumes processes hold unforgeable transferable signatures. We
+// simulate them with HMAC-SHA256 under per-key secrets held by a
+// KeyRegistry, which models the PKI/trusted setup:
+//
+//  * Unforgeability: the only way to produce a valid MAC for key k is
+//    through a Signer capability bound to k. Byzantine process code in the
+//    simulator is handed only its own Signer, never another's, so it cannot
+//    forge — exactly the guarantee a real signature scheme provides.
+//  * Transferability: verification needs only the public KeyRegistry and the
+//    signer's key id, so any process can verify and forward a signature.
+//
+// A production deployment would swap this for Ed25519; every protocol in the
+// library goes through the Signer/Verifier interfaces and would not change.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/serde.h"
+#include "crypto/sha256.h"
+
+namespace unidir::crypto {
+
+/// Identifies a signing key in the registry. Key ids are public.
+using KeyId = std::uint64_t;
+
+/// A detached signature: which key signed, and the authenticator.
+struct Signature {
+  KeyId key = 0;
+  Bytes mac;  // 32-byte HMAC-SHA256 tag
+
+  bool operator==(const Signature&) const = default;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(key);
+    w.bytes(mac);
+  }
+  static Signature decode(serde::Reader& r) {
+    Signature s;
+    s.key = r.uvarint();
+    s.mac = r.bytes();
+    return s;
+  }
+};
+
+class Signer;
+
+/// The trusted key store. One per simulated world.
+class KeyRegistry {
+ public:
+  KeyRegistry() = default;
+  KeyRegistry(const KeyRegistry&) = delete;
+  KeyRegistry& operator=(const KeyRegistry&) = delete;
+
+  /// Creates a fresh key and returns a Signer capability for it. The secret
+  /// never leaves the registry.
+  Signer generate_key();
+
+  /// Verifies `sig` over `message`. Unknown keys verify as false.
+  bool verify(const Signature& sig, ByteSpan message) const;
+
+  std::size_t key_count() const { return secrets_.size(); }
+
+ private:
+  friend class Signer;
+
+  Signature sign_internal(KeyId key, ByteSpan message) const;
+
+  std::unordered_map<KeyId, Bytes> secrets_;
+  KeyId next_key_ = 1;
+  std::uint64_t seed_counter_ = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Capability to sign with one key. Copyable (a process may hand it to the
+/// protocol objects it hosts), but only obtainable from the registry.
+class Signer {
+ public:
+  Signer() = default;  // null signer; sign() throws
+
+  KeyId key() const { return key_; }
+  bool valid() const { return registry_ != nullptr; }
+
+  Signature sign(ByteSpan message) const;
+
+ private:
+  friend class KeyRegistry;
+  Signer(const KeyRegistry* registry, KeyId key)
+      : registry_(registry), key_(key) {}
+
+  const KeyRegistry* registry_ = nullptr;
+  KeyId key_ = 0;
+};
+
+}  // namespace unidir::crypto

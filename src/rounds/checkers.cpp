@@ -1,0 +1,72 @@
+#include "rounds/checkers.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace unidir::rounds {
+
+std::string DirectionalityViolation::describe() const {
+  std::ostringstream os;
+  os << "round " << round << ": neither p" << p << " nor p" << q
+     << " received the other's message";
+  return os.str();
+}
+
+bool received_from(const ProcessHistory& p, ProcessId q, RoundNum round) {
+  UNIDIR_REQUIRE(p.history != nullptr);
+  UNIDIR_REQUIRE(round >= 1);
+  if (round > p.history->size()) return false;
+  const RoundRecord& rec = (*p.history)[round - 1];
+  UNIDIR_CHECK(rec.round == round);
+  return std::any_of(rec.received.begin(), rec.received.end(),
+                     [q](const Received& r) { return r.from == q; });
+}
+
+ProcessHistory history_of(ProcessId id, const RoundDriver& driver) {
+  return ProcessHistory{id, &driver.history()};
+}
+
+namespace {
+
+template <typename Pred>
+std::optional<DirectionalityViolation> check_pairs(
+    const std::vector<ProcessHistory>& correct, Pred ok) {
+  for (std::size_t i = 0; i < correct.size(); ++i) {
+    for (std::size_t j = i + 1; j < correct.size(); ++j) {
+      const ProcessHistory& p = correct[i];
+      const ProcessHistory& q = correct[j];
+      const RoundNum common = static_cast<RoundNum>(
+          std::min(p.history->size(), q.history->size()));
+      for (RoundNum r = 1; r <= common; ++r) {
+        if (!ok(p, q, r)) return DirectionalityViolation{p.id, q.id, r};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<DirectionalityViolation> check_unidirectional(
+    const std::vector<ProcessHistory>& correct) {
+  return check_pairs(correct,
+                     [](const ProcessHistory& p, const ProcessHistory& q,
+                        RoundNum r) {
+                       return received_from(p, q.id, r) ||
+                              received_from(q, p.id, r);
+                     });
+}
+
+std::optional<DirectionalityViolation> check_bidirectional(
+    const std::vector<ProcessHistory>& correct) {
+  return check_pairs(correct,
+                     [](const ProcessHistory& p, const ProcessHistory& q,
+                        RoundNum r) {
+                       return received_from(p, q.id, r) &&
+                              received_from(q, p.id, r);
+                     });
+}
+
+}  // namespace unidir::rounds

@@ -1,0 +1,49 @@
+// Mechanical checkers for the three directionality properties.
+//
+// Given the recorded round histories of a set of correct processes, these
+// validate the pairwise definitions from the paper over a concrete
+// execution. A returned violation is a *witness*: the pair and round where
+// the property failed, suitable for test diagnostics and for the
+// separation experiments (where a violation is the expected outcome).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rounds/round_driver.h"
+
+namespace unidir::rounds {
+
+struct DirectionalityViolation {
+  ProcessId p = kNoProcess;
+  ProcessId q = kNoProcess;
+  RoundNum round = 0;
+
+  std::string describe() const;
+};
+
+/// One process's contribution to a check: its id and its round history.
+struct ProcessHistory {
+  ProcessId id = kNoProcess;
+  const std::vector<RoundRecord>* history = nullptr;
+};
+
+/// Unidirectionality: for every pair (p, q) and round r both completed,
+/// p received q's round-r message or q received p's. Returns the first
+/// violation, or nullopt if the property held throughout.
+std::optional<DirectionalityViolation> check_unidirectional(
+    const std::vector<ProcessHistory>& correct);
+
+/// Bidirectionality: for every pair and common round, BOTH directions
+/// were received.
+std::optional<DirectionalityViolation> check_bidirectional(
+    const std::vector<ProcessHistory>& correct);
+
+/// True if round r of `p` received a round-r message from `q`.
+bool received_from(const ProcessHistory& p, ProcessId q, RoundNum round);
+
+/// Convenience: build ProcessHistory entries from drivers.
+ProcessHistory history_of(ProcessId id, const RoundDriver& driver);
+
+}  // namespace unidir::rounds

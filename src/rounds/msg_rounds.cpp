@@ -1,0 +1,123 @@
+#include "rounds/msg_rounds.h"
+
+namespace unidir::rounds {
+
+MsgRoundDriverBase::MsgRoundDriverBase(sim::Process& host,
+                                       sim::Channel channel)
+    : host_(host), channel_(channel) {
+  host_.register_channel(channel, [this](ProcessId from, const Bytes& payload) {
+    handle(from, payload);
+  });
+}
+
+void MsgRoundDriverBase::handle(ProcessId from, const Bytes& payload) {
+  RoundMsg msg;
+  try {
+    msg = serde::decode<RoundMsg>(payload);
+  } catch (const serde::DecodeError&) {
+    return;  // malformed — Byzantine sender; drop
+  }
+  auto& per_sender = arrived_[msg.round];
+  // Keep the first message per (round, sender).
+  auto [it, inserted] = per_sender.emplace(from, std::move(msg.message));
+  if (!inserted) return;
+  add_fresh(from, it->second);
+  on_round_msg(msg.round, from);
+  notify_activity();
+}
+
+void MsgRoundDriverBase::send_round_msg(RoundNum round, const Bytes& message) {
+  host_.broadcast(channel_, serde::encode(RoundMsg{round, message}));
+}
+
+std::vector<Received> MsgRoundDriverBase::collect(RoundNum round) const {
+  std::vector<Received> out;
+  auto it = arrived_.find(round);
+  if (it == arrived_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [from, message] : it->second)
+    out.push_back({from, message});
+  return out;
+}
+
+std::size_t MsgRoundDriverBase::distinct_senders(RoundNum round) const {
+  auto it = arrived_.find(round);
+  return it == arrived_.end() ? 0 : it->second.size();
+}
+
+// ---- zero-directional --------------------------------------------------------
+
+AsyncZeroRoundDriver::AsyncZeroRoundDriver(sim::Process& host,
+                                           sim::Channel channel, std::size_t n,
+                                           std::size_t f)
+    : MsgRoundDriverBase(host, channel), n_(n), f_(f) {
+  UNIDIR_REQUIRE(n >= 1 && f < n);
+}
+
+void AsyncZeroRoundDriver::start_round(Bytes message, Callback done) {
+  active_round_ = begin(message);
+  done_ = std::move(done);
+  send_round_msg(active_round_, message);
+  maybe_finish();  // early arrivals may already satisfy the quorum
+}
+
+void AsyncZeroRoundDriver::on_round_msg(RoundNum round, ProcessId from) {
+  (void)from;
+  if (round == active_round_) maybe_finish();
+}
+
+void AsyncZeroRoundDriver::maybe_finish() {
+  if (active_round_ == 0 || !round_in_flight()) return;
+  // Count self: the driver's own message trivially "arrives" at itself.
+  if (distinct_senders(active_round_) + 1 < n_ - f_) return;
+  const RoundNum round = active_round_;
+  active_round_ = 0;
+  Callback done = std::move(done_);
+  done_ = nullptr;
+  finish(collect(round), done);
+}
+
+// ---- bidirectional (lock-step) ---------------------------------------------
+
+LockstepBiRoundDriver::LockstepBiRoundDriver(sim::Process& host,
+                                             sim::Channel channel,
+                                             Time round_length)
+    : MsgRoundDriverBase(host, channel), round_length_(round_length) {
+  UNIDIR_REQUIRE(round_length >= 1);
+}
+
+void LockstepBiRoundDriver::start_round(Bytes message, Callback done) {
+  const RoundNum round = begin(message);
+  const Time now = host_.world().simulator().now();
+  const Time window_start = (round - 1) * round_length_;
+  const Time window_end = round * round_length_;
+  UNIDIR_REQUIRE_MSG(now <= window_start,
+                     "lock-step round started after its window opened");
+  // Timers route through the host so they are suppressed on crash. Message
+  // delivery must take < round_length ticks for the bidirectional
+  // guarantee: a message sent at window start then lands strictly before
+  // the window-end event.
+  host_.set_timer(window_start - now,
+                  [this, round, message]() { send_round_msg(round, message); });
+  host_.set_timer(window_end - now, [this, round, done = std::move(done)]() {
+    finish(collect(round), done);
+  });
+}
+
+// ---- Δ-synchronous -----------------------------------------------------------
+
+DeltaSyncRoundDriver::DeltaSyncRoundDriver(sim::Process& host,
+                                           sim::Channel channel, Time wait)
+    : MsgRoundDriverBase(host, channel), wait_(wait) {
+  UNIDIR_REQUIRE(wait >= 1);
+}
+
+void DeltaSyncRoundDriver::start_round(Bytes message, Callback done) {
+  const RoundNum round = begin(message);
+  send_round_msg(round, message);
+  host_.set_timer(wait_, [this, round, done = std::move(done)]() {
+    finish(collect(round), done);
+  });
+}
+
+}  // namespace unidir::rounds

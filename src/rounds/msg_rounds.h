@@ -1,0 +1,100 @@
+// Message-passing round drivers: zero-directional (asynchrony),
+// bidirectional (lock-step synchrony) and Δ-synchronous (tunable).
+//
+// These drivers realize the "classical communication models" column of the
+// paper's classification. Each sends its round message over the ordinary
+// network and differs only in *when it dares end the round*:
+//
+//   AsyncZeroRoundDriver  — ends on receiving round-r messages from n−f
+//                           processes. Safe under pure asynchrony, but a
+//                           pair of correct processes may both miss each
+//                           other (zero-directionality).
+//   LockstepBiRoundDriver — rounds are global windows of length T; assuming
+//                           the network delivers within Δ ≤ T, both
+//                           directions of every correct pair arrive in the
+//                           window (bidirectionality).
+//   DeltaSyncRoundDriver  — sends, then waits a fixed `wait` ticks. With
+//                           message delay bounded by Δ: wait ≥ 2Δ yields
+//                           unidirectionality (without clock sync!), while
+//                           wait < Δ can yield nothing — the knob the
+//                           paper's Δ-synchrony discussion turns.
+#pragma once
+
+#include <map>
+
+#include "rounds/round_driver.h"
+#include "sim/world.h"
+
+namespace unidir::rounds {
+
+/// Shared machinery: tag messages with round numbers, buffer arrivals
+/// (including early arrivals for future rounds), keep the first message per
+/// sender per round (a Byzantine sender cannot stuff a round).
+class MsgRoundDriverBase : public RoundDriver {
+ public:
+  MsgRoundDriverBase(sim::Process& host, sim::Channel channel);
+
+ protected:
+  void send_round_msg(RoundNum round, const Bytes& message);
+  /// Round-r messages that have arrived so far (never includes self).
+  std::vector<Received> collect(RoundNum round) const;
+  std::size_t distinct_senders(RoundNum round) const;
+
+  /// Hook invoked after a round message is buffered.
+  virtual void on_round_msg(RoundNum round, ProcessId from) {
+    (void)round;
+    (void)from;
+  }
+
+  sim::Process& host_;
+
+ private:
+  void handle(ProcessId from, const Bytes& payload);
+
+  sim::Channel channel_;
+  std::map<RoundNum, std::map<ProcessId, Bytes>> arrived_;
+};
+
+class AsyncZeroRoundDriver final : public MsgRoundDriverBase {
+ public:
+  /// `n` processes, at most `f` faulty: a round ends once round-r messages
+  /// from n−f distinct processes (counting self) are in.
+  AsyncZeroRoundDriver(sim::Process& host, sim::Channel channel, std::size_t n,
+                       std::size_t f);
+
+  void start_round(Bytes message, Callback done) override;
+
+ private:
+  void on_round_msg(RoundNum round, ProcessId from) override;
+  void maybe_finish();
+
+  std::size_t n_;
+  std::size_t f_;
+  RoundNum active_round_ = 0;
+  Callback done_;
+};
+
+class LockstepBiRoundDriver final : public MsgRoundDriverBase {
+ public:
+  /// Round r occupies the global window [(r−1)·T, r·T). Correctness of the
+  /// bidirectional guarantee requires the network to deliver within T.
+  LockstepBiRoundDriver(sim::Process& host, sim::Channel channel,
+                        Time round_length);
+
+  void start_round(Bytes message, Callback done) override;
+
+ private:
+  Time round_length_;
+};
+
+class DeltaSyncRoundDriver final : public MsgRoundDriverBase {
+ public:
+  DeltaSyncRoundDriver(sim::Process& host, sim::Channel channel, Time wait);
+
+  void start_round(Bytes message, Callback done) override;
+
+ private:
+  Time wait_;
+};
+
+}  // namespace unidir::rounds

@@ -1,0 +1,107 @@
+#include "rounds/object_uni_round.h"
+
+#include <string>
+
+namespace unidir::rounds {
+
+namespace {
+
+Bytes owner_tag(ProcessId owner) {
+  return bytes_of(std::to_string(owner));
+}
+
+Bytes index_tag(std::size_t index) {
+  return bytes_of(std::to_string(index));
+}
+
+/// Policy: out only with the caller's own id in field 0; reads for all;
+/// no removal — the tuple-space rendering of a single-writer ACL.
+shmem::PeatsPolicy round_policy() {
+  return [](const shmem::PeatsRequest& req, const shmem::Peats&) {
+    switch (req.op) {
+      case shmem::PeatsOp::Rdp:
+        return true;
+      case shmem::PeatsOp::Out:
+        return req.tuple != nullptr && req.tuple->size() == 3 &&
+               (*req.tuple)[0] == owner_tag(req.caller);
+      case shmem::PeatsOp::Inp:
+      case shmem::PeatsOp::Cas:
+        return false;
+    }
+    return false;
+  };
+}
+
+}  // namespace
+
+PeatsRoundBoard::PeatsRoundBoard(std::size_t n)
+    : n_(n), space_(round_policy()) {
+  UNIDIR_REQUIRE(n >= 1);
+}
+
+bool PeatsRoundBoard::publish(ProcessId owner, const RoundMsg& m) {
+  std::size_t& count = published_[owner];
+  shmem::Tuple tuple = {owner_tag(owner), index_tag(count),
+                        serde::encode(m)};
+  if (!space_.out(owner, std::move(tuple))) return false;
+  ++count;
+  return true;
+}
+
+std::vector<RoundMsg> PeatsRoundBoard::read_from(ProcessId reader,
+                                                 ProcessId owner,
+                                                 std::size_t from) const {
+  shmem::TupleTemplate pattern = shmem::TupleTemplate::tagged(
+      owner_tag(owner), 3);
+  std::vector<RoundMsg> out;
+  for (const shmem::Tuple& t : space_.rdp_all(reader, pattern)) {
+    // Tuples carry their per-owner index in field 1; skip already-read ones.
+    std::size_t index = 0;
+    try {
+      index = std::stoul(string_of(t[1]));
+    } catch (const std::exception&) {
+      continue;  // stay total on malformed fields
+    }
+    if (index < from) continue;
+    try {
+      out.push_back(serde::decode<RoundMsg>(t[2]));
+    } catch (const serde::DecodeError&) {
+      // Unreachable for tuples our policy admitted, but stay total.
+    }
+  }
+  return out;
+}
+
+bool StickyRoundBoard::publish(ProcessId owner, const RoundMsg& m) {
+  std::size_t& count = published_[owner];
+  const auto key = std::make_pair(owner, count);
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    shmem::AccessControlList acl;
+    acl.allow("write", owner);
+    acl.allow_all("read");
+    it = cells_
+             .emplace(key, std::make_unique<shmem::StickyRegister<RoundMsg>>(
+                               acl))
+             .first;
+  }
+  if (it->second->write(owner, m) != shmem::WriteStatus::Ok) return false;
+  ++count;
+  return true;
+}
+
+std::vector<RoundMsg> StickyRoundBoard::read_from(ProcessId reader,
+                                                  ProcessId owner,
+                                                  std::size_t from) const {
+  std::vector<RoundMsg> out;
+  for (std::size_t i = from;; ++i) {
+    auto it = cells_.find({owner, i});
+    if (it == cells_.end()) break;
+    const auto value = it->second->read(reader);
+    if (!value) break;  // first unset cell ends the scan
+    out.push_back(*value);
+  }
+  return out;
+}
+
+}  // namespace unidir::rounds

@@ -1,0 +1,139 @@
+// Unidirectional rounds from OTHER shared-memory objects — the paper's
+// claim in full generality: "all shared memory objects that have some
+// modifying operation and some read operation, along with ACLs, can
+// provide this setting. This includes SWMR registers, PEATS, and all
+// objects considered in [Malkhi et al.]".
+//
+// ObjectUniRoundDriver is the write-own-then-read-all protocol over any
+// board satisfying the small Board concept below; PeatsRoundBoard backs it
+// with one policy-guarded tuple space, StickyRoundBoard with a family of
+// write-once registers. Both reuse the exact proof obligation: a process's
+// publish linearizes before its scans, so two publishes cannot both go
+// unseen.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "rounds/round_driver.h"
+#include "shmem/memory_host.h"
+#include "shmem/peats.h"
+#include "shmem/registers.h"
+
+namespace unidir::rounds {
+
+/// Board concept (duck-typed):
+///   std::size_t size() const;
+///   bool publish(ProcessId owner, const RoundMsg& m);       // modify op
+///   std::vector<RoundMsg> read_from(ProcessId reader,
+///                                   ProcessId owner,
+///                                   std::size_t from) const; // read op
+/// publish must be rejected (return false) for non-owners — the ACL.
+
+/// A tuple space shared by all n processes. Tuples are
+/// (owner, index, message); the policy admits an out only when the first
+/// field names the caller — PEATS's state-aware guard doing ACL duty.
+class PeatsRoundBoard {
+ public:
+  explicit PeatsRoundBoard(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  bool publish(ProcessId owner, const RoundMsg& m);
+  std::vector<RoundMsg> read_from(ProcessId reader, ProcessId owner,
+                                  std::size_t from) const;
+
+ private:
+  std::size_t n_;
+  shmem::Peats space_;
+  std::map<ProcessId, std::size_t> published_;  // per-owner entry count
+};
+
+/// One write-once register per (owner, index): append-by-allocation. The
+/// owner's k-th message goes into its k-th sticky register; readers scan
+/// indices until the first unset one.
+class StickyRoundBoard {
+ public:
+  explicit StickyRoundBoard(std::size_t n) : n_(n) {}
+
+  std::size_t size() const { return n_; }
+  bool publish(ProcessId owner, const RoundMsg& m);
+  std::vector<RoundMsg> read_from(ProcessId reader, ProcessId owner,
+                                  std::size_t from) const;
+
+ private:
+  std::size_t n_;
+  std::map<std::pair<ProcessId, std::size_t>,
+           std::unique_ptr<shmem::StickyRegister<RoundMsg>>>
+      cells_;
+  std::map<ProcessId, std::size_t> published_;
+};
+
+/// The §3.2 protocol over any Board: publish (r, m), read everything,
+/// receive the round-r entries. Identical structure to
+/// ShmemUniRoundDriver, generic in the object type.
+template <typename Board>
+class ObjectUniRoundDriver final : public RoundDriver {
+ public:
+  ObjectUniRoundDriver(shmem::MemoryHost& memory, Board& board,
+                       ProcessId self)
+      : memory_(memory),
+        board_(board),
+        self_(self),
+        read_cursor_(board.size(), 0),
+        seen_(board.size()) {
+    UNIDIR_REQUIRE(self < board.size());
+  }
+
+  void start_round(Bytes message, Callback done) override {
+    const RoundNum round = begin(message);
+    auto done_ptr = std::make_shared<Callback>(std::move(done));
+    memory_.invoke<bool>(
+        self_,
+        [this, round, message]() {
+          return board_.publish(self_, RoundMsg{round, message});
+        },
+        [this, round, done_ptr](bool ok) {
+          UNIDIR_CHECK_MSG(ok, "own publish cannot be denied");
+          read_all(round, done_ptr);
+        });
+  }
+
+ private:
+  void read_all(RoundNum round, std::shared_ptr<Callback> done) {
+    const std::size_t n = board_.size();
+    auto pending = std::make_shared<std::size_t>(n);
+    for (ProcessId j = 0; j < n; ++j) {
+      const std::size_t offset = read_cursor_[j];
+      memory_.invoke<std::vector<RoundMsg>>(
+          self_,
+          [this, j, offset]() { return board_.read_from(self_, j, offset); },
+          [this, j, offset, round, pending,
+           done](std::vector<RoundMsg> entries) {
+            read_cursor_[j] = offset + entries.size();
+            for (auto& e : entries) {
+              if (j != self_) add_fresh(j, e.message);
+              seen_[j].push_back(std::move(e));
+            }
+            if (--*pending > 0) return;
+            std::vector<Received> received;
+            for (ProcessId k = 0; k < board_.size(); ++k) {
+              if (k == self_) continue;
+              for (const RoundMsg& e : seen_[k])
+                if (e.round == round) received.push_back({k, e.message});
+            }
+            finish(std::move(received), *done);
+          });
+    }
+  }
+
+  shmem::MemoryHost& memory_;
+  Board& board_;
+  ProcessId self_;
+  std::vector<std::size_t> read_cursor_;
+  std::vector<std::vector<RoundMsg>> seen_;
+};
+
+using PeatsUniRoundDriver = ObjectUniRoundDriver<PeatsRoundBoard>;
+using StickyUniRoundDriver = ObjectUniRoundDriver<StickyRoundBoard>;
+
+}  // namespace unidir::rounds

@@ -1,0 +1,23 @@
+#include "rounds/round_driver.h"
+
+namespace unidir::rounds {
+
+RoundNum RoundDriver::begin(const Bytes& message) {
+  UNIDIR_REQUIRE_MSG(!in_flight_, "round already in flight");
+  in_flight_ = true;
+  current_sent_ = message;
+  return completed_rounds() + 1;
+}
+
+void RoundDriver::finish(std::vector<Received> received, const Callback& done) {
+  UNIDIR_CHECK_MSG(in_flight_, "finish() without a round in flight");
+  in_flight_ = false;
+  RoundRecord rec;
+  rec.round = completed_rounds() + 1;
+  rec.sent = std::move(current_sent_);
+  rec.received = std::move(received);
+  history_.push_back(rec);
+  if (done) done(rec.round, history_.back().received);
+}
+
+}  // namespace unidir::rounds

@@ -1,0 +1,99 @@
+#include "rounds/shmem_uni_round.h"
+
+#include <algorithm>
+
+namespace unidir::rounds {
+
+ShmemRoundBoard::ShmemRoundBoard(std::size_t n) {
+  UNIDIR_REQUIRE(n >= 1);
+  logs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    logs_.push_back(std::make_unique<shmem::SwmrLog<RoundMsg>>(
+        static_cast<ProcessId>(i)));
+}
+
+shmem::SwmrLog<RoundMsg>& ShmemRoundBoard::log(ProcessId owner) {
+  UNIDIR_REQUIRE(owner < logs_.size());
+  return *logs_[owner];
+}
+
+const shmem::SwmrLog<RoundMsg>& ShmemRoundBoard::log(ProcessId owner) const {
+  UNIDIR_REQUIRE(owner < logs_.size());
+  return *logs_[owner];
+}
+
+ShmemUniRoundDriver::ShmemUniRoundDriver(shmem::MemoryHost& memory,
+                                         ShmemRoundBoard& board,
+                                         ProcessId self)
+    : memory_(memory),
+      board_(board),
+      self_(self),
+      read_offsets_(board.size(), 0),
+      fresh_offsets_(board.size(), 0),
+      seen_(board.size()) {
+  UNIDIR_REQUIRE(self < board.size());
+}
+
+void ShmemUniRoundDriver::start_round(Bytes message, Callback done) {
+  const RoundNum round = begin(message);
+  auto done_ptr = std::make_shared<Callback>(std::move(done));
+  // Step 1: append (r, m) to own object. Reads are issued only after the
+  // append's response, so the append is linearized before every read —
+  // the ordering the unidirectionality proof depends on.
+  memory_.invoke<shmem::WriteStatus>(
+      self_,
+      [this, round, message]() {
+        return board_.log(self_).append(self_, RoundMsg{round, message});
+      },
+      [this, round, done_ptr](shmem::WriteStatus status) {
+        UNIDIR_CHECK_MSG(status == shmem::WriteStatus::Ok,
+                         "own-log append cannot be denied");
+        read_all(round, done_ptr);
+      });
+}
+
+void ShmemUniRoundDriver::read_all(RoundNum round,
+                                   std::shared_ptr<Callback> done) {
+  // Step 2: read o_1..o_n (all invoked concurrently; the round ends when
+  // every read has responded).
+  const std::size_t n = board_.size();
+  auto pending = std::make_shared<std::size_t>(n);
+  for (ProcessId j = 0; j < n; ++j) {
+    const std::size_t offset = full_reads_ ? 0 : read_offsets_[j];
+    memory_.invoke<std::vector<RoundMsg>>(
+        self_,
+        [this, j, offset]() { return board_.log(j).read_from(self_, offset); },
+        [this, j, offset, round, pending, done](std::vector<RoundMsg> entries) {
+          // Merge into the cumulative view of log j.
+          if (full_reads_) {
+            if (entries.size() > seen_[j].size()) seen_[j] = std::move(entries);
+          } else {
+            read_offsets_[j] = offset + entries.size();
+            for (auto& e : entries) seen_[j].push_back(std::move(e));
+          }
+          if (--*pending > 0) return;
+          // All reads responded. Report every entry not yet reported as
+          // "fresh" (reads return the full past, not just this round)…
+          for (ProcessId k = 0; k < board_.size(); ++k) {
+            if (k == self_) {
+              fresh_offsets_[k] = seen_[k].size();
+              continue;
+            }
+            for (std::size_t i = fresh_offsets_[k]; i < seen_[k].size(); ++i)
+              add_fresh(k, seen_[k][i].message);
+            fresh_offsets_[k] = seen_[k].size();
+          }
+          // …and collect the round-r messages, which define the round's
+          // directionality-relevant receptions.
+          std::vector<Received> received;
+          for (ProcessId k = 0; k < board_.size(); ++k) {
+            if (k == self_) continue;
+            for (const RoundMsg& e : seen_[k])
+              if (e.round == round) received.push_back({k, e.message});
+          }
+          finish(std::move(received), *done);
+        });
+  }
+}
+
+}  // namespace unidir::rounds

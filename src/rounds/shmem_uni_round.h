@@ -1,0 +1,66 @@
+// Unidirectional rounds from shared memory — the paper's §3.2 claim.
+//
+// The protocol (introduced by Aguilera et al. for SWMR registers, stated in
+// the paper for any single-modifier/all-reader object):
+//
+//   In round r, process p_i:
+//     appends (r, m) to its own object o_i,
+//     then reads objects o_1..o_n;
+//     it "receives" (r, m') from p_j if o_j's content includes (r, m').
+//
+// Unidirectionality holds because whichever of p_i, p_j linearizes its
+// append *first* is guaranteed to be seen by the other's subsequent reads:
+// an append happens-before its own process's reads, so two appends cannot
+// both miss each other.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rounds/round_driver.h"
+#include "shmem/memory_host.h"
+#include "shmem/registers.h"
+
+namespace unidir::rounds {
+
+/// The board of per-process SWMR append logs o_1..o_n that a group of
+/// ShmemUniRoundDriver instances shares. Entry = (round, message).
+class ShmemRoundBoard {
+ public:
+  explicit ShmemRoundBoard(std::size_t n);
+
+  std::size_t size() const { return logs_.size(); }
+  shmem::SwmrLog<RoundMsg>& log(ProcessId owner);
+  const shmem::SwmrLog<RoundMsg>& log(ProcessId owner) const;
+
+ private:
+  std::vector<std::unique_ptr<shmem::SwmrLog<RoundMsg>>> logs_;
+};
+
+class ShmemUniRoundDriver final : public RoundDriver {
+ public:
+  /// `self` must be a valid index into `board`.
+  ShmemUniRoundDriver(shmem::MemoryHost& memory, ShmemRoundBoard& board,
+                      ProcessId self);
+
+  void start_round(Bytes message, Callback done) override;
+
+  /// If true (default), each round re-reads every log in full, as in the
+  /// paper's protocol. If false, reads only the suffix appended since this
+  /// driver last read each log — the ablation benchmarked in
+  /// bench_rounds (correct because logs are append-only).
+  void set_full_reads(bool full) { full_reads_ = full; }
+
+ private:
+  void read_all(RoundNum round, std::shared_ptr<Callback> done);
+
+  shmem::MemoryHost& memory_;
+  ShmemRoundBoard& board_;
+  ProcessId self_;
+  bool full_reads_ = true;
+  std::vector<std::size_t> read_offsets_;  // per-log cursor for incremental mode
+  std::vector<std::size_t> fresh_offsets_;  // per-log cursor for take_fresh()
+  std::vector<std::vector<RoundMsg>> seen_;  // all entries ever read, per log
+};
+
+}  // namespace unidir::rounds

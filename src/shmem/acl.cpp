@@ -1,0 +1,31 @@
+#include "shmem/acl.h"
+
+namespace unidir::shmem {
+
+void AccessControlList::allow(const std::string& op, ProcessId p) {
+  grants_[op].insert(p);
+}
+
+void AccessControlList::allow_all(const std::string& op) {
+  wildcard_.insert(op);
+}
+
+void AccessControlList::revoke(const std::string& op, ProcessId p) {
+  auto it = grants_.find(op);
+  if (it != grants_.end()) it->second.erase(p);
+}
+
+bool AccessControlList::allowed(const std::string& op, ProcessId p) const {
+  if (wildcard_.contains(op)) return true;
+  auto it = grants_.find(op);
+  return it != grants_.end() && it->second.contains(p);
+}
+
+AccessControlList AccessControlList::swmr(ProcessId owner) {
+  AccessControlList acl;
+  acl.allow("write", owner);
+  acl.allow_all("read");
+  return acl;
+}
+
+}  // namespace unidir::shmem

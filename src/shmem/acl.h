@@ -1,0 +1,39 @@
+// Access control lists for shared objects.
+//
+// Following Malkhi et al. ("Objects shared by Byzantine processes"), each
+// shared object carries an ACL specifying, per operation, which processes
+// may execute it. ACLs are what make shared memory useful under Byzantine
+// faults at all: without them a Byzantine process could overwrite
+// everything. SWMR registers are the special case {write: {owner},
+// read: everyone}.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/types.h"
+
+namespace unidir::shmem {
+
+class AccessControlList {
+ public:
+  /// Grants `op` to a single process.
+  void allow(const std::string& op, ProcessId p);
+  /// Grants `op` to every process (wildcard).
+  void allow_all(const std::string& op);
+  /// Revokes a previous single-process grant (wildcards are permanent:
+  /// ACLs in this model are trusted static configuration).
+  void revoke(const std::string& op, ProcessId p);
+
+  bool allowed(const std::string& op, ProcessId p) const;
+
+  /// Convenience: the SWMR ACL — `owner` may write, everyone may read.
+  static AccessControlList swmr(ProcessId owner);
+
+ private:
+  std::map<std::string, std::set<ProcessId>> grants_;
+  std::set<std::string> wildcard_;
+};
+
+}  // namespace unidir::shmem

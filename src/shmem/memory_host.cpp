@@ -1,0 +1,12 @@
+#include "shmem/memory_host.h"
+
+namespace unidir::shmem {
+
+MemoryHost::MemoryHost(sim::Simulator& simulator, sim::Rng rng,
+                       MemoryOptions options)
+    : simulator_(simulator), rng_(rng), options_(options) {
+  UNIDIR_REQUIRE(options_.max_to_linearize >= 1);
+  UNIDIR_REQUIRE(options_.max_to_respond >= 1);
+}
+
+}  // namespace unidir::shmem

@@ -1,0 +1,82 @@
+// Asynchronous linearizable shared memory.
+//
+// The paper's shared-memory trusted hardware (SWMR registers, sticky bits,
+// PEATS) lives in a memory that processes access *asynchronously*: an
+// operation is invoked, takes effect atomically at some later linearization
+// point, and its response returns to the caller later still. The adversary
+// chooses both delays, which lets it order concurrent operations any
+// admissible way — the strongest scheduling behaviour linearizability
+// allows, and the model under which the paper's Claim (shared memory ⇒
+// unidirectionality) is proved.
+//
+// Mechanically, an operation is a closure: MemoryHost::invoke schedules the
+// closure to run at the linearization event (the simulator is sequential,
+// so the closure is atomic by construction) and delivers the closure's
+// return value to the caller's continuation at the response event.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace unidir::shmem {
+
+struct MemoryOptions {
+  /// Linearization happens in [1, max_to_linearize] ticks after invocation.
+  Time max_to_linearize = 3;
+  /// The response returns in [1, max_to_respond] ticks after linearization.
+  Time max_to_respond = 3;
+};
+
+class MemoryHost {
+ public:
+  MemoryHost(sim::Simulator& simulator, sim::Rng rng, MemoryOptions options = {});
+  MemoryHost(const MemoryHost&) = delete;
+  MemoryHost& operator=(const MemoryHost&) = delete;
+
+  /// Queried at response time; responses to crashed callers are dropped.
+  void set_crashed(std::function<bool(ProcessId)> fn) {
+    crashed_ = std::move(fn);
+  }
+
+  /// Invokes `op` on behalf of `caller`. `op` runs atomically at the
+  /// linearization point and must be a pure function of the shared object
+  /// state it captures; its result reaches `done` at response time (unless
+  /// the caller crashed meanwhile).
+  template <typename R>
+  void invoke(ProcessId caller, std::function<R()> op,
+              std::function<void(R)> done) {
+    UNIDIR_REQUIRE(op != nullptr);
+    UNIDIR_REQUIRE(done != nullptr);
+    ++stats_invocations_;
+    const Time lin_delay = rng_.range(1, options_.max_to_linearize);
+    simulator_.after(lin_delay, [this, caller, op = std::move(op),
+                                 done = std::move(done)]() mutable {
+      R result = op();
+      const Time resp_delay = rng_.range(1, options_.max_to_respond);
+      simulator_.after(resp_delay, [this, caller, result = std::move(result),
+                                    done = std::move(done)]() mutable {
+        if (crashed_ && crashed_(caller)) return;
+        ++stats_responses_;
+        done(std::move(result));
+      });
+    });
+  }
+
+  std::uint64_t invocations() const { return stats_invocations_; }
+  std::uint64_t responses() const { return stats_responses_; }
+
+ private:
+  sim::Simulator& simulator_;
+  sim::Rng rng_;
+  MemoryOptions options_;
+  std::function<bool(ProcessId)> crashed_;
+  std::uint64_t stats_invocations_ = 0;
+  std::uint64_t stats_responses_ = 0;
+};
+
+}  // namespace unidir::shmem

@@ -1,0 +1,152 @@
+#include "shmem/peats.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+
+namespace unidir::shmem {
+
+bool TupleTemplate::matches(const Tuple& t) const {
+  if (t.size() != fields.size()) return false;
+  for (std::size_t i = 0; i < fields.size(); ++i)
+    if (fields[i].has_value() && *fields[i] != t[i]) return false;
+  return true;
+}
+
+TupleTemplate TupleTemplate::any(std::size_t arity) {
+  TupleTemplate t;
+  t.fields.resize(arity);
+  return t;
+}
+
+TupleTemplate TupleTemplate::tagged(Bytes tag, std::size_t arity) {
+  UNIDIR_REQUIRE(arity >= 1);
+  TupleTemplate t;
+  t.fields.resize(arity);
+  t.fields[0] = std::move(tag);
+  return t;
+}
+
+Peats::Peats() : policy_(allow_all()) {}
+
+Peats::Peats(PeatsPolicy policy) : policy_(std::move(policy)) {
+  UNIDIR_REQUIRE(policy_ != nullptr);
+}
+
+bool Peats::out(ProcessId caller, Tuple tuple) {
+  PeatsRequest req;
+  req.op = PeatsOp::Out;
+  req.caller = caller;
+  req.tuple = &tuple;
+  if (!policy_(req, *this)) return false;
+  tuples_.push_back(std::move(tuple));
+  return true;
+}
+
+std::optional<Tuple> Peats::rdp(ProcessId caller,
+                                const TupleTemplate& pattern) const {
+  PeatsRequest req;
+  req.op = PeatsOp::Rdp;
+  req.caller = caller;
+  req.pattern = &pattern;
+  if (!policy_(req, *this)) return std::nullopt;
+  for (const Tuple& t : tuples_)
+    if (pattern.matches(t)) return t;
+  return std::nullopt;
+}
+
+std::vector<Tuple> Peats::rdp_all(ProcessId caller,
+                                  const TupleTemplate& pattern) const {
+  PeatsRequest req;
+  req.op = PeatsOp::Rdp;
+  req.caller = caller;
+  req.pattern = &pattern;
+  std::vector<Tuple> out;
+  if (!policy_(req, *this)) return out;
+  for (const Tuple& t : tuples_)
+    if (pattern.matches(t)) out.push_back(t);
+  return out;
+}
+
+std::optional<Tuple> Peats::inp(ProcessId caller,
+                                const TupleTemplate& pattern) {
+  PeatsRequest req;
+  req.op = PeatsOp::Inp;
+  req.caller = caller;
+  req.pattern = &pattern;
+  if (!policy_(req, *this)) return std::nullopt;
+  for (auto it = tuples_.begin(); it != tuples_.end(); ++it) {
+    if (pattern.matches(*it)) {
+      Tuple out = std::move(*it);
+      tuples_.erase(it);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Tuple> Peats::cas(ProcessId caller, const TupleTemplate& pattern,
+                                Tuple tuple) {
+  PeatsRequest req;
+  req.op = PeatsOp::Cas;
+  req.caller = caller;
+  req.pattern = &pattern;
+  req.tuple = &tuple;
+  if (!policy_(req, *this)) return std::nullopt;
+  for (const Tuple& t : tuples_)
+    if (pattern.matches(t)) return t;
+  tuples_.push_back(std::move(tuple));
+  return std::nullopt;
+}
+
+std::size_t Peats::count(const TupleTemplate& pattern) const {
+  return static_cast<std::size_t>(
+      std::count_if(tuples_.begin(), tuples_.end(),
+                    [&](const Tuple& t) { return pattern.matches(t); }));
+}
+
+PeatsPolicy Peats::allow_all() {
+  return [](const PeatsRequest&, const Peats&) { return true; };
+}
+
+PeatsPolicy Peats::single_writer(ProcessId owner) {
+  return [owner](const PeatsRequest& req, const Peats&) {
+    switch (req.op) {
+      case PeatsOp::Out:
+      case PeatsOp::Cas:
+        return req.caller == owner;
+      case PeatsOp::Rdp:
+        return true;
+      case PeatsOp::Inp:
+        return false;
+    }
+    return false;
+  };
+}
+
+PeatsPolicy Peats::one_out_per_process() {
+  return [](const PeatsRequest& req, const Peats& space) {
+    if (req.op == PeatsOp::Rdp) return true;
+    if (req.op != PeatsOp::Out) return false;
+    UNIDIR_CHECK(req.tuple != nullptr);
+    if (req.tuple->empty()) return false;
+    // First field must be the caller's id, and the caller must not have
+    // placed a tuple already — a state-dependent check no static ACL can
+    // express.
+    const Bytes self_tag = bytes_of(std::to_string(req.caller));
+    if ((*req.tuple)[0] != self_tag) return false;
+    TupleTemplate mine = TupleTemplate::tagged(self_tag, req.tuple->size());
+    return space.count(mine) == 0;
+  };
+}
+
+PeatsPolicy Peats::both(PeatsPolicy a, PeatsPolicy b) {
+  UNIDIR_REQUIRE(a != nullptr && b != nullptr);
+  return [a = std::move(a), b = std::move(b)](const PeatsRequest& req,
+                                              const Peats& space) {
+    return a(req, space) && b(req, space);
+  };
+}
+
+}  // namespace unidir::shmem

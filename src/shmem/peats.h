@@ -1,0 +1,110 @@
+// PEATS: Policy-Enforced Augmented Tuple Space (Bessani et al., "Sharing
+// memory between Byzantine processes using policy-enforced tuple spaces").
+//
+// A tuple space stores tuples (sequences of byte-string fields) and supports
+//   out(t)    — insert tuple t
+//   rdp(T)    — read (non-destructively) some tuple matching template T
+//   inp(T)    — remove and return some tuple matching template T
+//   cas(T, t) — "conditional atomic swap": insert t iff nothing matches T,
+//               otherwise return the match (the "augmented" operation)
+// A template is a tuple with optional wildcard fields.
+//
+// What distinguishes PEATS from plain ACLs: admission is decided by a
+// *policy* — a predicate over the operation, the caller, AND the current
+// state of the space — enforced atomically at the linearization point.
+// Static ACLs are the special case of state-independent policies.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace unidir::shmem {
+
+using Tuple = std::vector<Bytes>;
+
+/// A tuple pattern: nullopt fields are wildcards. Matches tuples of the
+/// same arity whose concrete fields are equal.
+struct TupleTemplate {
+  std::vector<std::optional<Bytes>> fields;
+
+  bool matches(const Tuple& t) const;
+
+  /// Template with every field a wildcard.
+  static TupleTemplate any(std::size_t arity);
+  /// Template matching tuples whose first field equals `tag` (a common
+  /// idiom: the first field names the datum).
+  static TupleTemplate tagged(Bytes tag, std::size_t arity);
+};
+
+enum class PeatsOp : std::uint8_t { Out, Rdp, Inp, Cas };
+
+class Peats;
+
+/// Admission context handed to the policy.
+struct PeatsRequest {
+  PeatsOp op = PeatsOp::Out;
+  ProcessId caller = kNoProcess;
+  const Tuple* tuple = nullptr;            // for Out / Cas
+  const TupleTemplate* pattern = nullptr;  // for Rdp / Inp / Cas
+};
+
+/// Returns true to admit the operation. Evaluated atomically with the
+/// operation itself, so it may inspect the space's current contents.
+using PeatsPolicy = std::function<bool(const PeatsRequest&, const Peats&)>;
+
+class Peats {
+ public:
+  /// Default policy admits everything.
+  Peats();
+  explicit Peats(PeatsPolicy policy);
+
+  /// Insert. Returns false if the policy denies.
+  bool out(ProcessId caller, Tuple tuple);
+
+  /// Non-destructive read of the first matching tuple (insertion order).
+  /// nullopt if denied or no match — PEATS deliberately does not tell a
+  /// denied caller which of the two happened.
+  std::optional<Tuple> rdp(ProcessId caller, const TupleTemplate& pattern) const;
+
+  /// Non-destructive bulk read of ALL matching tuples, insertion order
+  /// (the tuple-space literature's "copy-collect"). Empty if denied (as a
+  /// read, governed by the same policy decision as rdp).
+  std::vector<Tuple> rdp_all(ProcessId caller,
+                             const TupleTemplate& pattern) const;
+
+  /// Destructive read of the first matching tuple.
+  std::optional<Tuple> inp(ProcessId caller, const TupleTemplate& pattern);
+
+  /// Augmented conditional swap: if no tuple matches `pattern`, inserts
+  /// `tuple` and returns nullopt; otherwise returns the first match and
+  /// inserts nothing. Atomic, which is what lifts tuple spaces above
+  /// read/write power.
+  std::optional<Tuple> cas(ProcessId caller, const TupleTemplate& pattern,
+                           Tuple tuple);
+
+  std::size_t size() const { return tuples_.size(); }
+  std::size_t count(const TupleTemplate& pattern) const;
+
+  // ---- standard policies ---------------------------------------------------
+
+  static PeatsPolicy allow_all();
+  /// Only `owner` may out/cas; anyone may read; nobody may inp.
+  /// (The tuple-space analogue of an SWMR append log.)
+  static PeatsPolicy single_writer(ProcessId owner);
+  /// Each process may out at most one tuple whose first field is its own
+  /// process id (rendered as decimal). The state-dependent policy used to
+  /// build one-shot objects like consensus proposals.
+  static PeatsPolicy one_out_per_process();
+  /// Conjunction of two policies.
+  static PeatsPolicy both(PeatsPolicy a, PeatsPolicy b);
+
+ private:
+  PeatsPolicy policy_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace unidir::shmem

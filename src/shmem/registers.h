@@ -1,0 +1,139 @@
+// Register-family shared objects: SWMR registers, SWMR append logs, and
+// sticky (write-once) registers.
+//
+// These classes hold the linearization-time (synchronous) semantics; access
+// them asynchronously through MemoryHost::invoke. All mutating operations
+// return a status instead of throwing: a denied operation is a *normal*
+// event in a Byzantine system (the hardware refuses; the caller learns
+// nothing else), not a program error.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "shmem/acl.h"
+
+namespace unidir::shmem {
+
+enum class WriteStatus : std::uint8_t {
+  Ok,
+  AccessDenied,  // caller is not permitted by the ACL
+  AlreadySet,    // sticky object was already written
+};
+
+/// Single-writer multi-reader atomic register (Aguilera et al.; Malkhi et
+/// al.). The owner overwrites the value; anyone reads it.
+template <typename T>
+class SwmrRegister {
+ public:
+  SwmrRegister(ProcessId owner, T initial)
+      : owner_(owner),
+        acl_(AccessControlList::swmr(owner)),
+        value_(std::move(initial)) {}
+
+  ProcessId owner() const { return owner_; }
+
+  WriteStatus write(ProcessId caller, T value) {
+    if (!acl_.allowed("write", caller)) return WriteStatus::AccessDenied;
+    value_ = std::move(value);
+    ++version_;
+    return WriteStatus::Ok;
+  }
+
+  /// Reads never fail: the SWMR ACL grants read to everyone.
+  T read(ProcessId caller) const {
+    (void)caller;
+    return value_;
+  }
+
+  /// Number of successful writes so far (diagnostics only — a real register
+  /// does not expose this; tests use it to verify ACL enforcement).
+  std::uint64_t version() const { return version_; }
+
+ private:
+  ProcessId owner_;
+  AccessControlList acl_;
+  T value_;
+  std::uint64_t version_ = 0;
+};
+
+/// Single-writer multi-reader append-only log: the object used by the
+/// paper's unidirectional-round protocol ("p_i appends (r, m) in object
+/// o_i; p_i reads objects o_1..o_n"). The owner appends; anyone reads the
+/// whole history.
+template <typename T>
+class SwmrLog {
+ public:
+  explicit SwmrLog(ProcessId owner)
+      : owner_(owner), acl_(AccessControlList::swmr(owner)) {}
+
+  ProcessId owner() const { return owner_; }
+
+  WriteStatus append(ProcessId caller, T value) {
+    if (!acl_.allowed("write", caller)) return WriteStatus::AccessDenied;
+    entries_.push_back(std::move(value));
+    return WriteStatus::Ok;
+  }
+
+  /// Snapshot of the full log.
+  std::vector<T> read(ProcessId caller) const {
+    (void)caller;
+    return entries_;
+  }
+
+  /// Snapshot of entries from index `from` (for incremental readers).
+  std::vector<T> read_from(ProcessId caller, std::size_t from) const {
+    (void)caller;
+    if (from >= entries_.size()) return {};
+    return std::vector<T>(entries_.begin() +
+                              static_cast<std::ptrdiff_t>(from),
+                          entries_.end());
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  ProcessId owner_;
+  AccessControlList acl_;
+  std::vector<T> entries_;
+};
+
+/// Sticky register (generalized sticky bit, Malkhi et al.): starts unset;
+/// the first successful write fixes the value forever. The ACL decides who
+/// may attempt the write — a sticky *bit* in the classic model lets anyone
+/// write once; pass an ACL to restrict.
+template <typename T>
+class StickyRegister {
+ public:
+  /// Anyone may perform the one write (classic sticky bit semantics).
+  StickyRegister() {
+    acl_.allow_all("write");
+    acl_.allow_all("read");
+  }
+
+  explicit StickyRegister(AccessControlList acl) : acl_(std::move(acl)) {}
+
+  WriteStatus write(ProcessId caller, T value) {
+    if (!acl_.allowed("write", caller)) return WriteStatus::AccessDenied;
+    if (value_.has_value()) return WriteStatus::AlreadySet;
+    value_ = std::move(value);
+    return WriteStatus::Ok;
+  }
+
+  std::optional<T> read(ProcessId caller) const {
+    if (!acl_.allowed("read", caller)) return std::nullopt;
+    return value_;
+  }
+
+  bool set() const { return value_.has_value(); }
+
+ private:
+  AccessControlList acl_;
+  std::optional<T> value_;
+};
+
+/// The classic sticky bit: a write-once boolean.
+using StickyBit = StickyRegister<bool>;
+
+}  // namespace unidir::shmem

@@ -1,0 +1,47 @@
+#include "sim/adversaries.h"
+
+namespace unidir::sim {
+
+void PartitionAdversary::block(const std::set<ProcessId>& from,
+                               const std::set<ProcessId>& to) {
+  for (ProcessId f : from)
+    for (ProcessId t : to)
+      if (f != t) blocked_.insert({f, t});
+}
+
+void PartitionAdversary::block_bidirectional(const std::set<ProcessId>& a,
+                                             const std::set<ProcessId>& b) {
+  block(a, b);
+  block(b, a);
+}
+
+void PartitionAdversary::clear() { blocked_.clear(); }
+
+bool PartitionAdversary::blocked(ProcessId from, ProcessId to) const {
+  return blocked_.contains({from, to});
+}
+
+std::optional<Time> PartitionAdversary::on_send(const Envelope& env,
+                                                Rng& rng) {
+  if (blocked(env.from, env.to)) return std::nullopt;
+  return rng.range(1, intra_max_);
+}
+
+std::optional<Time> PartitionAdversary::on_release(const Envelope& env,
+                                                   Rng& rng) {
+  if (blocked(env.from, env.to)) return std::nullopt;
+  return rng.range(1, intra_max_);
+}
+
+std::optional<Time> GstAdversary::on_send(const Envelope& env, Rng& rng) {
+  const Time sent = env.sent_at;
+  if (sent >= gst_) return rng.range(1, delta_);
+  // Pre-GST: random delay that may or may not cross GST, but the message is
+  // always delivered by max(sent, GST) + delta.
+  const Time latest_abs = gst_ + delta_;
+  const Time max_delay = latest_abs - sent;
+  const Time cap = std::min<Time>(max_delay, delta_ + pre_extra_);
+  return rng.range(1, std::max<Time>(cap, 1));
+}
+
+}  // namespace unidir::sim

@@ -1,0 +1,138 @@
+// Standard adversaries: the scheduling behaviours the paper's proofs and
+// experiments quantify over.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace unidir::sim {
+
+/// Delivers every message after exactly `delay` ticks (default 1).
+/// The friendliest schedule; useful as a protocol smoke test and a
+/// throughput best case.
+class ImmediateAdversary final : public Adversary {
+ public:
+  explicit ImmediateAdversary(Time delay = 1) : delay_(delay) {}
+  std::optional<Time> on_send(const Envelope&, Rng&) override {
+    return delay_;
+  }
+
+ private:
+  Time delay_;
+};
+
+/// Delivers every message after a uniformly random delay in [min, max].
+/// Models benign asynchrony; randomizing over seeds explores many
+/// interleavings.
+class RandomDelayAdversary final : public Adversary {
+ public:
+  RandomDelayAdversary(Time min_delay, Time max_delay)
+      : min_(min_delay), max_(max_delay) {
+    UNIDIR_REQUIRE(min_ <= max_ && min_ >= 1);
+  }
+  std::optional<Time> on_send(const Envelope&, Rng& rng) override {
+    return rng.range(min_, max_);
+  }
+  std::optional<Time> on_release(const Envelope&, Rng& rng) override {
+    return rng.range(min_, max_);
+  }
+
+ private:
+  Time min_;
+  Time max_;
+};
+
+/// Holds messages that cross a configurable partition; delivers everything
+/// else after a random delay in [1, intra_max]. This is the adversary used
+/// to *construct* the executions in the paper's impossibility proofs
+/// ("messages from X to Y are arbitrarily delayed").
+class PartitionAdversary final : public Adversary {
+ public:
+  explicit PartitionAdversary(Time intra_max = 3) : intra_max_(intra_max) {}
+
+  /// Blocks all messages from any process in `from` to any in `to`
+  /// (directional). Call multiple times to block several flows.
+  void block(const std::set<ProcessId>& from, const std::set<ProcessId>& to);
+
+  /// Blocks both directions between the two groups.
+  void block_bidirectional(const std::set<ProcessId>& a,
+                           const std::set<ProcessId>& b);
+
+  /// Removes all blocks. Pair with Network::flush_held() to heal.
+  void clear();
+
+  bool blocked(ProcessId from, ProcessId to) const;
+
+  std::optional<Time> on_send(const Envelope& env, Rng& rng) override;
+  std::optional<Time> on_release(const Envelope& env, Rng& rng) override;
+
+ private:
+  std::set<std::pair<ProcessId, ProcessId>> blocked_;
+  Time intra_max_;
+};
+
+/// Partial synchrony: before GST, each message is delayed by a random
+/// amount that may push it past GST; at/after GST every message (including
+/// ones sent earlier) is delivered within `delta` of max(sent, GST).
+/// Never holds, so liveness after GST needs no manual flushing.
+class GstAdversary final : public Adversary {
+ public:
+  GstAdversary(Time gst, Time delta, Time pre_gst_max_extra)
+      : gst_(gst), delta_(delta), pre_extra_(pre_gst_max_extra) {
+    UNIDIR_REQUIRE(delta_ >= 1);
+  }
+
+  std::optional<Time> on_send(const Envelope& env, Rng& rng) override;
+
+  Time gst() const { return gst_; }
+  Time delta() const { return delta_; }
+
+ private:
+  Time gst_;
+  Time delta_;
+  Time pre_extra_;
+};
+
+/// At-least-once delivery: every message is delivered 1..max_copies times
+/// (uniformly chosen), each copy independently delayed in [1, max_delay].
+/// Protocols built for asynchronous networks must be idempotent against
+/// this — the duplication fault-injection tests run under it.
+class DuplicatingAdversary final : public Adversary {
+ public:
+  DuplicatingAdversary(unsigned max_copies, Time max_delay)
+      : max_copies_(max_copies), max_delay_(max_delay) {
+    UNIDIR_REQUIRE(max_copies >= 1 && max_delay >= 1);
+  }
+
+  std::optional<Time> on_send(const Envelope&, Rng& rng) override {
+    return rng.range(1, max_delay_);
+  }
+  unsigned copies(const Envelope&, Rng& rng) override {
+    return static_cast<unsigned>(rng.range(1, max_copies_));
+  }
+
+ private:
+  unsigned max_copies_;
+  Time max_delay_;
+};
+
+/// Fully scripted: delegates to a user function. Used by targeted tests to
+/// build exact executions.
+class ScriptedAdversary final : public Adversary {
+ public:
+  using Script = std::function<std::optional<Time>(const Envelope&, Rng&)>;
+  explicit ScriptedAdversary(Script script) : script_(std::move(script)) {
+    UNIDIR_REQUIRE(script_ != nullptr);
+  }
+  std::optional<Time> on_send(const Envelope& env, Rng& rng) override {
+    return script_(env, rng);
+  }
+
+ private:
+  Script script_;
+};
+
+}  // namespace unidir::sim

@@ -1,0 +1,98 @@
+#include "sim/network.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace unidir::sim {
+
+Network::Network(Simulator& simulator, Rng rng,
+                 std::unique_ptr<Adversary> adversary)
+    : simulator_(simulator),
+      rng_(rng),
+      adversary_(std::move(adversary)) {
+  UNIDIR_REQUIRE(adversary_ != nullptr);
+}
+
+void Network::send(ProcessId from, ProcessId to, Channel channel,
+                   Bytes payload) {
+  UNIDIR_CHECK_MSG(deliver_ != nullptr, "network not wired to a world");
+  Envelope env;
+  env.id = next_id_++;
+  env.from = from;
+  env.to = to;
+  env.channel = channel;
+  env.payload = std::move(payload);
+  env.sent_at = simulator_.now();
+
+  ++stats_.messages_sent;
+  stats_.bytes_sent += env.payload.size();
+
+  if (crashed_ && (crashed_(from) || crashed_(to))) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  const unsigned copies = std::max(1u, adversary_->copies(env, rng_));
+  for (unsigned i = 0; i + 1 < copies; ++i) {
+    Envelope dup = env;
+    const std::optional<Time> delay = adversary_->on_send(dup, rng_);
+    ++stats_.messages_duplicated;
+    if (!delay) {
+      held_.push_back(std::move(dup));
+      ++stats_.messages_held;
+      continue;
+    }
+    schedule_delivery(std::move(dup), *delay);
+  }
+
+  const std::optional<Time> delay = adversary_->on_send(env, rng_);
+  if (!delay) {
+    held_.push_back(std::move(env));
+    ++stats_.messages_held;
+    return;
+  }
+  schedule_delivery(std::move(env), *delay);
+}
+
+void Network::schedule_delivery(Envelope env, Time delay) {
+  simulator_.after(delay, [this, env = std::move(env)]() {
+    if (crashed_ && (crashed_(env.from) || crashed_(env.to))) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    deliver_(env);
+  });
+}
+
+void Network::flush_held() {
+  flush_held_if([](const Envelope&) { return true; });
+}
+
+void Network::flush_held_if(const std::function<bool(const Envelope&)>& pred) {
+  std::vector<Envelope> keep;
+  keep.reserve(held_.size());
+  for (Envelope& env : held_) {
+    if (!pred(env)) {
+      keep.push_back(std::move(env));
+      continue;
+    }
+    const std::optional<Time> delay = adversary_->on_release(env, rng_);
+    if (!delay) {
+      keep.push_back(std::move(env));
+      continue;
+    }
+    --stats_.messages_held;
+    schedule_delivery(std::move(env), *delay);
+  }
+  held_ = std::move(keep);
+}
+
+void Network::drop_held() {
+  stats_.messages_dropped += held_.size();
+  stats_.messages_held = 0;
+  held_.clear();
+}
+
+}  // namespace unidir::sim

@@ -1,0 +1,114 @@
+// Asynchronous message-passing network with an adversary-controlled
+// scheduler.
+//
+// Links are reliable but arbitrarily delayed: the adversary chooses, per
+// message, either a finite delivery delay or to *hold* the message
+// indefinitely (modelling "arbitrarily delayed" in the paper's proofs; held
+// messages can later be released, or never — an infinite execution suffix
+// is represented by running the world to quiescence with the hold in
+// place). Messages between a crashed endpoint and anyone are dropped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace unidir::sim {
+
+/// Multiplexing tag: lets several protocol components share one process.
+using Channel = std::uint32_t;
+
+struct Envelope {
+  std::uint64_t id = 0;
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  Channel channel = 0;
+  Bytes payload;
+  Time sent_at = 0;
+};
+
+/// Decides message scheduling. Implementations live in adversaries.h.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Returns the delivery delay for this message, or nullopt to hold it.
+  virtual std::optional<Time> on_send(const Envelope& env, Rng& rng) = 0;
+
+  /// How many copies of this message to deliver (an at-least-once
+  /// network). Each extra copy gets its own on_send decision. Default 1;
+  /// 0 is treated as 1 — links here are reliable-but-duplicating, message
+  /// LOSS is modelled by holding instead (see file comment on network.h).
+  virtual unsigned copies(const Envelope& env, Rng& rng) {
+    (void)env;
+    (void)rng;
+    return 1;
+  }
+
+  /// Re-offered a previously held message (e.g. after a partition heals).
+  /// Default: deliver immediately.
+  virtual std::optional<Time> on_release(const Envelope& env, Rng& rng) {
+    (void)env;
+    (void)rng;
+    return Time{1};
+  }
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;     // to/from crashed processes
+  std::uint64_t messages_held = 0;        // currently held by the adversary
+  std::uint64_t messages_duplicated = 0;  // extra copies injected
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  /// `deliver` is invoked (as a simulator event) for each delivered message.
+  using DeliverFn = std::function<void(const Envelope&)>;
+  /// Queried at send and delivery time; crashed endpoints drop messages.
+  using CrashedFn = std::function<bool(ProcessId)>;
+
+  Network(Simulator& simulator, Rng rng, std::unique_ptr<Adversary> adversary);
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  void set_crashed(CrashedFn fn) { crashed_ = std::move(fn); }
+
+  /// Sends a message; the adversary picks its fate.
+  void send(ProcessId from, ProcessId to, Channel channel, Bytes payload);
+
+  /// Re-offers all held messages to the adversary (via on_release). Call
+  /// after reconfiguring a partition adversary.
+  void flush_held();
+
+  /// Re-offers held messages matching `pred`.
+  void flush_held_if(const std::function<bool(const Envelope&)>& pred);
+
+  /// Drops all held messages (e.g. the suffix of an execution we abandon).
+  void drop_held();
+
+  const NetworkStats& stats() const { return stats_; }
+  Adversary& adversary() { return *adversary_; }
+
+ private:
+  void schedule_delivery(Envelope env, Time delay);
+
+  Simulator& simulator_;
+  Rng rng_;
+  std::unique_ptr<Adversary> adversary_;
+  DeliverFn deliver_;
+  CrashedFn crashed_;
+  std::vector<Envelope> held_;
+  std::uint64_t next_id_ = 1;
+  NetworkStats stats_;
+};
+
+}  // namespace unidir::sim

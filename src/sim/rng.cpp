@@ -1,0 +1,66 @@
+#include "sim/rng.h"
+
+#include <bit>
+
+namespace unidir::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+}
+
+std::uint64_t Rng::next() {
+  // xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  UNIDIR_REQUIRE(bound > 0);
+  // Rejection sampling: draw until the value falls in the largest multiple
+  // of `bound` that fits in 64 bits.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit);
+  return v % bound;
+}
+
+std::uint64_t Rng::range(std::uint64_t lo, std::uint64_t hi) {
+  UNIDIR_REQUIRE(lo <= hi);
+  if (lo == 0 && hi == ~std::uint64_t{0}) return next();
+  return lo + below(hi - lo + 1);
+}
+
+bool Rng::chance(std::uint64_t num, std::uint64_t den) {
+  UNIDIR_REQUIRE(den > 0 && num <= den);
+  return below(den) < num;
+}
+
+double Rng::unit() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+Rng Rng::split() { return Rng(next()); }
+
+}  // namespace unidir::sim

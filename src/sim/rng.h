@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generator for the simulator.
+//
+// xoshiro256** seeded via SplitMix64. Every source of nondeterminism in an
+// execution (adversary delays, random linearization orders, workload
+// generation) draws from an Rng derived from the world seed, so executions
+// replay bit-identically from a single 64-bit seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace unidir::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). Requires bound > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// True with probability num/den. Requires den > 0 and num <= den.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks one element uniformly. Requires non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    UNIDIR_REQUIRE(!v.empty());
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+  /// Derives an independent child generator (for splitting streams).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace unidir::sim

@@ -1,0 +1,62 @@
+#include "sim/simulator.h"
+
+#include "common/check.h"
+
+namespace unidir::sim {
+
+void Simulator::at(Time t, Action fn) {
+  UNIDIR_REQUIRE_MSG(t >= now_, "cannot schedule in the past");
+  UNIDIR_REQUIRE(fn != nullptr);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::after(Time delay, Action fn) {
+  UNIDIR_REQUIRE_MSG(delay <= kTimeMax - now_, "time overflow");
+  at(now_ + delay, std::move(fn));
+}
+
+Simulator::Event Simulator::pop() {
+  // priority_queue::top() returns const&; moving the action out requires a
+  // const_cast, which is safe because we pop immediately after.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  return ev;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event ev = pop();
+  UNIDIR_CHECK(ev.at >= now_);
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+bool Simulator::run_until(const std::function<bool()>& pred,
+                          std::size_t max_events) {
+  if (pred()) return true;
+  for (std::size_t n = 0; n < max_events; ++n) {
+    if (!step()) return pred();
+    if (pred()) return true;
+  }
+  return false;
+}
+
+void Simulator::run_to_time(Time t, std::size_t max_events) {
+  UNIDIR_REQUIRE(t >= now_);
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= t && n < max_events) {
+    step();
+    ++n;
+  }
+  now_ = t;
+}
+
+}  // namespace unidir::sim

@@ -1,0 +1,76 @@
+// Deterministic discrete-event simulator.
+//
+// A single virtual clock and an event queue ordered by (time, insertion
+// sequence). All protocol executions in this library are driven by one
+// Simulator instance; determinism follows from the total event order plus
+// the seeded Rng.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace unidir::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (>= now).
+  void at(Time t, Action fn);
+
+  /// Schedules `fn` `delay` ticks from now.
+  void after(Time delay, Action fn);
+
+  /// Runs one event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or `max_events` have run.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = kDefaultEventCap);
+
+  /// Runs until `pred()` is true (checked after each event), the queue
+  /// drains, or the cap is hit. Returns true iff the predicate held.
+  bool run_until(const std::function<bool()>& pred,
+                 std::size_t max_events = kDefaultEventCap);
+
+  /// Runs events whose time is <= `t`, then advances the clock to `t`.
+  void run_to_time(Time t, std::size_t max_events = kDefaultEventCap);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+  static constexpr std::size_t kDefaultEventCap = 50'000'000;
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Event pop();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace unidir::sim

@@ -1,0 +1,62 @@
+#include "sim/transcript.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace unidir::sim {
+
+std::string ObservedEvent::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::MessageReceived:
+      os << "recv(from=" << from << ", ch=" << channel << ", "
+         << to_hex(payload).substr(0, 16) << "…)";
+      break;
+    case Kind::LocalOutput:
+      os << "output(" << tag << ", " << to_hex(payload).substr(0, 16) << "…)";
+      break;
+  }
+  return os.str();
+}
+
+void Transcript::record_message(ProcessId from, Channel channel,
+                                const Bytes& payload) {
+  ObservedEvent ev;
+  ev.kind = ObservedEvent::Kind::MessageReceived;
+  ev.from = from;
+  ev.channel = channel;
+  ev.payload = payload;
+  events_.push_back(std::move(ev));
+}
+
+void Transcript::record_output(std::string tag, Bytes payload) {
+  ObservedEvent ev;
+  ev.kind = ObservedEvent::Kind::LocalOutput;
+  ev.tag = std::move(tag);
+  ev.payload = std::move(payload);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<ObservedEvent> Transcript::outputs(std::string_view tag) const {
+  std::vector<ObservedEvent> out;
+  for (const auto& ev : events_)
+    if (ev.kind == ObservedEvent::Kind::LocalOutput && ev.tag == tag)
+      out.push_back(ev);
+  return out;
+}
+
+bool Transcript::indistinguishable_from(const Transcript& other) const {
+  return events_ == other.events_;
+}
+
+std::ptrdiff_t Transcript::first_divergence(const Transcript& other) const {
+  const std::size_t n = std::min(events_.size(), other.events_.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (!(events_[i] == other.events_[i]))
+      return static_cast<std::ptrdiff_t>(i);
+  if (events_.size() != other.events_.size())
+    return static_cast<std::ptrdiff_t>(n);
+  return -1;
+}
+
+}  // namespace unidir::sim

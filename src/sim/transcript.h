@@ -1,0 +1,59 @@
+// Per-process observation transcripts.
+//
+// A process's transcript is the sequence of events it can locally observe:
+// the messages it received (sender, channel, payload, in order) and the
+// local outputs it produced. Two executions are *indistinguishable* to a
+// process iff its transcripts are equal — this is exactly the notion the
+// paper's impossibility proofs (Scenarios 1–3, Worlds 1–5) rely on, and the
+// simulator records enough to check it mechanically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "sim/network.h"
+
+namespace unidir::sim {
+
+struct ObservedEvent {
+  enum class Kind : std::uint8_t {
+    MessageReceived,  // from, channel, payload
+    LocalOutput,      // tag, payload (decisions: deliver/commit/...)
+  };
+
+  Kind kind = Kind::MessageReceived;
+  ProcessId from = kNoProcess;
+  Channel channel = 0;
+  std::string tag;
+  Bytes payload;
+
+  bool operator==(const ObservedEvent&) const = default;
+
+  std::string describe() const;
+};
+
+class Transcript {
+ public:
+  void record_message(ProcessId from, Channel channel, const Bytes& payload);
+  void record_output(std::string tag, Bytes payload);
+
+  const std::vector<ObservedEvent>& events() const { return events_; }
+
+  /// All LocalOutput events with the given tag.
+  std::vector<ObservedEvent> outputs(std::string_view tag) const;
+
+  /// Observable equality (see file comment). Note: virtual *times* are
+  /// deliberately excluded — an asynchronous process cannot observe them.
+  bool indistinguishable_from(const Transcript& other) const;
+
+  /// Human-readable diff location for test diagnostics: index of the first
+  /// differing event, or -1 if indistinguishable.
+  std::ptrdiff_t first_divergence(const Transcript& other) const;
+
+ private:
+  std::vector<ObservedEvent> events_;
+};
+
+}  // namespace unidir::sim

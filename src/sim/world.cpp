@@ -1,0 +1,165 @@
+#include "sim/world.h"
+
+#include <algorithm>
+
+namespace unidir::sim {
+
+// ---- Process ---------------------------------------------------------------
+
+void Process::register_channel(Channel channel, Handler handler) {
+  UNIDIR_REQUIRE(handler != nullptr);
+  auto [it, inserted] = handlers_.emplace(channel, std::move(handler));
+  (void)it;
+  UNIDIR_REQUIRE_MSG(inserted, "channel already has a handler");
+}
+
+void Process::send(ProcessId to, Channel channel, Bytes payload) {
+  world().network().send(id_, to, channel, std::move(payload));
+}
+
+void Process::broadcast(Channel channel, const Bytes& payload,
+                        bool include_self) {
+  World& w = world();
+  for (ProcessId p = 0; p < w.size(); ++p) {
+    if (p == id_ && !include_self) continue;
+    w.network().send(id_, p, channel, payload);
+  }
+}
+
+void Process::set_timer(Time delay, std::function<void()> fn) {
+  World& w = world();
+  const ProcessId self = id_;
+  w.simulator().after(delay, [&w, self, fn = std::move(fn)]() {
+    if (!w.crashed(self)) fn();
+  });
+}
+
+void Process::output(std::string tag, Bytes payload) {
+  world().transcript(id_).record_output(std::move(tag), std::move(payload));
+}
+
+void Process::dispatch(ProcessId from, Channel channel, const Bytes& payload) {
+  auto it = handlers_.find(channel);
+  if (it != handlers_.end()) {
+    it->second(from, payload);
+    return;
+  }
+  on_message(from, channel, payload);
+}
+
+// ---- World -----------------------------------------------------------------
+
+World::World(std::uint64_t seed, std::unique_ptr<Adversary> adversary)
+    : rng_(seed),
+      network_(simulator_, Rng(seed ^ 0xA5A5A5A5A5A5A5A5ULL),
+               std::move(adversary)) {
+  network_.set_deliver([this](const Envelope& env) { deliver(env); });
+  // Tolerate out-of-range ids here (a Byzantine process can address anyone);
+  // deliver() drops them.
+  network_.set_crashed([this](ProcessId p) {
+    return p < crashed_.size() && crashed_[p];
+  });
+}
+
+void World::adopt(std::unique_ptr<Process> p) {
+  const auto id = static_cast<ProcessId>(processes_.size());
+  p->world_ = this;
+  p->id_ = id;
+  p->signer_ = keys_.generate_key();
+  p->rng_ = rng_.split();
+  process_keys_.push_back(p->signer_.key());
+  processes_.push_back(std::move(p));
+  transcripts_.emplace_back();
+  crashed_.push_back(false);
+  byzantine_.push_back(false);
+}
+
+void World::start() {
+  UNIDIR_REQUIRE_MSG(!started_, "start() called twice");
+  started_ = true;
+  for (auto& p : processes_) {
+    Process* raw = p.get();
+    simulator_.at(0, [this, raw]() {
+      if (!crashed(raw->id())) raw->on_start();
+    });
+  }
+}
+
+std::size_t World::run_to_quiescence(std::size_t max_events) {
+  return simulator_.run(max_events);
+}
+
+bool World::run_until(const std::function<bool()>& pred,
+                      std::size_t max_events) {
+  return simulator_.run_until(pred, max_events);
+}
+
+Process& World::process(ProcessId id) {
+  UNIDIR_REQUIRE(id < processes_.size());
+  return *processes_[id];
+}
+
+crypto::KeyId World::key_of(ProcessId id) const {
+  UNIDIR_REQUIRE(id < process_keys_.size());
+  return process_keys_[id];
+}
+
+ProcessId World::owner_of(crypto::KeyId key) const {
+  for (ProcessId p = 0; p < process_keys_.size(); ++p)
+    if (process_keys_[p] == key) return p;
+  return kNoProcess;
+}
+
+void World::crash(ProcessId id) {
+  UNIDIR_REQUIRE(id < crashed_.size());
+  crashed_[id] = true;
+}
+
+bool World::crashed(ProcessId id) const {
+  UNIDIR_REQUIRE(id < crashed_.size());
+  return crashed_[id];
+}
+
+void World::mark_byzantine(ProcessId id) {
+  UNIDIR_REQUIRE(id < byzantine_.size());
+  byzantine_[id] = true;
+}
+
+bool World::byzantine(ProcessId id) const {
+  UNIDIR_REQUIRE(id < byzantine_.size());
+  return byzantine_[id];
+}
+
+std::vector<ProcessId> World::correct_ids() const {
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < processes_.size(); ++p)
+    if (correct(p)) out.push_back(p);
+  return out;
+}
+
+std::size_t World::fault_count() const {
+  std::size_t n = 0;
+  for (ProcessId p = 0; p < processes_.size(); ++p)
+    if (!correct(p)) ++n;
+  return n;
+}
+
+Transcript& World::transcript(ProcessId id) {
+  UNIDIR_REQUIRE(id < transcripts_.size());
+  return transcripts_[id];
+}
+
+const Transcript& World::transcript(ProcessId id) const {
+  UNIDIR_REQUIRE(id < transcripts_.size());
+  return transcripts_[id];
+}
+
+void World::deliver(const Envelope& env) {
+  // Messages addressed to ids that don't exist (e.g. a Byzantine process
+  // naming a bogus client) vanish, as on a real network.
+  if (env.to >= processes_.size()) return;
+  transcripts_[env.to].record_message(env.from, env.channel, env.payload);
+  processes_[env.to]->dispatch(env.from, env.channel, env.payload);
+}
+
+}  // namespace unidir::sim

@@ -1,0 +1,166 @@
+// World: wires a simulator, a network, a key registry and a set of
+// processes into one executable distributed system.
+//
+// A Process is an event-driven state machine: it reacts to on_start, to
+// received messages, and to timers. Protocol implementations either derive
+// from Process directly or are *components* that attach handlers to a host
+// process's channels (see register_channel), which lets e.g. an SMR replica
+// host a broadcast component and a round driver side by side.
+//
+// Fault model: a process is `correct` unless it was crashed (the network
+// silently drops its traffic from the crash point on) or marked Byzantine
+// (its implementation itself misbehaves; the mark tells property checkers
+// which processes the paper's guarantees quantify over).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "common/types.h"
+#include "crypto/signature.h"
+#include "sim/network.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/transcript.h"
+
+namespace unidir::sim {
+
+class World;
+
+class Process {
+ public:
+  virtual ~Process() = default;
+  Process() = default;
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  ProcessId id() const { return id_; }
+  World& world() const {
+    UNIDIR_CHECK_MSG(world_ != nullptr, "process not spawned in a world");
+    return *world_;
+  }
+
+  using Handler =
+      std::function<void(ProcessId from, const Bytes& payload)>;
+
+  /// Routes messages on `channel` to `handler` instead of on_message.
+  /// Components use this to claim their channels. A channel may have only
+  /// one handler.
+  void register_channel(Channel channel, Handler handler);
+
+ protected:
+  /// Called once when the world starts (virtual time 0).
+  virtual void on_start() {}
+
+  /// Called for messages on channels with no registered handler.
+  virtual void on_message(ProcessId from, Channel channel,
+                          const Bytes& payload) {
+    (void)from;
+    (void)channel;
+    (void)payload;
+  }
+
+ public:
+  // -- actions (public so attached components can drive their host) --------
+
+  void send(ProcessId to, Channel channel, Bytes payload);
+  /// Sends to every process except self (unless include_self).
+  void broadcast(Channel channel, const Bytes& payload,
+                 bool include_self = false);
+  /// Schedules `fn` after `delay` ticks; suppressed if crashed by then.
+  void set_timer(Time delay, std::function<void()> fn);
+  /// Records a decision in the transcript (deliver/commit/...).
+  void output(std::string tag, Bytes payload);
+
+  const crypto::Signer& signer() const { return signer_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  friend class World;
+  void dispatch(ProcessId from, Channel channel, const Bytes& payload);
+
+  World* world_ = nullptr;
+  ProcessId id_ = kNoProcess;
+  crypto::Signer signer_;
+  Rng rng_{0};
+  std::map<Channel, Handler> handlers_;
+};
+
+class World {
+ public:
+  World(std::uint64_t seed, std::unique_ptr<Adversary> adversary);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Creates a process of type P. Processes get ids 0,1,2,... in spawn
+  /// order. Must be called before start().
+  template <typename P, typename... Args>
+  P& spawn(Args&&... args) {
+    UNIDIR_REQUIRE_MSG(!started_, "spawn after start()");
+    auto p = std::make_unique<P>(std::forward<Args>(args)...);
+    P& ref = *p;
+    adopt(std::move(p));
+    return ref;
+  }
+
+  /// Schedules every process's on_start at virtual time 0.
+  void start();
+
+  // -- execution ------------------------------------------------------------
+  Simulator& simulator() { return simulator_; }
+  Network& network() { return network_; }
+  crypto::KeyRegistry& keys() { return keys_; }
+  const crypto::KeyRegistry& keys() const { return keys_; }
+  Rng& rng() { return rng_; }
+  Time now() const { return simulator_.now(); }
+
+  /// Runs until the event queue drains (all messages delivered or held).
+  /// Returns events executed.
+  std::size_t run_to_quiescence(
+      std::size_t max_events = Simulator::kDefaultEventCap);
+  bool run_until(const std::function<bool()>& pred,
+                 std::size_t max_events = Simulator::kDefaultEventCap);
+
+  // -- membership & faults ----------------------------------------------
+  std::size_t size() const { return processes_.size(); }
+  Process& process(ProcessId id);
+  crypto::KeyId key_of(ProcessId id) const;
+  /// The process id owning a key, or kNoProcess.
+  ProcessId owner_of(crypto::KeyId key) const;
+
+  void crash(ProcessId id);
+  bool crashed(ProcessId id) const;
+  /// Marks a process as Byzantine for property checkers. The process's own
+  /// implementation is responsible for actually misbehaving.
+  void mark_byzantine(ProcessId id);
+  bool byzantine(ProcessId id) const;
+  bool correct(ProcessId id) const { return !crashed(id) && !byzantine(id); }
+  std::vector<ProcessId> correct_ids() const;
+  std::size_t fault_count() const;
+
+  Transcript& transcript(ProcessId id);
+  const Transcript& transcript(ProcessId id) const;
+
+ private:
+  friend class Process;
+  void adopt(std::unique_ptr<Process> p);
+  void deliver(const Envelope& env);
+
+  Simulator simulator_;
+  Rng rng_;
+  Network network_;
+  crypto::KeyRegistry keys_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Transcript> transcripts_;
+  std::vector<crypto::KeyId> process_keys_;
+  std::vector<bool> crashed_;
+  std::vector<bool> byzantine_;
+  bool started_ = false;
+};
+
+}  // namespace unidir::sim

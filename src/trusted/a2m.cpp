@@ -1,0 +1,107 @@
+#include "trusted/a2m.h"
+
+#include "common/check.h"
+
+namespace unidir::trusted {
+
+Bytes A2mAttestation::signing_bytes() const {
+  serde::Writer w;
+  w.str("a2m-attest");
+  w.uvarint(owner);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.uvarint(log);
+  w.uvarint(seq);
+  w.bytes(value);
+  w.bytes(nonce);
+  return w.take();
+}
+
+void A2mAttestation::encode(serde::Writer& w) const {
+  w.uvarint(owner);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.uvarint(log);
+  w.uvarint(seq);
+  w.bytes(value);
+  w.bytes(nonce);
+  device_sig.encode(w);
+}
+
+A2mAttestation A2mAttestation::decode(serde::Reader& r) {
+  A2mAttestation a;
+  a.owner = serde::read<ProcessId>(r);
+  const std::uint8_t k = r.u8();
+  if (k < 1 || k > 2) throw serde::DecodeError("bad attestation kind");
+  a.kind = static_cast<Kind>(k);
+  a.log = r.uvarint();
+  a.seq = r.uvarint();
+  a.value = r.bytes();
+  a.nonce = r.bytes();
+  a.device_sig = crypto::Signature::decode(r);
+  return a;
+}
+
+A2m A2mAuthority::make_device(ProcessId owner) {
+  UNIDIR_REQUIRE_MSG(!device_keys_.contains(owner),
+                     "owner already holds an A2M device");
+  crypto::Signer key = keys_.generate_key();
+  device_keys_.emplace(owner, key.key());
+  return A2m(owner, key);
+}
+
+bool A2mAuthority::check(const A2mAttestation& a, ProcessId q) const {
+  if (a.owner != q) return false;
+  auto it = device_keys_.find(q);
+  if (it == device_keys_.end()) return false;
+  if (a.device_sig.key != it->second) return false;
+  return keys_.verify(a.device_sig, a.signing_bytes());
+}
+
+LogId A2m::create_log() {
+  const LogId id = next_log_++;
+  logs_.emplace(id, std::vector<Bytes>{});
+  return id;
+}
+
+std::optional<SeqNum> A2m::append(LogId id, Bytes x) {
+  auto it = logs_.find(id);
+  if (it == logs_.end()) return std::nullopt;
+  it->second.push_back(std::move(x));
+  return it->second.size();
+}
+
+A2mAttestation A2m::make(A2mAttestation::Kind kind, LogId id, SeqNum seq,
+                         Bytes value, const Bytes& nonce) const {
+  A2mAttestation a;
+  a.owner = owner_;
+  a.kind = kind;
+  a.log = id;
+  a.seq = seq;
+  a.value = std::move(value);
+  a.nonce = nonce;
+  a.device_sig = device_key_.sign(a.signing_bytes());
+  return a;
+}
+
+std::optional<A2mAttestation> A2m::lookup(LogId id, SeqNum s,
+                                          const Bytes& nonce) const {
+  auto it = logs_.find(id);
+  if (it == logs_.end()) return std::nullopt;
+  if (s == 0 || s > it->second.size()) return std::nullopt;
+  return make(A2mAttestation::Kind::Lookup, id, s, it->second[s - 1], nonce);
+}
+
+std::optional<A2mAttestation> A2m::end(LogId id, const Bytes& nonce) const {
+  auto it = logs_.find(id);
+  if (it == logs_.end()) return std::nullopt;
+  const SeqNum len = it->second.size();
+  Bytes last = len == 0 ? Bytes{} : it->second.back();
+  return make(A2mAttestation::Kind::End, id, len, std::move(last), nonce);
+}
+
+std::optional<SeqNum> A2m::length(LogId id) const {
+  auto it = logs_.find(id);
+  if (it == logs_.end()) return std::nullopt;
+  return it->second.size();
+}
+
+}  // namespace unidir::trusted

@@ -1,0 +1,81 @@
+#include "trusted/a2m_from_trinc.h"
+
+#include "common/check.h"
+
+namespace unidir::trusted {
+
+Bytes A2mFromTrinc::entry_binding(LogId id, const Bytes& value) {
+  serde::Writer w;
+  w.str("a2m-over-trinc");
+  w.uvarint(id);
+  w.bytes(value);
+  return w.take();
+}
+
+LogId A2mFromTrinc::create_log() {
+  const LogId id = next_log_++;
+  logs_.emplace(id, std::vector<StoredEntry>{});
+  return id;
+}
+
+std::optional<SeqNum> A2mFromTrinc::append(LogId id, Bytes x) {
+  auto it = logs_.find(id);
+  if (it == logs_.end()) return std::nullopt;
+  const SeqNum seq = it->second.size() + 1;
+  // Counter id = log id: each log gets its own monotonic counter.
+  auto att = trinket_.attest_on(id, seq, entry_binding(id, x));
+  UNIDIR_CHECK_MSG(att.has_value(),
+                   "trinket counter desynchronized from log length");
+  it->second.push_back(StoredEntry{std::move(x), std::move(*att)});
+  return seq;
+}
+
+std::optional<A2mOverTrincAttestation> A2mFromTrinc::lookup(
+    LogId id, SeqNum s, const Bytes& nonce) const {
+  auto it = logs_.find(id);
+  if (it == logs_.end()) return std::nullopt;
+  if (s == 0 || s > it->second.size()) return std::nullopt;
+  const StoredEntry& e = it->second[s - 1];
+  A2mOverTrincAttestation a;
+  a.kind = A2mAttestation::Kind::Lookup;
+  a.log = id;
+  a.seq = s;
+  a.value = e.value;
+  a.nonce = nonce;
+  a.inner = e.attestation;
+  return a;
+}
+
+std::optional<A2mOverTrincAttestation> A2mFromTrinc::end(
+    LogId id, const Bytes& nonce) const {
+  auto it = logs_.find(id);
+  if (it == logs_.end()) return std::nullopt;
+  const SeqNum len = it->second.size();
+  A2mOverTrincAttestation a;
+  a.kind = A2mAttestation::Kind::End;
+  a.log = id;
+  a.seq = len;
+  a.nonce = nonce;
+  if (len > 0) {
+    a.value = it->second.back().value;
+    a.inner = it->second.back().attestation;
+  }
+  return a;
+}
+
+std::optional<SeqNum> A2mFromTrinc::length(LogId id) const {
+  auto it = logs_.find(id);
+  if (it == logs_.end()) return std::nullopt;
+  return it->second.size();
+}
+
+bool A2mFromTrinc::check(const TrincAuthority& authority,
+                         const A2mOverTrincAttestation& a, ProcessId q) {
+  if (a.kind == A2mAttestation::Kind::End && a.seq == 0)
+    return a.value.empty();  // empty log: nothing attestable yet
+  if (!authority.check(a.inner, q)) return false;
+  return a.inner.counter == a.log && a.inner.seq == a.seq &&
+         a.inner.message == entry_binding(a.log, a.value);
+}
+
+}  // namespace unidir::trusted

@@ -1,0 +1,77 @@
+// A2M implemented from TrInc — the Levin et al. reduction the paper cites
+// ("TrInc can implement the interface of attested append-only memory").
+//
+// Construction: log id ↔ TrInc counter id; Append(id, x) attests x at the
+// next counter value of counter id and stores the attestation in untrusted
+// local memory; Lookup/End return the stored append-time attestation.
+// Because the Trinket never reuses a counter value, there is exactly one
+// attested value per (log, seq) — the append-only property — even though
+// the bulk storage is untrusted.
+//
+// Fidelity note: the nonce in Lookup/End responses is echoed by untrusted
+// code rather than being covered by the device signature (a TrInc
+// attestation binds only (prev, c, m)). Levin et al. handle freshness with
+// an extra attested round trip; the *non-equivocation* power — what the
+// paper's classification is about — is identical, so we keep the
+// reduction minimal.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "trusted/a2m.h"
+#include "trusted/trinc.h"
+
+namespace unidir::trusted {
+
+/// An A2M-shaped attestation whose authenticity is carried by an embedded
+/// TrInc attestation.
+struct A2mOverTrincAttestation {
+  A2mAttestation::Kind kind = A2mAttestation::Kind::Lookup;
+  LogId log = 0;
+  SeqNum seq = 0;
+  Bytes value;
+  Bytes nonce;  // echoed, untrusted (see fidelity note above)
+  TrincAttestation inner;
+
+  bool operator==(const A2mOverTrincAttestation&) const = default;
+};
+
+class A2mFromTrinc {
+ public:
+  /// Takes ownership of the process's Trinket (the reduction consumes the
+  /// whole device: every counter becomes a log).
+  explicit A2mFromTrinc(Trinket trinket) : trinket_(std::move(trinket)) {}
+
+  ProcessId owner() const { return trinket_.owner(); }
+
+  LogId create_log();
+  std::optional<SeqNum> append(LogId id, Bytes x);
+  std::optional<A2mOverTrincAttestation> lookup(LogId id, SeqNum s,
+                                                const Bytes& nonce) const;
+  std::optional<A2mOverTrincAttestation> end(LogId id,
+                                             const Bytes& nonce) const;
+  std::optional<SeqNum> length(LogId id) const;
+
+  /// Verifies an attestation against the TrInc authority: the inner TrInc
+  /// attestation must verify for `q` and bind exactly (log, seq, value).
+  static bool check(const TrincAuthority& authority,
+                    const A2mOverTrincAttestation& a, ProcessId q);
+
+  /// Canonical encoding of an entry as attested via TrInc. Exposed so
+  /// check() and tests agree on the byte-level binding.
+  static Bytes entry_binding(LogId id, const Bytes& value);
+
+ private:
+  struct StoredEntry {
+    Bytes value;
+    TrincAttestation attestation;
+  };
+
+  Trinket trinket_;
+  LogId next_log_ = 1;
+  // Untrusted storage: log -> entries (index = seq-1).
+  std::map<LogId, std::vector<StoredEntry>> logs_;
+};
+
+}  // namespace unidir::trusted

@@ -1,0 +1,36 @@
+#include "trusted/sgx.h"
+
+#include "common/check.h"
+#include "common/serde.h"
+
+namespace unidir::trusted {
+
+Bytes SealedOutput::report_bytes(const Bytes& output) {
+  serde::Writer w;
+  w.str("sgx-report");
+  w.bytes(output);
+  return w.take();
+}
+
+SgxEnclave::SgxEnclave(crypto::KeyRegistry& keys, Program program,
+                       Bytes initial_state)
+    : program_(std::move(program)),
+      state_(std::move(initial_state)),
+      key_(keys.generate_key()) {
+  UNIDIR_REQUIRE(program_ != nullptr);
+}
+
+SealedOutput SgxEnclave::call(const Bytes& input) {
+  SealedOutput out;
+  out.output = program_(state_, input);
+  out.sig = key_.sign(SealedOutput::report_bytes(out.output));
+  return out;
+}
+
+bool SgxEnclave::verify(const crypto::KeyRegistry& keys, crypto::KeyId key,
+                        const SealedOutput& out) {
+  if (out.sig.key != key) return false;
+  return keys.verify(out.sig, SealedOutput::report_bytes(out.output));
+}
+
+}  // namespace unidir::trusted

@@ -1,0 +1,58 @@
+// SGX-style enclave simulation.
+//
+// The paper groups Intel SGX / ARM TrustZone with the trusted-log
+// mechanisms: "from the perspective of providing non-equivocation
+// guarantees [they] are similar to A2M and TrInc, though in addition they
+// allow for more expressive computations". This class models exactly that
+// power: a deterministic program running over sealed state, whose outputs
+// are signed with an enclave attestation key the host never sees.
+//
+// Substitution note (DESIGN.md): linking the real SGX SDK requires SGX
+// hardware; the BFT protocols built on enclaves use only the contract
+// "sealed state + attested outputs", which this simulation provides. The
+// host can crash the enclave or withhold calls — it cannot fork the state
+// (no rollback API is exposed) or forge outputs.
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "crypto/signature.h"
+
+namespace unidir::trusted {
+
+/// Output of an enclave call: the program's result plus the enclave
+/// signature binding it. Verifiers check sig over report_bytes(output).
+struct SealedOutput {
+  Bytes output;
+  crypto::Signature sig;
+
+  static Bytes report_bytes(const Bytes& output);
+};
+
+class SgxEnclave {
+ public:
+  /// A deterministic program: mutates sealed state, returns an output.
+  using Program = std::function<Bytes(Bytes& state, const Bytes& input)>;
+
+  /// `keys` plays the role of the remote-attestation infrastructure.
+  SgxEnclave(crypto::KeyRegistry& keys, Program program, Bytes initial_state);
+
+  /// Runs the program inside the enclave; the returned output is attested.
+  SealedOutput call(const Bytes& input);
+
+  /// The enclave's attestation key id (public; used to verify outputs).
+  crypto::KeyId attestation_key() const { return key_.key(); }
+
+  /// Verifies that `out` was produced by the enclave with key `key`.
+  static bool verify(const crypto::KeyRegistry& keys, crypto::KeyId key,
+                     const SealedOutput& out);
+
+ private:
+  Program program_;
+  Bytes state_;  // sealed: reachable only through program_
+  crypto::Signer key_;
+};
+
+}  // namespace unidir::trusted

@@ -1,0 +1,90 @@
+#include "trusted/trinc_from_srb.h"
+
+namespace unidir::trusted {
+
+namespace {
+
+struct AttestWire {
+  SeqNum c = 0;
+  Bytes m;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(c);
+    w.bytes(m);
+  }
+  static AttestWire decode(serde::Reader& r) {
+    AttestWire a;
+    a.c = r.uvarint();
+    a.m = r.bytes();
+    return a;
+  }
+};
+
+}  // namespace
+
+void SrbAttestation::encode(serde::Writer& w) const {
+  w.uvarint(owner);
+  w.uvarint(broadcast_seq);
+  w.uvarint(seq);
+  w.bytes(message);
+}
+
+SrbAttestation SrbAttestation::decode(serde::Reader& r) {
+  SrbAttestation a;
+  a.owner = serde::read<ProcessId>(r);
+  a.broadcast_seq = r.uvarint();
+  a.seq = r.uvarint();
+  a.message = r.bytes();
+  return a;
+}
+
+TrincFromSrb::TrincFromSrb(broadcast::SrbEndpoint& srb, ProcessId self)
+    : srb_(srb), self_(self) {
+  srb_.set_deliver([this](const broadcast::Delivery& d) { on_delivery(d); });
+}
+
+std::optional<SrbAttestation> TrincFromSrb::attest(SeqNum c, const Bytes& m) {
+  if (c <= my_last_c_) return std::nullopt;
+  my_last_c_ = c;
+  srb_.broadcast(serde::encode(AttestWire{c, m}));
+  SrbAttestation a;
+  a.owner = self_;
+  a.broadcast_seq = ++my_next_k_;  // k: our next SRB sequence number
+  a.seq = c;
+  a.message = m;
+  return a;
+}
+
+void TrincFromSrb::on_delivery(const broadcast::Delivery& d) {
+  AttestWire wire;
+  try {
+    wire = serde::decode<AttestWire>(d.message);
+  } catch (const serde::DecodeError&) {
+    return;  // a Byzantine process broadcast junk; it attests nothing
+  }
+  // The paper's filter: accept only strictly increasing counter values.
+  // SRB's total per-sender order makes this filter agree at all correct
+  // processes.
+  SeqNum& high = counters_[d.sender];
+  if (wire.c <= high) return;
+  high = wire.c;
+  SrbAttestation a;
+  a.owner = d.sender;
+  a.broadcast_seq = d.seq;
+  a.seq = wire.c;
+  a.message = std::move(wire.m);
+  stored_.emplace(std::make_pair(d.sender, wire.c), std::move(a));
+}
+
+bool TrincFromSrb::check(const SrbAttestation& a, ProcessId q) const {
+  if (a.owner != q) return false;
+  auto it = stored_.find({q, a.seq});
+  return it != stored_.end() && it->second == a;
+}
+
+SeqNum TrincFromSrb::counter_of(ProcessId q) const {
+  auto it = counters_.find(q);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+}  // namespace unidir::trusted

@@ -1,0 +1,67 @@
+#include "trusted/usig.h"
+
+#include "common/check.h"
+#include "common/serde.h"
+
+namespace unidir::trusted {
+
+namespace {
+
+Bytes ui_output_bytes(SeqNum counter, const crypto::Digest& digest) {
+  serde::Writer w;
+  w.uvarint(counter);
+  w.bytes(crypto::digest_bytes(digest));
+  return w.take();
+}
+
+/// The enclave program: sealed state is the varint-encoded counter; each
+/// call increments it and emits (counter, input digest).
+Bytes usig_program(Bytes& state, const Bytes& input) {
+  const auto counter = serde::decode<SeqNum>(state) + 1;
+  state = serde::encode(counter);
+  // Input is the raw 32-byte digest computed at the call boundary.
+  return ui_output_bytes(counter, crypto::digest_from_bytes(input));
+}
+
+}  // namespace
+
+void UniqueIdentifier::encode(serde::Writer& w) const {
+  w.uvarint(counter);
+  w.bytes(crypto::digest_bytes(digest));
+  sig.encode(w);
+}
+
+UniqueIdentifier UniqueIdentifier::decode(serde::Reader& r) {
+  UniqueIdentifier ui;
+  ui.counter = r.uvarint();
+  ui.digest = crypto::digest_from_bytes(r.bytes());
+  ui.sig = crypto::Signature::decode(r);
+  return ui;
+}
+
+UsigEnclave::UsigEnclave(crypto::KeyRegistry& keys)
+    : enclave_(keys, usig_program, serde::encode(SeqNum{0})) {}
+
+UniqueIdentifier UsigEnclave::create_ui(const Bytes& message) {
+  const crypto::Digest digest = crypto::Sha256::hash(message);
+  const SealedOutput out = enclave_.call(crypto::digest_bytes(digest));
+  UniqueIdentifier ui;
+  ui.counter = ++last_;
+  ui.digest = digest;
+  ui.sig = out.sig;
+  UNIDIR_CHECK_MSG(out.output == ui_output_bytes(ui.counter, digest),
+                   "USIG mirror desynchronized from enclave");
+  return ui;
+}
+
+bool UsigEnclave::verify_ui(const crypto::KeyRegistry& keys,
+                            crypto::KeyId key, const UniqueIdentifier& ui,
+                            const Bytes& message) {
+  if (crypto::Sha256::hash(message) != ui.digest) return false;
+  SealedOutput out;
+  out.output = ui_output_bytes(ui.counter, ui.digest);
+  out.sig = ui.sig;
+  return SgxEnclave::verify(keys, key, out);
+}
+
+}  // namespace unidir::trusted

@@ -1,0 +1,50 @@
+// USIG — Unique Sequential Identifier Generator (Veronese et al.,
+// "Efficient Byzantine fault-tolerance", the MinBFT trusted service) —
+// implemented as a program *inside* the SGX-style enclave.
+//
+// createUI(m) binds a fresh, strictly increasing counter value to the hash
+// of m, attested by the enclave key. A replica therefore cannot assign the
+// same counter value to two different messages: the non-equivocation
+// primitive MinBFT builds its n = 2f+1 protocol on.
+#pragma once
+
+#include <memory>
+
+#include "crypto/sha256.h"
+#include "trusted/sgx.h"
+
+namespace unidir::trusted {
+
+struct UniqueIdentifier {
+  SeqNum counter = 0;
+  crypto::Digest digest{};  // SHA-256 of the certified message
+  crypto::Signature sig;    // enclave attestation over (counter, digest)
+
+  bool operator==(const UniqueIdentifier&) const = default;
+
+  void encode(serde::Writer& w) const;
+  static UniqueIdentifier decode(serde::Reader& r);
+};
+
+class UsigEnclave {
+ public:
+  explicit UsigEnclave(crypto::KeyRegistry& keys);
+
+  /// Certifies `message` with the next counter value (1, 2, 3, …).
+  UniqueIdentifier create_ui(const Bytes& message);
+
+  /// The enclave attestation key other replicas verify against.
+  crypto::KeyId key() const { return enclave_.attestation_key(); }
+
+  SeqNum last_counter() const { return last_; }
+
+  /// verifyUI: `ui` certifies `message` under the USIG with key `key`.
+  static bool verify_ui(const crypto::KeyRegistry& keys, crypto::KeyId key,
+                        const UniqueIdentifier& ui, const Bytes& message);
+
+ private:
+  SgxEnclave enclave_;
+  SeqNum last_ = 0;  // mirror for introspection; truth lives in the enclave
+};
+
+}  // namespace unidir::trusted

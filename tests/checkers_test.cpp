@@ -1,0 +1,131 @@
+// Direct unit coverage for the directionality checkers and the
+// SrbEndpoint base-class contract (the property checkers' foundations
+// deserve their own tests — a bug here would silently weaken every
+// experiment built on them).
+#include <gtest/gtest.h>
+
+#include "broadcast/srb.h"
+#include "rounds/checkers.h"
+
+namespace unidir {
+namespace {
+
+using rounds::DirectionalityViolation;
+using rounds::ProcessHistory;
+using rounds::Received;
+using rounds::RoundRecord;
+
+RoundRecord record(RoundNum round, std::vector<Received> received) {
+  RoundRecord r;
+  r.round = round;
+  r.sent = bytes_of("m");
+  r.received = std::move(received);
+  return r;
+}
+
+TEST(Checkers, ReceivedFromFindsSenders) {
+  std::vector<RoundRecord> hist = {record(1, {{2, bytes_of("x")}}),
+                                   record(2, {})};
+  ProcessHistory p{1, &hist};
+  EXPECT_TRUE(rounds::received_from(p, 2, 1));
+  EXPECT_FALSE(rounds::received_from(p, 3, 1));
+  EXPECT_FALSE(rounds::received_from(p, 2, 2));
+  // Rounds beyond the history are simply "not received".
+  EXPECT_FALSE(rounds::received_from(p, 2, 99));
+}
+
+TEST(Checkers, ReceivedFromRejectsRoundZero) {
+  std::vector<RoundRecord> hist = {record(1, {})};
+  ProcessHistory p{1, &hist};
+  EXPECT_THROW((void)rounds::received_from(p, 2, 0), std::invalid_argument);
+}
+
+TEST(Checkers, UnidirectionalAcceptsOneWayExchanges) {
+  // p heard q in round 1; q heard nothing. One direction suffices.
+  std::vector<RoundRecord> hp = {record(1, {{2, bytes_of("x")}})};
+  std::vector<RoundRecord> hq = {record(1, {})};
+  EXPECT_FALSE(rounds::check_unidirectional({{1, &hp}, {2, &hq}})
+                   .has_value());
+}
+
+TEST(Checkers, UnidirectionalFlagsMutualSilence) {
+  std::vector<RoundRecord> hp = {record(1, {{2, bytes_of("x")}}),
+                                 record(2, {})};
+  std::vector<RoundRecord> hq = {record(1, {{1, bytes_of("y")}}),
+                                 record(2, {})};
+  const auto violation = rounds::check_unidirectional({{1, &hp}, {2, &hq}});
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->round, 2u);
+  EXPECT_NE(violation->describe().find("round 2"), std::string::npos);
+}
+
+TEST(Checkers, UnidirectionalOnlyComparesCommonRounds) {
+  // q only ran one round; p's later lonely rounds are not violations.
+  std::vector<RoundRecord> hp = {record(1, {{2, bytes_of("x")}}),
+                                 record(2, {}), record(3, {})};
+  std::vector<RoundRecord> hq = {record(1, {})};
+  EXPECT_FALSE(rounds::check_unidirectional({{1, &hp}, {2, &hq}})
+                   .has_value());
+}
+
+TEST(Checkers, BidirectionalNeedsBothDirections) {
+  std::vector<RoundRecord> hp = {record(1, {{2, bytes_of("x")}})};
+  std::vector<RoundRecord> hq = {record(1, {})};
+  const auto violation = rounds::check_bidirectional({{1, &hp}, {2, &hq}});
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->round, 1u);
+
+  std::vector<RoundRecord> hq2 = {record(1, {{1, bytes_of("y")}})};
+  EXPECT_FALSE(rounds::check_bidirectional({{1, &hp}, {2, &hq2}})
+                   .has_value());
+}
+
+TEST(Checkers, SingleProcessIsVacuouslyFine) {
+  std::vector<RoundRecord> hp = {record(1, {})};
+  EXPECT_FALSE(rounds::check_unidirectional({{1, &hp}}).has_value());
+  EXPECT_FALSE(rounds::check_bidirectional({{1, &hp}}).has_value());
+}
+
+// ---- SrbEndpoint base contract -----------------------------------------------
+
+class FakeEndpoint final : public broadcast::SrbEndpoint {
+ public:
+  void broadcast(Bytes) override {}
+  void inject(ProcessId sender, SeqNum seq, Bytes message) {
+    record_delivery({sender, seq, std::move(message)});
+  }
+};
+
+TEST(SrbEndpoint, TracksPerSenderHighWater) {
+  FakeEndpoint ep;
+  EXPECT_EQ(ep.delivered_up_to(7), 0u);
+  ep.inject(7, 1, bytes_of("a"));
+  ep.inject(7, 2, bytes_of("b"));
+  ep.inject(8, 1, bytes_of("c"));
+  EXPECT_EQ(ep.delivered_up_to(7), 2u);
+  EXPECT_EQ(ep.delivered_up_to(8), 1u);
+  EXPECT_EQ(ep.delivered().size(), 3u);
+}
+
+TEST(SrbEndpoint, RejectsOutOfOrderImplementations) {
+  // The base class defends the sequencing property against buggy
+  // implementations: delivering 2 before 1 is an internal error.
+  FakeEndpoint ep;
+  EXPECT_THROW(ep.inject(7, 2, bytes_of("skip")), InternalError);
+  ep.inject(7, 1, bytes_of("a"));
+  EXPECT_THROW(ep.inject(7, 1, bytes_of("dup")), InternalError);
+}
+
+TEST(SrbEndpoint, DeliveryCallbackObservesEachDelivery) {
+  FakeEndpoint ep;
+  std::vector<SeqNum> seen;
+  ep.set_deliver([&](const broadcast::Delivery& d) {
+    seen.push_back(d.seq);
+  });
+  ep.inject(1, 1, bytes_of("a"));
+  ep.inject(1, 2, bytes_of("b"));
+  EXPECT_EQ(seen, (std::vector<SeqNum>{1, 2}));
+}
+
+}  // namespace
+}  // namespace unidir

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/check.h"
+
+namespace unidir {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xAB, 0xFF, 0x7F};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsInvalidDigits) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  const std::string s = "hello \x01 world";
+  EXPECT_EQ(string_of(bytes_of(s)), s);
+}
+
+TEST(Bytes, Append) {
+  Bytes a = {1, 2};
+  const Bytes b = {3, 4};
+  append(a, b);
+  EXPECT_EQ(a, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+TEST(Check, CheckThrowsInternalError) {
+  EXPECT_THROW(UNIDIR_CHECK(false), InternalError);
+  EXPECT_NO_THROW(UNIDIR_CHECK(true));
+}
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(UNIDIR_REQUIRE(false), std::invalid_argument);
+  EXPECT_NO_THROW(UNIDIR_REQUIRE(true));
+}
+
+TEST(Check, MessagesIncludeContext) {
+  try {
+    UNIDIR_CHECK_MSG(false, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("common_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace unidir

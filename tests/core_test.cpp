@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/classification.h"
+#include "core/separation.h"
+
+namespace unidir::core {
+namespace {
+
+// ---- E3: SRB cannot implement unidirectionality --------------------------------
+
+struct SepCase {
+  std::size_t n;
+  std::size_t f;
+  std::uint64_t seed;
+};
+
+class SrbUniSeparationP : public ::testing::TestWithParam<SepCase> {};
+
+TEST_P(SrbUniSeparationP, TheoremReproduced) {
+  const auto& c = GetParam();
+  const SrbUniSeparation r = run_srb_uni_separation(c.n, c.f, c.seed);
+  EXPECT_TRUE(r.rounds_completed) << r.describe();
+  EXPECT_TRUE(r.q_cannot_tell_1_from_3) << r.describe();
+  EXPECT_TRUE(r.q_cannot_tell_2_from_3) << r.describe();
+  EXPECT_TRUE(r.c1_cannot_tell_2_from_3) << r.describe();
+  EXPECT_TRUE(r.c2_cannot_tell_1_from_3) << r.describe();
+  EXPECT_TRUE(r.unidirectionality_violated) << r.describe();
+  EXPECT_TRUE(r.holds());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SrbUniSeparationP,
+                         ::testing::Values(SepCase{5, 2, 1}, SepCase{5, 2, 2},
+                                           SepCase{6, 2, 3}, SepCase{7, 3, 4},
+                                           SepCase{8, 3, 5},
+                                           SepCase{9, 4, 6}));
+
+TEST(SrbUniSeparation, RejectsParametersOutsideTheTheorem) {
+  EXPECT_THROW(run_srb_uni_separation(3, 1, 1), std::invalid_argument);
+  EXPECT_THROW(run_srb_uni_separation(4, 2, 1), std::invalid_argument);
+}
+
+// ---- E7: RB cannot solve very weak agreement with n <= 2f ----------------------
+
+class RbVwaP : public ::testing::TestWithParam<std::pair<std::size_t,
+                                                         std::uint64_t>> {};
+
+TEST_P(RbVwaP, FiveWorldArgumentReproduced) {
+  const auto& [n, seed] = GetParam();
+  const RbVwaImpossibility r = run_rb_vwa_impossibility(n, seed);
+  EXPECT_TRUE(r.all_terminated) << r.describe();
+  EXPECT_TRUE(r.p_cannot_tell_1_from_2) << r.describe();
+  EXPECT_TRUE(r.p_cannot_tell_2_from_5) << r.describe();
+  EXPECT_TRUE(r.q_cannot_tell_3_from_4) << r.describe();
+  EXPECT_TRUE(r.q_cannot_tell_4_from_5) << r.describe();
+  EXPECT_TRUE(r.agreement_violated) << r.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RbVwaP,
+                         ::testing::Values(std::pair{std::size_t{2}, 1ull},
+                                           std::pair{std::size_t{4}, 2ull},
+                                           std::pair{std::size_t{6}, 3ull},
+                                           std::pair{std::size_t{8}, 4ull}));
+
+TEST(RbVwaImpossibility, RejectsOddN) {
+  EXPECT_THROW(run_rb_vwa_impossibility(3, 1), std::invalid_argument);
+}
+
+// ---- E10: the full classification report (Figure 1) ----------------------------
+
+TEST(Classification, AllExecutableEdgesPass) {
+  const ClassificationReport report =
+      build_classification_report(/*seed=*/7, /*quick=*/true);
+  for (const ClassificationEdge& e : report.edges())
+    EXPECT_NE(e.evidence, Evidence::ExperimentFailed) << e.describe();
+  EXPECT_TRUE(report.all_experiments_passed());
+}
+
+TEST(Classification, ReportContainsEveryClassAndEdge) {
+  const ClassificationReport report = build_classification_report(11, true);
+  // 6 executable edges + 3 literature edges.
+  EXPECT_EQ(report.edges().size(), 9u);
+  const std::string rendered = report.render();
+  EXPECT_NE(rendered.find("UNIDIRECTIONAL"), std::string::npos);
+  EXPECT_NE(rendered.find("SEQUENCED RELIABLE BROADCAST"), std::string::npos);
+  EXPECT_NE(rendered.find("TrInc"), std::string::npos);
+  EXPECT_NE(rendered.find("all executable edges reproduced"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("EXPERIMENT PASSED"), std::string::npos);
+  EXPECT_EQ(rendered.find("FAILED"), std::string::npos);
+}
+
+TEST(Classification, EnumRendering) {
+  EXPECT_STREQ(to_string(PowerClass::Unidirectional), "unidirectional");
+  EXPECT_NE(mechanisms_of(PowerClass::Unidirectional).find("SWMR"),
+            std::string::npos);
+  EXPECT_NE(mechanisms_of(PowerClass::SequencedRb).find("A2M"),
+            std::string::npos);
+}
+
+TEST(Classification, DeterministicAcrossSeeds) {
+  // The verdicts (not the transcripts) must be seed-independent: the
+  // theorems hold on every schedule we generate.
+  for (std::uint64_t seed : {1ull, 99ull, 12345ull})
+    EXPECT_TRUE(build_classification_report(seed, true)
+                    .all_experiments_passed())
+        << "seed " << seed;
+}
+
+}  // namespace
+}  // namespace unidir::core

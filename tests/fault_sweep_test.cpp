@@ -1,0 +1,159 @@
+// Randomized fault-injection sweep ("mini-Jepsen"): for many seeds, run an
+// SMR cluster under a randomly drawn adversary with randomly timed crashes
+// of up to f replicas (primaries included), and check the two invariants
+// that must never move:
+//   safety   — correct replicas' execution logs stay prefix-consistent and
+//              end in identical state digests;
+//   liveness — with at most f crashes and an eventually-fair network,
+//              every client request completes.
+#include <gtest/gtest.h>
+
+#include "agreement/minbft.h"
+#include "agreement/pbft.h"
+#include "agreement/state_machines.h"
+#include "sim/adversaries.h"
+
+namespace unidir::agreement {
+namespace {
+
+struct SweepOutcome {
+  std::uint64_t completed = 0;
+  std::uint64_t expected = 0;
+  std::optional<std::string> divergence;
+  bool digests_match = true;
+};
+
+template <typename MakeReplica, typename Replica>
+SweepOutcome run_fault_sweep(std::uint64_t seed, std::size_t n,
+                             std::size_t f, MakeReplica make_replica,
+                             std::vector<Replica*>& replicas) {
+  sim::Rng plan(seed * 0x9E3779B97F4A7C15ULL + 1);
+
+  // Randomly drawn benign-to-nasty network.
+  const Time max_delay = plan.range(2, 20);
+  sim::World world(seed, std::make_unique<sim::RandomDelayAdversary>(
+                             1, max_delay));
+  std::vector<ProcessId> ids;
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(static_cast<ProcessId>(i));
+  for (std::size_t i = 0; i < n; ++i)
+    replicas.push_back(make_replica(world, ids, f));
+
+  SmrClient::Options copt;
+  copt.replicas = ids;
+  copt.f = f;
+  copt.resend_timeout = 200;
+  copt.max_outstanding = plan.range(1, 4);
+  auto& client = world.spawn<SmrClient>(copt);
+  const int requests = static_cast<int>(plan.range(4, 10));
+  for (int k = 0; k < requests; ++k)
+    client.submit(KvStateMachine::put_op("key" + std::to_string(k % 3),
+                                         "v" + std::to_string(k)));
+
+  // Crash schedule: up to f replicas, uniformly chosen, at random times.
+  const std::size_t crashes = plan.range(0, f);
+  std::vector<ProcessId> victims = ids;
+  plan.shuffle(victims);
+  for (std::size_t c = 0; c < crashes; ++c) {
+    const ProcessId victim = victims[c];
+    const Time when = plan.range(1, 400);
+    world.simulator().at(when, [&world, victim] { world.crash(victim); });
+  }
+
+  world.start();
+  world.run_to_quiescence();
+
+  SweepOutcome out;
+  out.completed = client.completed();
+  out.expected = static_cast<std::uint64_t>(requests);
+
+  std::vector<std::pair<ProcessId, const std::vector<ExecutionRecord>*>>
+      logs;
+  for (auto* r : replicas)
+    if (world.correct(r->id()))
+      logs.emplace_back(r->id(), &r->execution_log());
+  out.divergence = check_execution_consistency(logs);
+
+  // Replicas with equal execution counts must hold identical state.
+  for (std::size_t i = 0; i < replicas.size(); ++i)
+    for (std::size_t j = i + 1; j < replicas.size(); ++j) {
+      auto* a = replicas[i];
+      auto* b = replicas[j];
+      if (!world.correct(a->id()) || !world.correct(b->id())) continue;
+      if (a->executed_count() == b->executed_count() &&
+          a->state_digest() != b->state_digest())
+        out.digests_match = false;
+    }
+  return out;
+}
+
+class MinBftFaultSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinBftFaultSweep, InvariantsHoldUnderRandomFaults) {
+  const std::uint64_t seed = GetParam();
+  std::vector<MinBftReplica*> replicas;
+  sim::Rng pick(seed);
+  const std::size_t f = pick.range(1, 2);
+  const std::size_t n = 2 * f + 1;
+  SgxUsigDirectory* usigs = nullptr;
+  std::unique_ptr<SgxUsigDirectory> usigs_owner;
+  const SweepOutcome out = run_fault_sweep<
+      std::function<MinBftReplica*(sim::World&, const std::vector<ProcessId>&,
+                                   std::size_t)>,
+      MinBftReplica>(
+      seed, n, f,
+      [&](sim::World& w, const std::vector<ProcessId>& ids,
+          std::size_t f_) -> MinBftReplica* {
+        if (!usigs) {
+          usigs_owner = std::make_unique<SgxUsigDirectory>(w.keys());
+          usigs = usigs_owner.get();
+        }
+        MinBftReplica::Options o;
+        o.replicas = ids;
+        o.f = f_;
+        o.view_change_timeout = 150;
+        return &w.spawn<MinBftReplica>(o, *usigs,
+                                       std::make_unique<KvStateMachine>());
+      },
+      replicas);
+  EXPECT_FALSE(out.divergence.has_value()) << *out.divergence << " seed "
+                                           << seed;
+  EXPECT_TRUE(out.digests_match) << "seed " << seed;
+  EXPECT_EQ(out.completed, out.expected) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinBftFaultSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+class PbftFaultSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PbftFaultSweep, InvariantsHoldUnderRandomFaults) {
+  const std::uint64_t seed = GetParam();
+  std::vector<PbftReplica*> replicas;
+  sim::Rng pick(seed ^ 0xABCDEF);
+  const std::size_t f = pick.range(1, 2);
+  const std::size_t n = 3 * f + 1;
+  const SweepOutcome out = run_fault_sweep<
+      std::function<PbftReplica*(sim::World&, const std::vector<ProcessId>&,
+                                 std::size_t)>,
+      PbftReplica>(
+      seed, n, f,
+      [&](sim::World& w, const std::vector<ProcessId>& ids,
+          std::size_t f_) -> PbftReplica* {
+        PbftReplica::Options o;
+        o.replicas = ids;
+        o.f = f_;
+        o.view_change_timeout = 150;
+        return &w.spawn<PbftReplica>(o, std::make_unique<KvStateMachine>());
+      },
+      replicas);
+  EXPECT_FALSE(out.divergence.has_value()) << *out.divergence << " seed "
+                                           << seed;
+  EXPECT_TRUE(out.digests_match) << "seed " << seed;
+  EXPECT_EQ(out.completed, out.expected) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PbftFaultSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace unidir::agreement

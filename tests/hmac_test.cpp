@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.h"
+
+namespace unidir::crypto {
+namespace {
+
+std::string hmac_hex(const Bytes& key, const Bytes& msg) {
+  const Digest d = hmac_sha256(key, msg);
+  return to_hex(ByteSpan(d.data(), d.size()));
+}
+
+// RFC 4231 test vectors.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac_hex(key, bytes_of("Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(
+      hmac_hex(bytes_of("Jefe"), bytes_of("what do ya want for nothing?")),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  EXPECT_EQ(hmac_hex(key, msg),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(hmac_hex(key, bytes_of("Test Using Larger Than Block-Size Key - "
+                                   "Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeySensitivity) {
+  const Bytes msg = bytes_of("same message");
+  EXPECT_NE(hmac_sha256(bytes_of("key-a"), msg),
+            hmac_sha256(bytes_of("key-b"), msg));
+}
+
+TEST(Hmac, MessageSensitivity) {
+  const Bytes key = bytes_of("same key");
+  EXPECT_NE(hmac_sha256(key, bytes_of("message a")),
+            hmac_sha256(key, bytes_of("message b")));
+}
+
+TEST(Hmac, EmptyKeyAndMessageAccepted) {
+  const Digest d = hmac_sha256({}, {});
+  EXPECT_EQ(d.size(), kSha256DigestSize);
+}
+
+}  // namespace
+}  // namespace unidir::crypto

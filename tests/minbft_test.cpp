@@ -1,0 +1,445 @@
+#include <gtest/gtest.h>
+
+#include "agreement/minbft.h"
+#include "agreement/state_machines.h"
+#include "sim/adversaries.h"
+
+namespace unidir::agreement {
+namespace {
+
+struct Cluster {
+  sim::World world;
+  SgxUsigDirectory usigs;
+  std::vector<MinBftReplica*> replicas;
+  std::vector<SmrClient*> clients;
+  std::size_t n;
+  std::size_t f;
+
+  Cluster(std::size_t n_, std::size_t f_, std::size_t num_clients,
+          std::uint64_t seed, Time max_delay = 10,
+          MinBftReplica::Options extra = {})
+      : world(seed, std::make_unique<sim::RandomDelayAdversary>(1, max_delay)),
+        usigs(world.keys()),
+        n(n_),
+        f(f_) {
+    MinBftReplica::Options options = extra;
+    options.f = f;
+    for (ProcessId i = 0; i < n; ++i) options.replicas.push_back(i);
+    for (std::size_t i = 0; i < n; ++i)
+      replicas.push_back(&world.spawn<MinBftReplica>(
+          options, usigs, std::make_unique<KvStateMachine>()));
+    SmrClient::Options copt;
+    copt.replicas = options.replicas;
+    copt.f = f;
+    for (std::size_t i = 0; i < num_clients; ++i)
+      clients.push_back(&world.spawn<SmrClient>(copt));
+  }
+
+  void expect_consistent(const char* context) {
+    std::vector<std::pair<ProcessId, const std::vector<ExecutionRecord>*>>
+        logs;
+    for (auto* r : replicas)
+      if (world.correct(r->id()))
+        logs.emplace_back(r->id(), &r->execution_log());
+    const auto divergence = check_execution_consistency(logs);
+    EXPECT_FALSE(divergence.has_value()) << context << ": " << *divergence;
+  }
+};
+
+TEST(MinBft, BasicKvOperations) {
+  Cluster c(3, 1, 1, 42);
+  Bytes got_back;
+  c.clients[0]->submit(KvStateMachine::put_op("k", "v1"));
+  c.clients[0]->submit(KvStateMachine::get_op("k"),
+                       [&](const Bytes& r) { got_back = r; });
+  c.world.start();
+  c.world.run_to_quiescence();
+  EXPECT_EQ(c.clients[0]->completed(), 2u);
+  EXPECT_EQ(got_back, bytes_of("v1"));
+  c.expect_consistent("basic");
+  for (auto* r : c.replicas) EXPECT_EQ(r->executed_count(), 2u);
+  EXPECT_EQ(c.replicas[0]->state_digest(), c.replicas[1]->state_digest());
+  EXPECT_EQ(c.replicas[0]->state_digest(), c.replicas[2]->state_digest());
+}
+
+struct SweepCase {
+  std::size_t n;
+  std::size_t f;
+  std::size_t clients;
+  int ops_per_client;
+  std::uint64_t seed;
+};
+
+class MinBftSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(MinBftSweep, AllRequestsCompleteConsistently) {
+  const auto& p = GetParam();
+  Cluster c(p.n, p.f, p.clients, p.seed);
+  for (std::size_t i = 0; i < p.clients; ++i)
+    for (int k = 0; k < p.ops_per_client; ++k)
+      c.clients[i]->submit(KvStateMachine::put_op(
+          "key" + std::to_string(k), "c" + std::to_string(i)));
+  c.world.start();
+  c.world.run_to_quiescence();
+  for (auto* cl : c.clients)
+    EXPECT_EQ(cl->completed(), static_cast<std::uint64_t>(p.ops_per_client));
+  c.expect_consistent("sweep");
+  const auto expected =
+      static_cast<std::uint64_t>(p.clients) *
+      static_cast<std::uint64_t>(p.ops_per_client);
+  for (auto* r : c.replicas) EXPECT_EQ(r->executed_count(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MinBftSweep,
+    ::testing::Values(SweepCase{3, 1, 1, 8, 1}, SweepCase{3, 1, 2, 5, 2},
+                      SweepCase{3, 1, 3, 4, 3}, SweepCase{5, 2, 2, 5, 4},
+                      SweepCase{5, 2, 3, 3, 5}, SweepCase{7, 3, 2, 4, 6},
+                      SweepCase{9, 4, 1, 5, 7}));
+
+TEST(MinBft, ToleratesFCrashedBackups) {
+  Cluster c(5, 2, 1, 9);
+  c.world.crash(3);
+  c.world.crash(4);
+  for (int k = 0; k < 5; ++k)
+    c.clients[0]->submit(KvStateMachine::put_op("k" + std::to_string(k), "v"));
+  c.world.start();
+  c.world.run_to_quiescence();
+  EXPECT_EQ(c.clients[0]->completed(), 5u);
+  c.expect_consistent("crashed backups");
+  EXPECT_EQ(c.replicas[0]->view(), 0u);  // no view change was needed
+}
+
+TEST(MinBft, PrimaryCrashTriggersViewChangeAndRecovers) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Cluster c(3, 1, 1, seed);
+    for (int k = 0; k < 4; ++k)
+      c.clients[0]->submit(
+          KvStateMachine::put_op("k" + std::to_string(k), "v"));
+    c.world.start();
+    // Let some requests through, then kill the view-0 primary.
+    c.world.run_until([&] { return c.clients[0]->completed() >= 1; });
+    c.world.crash(0);
+    c.world.run_to_quiescence();
+    EXPECT_EQ(c.clients[0]->completed(), 4u) << "seed " << seed;
+    c.expect_consistent("primary crash");
+    for (auto* r : c.replicas) {
+      if (c.world.correct(r->id())) {
+        EXPECT_GT(r->view(), 0u) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(MinBft, PrimaryCrashBeforeAnyProposal) {
+  // The primary dies before the first request arrives: replicas' request
+  // timers must still drive a view change and serve the client.
+  Cluster c(3, 1, 1, 11);
+  c.world.crash(0);
+  c.clients[0]->submit(KvStateMachine::put_op("k", "v"));
+  c.world.start();
+  c.world.run_to_quiescence();
+  EXPECT_EQ(c.clients[0]->completed(), 1u);
+  c.expect_consistent("dead primary");
+}
+
+TEST(MinBft, CascadedPrimaryFailures) {
+  // Views 0 and 1's primaries both crash; view 2 must serve.
+  Cluster c(5, 2, 1, 13);
+  c.world.crash(0);
+  c.world.crash(1);
+  for (int k = 0; k < 3; ++k)
+    c.clients[0]->submit(KvStateMachine::put_op("k" + std::to_string(k), "v"));
+  c.world.start();
+  c.world.run_to_quiescence();
+  EXPECT_EQ(c.clients[0]->completed(), 3u);
+  c.expect_consistent("cascaded failures");
+  for (auto* r : c.replicas) {
+    if (c.world.correct(r->id())) {
+      EXPECT_GE(r->view(), 2u);
+    }
+  }
+}
+
+TEST(MinBft, ExactlyOnceUnderAggressiveResends) {
+  Cluster c(3, 1, 1, 17, /*max_delay=*/30);
+  // Resend much faster than the network settles: duplicates guaranteed.
+  // (Options are baked into the client at spawn; rebuild with a custom
+  // client instead.)
+  SmrClient::Options copt;
+  copt.replicas = {0, 1, 2};
+  copt.f = 1;
+  copt.resend_timeout = 5;
+  auto& eager = c.world.spawn<SmrClient>(copt);
+  eager.submit(KvStateMachine::put_op("x", "1"));
+  eager.submit(KvStateMachine::get_op("x"));
+  c.world.start();
+  c.world.run_to_quiescence();
+  EXPECT_EQ(eager.completed(), 2u);
+  // Exactly-once: each replica executed each request a single time.
+  for (auto* r : c.replicas) EXPECT_EQ(r->executed_count(), 2u);
+  c.expect_consistent("resends");
+}
+
+TEST(MinBft, CheckpointsStabilize) {
+  MinBftReplica::Options extra;
+  extra.checkpoint_interval = 4;
+  Cluster c(3, 1, 1, 19, 10, extra);
+  for (int k = 0; k < 9; ++k)
+    c.clients[0]->submit(KvStateMachine::put_op("k" + std::to_string(k), "v"));
+  c.world.start();
+  c.world.run_to_quiescence();
+  EXPECT_EQ(c.clients[0]->completed(), 9u);
+  for (auto* r : c.replicas) EXPECT_GE(r->stable_checkpoint(), 8u);
+}
+
+TEST(MinBft, ByzantineBackupCannotForgeOrDisrupt) {
+  // Replica 2 is Byzantine: it spams garbage commits, fake checkpoints and
+  // relabelled UIs. With n=3, f=1 the two correct replicas (incl. the
+  // primary) still commit, and nothing fake enters the logs.
+  Cluster c(3, 1, 1, 23);
+
+  class Disruptor final : public sim::Process {
+   public:
+    UsigDirectory* usigs = nullptr;
+    void on_start() override {
+      // Garbage on the protocol channel, every few ticks for a while.
+      for (Time t = 1; t < 200; t += 10) {
+        set_timer(t, [this] {
+          broadcast(kMinBftCh, Bytes{0xde, 0xad, 0xbe, 0xef});
+          // A syntactically valid PREPARE claiming to be the primary,
+          // but with the wrong USIG (ours, not the primary's).
+          Command fake;
+          fake.client = 99;
+          fake.request_id = 1;
+          fake.op = bytes_of("evil");
+          broadcast(kMinBftCh, MinBftReplica::encode_prepare_for_test(
+                                   *usigs, id(), 0, fake));
+        });
+      }
+    }
+  };
+
+  auto& byz = c.world.spawn<Disruptor>();
+  byz.usigs = &c.usigs;
+  c.world.mark_byzantine(byz.id());
+  // The disruptor is NOT in the replica set; also corrupt replica 2 by
+  // crashing it (worst allowed: f=1 fault total... use the disruptor as
+  // the fault and keep all replicas up).
+  for (int k = 0; k < 4; ++k)
+    c.clients[0]->submit(KvStateMachine::put_op("k" + std::to_string(k), "v"));
+  c.world.start();
+  c.world.run_to_quiescence();
+  EXPECT_EQ(c.clients[0]->completed(), 4u);
+  c.expect_consistent("disruptor");
+  for (auto* r : c.replicas) {
+    EXPECT_EQ(r->executed_count(), 4u);
+    for (const ExecutionRecord& rec : r->execution_log())
+      EXPECT_NE(rec.command.op, bytes_of("evil"));
+  }
+}
+
+TEST(MinBft, EquivocatingPrimaryCannotForkTheLog) {
+  // A Byzantine primary (replica 0) proposes DIFFERENT commands to the two
+  // backups. The USIG makes counter reuse impossible, so the conflicting
+  // proposals occupy different counters; whatever subset commits, the two
+  // correct replicas' logs must stay prefix-consistent.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::World world(seed, std::make_unique<sim::RandomDelayAdversary>(1, 8));
+    SgxUsigDirectory usigs(world.keys());
+    MinBftReplica::Options options;
+    options.f = 1;
+    options.replicas = {0, 1, 2};
+    options.view_change_timeout = 100;
+
+    class EquivocatingPrimary final : public sim::Process {
+     public:
+      UsigDirectory* usigs = nullptr;
+      void on_start() override {
+        Command left;
+        left.client = 50;
+        left.request_id = 1;
+        left.op = KvStateMachine::put_op("k", "left");
+        Command right;
+        right.client = 50;
+        right.request_id = 2;
+        right.op = KvStateMachine::put_op("k", "right");
+        // Counter 1 → replica 1 only; counter 2 → replica 2 only.
+        send(1, kMinBftCh, MinBftReplica::encode_prepare_for_test(
+                               *usigs, id(), 0, left));
+        send(2, kMinBftCh, MinBftReplica::encode_prepare_for_test(
+                               *usigs, id(), 0, right));
+      }
+    };
+
+    auto& byz = world.spawn<EquivocatingPrimary>();
+    byz.usigs = &usigs;
+    world.mark_byzantine(byz.id());
+    std::vector<MinBftReplica*> backups;
+    for (ProcessId i = 1; i <= 2; ++i)
+      backups.push_back(&world.spawn<MinBftReplica>(
+          options, usigs, std::make_unique<KvStateMachine>()));
+    world.start();
+    world.run_to_quiescence();
+
+    std::vector<std::pair<ProcessId, const std::vector<ExecutionRecord>*>>
+        logs;
+    for (auto* r : backups) logs.emplace_back(r->id(), &r->execution_log());
+    const auto divergence = check_execution_consistency(logs);
+    EXPECT_FALSE(divergence.has_value()) << *divergence << " seed " << seed;
+  }
+}
+
+// ---- the USIG provider is interchangeable (the paper's class claim) ---------
+
+TEST(UsigDirectory, TrincBackedCreateVerify) {
+  crypto::KeyRegistry keys;
+  TrincUsigDirectory usigs(keys);
+  const Bytes msg = bytes_of("PREPARE v=0");
+  const auto ui = usigs.create_ui(3, msg);
+  EXPECT_EQ(ui.counter, 1u);
+  EXPECT_TRUE(usigs.verify(3, ui, msg));
+  EXPECT_FALSE(usigs.verify(3, ui, bytes_of("other")));
+  EXPECT_FALSE(usigs.verify(4, ui, msg));
+  const auto ui2 = usigs.create_ui(3, msg);
+  EXPECT_EQ(ui2.counter, 2u);
+  EXPECT_TRUE(usigs.verify(3, ui2, msg));
+}
+
+TEST(UsigDirectory, TrincBackedRejectsCounterRelabel) {
+  crypto::KeyRegistry keys;
+  TrincUsigDirectory usigs(keys);
+  const Bytes msg = bytes_of("m");
+  auto ui = usigs.create_ui(0, msg);
+  ui.counter = 9;
+  EXPECT_FALSE(usigs.verify(0, ui, msg));
+  ui.counter = 0;
+  EXPECT_FALSE(usigs.verify(0, ui, msg));
+}
+
+TEST(MinBft, RunsUnchangedOverTrincBackedUsig) {
+  // The whole point of the paper's trusted-log class: swap SGX for TrInc
+  // and nothing above the USIG interface changes.
+  sim::World world(31, std::make_unique<sim::RandomDelayAdversary>(1, 10));
+  TrincUsigDirectory usigs(world.keys());
+  MinBftReplica::Options options;
+  options.f = 1;
+  options.replicas = {0, 1, 2};
+  std::vector<MinBftReplica*> replicas;
+  for (int i = 0; i < 3; ++i)
+    replicas.push_back(&world.spawn<MinBftReplica>(
+        options, usigs, std::make_unique<KvStateMachine>()));
+  SmrClient::Options copt;
+  copt.replicas = options.replicas;
+  copt.f = 1;
+  auto& client = world.spawn<SmrClient>(copt);
+  for (int k = 0; k < 5; ++k)
+    client.submit(KvStateMachine::put_op("k" + std::to_string(k), "v"));
+  world.start();
+  // Exercise the view change on TrInc UIs too.
+  world.run_until([&] { return client.completed() >= 2; });
+  world.crash(0);
+  world.run_to_quiescence();
+  EXPECT_EQ(client.completed(), 5u);
+  std::vector<std::pair<ProcessId, const std::vector<ExecutionRecord>*>> logs;
+  for (auto* r : replicas)
+    if (world.correct(r->id()))
+      logs.emplace_back(r->id(), &r->execution_log());
+  EXPECT_FALSE(check_execution_consistency(logs).has_value());
+}
+
+TEST(MinBft, PipelinedClientCompletesAllRequestsConsistently) {
+  Cluster c(3, 1, 0, 37);
+  SmrClient::Options copt;
+  copt.replicas = {0, 1, 2};
+  copt.f = 1;
+  copt.max_outstanding = 8;
+  auto& client = c.world.spawn<SmrClient>(copt);
+  for (int k = 0; k < 24; ++k)
+    client.submit(KvStateMachine::put_op("k" + std::to_string(k % 5),
+                                         "v" + std::to_string(k)));
+  c.world.start();
+  c.world.run_to_quiescence();
+  EXPECT_EQ(client.completed(), 24u);
+  EXPECT_EQ(client.outstanding(), 0u);
+  c.expect_consistent("pipelined");
+  for (auto* r : c.replicas) EXPECT_EQ(r->executed_count(), 24u);
+}
+
+TEST(MinBft, ConservativeCommitQuorumStillSafeAndLive) {
+  MinBftReplica::Options extra;
+  extra.commit_quorum = 3;  // all of n=3 — the conservative-quorum ablation
+  Cluster c(3, 1, 1, 41, 10, extra);
+  for (int k = 0; k < 4; ++k)
+    c.clients[0]->submit(KvStateMachine::put_op("k" + std::to_string(k), "v"));
+  c.world.start();
+  c.world.run_to_quiescence();
+  EXPECT_EQ(c.clients[0]->completed(), 4u);
+  c.expect_consistent("conservative quorum");
+}
+
+TEST(MinBft, CommitQuorumBoundsValidated) {
+  sim::World world(1, std::make_unique<sim::ImmediateAdversary>());
+  SgxUsigDirectory usigs(world.keys());
+  MinBftReplica::Options options;
+  options.f = 1;
+  options.replicas = {0, 1, 2};
+  options.commit_quorum = 1;  // below f+1
+  EXPECT_THROW(world.spawn<MinBftReplica>(options, usigs,
+                                          std::make_unique<KvStateMachine>()),
+               std::invalid_argument);
+  options.commit_quorum = 4;  // above n
+  EXPECT_THROW(world.spawn<MinBftReplica>(options, usigs,
+                                          std::make_unique<KvStateMachine>()),
+               std::invalid_argument);
+}
+
+TEST(MinBft, SurvivesPartialSynchronyChaosBeforeGst) {
+  // True partial synchrony: before GST messages straggle up to ~200 ticks,
+  // far beyond the 100-tick view-change timeout — spurious view changes
+  // WILL fire. After GST (delta=5) everything must stabilize: all
+  // requests complete, logs consistent.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sim::World world(seed,
+                     std::make_unique<sim::GstAdversary>(
+                         /*gst=*/500, /*delta=*/5, /*pre extra=*/200));
+    SgxUsigDirectory usigs(world.keys());
+    MinBftReplica::Options options;
+    options.f = 1;
+    options.replicas = {0, 1, 2};
+    options.view_change_timeout = 100;
+    std::vector<MinBftReplica*> replicas;
+    for (int i = 0; i < 3; ++i)
+      replicas.push_back(&world.spawn<MinBftReplica>(
+          options, usigs, std::make_unique<KvStateMachine>()));
+    SmrClient::Options copt;
+    copt.replicas = options.replicas;
+    copt.f = 1;
+    copt.resend_timeout = 150;
+    auto& client = world.spawn<SmrClient>(copt);
+    for (int k = 0; k < 5; ++k)
+      client.submit(KvStateMachine::put_op("k" + std::to_string(k), "v"));
+    world.start();
+    world.run_to_quiescence();
+    EXPECT_EQ(client.completed(), 5u) << "seed " << seed;
+    std::vector<std::pair<ProcessId, const std::vector<ExecutionRecord>*>>
+        logs;
+    for (auto* r : replicas) logs.emplace_back(r->id(), &r->execution_log());
+    const auto divergence = check_execution_consistency(logs);
+    EXPECT_FALSE(divergence.has_value()) << *divergence << " seed " << seed;
+  }
+}
+
+TEST(MinBft, RejectsTooSmallReplicaGroups) {
+  sim::World world(1, std::make_unique<sim::ImmediateAdversary>());
+  SgxUsigDirectory usigs(world.keys());
+  MinBftReplica::Options options;
+  options.f = 1;
+  options.replicas = {0, 1};  // n=2 < 2f+1
+  EXPECT_THROW(world.spawn<MinBftReplica>(options, usigs,
+                                          std::make_unique<KvStateMachine>()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace unidir::agreement

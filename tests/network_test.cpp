@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "sim/adversaries.h"
+#include "sim/world.h"
+
+namespace unidir::sim {
+namespace {
+
+constexpr Channel kPing = 1;
+constexpr Channel kPong = 2;
+
+/// Replies kPong to every kPing; counts what it sees.
+class Echo final : public Process {
+ public:
+  int pings = 0;
+  int pongs = 0;
+
+  void ping(ProcessId to) { send(to, kPing, bytes_of("ping")); }
+
+ protected:
+  void on_message(ProcessId from, Channel channel, const Bytes&) override {
+    if (channel == kPing) {
+      ++pings;
+      send(from, kPong, bytes_of("pong"));
+    } else if (channel == kPong) {
+      ++pongs;
+    }
+  }
+};
+
+TEST(Network, PingPongWithImmediateDelivery) {
+  World w(1, std::make_unique<ImmediateAdversary>());
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  w.start();
+  w.run_to_quiescence();
+  a.ping(b.id());
+  w.run_to_quiescence();
+  EXPECT_EQ(b.pings, 1);
+  EXPECT_EQ(a.pongs, 1);
+}
+
+TEST(Network, BroadcastReachesAllButSelf) {
+  World w(1, std::make_unique<ImmediateAdversary>());
+  std::vector<Echo*> ps;
+  for (int i = 0; i < 5; ++i) ps.push_back(&w.spawn<Echo>());
+  w.start();
+  ps[0]->broadcast(kPing, bytes_of("ping"));
+  w.run_to_quiescence();
+  EXPECT_EQ(ps[0]->pings, 0);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(ps[static_cast<std::size_t>(i)]->pings, 1);
+  EXPECT_EQ(ps[0]->pongs, 4);
+}
+
+TEST(Network, CrashedProcessSendsAndReceivesNothing) {
+  World w(1, std::make_unique<ImmediateAdversary>());
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  w.start();
+  w.crash(b.id());
+  a.ping(b.id());
+  w.run_to_quiescence();
+  EXPECT_EQ(b.pings, 0);
+  EXPECT_EQ(a.pongs, 0);
+  EXPECT_EQ(w.network().stats().messages_dropped, 1u);
+}
+
+TEST(Network, CrashMidFlightDropsAtDelivery) {
+  World w(1, std::make_unique<ImmediateAdversary>(/*delay=*/10));
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  w.start();
+  a.ping(b.id());  // will arrive at t=10
+  w.simulator().run_to_time(5);
+  w.crash(b.id());
+  w.run_to_quiescence();
+  EXPECT_EQ(b.pings, 0);
+}
+
+TEST(Network, RandomDelayStaysInBounds) {
+  World w(99, std::make_unique<RandomDelayAdversary>(2, 9));
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  w.start();
+  for (int i = 0; i < 50; ++i) a.ping(b.id());
+  // All pings sent at t=0 must arrive within [2, 9].
+  w.simulator().run_to_time(9);
+  EXPECT_EQ(b.pings, 50);
+}
+
+TEST(Network, PartitionHoldsAndFlushDelivers) {
+  auto adversary = std::make_unique<PartitionAdversary>();
+  PartitionAdversary* part = adversary.get();
+  World w(7, std::move(adversary));
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  w.start();
+
+  part->block_bidirectional({a.id()}, {b.id()});
+  a.ping(b.id());
+  w.run_to_quiescence();
+  EXPECT_EQ(b.pings, 0);
+  EXPECT_EQ(w.network().stats().messages_held, 1u);
+
+  part->clear();
+  w.network().flush_held();
+  w.run_to_quiescence();
+  EXPECT_EQ(b.pings, 1);
+  EXPECT_EQ(a.pongs, 1);
+  EXPECT_EQ(w.network().stats().messages_held, 0u);
+}
+
+TEST(Network, PartitionIsDirectional) {
+  auto adversary = std::make_unique<PartitionAdversary>();
+  PartitionAdversary* part = adversary.get();
+  World w(7, std::move(adversary));
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  w.start();
+
+  part->block({a.id()}, {b.id()});  // only a→b blocked
+  a.ping(b.id());
+  b.ping(a.id());
+  w.run_to_quiescence();
+  EXPECT_EQ(b.pings, 0);  // a→b held
+  EXPECT_EQ(a.pings, 1);  // b→a delivered
+}
+
+TEST(Network, DropHeldDiscards) {
+  auto adversary = std::make_unique<PartitionAdversary>();
+  PartitionAdversary* part = adversary.get();
+  World w(7, std::move(adversary));
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  w.start();
+  part->block({a.id()}, {b.id()});
+  a.ping(b.id());
+  w.run_to_quiescence();
+  w.network().drop_held();
+  part->clear();
+  w.network().flush_held();
+  w.run_to_quiescence();
+  EXPECT_EQ(b.pings, 0);
+}
+
+TEST(Network, GstDeliversEverythingByGstPlusDelta) {
+  constexpr Time kGst = 100;
+  constexpr Time kDelta = 5;
+  World w(3, std::make_unique<GstAdversary>(kGst, kDelta, /*pre extra=*/200));
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  w.start();
+  for (int i = 0; i < 100; ++i) a.ping(b.id());  // all sent at t=0
+  w.simulator().run_to_time(kGst + kDelta);
+  EXPECT_EQ(b.pings, 100);
+}
+
+TEST(Network, GstBoundsDelaysAfterGst) {
+  constexpr Time kGst = 100;
+  constexpr Time kDelta = 5;
+  World w(3, std::make_unique<GstAdversary>(kGst, kDelta, 200));
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  w.start();
+  w.simulator().run_to_time(kGst);
+  for (int i = 0; i < 100; ++i) a.ping(b.id());  // sent exactly at GST
+  w.simulator().run_to_time(kGst + kDelta);
+  EXPECT_EQ(b.pings, 100);
+}
+
+TEST(Network, ScriptedAdversaryControlsEachMessage) {
+  // Deliver even-numbered messages instantly, hold odd ones.
+  auto script = [](const Envelope& env, Rng&) -> std::optional<Time> {
+    if (env.id % 2 == 0) return Time{1};
+    return std::nullopt;
+  };
+  World w(5, std::make_unique<ScriptedAdversary>(script));
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  w.start();
+  for (int i = 0; i < 10; ++i) a.ping(b.id());
+  w.run_to_quiescence();
+  // Envelope ids 1..10; 5 even ids delivered; their 5 pongs have ids 11..15
+  // of which those with even ids deliver.
+  EXPECT_EQ(b.pings, 5);
+}
+
+TEST(Network, StatsCountSendsAndBytes) {
+  World w(1, std::make_unique<ImmediateAdversary>());
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  w.start();
+  a.ping(b.id());
+  w.run_to_quiescence();
+  const NetworkStats& s = w.network().stats();
+  EXPECT_EQ(s.messages_sent, 2u);  // ping + pong
+  EXPECT_EQ(s.messages_delivered, 2u);
+  EXPECT_EQ(s.bytes_sent, 8u);  // "ping" + "pong"
+}
+
+TEST(Network, DeterministicAcrossRunsWithSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    World w(seed, std::make_unique<RandomDelayAdversary>(1, 50));
+    auto& a = w.spawn<Echo>();
+    auto& b = w.spawn<Echo>();
+    w.start();
+    for (int i = 0; i < 20; ++i) a.ping(b.id());
+    w.run_to_quiescence();
+    return w.simulator().now();
+  };
+  EXPECT_EQ(run_once(1234), run_once(1234));
+  EXPECT_NE(run_once(1234), run_once(5678));
+}
+
+TEST(World, SpawnAssignsSequentialIdsAndKeys) {
+  World w(1, std::make_unique<ImmediateAdversary>());
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  EXPECT_EQ(a.id(), 0u);
+  EXPECT_EQ(b.id(), 1u);
+  EXPECT_NE(w.key_of(0), w.key_of(1));
+  EXPECT_EQ(w.owner_of(w.key_of(1)), 1u);
+  EXPECT_EQ(w.owner_of(424242), kNoProcess);
+}
+
+TEST(World, CorrectnessBookkeeping) {
+  World w(1, std::make_unique<ImmediateAdversary>());
+  (void)w.spawn<Echo>();
+  (void)w.spawn<Echo>();
+  (void)w.spawn<Echo>();
+  w.mark_byzantine(0);
+  w.crash(1);
+  EXPECT_FALSE(w.correct(0));
+  EXPECT_FALSE(w.correct(1));
+  EXPECT_TRUE(w.correct(2));
+  EXPECT_EQ(w.correct_ids(), std::vector<ProcessId>{2});
+  EXPECT_EQ(w.fault_count(), 2u);
+}
+
+TEST(World, TimersSuppressedAfterCrash) {
+  World w(1, std::make_unique<ImmediateAdversary>());
+  auto& a = w.spawn<Echo>();
+  w.start();
+  int fired = 0;
+  a.set_timer(10, [&] { ++fired; });
+  w.crash(a.id());
+  w.run_to_quiescence();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(World, ChannelHandlersTakePriority) {
+  World w(1, std::make_unique<ImmediateAdversary>());
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  int handled = 0;
+  b.register_channel(kPing, [&](ProcessId, const Bytes&) { ++handled; });
+  w.start();
+  a.ping(b.id());
+  w.run_to_quiescence();
+  EXPECT_EQ(handled, 1);
+  EXPECT_EQ(b.pings, 0);  // virtual on_message bypassed
+}
+
+TEST(World, DuplicateChannelHandlerRejected) {
+  World w(1, std::make_unique<ImmediateAdversary>());
+  auto& a = w.spawn<Echo>();
+  a.register_channel(kPing, [](ProcessId, const Bytes&) {});
+  EXPECT_THROW(a.register_channel(kPing, [](ProcessId, const Bytes&) {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace unidir::sim

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "shmem/peats.h"
+
+namespace unidir::shmem {
+namespace {
+
+Tuple tup(std::initializer_list<std::string_view> fields) {
+  Tuple t;
+  for (auto f : fields) t.push_back(bytes_of(f));
+  return t;
+}
+
+TEST(TupleTemplate, ExactMatch) {
+  const TupleTemplate pattern{{bytes_of("a"), bytes_of("b")}};
+  EXPECT_TRUE(pattern.matches(tup({"a", "b"})));
+  EXPECT_FALSE(pattern.matches(tup({"a", "c"})));
+}
+
+TEST(TupleTemplate, WildcardsMatchAnything) {
+  TupleTemplate pattern = TupleTemplate::any(2);
+  EXPECT_TRUE(pattern.matches(tup({"x", "y"})));
+  EXPECT_FALSE(pattern.matches(tup({"x"})));  // arity mismatch
+  EXPECT_FALSE(pattern.matches(tup({"x", "y", "z"})));
+}
+
+TEST(TupleTemplate, TaggedFixesFirstField) {
+  TupleTemplate pattern = TupleTemplate::tagged(bytes_of("vote"), 3);
+  EXPECT_TRUE(pattern.matches(tup({"vote", "1", "yes"})));
+  EXPECT_FALSE(pattern.matches(tup({"veto", "1", "yes"})));
+}
+
+TEST(Peats, OutThenRdp) {
+  Peats space;
+  EXPECT_TRUE(space.out(0, tup({"k", "v"})));
+  const auto got = space.rdp(1, TupleTemplate::tagged(bytes_of("k"), 2));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, tup({"k", "v"}));
+  EXPECT_EQ(space.size(), 1u);  // rdp is non-destructive
+}
+
+TEST(Peats, InpRemoves) {
+  Peats space;
+  EXPECT_TRUE(space.out(0, tup({"k", "v"})));
+  const auto got = space.inp(1, TupleTemplate::any(2));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(space.size(), 0u);
+  EXPECT_FALSE(space.rdp(1, TupleTemplate::any(2)).has_value());
+}
+
+TEST(Peats, MatchIsInsertionOrdered) {
+  Peats space;
+  EXPECT_TRUE(space.out(0, tup({"k", "first"})));
+  EXPECT_TRUE(space.out(0, tup({"k", "second"})));
+  EXPECT_EQ(*space.rdp(0, TupleTemplate::tagged(bytes_of("k"), 2)),
+            tup({"k", "first"}));
+  EXPECT_EQ(*space.inp(0, TupleTemplate::tagged(bytes_of("k"), 2)),
+            tup({"k", "first"}));
+  EXPECT_EQ(*space.rdp(0, TupleTemplate::tagged(bytes_of("k"), 2)),
+            tup({"k", "second"}));
+}
+
+TEST(Peats, CasInsertsWhenNoMatch) {
+  Peats space;
+  const auto prior = space.cas(0, TupleTemplate::tagged(bytes_of("lock"), 2),
+                               tup({"lock", "p0"}));
+  EXPECT_FALSE(prior.has_value());
+  EXPECT_EQ(space.size(), 1u);
+}
+
+TEST(Peats, CasReturnsExistingWithoutInserting) {
+  Peats space;
+  EXPECT_TRUE(space.out(0, tup({"lock", "p0"})));
+  const auto prior = space.cas(1, TupleTemplate::tagged(bytes_of("lock"), 2),
+                               tup({"lock", "p1"}));
+  ASSERT_TRUE(prior.has_value());
+  EXPECT_EQ(*prior, tup({"lock", "p0"}));
+  EXPECT_EQ(space.size(), 1u);  // p1's tuple was not inserted
+}
+
+TEST(Peats, SingleWriterPolicy) {
+  Peats space(Peats::single_writer(2));
+  EXPECT_FALSE(space.out(0, tup({"k", "v"})));
+  EXPECT_TRUE(space.out(2, tup({"k", "v"})));
+  EXPECT_TRUE(space.rdp(0, TupleTemplate::any(2)).has_value());  // reads open
+  EXPECT_FALSE(space.inp(2, TupleTemplate::any(2)).has_value());  // no removal
+  EXPECT_EQ(space.size(), 1u);
+}
+
+TEST(Peats, OneOutPerProcessPolicy) {
+  Peats space(Peats::one_out_per_process());
+  // Must tag the tuple with own id.
+  EXPECT_FALSE(space.out(1, tup({"0", "value"})));
+  EXPECT_TRUE(space.out(1, tup({"1", "value"})));
+  // Second out by the same process denied — state-dependent policy.
+  EXPECT_FALSE(space.out(1, tup({"1", "other"})));
+  EXPECT_TRUE(space.out(2, tup({"2", "value"})));
+  EXPECT_EQ(space.size(), 2u);
+}
+
+TEST(Peats, BothCombinatorIsConjunction) {
+  int calls = 0;
+  PeatsPolicy count_calls = [&calls](const PeatsRequest&, const Peats&) {
+    ++calls;
+    return true;
+  };
+  Peats space(Peats::both(count_calls, Peats::single_writer(0)));
+  EXPECT_TRUE(space.out(0, tup({"k"})));
+  EXPECT_FALSE(space.out(1, tup({"k"})));
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Peats, RdpAllCollectsEveryMatchInOrder) {
+  Peats space;
+  EXPECT_TRUE(space.out(0, tup({"k", "1"})));
+  EXPECT_TRUE(space.out(0, tup({"j", "x"})));
+  EXPECT_TRUE(space.out(0, tup({"k", "2"})));
+  const auto all = space.rdp_all(1, TupleTemplate::tagged(bytes_of("k"), 2));
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], tup({"k", "1"}));
+  EXPECT_EQ(all[1], tup({"k", "2"}));
+  EXPECT_TRUE(space.rdp_all(1, TupleTemplate::tagged(bytes_of("z"), 2))
+                  .empty());
+}
+
+TEST(Peats, RdpAllRespectsPolicyDenial) {
+  // A policy that denies all reads: rdp_all returns empty, exactly like a
+  // no-match — same indistinguishability as rdp.
+  Peats space([](const PeatsRequest& req, const Peats&) {
+    return req.op == PeatsOp::Out;
+  });
+  EXPECT_TRUE(space.out(0, tup({"k", "v"})));
+  EXPECT_TRUE(space.rdp_all(0, TupleTemplate::any(2)).empty());
+}
+
+TEST(Peats, DenialAndNoMatchIndistinguishable) {
+  Peats space(Peats::single_writer(0));
+  EXPECT_TRUE(space.out(0, tup({"k", "v"})));
+  // inp is denied by policy; rdp with a non-matching template finds nothing.
+  // Both give nullopt — callers cannot distinguish.
+  EXPECT_EQ(space.inp(0, TupleTemplate::any(2)), std::nullopt);
+  EXPECT_EQ(space.rdp(0, TupleTemplate::tagged(bytes_of("zz"), 2)),
+            std::nullopt);
+}
+
+}  // namespace
+}  // namespace unidir::shmem

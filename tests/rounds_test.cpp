@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rounds/checkers.h"
+#include "rounds/msg_rounds.h"
+#include "rounds/shmem_uni_round.h"
+#include "sim/adversaries.h"
+#include "sim/world.h"
+
+namespace unidir::rounds {
+namespace {
+
+constexpr sim::Channel kRoundCh = 10;
+
+/// Drives `target` rounds back-to-back with whatever driver it is given.
+class RoundRunner final : public sim::Process {
+ public:
+  std::unique_ptr<RoundDriver> driver;
+  int target = 0;
+  Time start_delay = 0;
+
+ protected:
+  void on_start() override {
+    if (start_delay == 0) {
+      go();
+    } else {
+      set_timer(start_delay, [this] { go(); });
+    }
+  }
+
+ private:
+  void go() {
+    if (driver->completed_rounds() >= static_cast<RoundNum>(target)) return;
+    const auto r = driver->completed_rounds() + 1;
+    driver->start_round(bytes_of("p" + std::to_string(id()) + "-r" +
+                                 std::to_string(r)),
+                        [this](RoundNum, const std::vector<Received>&) {
+                          go();
+                        });
+  }
+};
+
+std::vector<ProcessHistory> histories(const std::vector<RoundRunner*>& runners,
+                                      const sim::World& w) {
+  std::vector<ProcessHistory> out;
+  for (const RoundRunner* r : runners)
+    if (w.correct(r->id())) out.push_back(history_of(r->id(), *r->driver));
+  return out;
+}
+
+// ---- shared-memory unidirectional rounds (paper §3.2) -----------------------
+
+struct ShmemUniCase {
+  std::size_t n;
+  int rounds;
+  std::uint64_t seed;
+  bool full_reads;
+};
+
+class ShmemUniRoundP : public ::testing::TestWithParam<ShmemUniCase> {};
+
+TEST_P(ShmemUniRoundP, UnidirectionalityHoldsOnEverySchedule) {
+  const auto& param = GetParam();
+  sim::World w(param.seed, std::make_unique<sim::ImmediateAdversary>());
+  shmem::MemoryHost memory(w.simulator(), sim::Rng(param.seed * 31 + 7),
+                           {.max_to_linearize = 5, .max_to_respond = 5});
+  memory.set_crashed([&w](ProcessId p) { return w.crashed(p); });
+  ShmemRoundBoard board(param.n);
+
+  std::vector<RoundRunner*> runners;
+  for (std::size_t i = 0; i < param.n; ++i) {
+    auto& r = w.spawn<RoundRunner>();
+    auto driver = std::make_unique<ShmemUniRoundDriver>(
+        memory, board, static_cast<ProcessId>(i));
+    driver->set_full_reads(param.full_reads);
+    r.driver = std::move(driver);
+    r.target = param.rounds;
+    runners.push_back(&r);
+  }
+  w.start();
+  w.run_to_quiescence();
+
+  for (const RoundRunner* r : runners)
+    EXPECT_EQ(r->driver->completed_rounds(),
+              static_cast<RoundNum>(param.rounds));
+
+  const auto violation = check_unidirectional(histories(runners, w));
+  EXPECT_FALSE(violation.has_value())
+      << violation->describe() << " (seed " << param.seed << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShmemUniRoundP,
+    ::testing::Values(
+        ShmemUniCase{2, 10, 1, true}, ShmemUniCase{2, 10, 2, true},
+        ShmemUniCase{3, 8, 3, true}, ShmemUniCase{3, 8, 4, true},
+        ShmemUniCase{5, 6, 5, true}, ShmemUniCase{5, 6, 6, true},
+        ShmemUniCase{7, 5, 7, true}, ShmemUniCase{7, 5, 8, true},
+        ShmemUniCase{4, 10, 9, false}, ShmemUniCase{4, 10, 10, false},
+        ShmemUniCase{6, 6, 11, false}, ShmemUniCase{8, 4, 12, false}));
+
+TEST(ShmemUniRound, MessagesCarrySenderContent) {
+  sim::World w(42, std::make_unique<sim::ImmediateAdversary>());
+  shmem::MemoryHost memory(w.simulator(), sim::Rng(43));
+  ShmemRoundBoard board(3);
+  std::vector<RoundRunner*> runners;
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto& r = w.spawn<RoundRunner>();
+    r.driver = std::make_unique<ShmemUniRoundDriver>(
+        memory, board, static_cast<ProcessId>(i));
+    r.target = 3;
+    runners.push_back(&r);
+  }
+  w.start();
+  w.run_to_quiescence();
+  // Every received message must be exactly what the sender sent in that round.
+  for (const RoundRunner* r : runners) {
+    for (const RoundRecord& rec : r->driver->history()) {
+      for (const Received& got : rec.received) {
+        const auto& sender_hist = runners[got.from]->driver->history();
+        ASSERT_GE(sender_hist.size(), rec.round);
+        EXPECT_EQ(got.message, sender_hist[rec.round - 1].sent);
+      }
+    }
+  }
+}
+
+TEST(ShmemUniRound, SlowProcessStillSatisfiesUnidirectionality) {
+  // One process starts its rounds much later; for every common round the
+  // laggard must read the fast processes' old entries.
+  sim::World w(7, std::make_unique<sim::ImmediateAdversary>());
+  shmem::MemoryHost memory(w.simulator(), sim::Rng(8));
+  ShmemRoundBoard board(3);
+  std::vector<RoundRunner*> runners;
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto& r = w.spawn<RoundRunner>();
+    r.driver = std::make_unique<ShmemUniRoundDriver>(
+        memory, board, static_cast<ProcessId>(i));
+    r.target = 5;
+    if (i == 2) r.start_delay = 500;  // long after the others finished
+    runners.push_back(&r);
+  }
+  w.start();
+  w.run_to_quiescence();
+  EXPECT_EQ(runners[2]->driver->completed_rounds(), 5u);
+  EXPECT_FALSE(check_unidirectional(histories(runners, w)).has_value());
+  // The laggard in fact received *everything*: others' appends linearized
+  // long before its reads.
+  for (const RoundRecord& rec : runners[2]->driver->history())
+    EXPECT_EQ(rec.received.size(), 2u) << "round " << rec.round;
+}
+
+TEST(ShmemUniRound, IncrementalAndFullReadsObserveSameRounds) {
+  auto run = [](bool full) {
+    sim::World w(99, std::make_unique<sim::ImmediateAdversary>());
+    shmem::MemoryHost memory(w.simulator(), sim::Rng(100));
+    ShmemRoundBoard board(4);
+    std::vector<RoundRunner*> runners;
+    for (std::size_t i = 0; i < 4; ++i) {
+      auto& r = w.spawn<RoundRunner>();
+      auto d = std::make_unique<ShmemUniRoundDriver>(
+          memory, board, static_cast<ProcessId>(i));
+      d->set_full_reads(full);
+      r.driver = std::move(d);
+      r.target = 6;
+      runners.push_back(&r);
+    }
+    w.start();
+    w.run_to_quiescence();
+    std::vector<std::vector<RoundRecord>> hist;
+    for (auto* r : runners) hist.push_back(r->driver->history());
+    return hist;
+  };
+  // Identical seeds → identical linearization schedule → identical views.
+  EXPECT_EQ(run(true).size(), run(false).size());
+  const auto full = run(true);
+  const auto incr = run(false);
+  for (std::size_t i = 0; i < full.size(); ++i)
+    for (std::size_t r = 0; r < full[i].size(); ++r)
+      EXPECT_EQ(full[i][r].received, incr[i][r].received)
+          << "process " << i << " round " << r + 1;
+}
+
+TEST(ShmemUniRound, StartingTwoRoundsAtOnceRejected) {
+  sim::World w(1, std::make_unique<sim::ImmediateAdversary>());
+  shmem::MemoryHost memory(w.simulator(), sim::Rng(2));
+  ShmemRoundBoard board(1);
+  ShmemUniRoundDriver driver(memory, board, 0);
+  driver.start_round(bytes_of("a"), nullptr);
+  EXPECT_THROW(driver.start_round(bytes_of("b"), nullptr),
+               std::invalid_argument);
+}
+
+// ---- zero-directional rounds -------------------------------------------------
+
+TEST(AsyncZeroRound, TerminatesWithFSilentProcesses) {
+  constexpr std::size_t kN = 7;
+  constexpr std::size_t kF = 3;
+  sim::World w(5, std::make_unique<sim::RandomDelayAdversary>(1, 10));
+  std::vector<RoundRunner*> runners;
+  for (std::size_t i = 0; i < kN; ++i) {
+    auto& r = w.spawn<RoundRunner>();
+    r.driver = std::make_unique<AsyncZeroRoundDriver>(r, kRoundCh, kN, kF);
+    r.target = (i < kN - kF) ? 5 : 0;  // the last f processes never send
+    runners.push_back(&r);
+  }
+  for (std::size_t i = kN - kF; i < kN; ++i) w.crash(runners[i]->id());
+  w.start();
+  w.run_to_quiescence();
+  for (std::size_t i = 0; i < kN - kF; ++i)
+    EXPECT_EQ(runners[i]->driver->completed_rounds(), 5u) << "process " << i;
+}
+
+TEST(AsyncZeroRound, PartitionYieldsZeroDirectionality) {
+  // n=4, f=2: split into {0,1} | {2,3}. Each side reaches its n−f = 2
+  // quorum locally, so rounds end with no cross-partition reception — the
+  // unidirectionality checker must find a violation. This is the
+  // excutable content of "asynchrony is only zero-directional".
+  constexpr std::size_t kN = 4;
+  constexpr std::size_t kF = 2;
+  auto adversary = std::make_unique<sim::PartitionAdversary>();
+  auto* part = adversary.get();
+  sim::World w(11, std::move(adversary));
+  std::vector<RoundRunner*> runners;
+  for (std::size_t i = 0; i < kN; ++i) {
+    auto& r = w.spawn<RoundRunner>();
+    r.driver = std::make_unique<AsyncZeroRoundDriver>(r, kRoundCh, kN, kF);
+    r.target = 3;
+    runners.push_back(&r);
+  }
+  part->block_bidirectional({0, 1}, {2, 3});
+  w.start();
+  w.run_to_quiescence();
+  for (auto* r : runners) EXPECT_EQ(r->driver->completed_rounds(), 3u);
+  const auto violation = check_unidirectional(histories(runners, w));
+  ASSERT_TRUE(violation.has_value());
+  // The violating pair straddles the partition.
+  EXPECT_NE((violation->p < 2), (violation->q < 2));
+}
+
+TEST(AsyncZeroRound, ByzantineDuplicatesCountOnce) {
+  // A Byzantine process sends three different round-1 messages; only the
+  // first is kept, and the quorum is not inflated.
+  constexpr std::size_t kN = 4;
+  constexpr std::size_t kF = 1;
+
+  class Spammer final : public sim::Process {
+   protected:
+    void on_start() override {
+      for (int i = 0; i < 3; ++i)
+        broadcast(kRoundCh,
+                  serde::encode(RoundMsg{1, bytes_of("spam" +
+                                                     std::to_string(i))}));
+    }
+  };
+
+  sim::World w(3, std::make_unique<sim::ImmediateAdversary>());
+  // Spawn the spammer first so its burst is delivered before the correct
+  // processes reach their quorum — the duplicates are then live, not late.
+  auto& spammer = w.spawn<Spammer>();
+  w.mark_byzantine(spammer.id());
+  std::vector<RoundRunner*> runners;
+  for (std::size_t i = 0; i + 1 < kN; ++i) {
+    auto& r = w.spawn<RoundRunner>();
+    r.driver = std::make_unique<AsyncZeroRoundDriver>(r, kRoundCh, kN, kF);
+    r.target = 1;
+    runners.push_back(&r);
+  }
+  w.start();
+  w.run_to_quiescence();
+  for (auto* r : runners) {
+    ASSERT_EQ(r->driver->completed_rounds(), 1u);
+    const auto& rec = r->driver->history()[0];
+    int from_spammer = 0;
+    for (const auto& got : rec.received)
+      if (got.from == spammer.id()) ++from_spammer;
+    EXPECT_EQ(from_spammer, 1);
+    // First spam message wins.
+    for (const auto& got : rec.received) {
+      if (got.from == spammer.id()) {
+        EXPECT_EQ(got.message, bytes_of("spam0"));
+      }
+    }
+  }
+}
+
+TEST(AsyncZeroRound, MalformedMessagesDropped) {
+  constexpr std::size_t kN = 3;
+
+  class Garbler final : public sim::Process {
+   protected:
+    void on_start() override {
+      broadcast(kRoundCh, Bytes{0xFF, 0xFF, 0xFF, 0xFF});
+    }
+  };
+
+  sim::World w(3, std::make_unique<sim::ImmediateAdversary>());
+  std::vector<RoundRunner*> runners;
+  for (std::size_t i = 0; i + 1 < kN; ++i) {
+    auto& r = w.spawn<RoundRunner>();
+    r.driver = std::make_unique<AsyncZeroRoundDriver>(r, kRoundCh, kN, 1);
+    r.target = 1;
+    runners.push_back(&r);
+  }
+  auto& g = w.spawn<Garbler>();
+  w.mark_byzantine(g.id());
+  w.start();
+  w.run_to_quiescence();
+  for (auto* r : runners) {
+    ASSERT_EQ(r->driver->completed_rounds(), 1u);
+    for (const auto& got : r->driver->history()[0].received)
+      EXPECT_NE(got.from, g.id());
+  }
+}
+
+// ---- lock-step bidirectional rounds -----------------------------------------
+
+TEST(LockstepBiRound, BidirectionalityUnderBoundedDelay) {
+  constexpr Time kDelta = 5;
+  constexpr Time kRoundLen = kDelta + 1;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    sim::World w(seed, std::make_unique<sim::RandomDelayAdversary>(1, kDelta));
+    std::vector<RoundRunner*> runners;
+    for (std::size_t i = 0; i < 4; ++i) {
+      auto& r = w.spawn<RoundRunner>();
+      r.driver = std::make_unique<LockstepBiRoundDriver>(r, kRoundCh, kRoundLen);
+      r.target = 5;
+      runners.push_back(&r);
+    }
+    w.start();
+    w.run_to_quiescence();
+    for (auto* r : runners) EXPECT_EQ(r->driver->completed_rounds(), 5u);
+    const auto violation = check_bidirectional(histories(runners, w));
+    EXPECT_FALSE(violation.has_value())
+        << violation->describe() << " (seed " << seed << ")";
+  }
+}
+
+TEST(LockstepBiRound, CrashedProcessDoesNotBreakOthers) {
+  constexpr Time kRoundLen = 6;
+  sim::World w(9, std::make_unique<sim::RandomDelayAdversary>(1, 5));
+  std::vector<RoundRunner*> runners;
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto& r = w.spawn<RoundRunner>();
+    r.driver = std::make_unique<LockstepBiRoundDriver>(r, kRoundCh, kRoundLen);
+    r.target = 4;
+    runners.push_back(&r);
+  }
+  w.crash(runners[0]->id());
+  w.start();
+  w.run_to_quiescence();
+  EXPECT_EQ(runners[0]->driver->completed_rounds(), 0u);
+  for (std::size_t i = 1; i < 3; ++i)
+    EXPECT_EQ(runners[i]->driver->completed_rounds(), 4u);
+  EXPECT_FALSE(
+      check_bidirectional(histories(runners, w)).has_value());
+}
+
+// ---- Δ-synchronous rounds ------------------------------------------------------
+
+TEST(DeltaSyncRound, TwoDeltaWaitGivesUnidirectionality) {
+  // The paper: in the Δ-synchronous model *without* synchronized clocks,
+  // waiting 2Δ per round guarantees unidirectional (not bidirectional)
+  // communication. Stagger the start times to break clock alignment.
+  constexpr Time kDelta = 4;
+  for (std::uint64_t seed : {10u, 11u, 12u, 13u}) {
+    sim::World w(seed, std::make_unique<sim::RandomDelayAdversary>(1, kDelta));
+    std::vector<RoundRunner*> runners;
+    for (std::size_t i = 0; i < 4; ++i) {
+      auto& r = w.spawn<RoundRunner>();
+      r.driver = std::make_unique<DeltaSyncRoundDriver>(r, kRoundCh, 2 * kDelta);
+      r.target = 5;
+      r.start_delay = (i * 3) % 7;  // desynchronized starts
+      runners.push_back(&r);
+    }
+    w.start();
+    w.run_to_quiescence();
+    const auto violation = check_unidirectional(histories(runners, w));
+    EXPECT_FALSE(violation.has_value())
+        << violation->describe() << " (seed " << seed << ")";
+  }
+}
+
+TEST(DeltaSyncRound, ShortWaitCanViolateUnidirectionality) {
+  // Waiting less than Δ lets two staggered processes miss each other in
+  // both directions; some seed exhibits it.
+  constexpr Time kDelta = 8;
+  bool violated = false;
+  for (std::uint64_t seed = 0; seed < 30 && !violated; ++seed) {
+    sim::World w(seed, std::make_unique<sim::RandomDelayAdversary>(
+                           kDelta / 2, kDelta));
+    std::vector<RoundRunner*> runners;
+    for (std::size_t i = 0; i < 2; ++i) {
+      auto& r = w.spawn<RoundRunner>();
+      r.driver = std::make_unique<DeltaSyncRoundDriver>(r, kRoundCh, 2);
+      r.target = 3;
+      runners.push_back(&r);
+    }
+    w.start();
+    w.run_to_quiescence();
+    violated = check_unidirectional(histories(runners, w)).has_value();
+  }
+  EXPECT_TRUE(violated);
+}
+
+}  // namespace
+}  // namespace unidir::rounds

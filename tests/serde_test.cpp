@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "common/serde.h"
+
+namespace unidir::serde {
+namespace {
+
+template <typename T>
+T round_trip(const T& v) {
+  return decode<T>(encode(v));
+}
+
+TEST(Serde, UnsignedVarints) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL,
+                          16384ULL, ~0ULL, 1ULL << 63}) {
+    EXPECT_EQ(round_trip(v), v) << v;
+  }
+}
+
+TEST(Serde, SignedVarints) {
+  const std::vector<std::int64_t> values = {
+      0, 1, -1, 63, -64, 1000000, -1000000,
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min()};
+  for (std::int64_t v : values) {
+    EXPECT_EQ(round_trip(v), v) << v;
+  }
+}
+
+TEST(Serde, VarintEncodingIsCompact) {
+  EXPECT_EQ(encode(std::uint64_t{0}).size(), 1u);
+  EXPECT_EQ(encode(std::uint64_t{127}).size(), 1u);
+  EXPECT_EQ(encode(std::uint64_t{128}).size(), 2u);
+  EXPECT_EQ(encode(~std::uint64_t{0}).size(), 10u);
+}
+
+TEST(Serde, NarrowIntegerRangeChecked) {
+  const Bytes wide = encode(std::uint64_t{300});
+  EXPECT_THROW(decode<std::uint8_t>(wide), DecodeError);
+  EXPECT_EQ(decode<std::uint16_t>(wide), 300u);
+}
+
+TEST(Serde, Booleans) {
+  EXPECT_EQ(round_trip(true), true);
+  EXPECT_EQ(round_trip(false), false);
+  EXPECT_THROW(decode<bool>(Bytes{2}), DecodeError);
+}
+
+TEST(Serde, BytesAndStrings) {
+  const Bytes b = {0, 1, 2, 255};
+  EXPECT_EQ(round_trip(b), b);
+  const std::string s = "sequenced reliable broadcast";
+  EXPECT_EQ(round_trip(s), s);
+  EXPECT_EQ(round_trip(std::string{}), "");
+}
+
+TEST(Serde, Vectors) {
+  const std::vector<std::uint64_t> v = {1, 2, 3, 1ULL << 40};
+  EXPECT_EQ(round_trip(v), v);
+  EXPECT_EQ(round_trip(std::vector<std::uint64_t>{}),
+            std::vector<std::uint64_t>{});
+}
+
+TEST(Serde, NestedContainers) {
+  const std::vector<std::vector<std::string>> v = {{"a", "b"}, {}, {"c"}};
+  EXPECT_EQ(round_trip(v), v);
+}
+
+TEST(Serde, Optionals) {
+  EXPECT_EQ(round_trip(std::optional<std::uint64_t>{42}),
+            std::optional<std::uint64_t>{42});
+  EXPECT_EQ(round_trip(std::optional<std::uint64_t>{}),
+            std::optional<std::uint64_t>{});
+}
+
+TEST(Serde, Pairs) {
+  const std::pair<std::string, std::uint64_t> p = {"seq", 7};
+  EXPECT_EQ(round_trip(p), p);
+}
+
+TEST(Serde, Maps) {
+  const std::map<std::uint32_t, std::string> m = {{1, "one"}, {2, "two"}};
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Serde, TruncatedInputRejected) {
+  Bytes enc = encode(std::string("hello"));
+  enc.pop_back();
+  EXPECT_THROW(decode<std::string>(enc), DecodeError);
+}
+
+TEST(Serde, TrailingGarbageRejected) {
+  Bytes enc = encode(std::uint64_t{5});
+  enc.push_back(0);
+  EXPECT_THROW(decode<std::uint64_t>(enc), DecodeError);
+}
+
+TEST(Serde, NonCanonicalVarintRejected) {
+  // 0x80 0x00 is a two-byte encoding of 0; the canonical one is 0x00.
+  const Bytes non_canonical = {0x80, 0x00};
+  EXPECT_THROW(decode<std::uint64_t>(non_canonical), DecodeError);
+}
+
+TEST(Serde, AbsurdVectorLengthRejectedBeforeAllocation) {
+  Writer w;
+  w.uvarint(1ULL << 40);  // claims 2^40 elements in a 6-byte buffer
+  EXPECT_THROW(decode<std::vector<std::uint64_t>>(w.buffer()), DecodeError);
+}
+
+TEST(Serde, DeterministicEncoding) {
+  const std::map<std::uint32_t, std::string> m = {{3, "c"}, {1, "a"}, {2, "b"}};
+  EXPECT_EQ(encode(m), encode(m));
+  // std::map iterates in key order, so insertion order cannot matter.
+  std::map<std::uint32_t, std::string> m2;
+  m2.emplace(1, "a");
+  m2.emplace(2, "b");
+  m2.emplace(3, "c");
+  EXPECT_EQ(encode(m), encode(m2));
+}
+
+struct Point {
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  bool operator==(const Point&) const = default;
+  void encode(Writer& w) const {
+    w.uvarint(x);
+    w.uvarint(y);
+  }
+  static Point decode(Reader& r) {
+    Point p;
+    p.x = r.uvarint();
+    p.y = r.uvarint();
+    return p;
+  }
+};
+
+TEST(Serde, UserTypesViaMemberFunctions) {
+  const Point p{10, 20};
+  EXPECT_EQ(round_trip(p), p);
+  const std::vector<Point> pts = {{1, 2}, {3, 4}};
+  EXPECT_EQ(round_trip(pts), pts);
+}
+
+}  // namespace
+}  // namespace unidir::serde

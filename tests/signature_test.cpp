@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/serde.h"
+#include "crypto/signature.h"
+
+namespace unidir::crypto {
+namespace {
+
+TEST(Signature, SignVerifyRoundTrip) {
+  KeyRegistry registry;
+  const Signer signer = registry.generate_key();
+  const Bytes msg = bytes_of("broadcast (1, m)");
+  const Signature sig = signer.sign(msg);
+  EXPECT_TRUE(registry.verify(sig, msg));
+}
+
+TEST(Signature, RejectsTamperedMessage) {
+  KeyRegistry registry;
+  const Signer signer = registry.generate_key();
+  const Signature sig = signer.sign(bytes_of("value v"));
+  EXPECT_FALSE(registry.verify(sig, bytes_of("value w")));
+}
+
+TEST(Signature, RejectsTamperedMac) {
+  KeyRegistry registry;
+  const Signer signer = registry.generate_key();
+  const Bytes msg = bytes_of("value v");
+  Signature sig = signer.sign(msg);
+  sig.mac[0] ^= 0x01;
+  EXPECT_FALSE(registry.verify(sig, msg));
+}
+
+TEST(Signature, RejectsWrongKeyClaim) {
+  // A Byzantine process relabelling its signature as another's must fail:
+  // the mac was computed under a different secret.
+  KeyRegistry registry;
+  const Signer alice = registry.generate_key();
+  const Signer bob = registry.generate_key();
+  const Bytes msg = bytes_of("equivocation attempt");
+  Signature sig = alice.sign(msg);
+  sig.key = bob.key();
+  EXPECT_FALSE(registry.verify(sig, msg));
+}
+
+TEST(Signature, RejectsUnknownKey) {
+  KeyRegistry registry;
+  Signature sig;
+  sig.key = 999;
+  sig.mac = Bytes(32, 0);
+  EXPECT_FALSE(registry.verify(sig, bytes_of("m")));
+}
+
+TEST(Signature, DistinctKeysProduceDistinctSignatures) {
+  KeyRegistry registry;
+  const Signer a = registry.generate_key();
+  const Signer b = registry.generate_key();
+  EXPECT_NE(a.key(), b.key());
+  const Bytes msg = bytes_of("m");
+  EXPECT_NE(a.sign(msg).mac, b.sign(msg).mac);
+}
+
+TEST(Signature, TransferableAcrossVerifiers) {
+  // Anyone holding the registry can verify — the "transferable" property.
+  KeyRegistry registry;
+  const Signer signer = registry.generate_key();
+  const Bytes msg = bytes_of("forwarded proof");
+  const Signature sig = signer.sign(msg);
+  // Simulate a chain of forwards: serialize, parse, verify.
+  const Bytes wire = serde::encode(sig);
+  const auto parsed = serde::decode<Signature>(wire);
+  EXPECT_EQ(parsed, sig);
+  EXPECT_TRUE(registry.verify(parsed, msg));
+}
+
+TEST(Signature, NullSignerThrows) {
+  const Signer s;
+  EXPECT_FALSE(s.valid());
+  EXPECT_THROW((void)s.sign(bytes_of("m")), std::invalid_argument);
+}
+
+TEST(Signature, SerdeRoundTrip) {
+  KeyRegistry registry;
+  const Signer signer = registry.generate_key();
+  const Signature sig = signer.sign(bytes_of("x"));
+  EXPECT_EQ(serde::decode<Signature>(serde::encode(sig)), sig);
+}
+
+TEST(Signature, DeterministicAcrossRegistriesWithSameHistory) {
+  // Whole-world reproducibility: two registries that generate keys in the
+  // same order produce identical signatures.
+  KeyRegistry r1;
+  KeyRegistry r2;
+  const Signer s1 = r1.generate_key();
+  const Signer s2 = r2.generate_key();
+  const Bytes msg = bytes_of("replay");
+  EXPECT_EQ(s1.sign(msg), s2.sign(msg));
+}
+
+}  // namespace
+}  // namespace unidir::crypto

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace unidir::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZeroIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, FifoWithinSameTime) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.at(5, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, AfterIsRelative) {
+  Simulator sim;
+  Time fired_at = 0;
+  sim.at(10, [&] {
+    sim.after(5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 15u);
+}
+
+TEST(Simulator, SchedulingInPastRejected) {
+  Simulator sim;
+  sim.at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(5, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, NullActionRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.at(1, nullptr), std::invalid_argument);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.after(1, recurse);
+  };
+  sim.at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99u);
+}
+
+TEST(Simulator, RunRespectsEventCap) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.after(1, forever); };
+  sim.at(0, forever);
+  const std::size_t ran = sim.run(1000);
+  EXPECT_EQ(ran, 1000u);
+  EXPECT_FALSE(sim.idle());
+}
+
+TEST(Simulator, RunUntilPredicate) {
+  Simulator sim;
+  int counter = 0;
+  std::function<void()> tick = [&] {
+    ++counter;
+    sim.after(1, tick);
+  };
+  sim.at(0, tick);
+  EXPECT_TRUE(sim.run_until([&] { return counter == 42; }));
+  EXPECT_EQ(counter, 42);
+}
+
+TEST(Simulator, RunUntilReturnsFalseWhenQueueDrains) {
+  Simulator sim;
+  sim.at(1, [] {});
+  EXPECT_FALSE(sim.run_until([] { return false; }));
+}
+
+TEST(Simulator, RunToTimeAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(5, [&] { ++fired; });
+  sim.at(15, [&] { ++fired; });
+  sim.run_to_time(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 10u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.at(static_cast<Time>(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 7u);
+}
+
+}  // namespace
+}  // namespace unidir::sim

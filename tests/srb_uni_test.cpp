@@ -1,0 +1,448 @@
+#include <gtest/gtest.h>
+
+#include "broadcast/srb_from_uni.h"
+#include "rounds/msg_rounds.h"
+#include "rounds/shmem_uni_round.h"
+#include "sim/adversaries.h"
+#include "test_util.h"
+
+namespace unidir::broadcast {
+namespace {
+
+using testutil::Node;
+
+constexpr sim::Channel kRoundCh = 30;
+constexpr Time kDelta = 4;
+
+/// Host that owns a round driver and an Algorithm-1 endpoint.
+class UniNode final : public sim::Process {
+ public:
+  std::unique_ptr<rounds::RoundDriver> driver;
+  std::unique_ptr<UniSrbEndpoint> srb;
+  std::vector<Bytes> to_broadcast;
+  Time start_delay = 0;
+
+ protected:
+  void on_start() override {
+    auto go = [this] {
+      for (auto& m : to_broadcast) srb->broadcast(m);
+      srb->start();
+    };
+    if (start_delay == 0) {
+      go();
+    } else {
+      set_timer(start_delay, go);
+    }
+  }
+};
+
+enum class DriverKind { ShmemUni, DeltaSync };
+
+struct UniFixture {
+  sim::World world;
+  std::unique_ptr<shmem::MemoryHost> memory;
+  std::unique_ptr<rounds::ShmemRoundBoard> board;
+  std::vector<UniNode*> nodes;
+  std::size_t n;
+  std::size_t t;
+
+  UniFixture(std::size_t n_, std::size_t t_, std::uint64_t seed,
+             DriverKind kind)
+      : world(seed, std::make_unique<sim::RandomDelayAdversary>(1, kDelta)),
+        n(n_),
+        t(t_) {
+    if (kind == DriverKind::ShmemUni) {
+      memory = std::make_unique<shmem::MemoryHost>(
+          world.simulator(), sim::Rng(seed * 17 + 3),
+          shmem::MemoryOptions{.max_to_linearize = 3, .max_to_respond = 3});
+      memory->set_crashed(
+          [this](ProcessId p) { return world.crashed(p); });
+      board = std::make_unique<rounds::ShmemRoundBoard>(n);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& node = world.spawn<UniNode>();
+      if (kind == DriverKind::ShmemUni) {
+        node.driver = std::make_unique<rounds::ShmemUniRoundDriver>(
+            *memory, *board, static_cast<ProcessId>(i));
+      } else {
+        node.driver = std::make_unique<rounds::DeltaSyncRoundDriver>(
+            node, kRoundCh, 2 * kDelta);
+      }
+      node.srb = std::make_unique<UniSrbEndpoint>(node, *node.driver, n, t);
+      nodes.push_back(&node);
+    }
+  }
+
+  std::vector<SrbView> views() const {
+    std::vector<SrbView> out;
+    for (const UniNode* node : nodes) {
+      if (!world.correct(node->id())) continue;
+      out.push_back({node->id(), node->srb.get(), node->to_broadcast});
+    }
+    return out;
+  }
+};
+
+struct UniCase {
+  std::size_t n;
+  std::size_t t;
+  std::uint64_t seed;
+  DriverKind kind;
+  int messages;
+};
+
+class UniSrbP : public ::testing::TestWithParam<UniCase> {};
+
+TEST_P(UniSrbP, SingleSenderAllProperties) {
+  const auto& c = GetParam();
+  UniFixture fx(c.n, c.t, c.seed, c.kind);
+  for (int k = 0; k < c.messages; ++k)
+    fx.nodes[0]->to_broadcast.push_back(bytes_of("m" + std::to_string(k)));
+  fx.world.start();
+  fx.world.run_to_quiescence();
+  const auto violation = check_srb(fx.views());
+  EXPECT_FALSE(violation.has_value())
+      << to_string(violation->kind) << ": " << violation->detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UniSrbP,
+    ::testing::Values(
+        UniCase{3, 1, 1, DriverKind::ShmemUni, 3},
+        UniCase{3, 1, 2, DriverKind::ShmemUni, 3},
+        UniCase{5, 2, 3, DriverKind::ShmemUni, 2},
+        UniCase{5, 2, 4, DriverKind::ShmemUni, 2},
+        UniCase{7, 3, 5, DriverKind::ShmemUni, 2},
+        UniCase{3, 1, 6, DriverKind::DeltaSync, 3},
+        UniCase{3, 1, 7, DriverKind::DeltaSync, 3},
+        UniCase{5, 2, 8, DriverKind::DeltaSync, 2},
+        UniCase{5, 2, 9, DriverKind::DeltaSync, 2},
+        UniCase{7, 3, 10, DriverKind::DeltaSync, 2}));
+
+TEST(UniSrb, MultipleConcurrentSenders) {
+  UniFixture fx(5, 2, 42, DriverKind::ShmemUni);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (int k = 0; k < 2; ++k)
+      fx.nodes[i]->to_broadcast.push_back(
+          bytes_of("s" + std::to_string(i) + "k" + std::to_string(k)));
+  fx.world.start();
+  fx.world.run_to_quiescence();
+  const auto violation = check_srb(fx.views());
+  EXPECT_FALSE(violation.has_value())
+      << to_string(violation->kind) << ": " << violation->detail;
+}
+
+TEST(UniSrb, LaggardCatchesUpViaPersistentBoard) {
+  // One process starts long after the sender finished; on shared memory
+  // the L2 proofs persist in the board, so it must still deliver all.
+  UniFixture fx(3, 1, 77, DriverKind::ShmemUni);
+  fx.nodes[0]->to_broadcast = {bytes_of("a"), bytes_of("b"), bytes_of("c")};
+  fx.nodes[2]->start_delay = 3000;
+  fx.world.start();
+  fx.world.run_to_quiescence();
+  EXPECT_EQ(fx.nodes[2]->srb->delivered_up_to(0), 3u);
+  EXPECT_FALSE(check_srb(fx.views()).has_value());
+}
+
+TEST(UniSrb, SenderCrashMidstreamIsSafe) {
+  // The sender crashes after its broadcasts may have only partially
+  // spread. Whatever is delivered must still satisfy agreement/sequencing
+  // among the survivors (validity no longer applies to a crashed sender).
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    UniFixture fx(5, 2, 100 + seed, DriverKind::ShmemUni);
+    fx.nodes[0]->to_broadcast = {bytes_of("x"), bytes_of("y")};
+    fx.world.start();
+    // Let a random prefix of the execution run, then crash the sender.
+    fx.world.simulator().run_to_time(5 + seed * 7);
+    fx.world.crash(fx.nodes[0]->id());
+    fx.world.run_to_quiescence();
+    std::vector<SrbView> survivors;
+    for (std::size_t i = 1; i < 5; ++i)
+      survivors.push_back({fx.nodes[i]->id(), fx.nodes[i]->srb.get(), {}});
+    // Drop validity inputs (sender excluded); remaining checks must hold.
+    const auto violation = check_srb(survivors);
+    EXPECT_FALSE(violation.has_value())
+        << to_string(violation->kind) << ": " << violation->detail
+        << " seed=" << seed;
+  }
+}
+
+TEST(UniSrb, EnginesParkAfterIdleLimit) {
+  UniFixture fx(3, 1, 5, DriverKind::ShmemUni);
+  fx.nodes[1]->to_broadcast = {bytes_of("one")};
+  fx.world.start();
+  fx.world.run_to_quiescence();
+  for (auto* node : fx.nodes) {
+    EXPECT_TRUE(node->srb->parked());
+    EXPECT_EQ(node->srb->delivered_up_to(1), 1u);
+  }
+}
+
+TEST(UniSrb, RequiresMajorityCorrect) {
+  sim::World w(1, std::make_unique<sim::ImmediateAdversary>());
+  auto& node = w.spawn<UniNode>();
+  rounds::DeltaSyncRoundDriver driver(node, kRoundCh, 2 * kDelta);
+  EXPECT_THROW(UniSrbEndpoint(node, driver, 4, 2), std::invalid_argument);
+}
+
+// ---- the equivocation attack ---------------------------------------------------
+//
+// A Byzantine sender (with t−1 Byzantine friends implicit in t) sends
+// sender-signed value "left" to even-indexed victims and "right" to odd
+// ones, counter-signs both itself, and adaptively compiles L1 proofs the
+// moment a victim's copy vote becomes public — the strongest strategy short
+// of breaking signatures. Unidirectionality must poison at least one side
+// before both can compile conflicting L1 proofs.
+class UniEquivocator final : public sim::Process {
+ public:
+  std::size_t t = 1;
+
+  void on_start() override {
+    register_channel(kRoundCh, [this](ProcessId from, const Bytes& payload) {
+      on_round_traffic(from, payload);
+    });
+
+    left_ = make_val(bytes_of("left"));
+    right_ = make_val(bytes_of("right"));
+    for (ProcessId p = 0; p < world().size(); ++p) {
+      if (p == id()) continue;
+      const SignedVal& v = (p % 2 == 0) ? left_ : right_;
+      UniSlotPayload slot;
+      slot.my_vals = {v};
+      slot.copies = {{v, my_vote(v)}};
+      // Stuff several upcoming round numbers so the victims see the value
+      // whatever round they are in.
+      for (RoundNum r = 1; r <= 4; ++r)
+        send(p, kRoundCh,
+             serde::encode(rounds::RoundMsg{r, serde::encode(slot)}));
+    }
+  }
+
+ private:
+  SignedVal make_val(Bytes msg) {
+    SignedVal v;
+    v.sender = id();
+    v.seq = 1;
+    v.msg = std::move(msg);
+    v.sender_sig = signer().sign(v.signing_bytes());
+    return v;
+  }
+
+  CopyVote my_vote(const SignedVal& v) {
+    CopyVote c;
+    c.copier = id();
+    c.sig = signer().sign(CopyVote::signing_bytes(v));
+    return c;
+  }
+
+  void on_round_traffic(ProcessId from, const Bytes& payload) {
+    rounds::RoundMsg rm;
+    UniSlotPayload slot;
+    try {
+      rm = serde::decode<rounds::RoundMsg>(payload);
+      slot = serde::decode<UniSlotPayload>(rm.message);
+    } catch (const serde::DecodeError&) {
+      return;
+    }
+    // Harvest victims' copy votes for my values.
+    for (const auto& [val, vote] : slot.copies) {
+      if (val.sender != id() || vote.copier != from) continue;
+      harvested_[val.msg][vote.copier] = vote;
+      try_compile_and_push(val, rm.round);
+    }
+  }
+
+  void try_compile_and_push(const SignedVal& val, RoundNum seen_round) {
+    auto& votes = harvested_[val.msg];
+    if (votes.size() + 1 < t + 1) return;  // +1 for my own vote
+    L1Proof l1;
+    l1.val = val;
+    l1.copies.push_back(my_vote(val));
+    for (const auto& [copier, vote] : votes) l1.copies.push_back(vote);
+    l1.compiler = id();
+    l1.compiler_sig = signer().sign(l1.signing_bytes());
+
+    UniSlotPayload slot;
+    slot.my_vals = {val};
+    slot.copies = {{val, my_vote(val)}};
+    slot.l1s = {l1};
+    for (ProcessId p = 0; p < world().size(); ++p) {
+      if (p == id()) continue;
+      const bool is_left_victim = (p % 2 == 0);
+      if (is_left_victim != (val.msg == bytes_of("left"))) continue;
+      for (RoundNum r = seen_round + 1; r <= seen_round + 4; ++r)
+        send(p, kRoundCh,
+             serde::encode(rounds::RoundMsg{r, serde::encode(slot)}));
+    }
+  }
+
+  SignedVal left_;
+  SignedVal right_;
+  std::map<Bytes, std::map<ProcessId, CopyVote>> harvested_;
+};
+
+TEST(UniSrb, EquivocatingSenderCannotSplitDeliveries) {
+  int poisonings = 0;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    // n=3, t=1: Byzantine sender (id 0) + two correct victims.
+    sim::World w(seed, std::make_unique<sim::RandomDelayAdversary>(1, kDelta));
+    auto& byz = w.spawn<UniEquivocator>();
+    byz.t = 1;
+    w.mark_byzantine(byz.id());
+    std::vector<UniNode*> victims;
+    for (int i = 0; i < 2; ++i) {
+      auto& node = w.spawn<UniNode>();
+      node.driver = std::make_unique<rounds::DeltaSyncRoundDriver>(
+          node, kRoundCh, 2 * kDelta);
+      node.srb = std::make_unique<UniSrbEndpoint>(node, *node.driver, 3, 1);
+      victims.push_back(&node);
+    }
+    w.start();
+    w.run_to_quiescence();
+
+    // SAFETY: the two correct victims must never deliver different values
+    // for (byz, seq 1).
+    std::set<Bytes> delivered;
+    for (auto* v : victims)
+      for (const Delivery& d : v->srb->delivered())
+        if (d.sender == byz.id() && d.seq == 1) delivered.insert(d.message);
+    EXPECT_LE(delivered.size(), 1u) << "seed " << seed;
+
+    for (auto* v : victims)
+      if (v->srb->poisoned(byz.id())) ++poisonings;
+  }
+  // The attack must actually have been observed (otherwise this test is
+  // vacuous): across seeds, some victim detected the equivocation.
+  EXPECT_GT(poisonings, 0);
+}
+
+// ---- proof validators -------------------------------------------------------------
+
+class ValidatorFixture : public ::testing::Test {
+ protected:
+  ValidatorFixture()
+      : world(1, std::make_unique<sim::ImmediateAdversary>()) {
+    for (int i = 0; i < 4; ++i) nodes.push_back(&world.spawn<Node>());
+  }
+
+  SignedVal val(ProcessId sender, SeqNum seq, std::string_view msg) {
+    SignedVal v;
+    v.sender = sender;
+    v.seq = seq;
+    v.msg = bytes_of(msg);
+    v.sender_sig = node_signer(sender).sign(v.signing_bytes());
+    return v;
+  }
+
+  CopyVote vote(ProcessId copier, const SignedVal& v) {
+    CopyVote c;
+    c.copier = copier;
+    c.sig = node_signer(copier).sign(CopyVote::signing_bytes(v));
+    return c;
+  }
+
+  L1Proof l1(ProcessId compiler, const SignedVal& v,
+             std::initializer_list<ProcessId> copiers) {
+    L1Proof p;
+    p.val = v;
+    for (ProcessId c : copiers) p.copies.push_back(vote(c, v));
+    p.compiler = compiler;
+    p.compiler_sig = node_signer(compiler).sign(p.signing_bytes());
+    return p;
+  }
+
+  const crypto::Signer& node_signer(ProcessId p) {
+    return nodes[p]->signer();
+  }
+
+  sim::World world;
+  std::vector<testutil::Node*> nodes;
+};
+
+TEST_F(ValidatorFixture, ValidSignedValAccepted) {
+  EXPECT_TRUE(valid_signed_val(world, val(0, 1, "m")));
+}
+
+TEST_F(ValidatorFixture, SeqZeroRejected) {
+  SignedVal v = val(0, 1, "m");
+  v.seq = 0;
+  EXPECT_FALSE(valid_signed_val(world, v));
+}
+
+TEST_F(ValidatorFixture, ForeignKeyRejected) {
+  SignedVal v = val(0, 1, "m");
+  v.sender = 1;  // claims p1 but signed by p0
+  EXPECT_FALSE(valid_signed_val(world, v));
+}
+
+TEST_F(ValidatorFixture, TamperedMessageRejected) {
+  SignedVal v = val(0, 1, "m");
+  v.msg = bytes_of("m'");
+  EXPECT_FALSE(valid_signed_val(world, v));
+}
+
+TEST_F(ValidatorFixture, ValidCopyAccepted) {
+  const SignedVal v = val(0, 1, "m");
+  EXPECT_TRUE(valid_copy(world, v, vote(2, v)));
+}
+
+TEST_F(ValidatorFixture, CopyOverDifferentValueRejected) {
+  const SignedVal v = val(0, 1, "m");
+  const SignedVal other = val(0, 1, "x");
+  CopyVote c = vote(2, other);
+  EXPECT_FALSE(valid_copy(world, v, c));
+}
+
+TEST_F(ValidatorFixture, L1NeedsTPlus1DistinctCopiers) {
+  const SignedVal v = val(0, 1, "m");
+  EXPECT_TRUE(valid_l1(world, l1(1, v, {1, 2}), 1));
+  EXPECT_FALSE(valid_l1(world, l1(1, v, {1}), 1));
+  // Duplicated copier does not count twice.
+  L1Proof dup = l1(1, v, {2, 2});
+  EXPECT_FALSE(valid_l1(world, dup, 1));
+}
+
+TEST_F(ValidatorFixture, L1CompilerSignatureBinds) {
+  const SignedVal v = val(0, 1, "m");
+  L1Proof p = l1(1, v, {1, 2});
+  p.compiler = 3;  // relabel: signature no longer matches
+  EXPECT_FALSE(valid_l1(world, p, 1));
+}
+
+TEST_F(ValidatorFixture, L2NeedsDistinctCompilers) {
+  const SignedVal v = val(0, 1, "m");
+  L2Proof good;
+  good.val = v;
+  good.l1s = {l1(1, v, {1, 2}), l1(2, v, {1, 2})};
+  EXPECT_TRUE(valid_l2(world, good, 1));
+
+  L2Proof same_compiler;
+  same_compiler.val = v;
+  same_compiler.l1s = {l1(1, v, {1, 2}), l1(1, v, {1, 2})};
+  EXPECT_FALSE(valid_l2(world, same_compiler, 1));
+}
+
+TEST_F(ValidatorFixture, L2WithMismatchedValuesRejected) {
+  const SignedVal v = val(0, 1, "m");
+  const SignedVal other = val(0, 1, "x");
+  L2Proof p;
+  p.val = v;
+  p.l1s = {l1(1, v, {1, 2}), l1(2, other, {1, 2})};
+  EXPECT_FALSE(valid_l2(world, p, 1));
+}
+
+TEST_F(ValidatorFixture, WireRoundTrips) {
+  const SignedVal v = val(3, 9, "payload");
+  EXPECT_TRUE(valid_signed_val(
+      world, serde::decode<SignedVal>(serde::encode(v))));
+  const L1Proof p = l1(2, v, {1, 2, 3});
+  const L1Proof parsed = serde::decode<L1Proof>(serde::encode(p));
+  EXPECT_TRUE(valid_l1(world, parsed, 2));
+  L2Proof l2;
+  l2.val = v;
+  l2.l1s = {l1(1, v, {1, 2}), l1(2, v, {2, 3})};
+  EXPECT_TRUE(valid_l2(world, serde::decode<L2Proof>(serde::encode(l2)), 1));
+}
+
+}  // namespace
+}  // namespace unidir::broadcast

@@ -1,0 +1,21 @@
+// Shared helpers for protocol tests.
+#pragma once
+
+#include <functional>
+
+#include "sim/world.h"
+
+namespace unidir::testutil {
+
+/// A generic host process whose start behaviour is assigned per test.
+class Node final : public sim::Process {
+ public:
+  std::function<void()> on_start_fn;
+
+ protected:
+  void on_start() override {
+    if (on_start_fn) on_start_fn();
+  }
+};
+
+}  // namespace unidir::testutil
