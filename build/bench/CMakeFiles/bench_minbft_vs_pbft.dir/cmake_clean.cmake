@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minbft_vs_pbft.dir/bench_minbft_vs_pbft.cpp.o"
+  "CMakeFiles/bench_minbft_vs_pbft.dir/bench_minbft_vs_pbft.cpp.o.d"
+  "bench_minbft_vs_pbft"
+  "bench_minbft_vs_pbft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minbft_vs_pbft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_srb.dir/bench_srb.cpp.o"
+  "CMakeFiles/bench_srb.dir/bench_srb.cpp.o.d"
+  "bench_srb"
+  "bench_srb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_srb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trinc.dir/bench_trinc.cpp.o"
+  "CMakeFiles/bench_trinc.dir/bench_trinc.cpp.o.d"
+  "bench_trinc"
+  "bench_trinc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trinc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minbft_kv.dir/minbft_kv.cpp.o"
+  "CMakeFiles/minbft_kv.dir/minbft_kv.cpp.o.d"
+  "minbft_kv"
+  "minbft_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minbft_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trusted_counter_service.dir/trusted_counter_service.cpp.o"
+  "CMakeFiles/trusted_counter_service.dir/trusted_counter_service.cpp.o.d"
+  "trusted_counter_service"
+  "trusted_counter_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trusted_counter_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

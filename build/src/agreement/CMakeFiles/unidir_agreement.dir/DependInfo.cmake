@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agreement/client.cpp" "src/agreement/CMakeFiles/unidir_agreement.dir/client.cpp.o" "gcc" "src/agreement/CMakeFiles/unidir_agreement.dir/client.cpp.o.d"
+  "/root/repo/src/agreement/dolev_strong.cpp" "src/agreement/CMakeFiles/unidir_agreement.dir/dolev_strong.cpp.o" "gcc" "src/agreement/CMakeFiles/unidir_agreement.dir/dolev_strong.cpp.o.d"
+  "/root/repo/src/agreement/minbft.cpp" "src/agreement/CMakeFiles/unidir_agreement.dir/minbft.cpp.o" "gcc" "src/agreement/CMakeFiles/unidir_agreement.dir/minbft.cpp.o.d"
+  "/root/repo/src/agreement/pbft.cpp" "src/agreement/CMakeFiles/unidir_agreement.dir/pbft.cpp.o" "gcc" "src/agreement/CMakeFiles/unidir_agreement.dir/pbft.cpp.o.d"
+  "/root/repo/src/agreement/smr.cpp" "src/agreement/CMakeFiles/unidir_agreement.dir/smr.cpp.o" "gcc" "src/agreement/CMakeFiles/unidir_agreement.dir/smr.cpp.o.d"
+  "/root/repo/src/agreement/state_machines.cpp" "src/agreement/CMakeFiles/unidir_agreement.dir/state_machines.cpp.o" "gcc" "src/agreement/CMakeFiles/unidir_agreement.dir/state_machines.cpp.o.d"
+  "/root/repo/src/agreement/usig_directory.cpp" "src/agreement/CMakeFiles/unidir_agreement.dir/usig_directory.cpp.o" "gcc" "src/agreement/CMakeFiles/unidir_agreement.dir/usig_directory.cpp.o.d"
+  "/root/repo/src/agreement/very_weak.cpp" "src/agreement/CMakeFiles/unidir_agreement.dir/very_weak.cpp.o" "gcc" "src/agreement/CMakeFiles/unidir_agreement.dir/very_weak.cpp.o.d"
+  "/root/repo/src/agreement/weak_agreement.cpp" "src/agreement/CMakeFiles/unidir_agreement.dir/weak_agreement.cpp.o" "gcc" "src/agreement/CMakeFiles/unidir_agreement.dir/weak_agreement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unidir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/unidir_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unidir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rounds/CMakeFiles/unidir_rounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/unidir_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/trusted/CMakeFiles/unidir_trusted.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/unidir_shmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unidir_agreement.dir/client.cpp.o"
+  "CMakeFiles/unidir_agreement.dir/client.cpp.o.d"
+  "CMakeFiles/unidir_agreement.dir/dolev_strong.cpp.o"
+  "CMakeFiles/unidir_agreement.dir/dolev_strong.cpp.o.d"
+  "CMakeFiles/unidir_agreement.dir/minbft.cpp.o"
+  "CMakeFiles/unidir_agreement.dir/minbft.cpp.o.d"
+  "CMakeFiles/unidir_agreement.dir/pbft.cpp.o"
+  "CMakeFiles/unidir_agreement.dir/pbft.cpp.o.d"
+  "CMakeFiles/unidir_agreement.dir/smr.cpp.o"
+  "CMakeFiles/unidir_agreement.dir/smr.cpp.o.d"
+  "CMakeFiles/unidir_agreement.dir/state_machines.cpp.o"
+  "CMakeFiles/unidir_agreement.dir/state_machines.cpp.o.d"
+  "CMakeFiles/unidir_agreement.dir/usig_directory.cpp.o"
+  "CMakeFiles/unidir_agreement.dir/usig_directory.cpp.o.d"
+  "CMakeFiles/unidir_agreement.dir/very_weak.cpp.o"
+  "CMakeFiles/unidir_agreement.dir/very_weak.cpp.o.d"
+  "CMakeFiles/unidir_agreement.dir/weak_agreement.cpp.o"
+  "CMakeFiles/unidir_agreement.dir/weak_agreement.cpp.o.d"
+  "libunidir_agreement.a"
+  "libunidir_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unidir_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broadcast/bracha.cpp" "src/broadcast/CMakeFiles/unidir_broadcast.dir/bracha.cpp.o" "gcc" "src/broadcast/CMakeFiles/unidir_broadcast.dir/bracha.cpp.o.d"
+  "/root/repo/src/broadcast/echo.cpp" "src/broadcast/CMakeFiles/unidir_broadcast.dir/echo.cpp.o" "gcc" "src/broadcast/CMakeFiles/unidir_broadcast.dir/echo.cpp.o.d"
+  "/root/repo/src/broadcast/noneq.cpp" "src/broadcast/CMakeFiles/unidir_broadcast.dir/noneq.cpp.o" "gcc" "src/broadcast/CMakeFiles/unidir_broadcast.dir/noneq.cpp.o.d"
+  "/root/repo/src/broadcast/rb_uni_round.cpp" "src/broadcast/CMakeFiles/unidir_broadcast.dir/rb_uni_round.cpp.o" "gcc" "src/broadcast/CMakeFiles/unidir_broadcast.dir/rb_uni_round.cpp.o.d"
+  "/root/repo/src/broadcast/srb.cpp" "src/broadcast/CMakeFiles/unidir_broadcast.dir/srb.cpp.o" "gcc" "src/broadcast/CMakeFiles/unidir_broadcast.dir/srb.cpp.o.d"
+  "/root/repo/src/broadcast/srb_from_uni.cpp" "src/broadcast/CMakeFiles/unidir_broadcast.dir/srb_from_uni.cpp.o" "gcc" "src/broadcast/CMakeFiles/unidir_broadcast.dir/srb_from_uni.cpp.o.d"
+  "/root/repo/src/broadcast/srb_hub.cpp" "src/broadcast/CMakeFiles/unidir_broadcast.dir/srb_hub.cpp.o" "gcc" "src/broadcast/CMakeFiles/unidir_broadcast.dir/srb_hub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unidir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/unidir_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unidir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rounds/CMakeFiles/unidir_rounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/unidir_shmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unidir_broadcast.dir/bracha.cpp.o"
+  "CMakeFiles/unidir_broadcast.dir/bracha.cpp.o.d"
+  "CMakeFiles/unidir_broadcast.dir/echo.cpp.o"
+  "CMakeFiles/unidir_broadcast.dir/echo.cpp.o.d"
+  "CMakeFiles/unidir_broadcast.dir/noneq.cpp.o"
+  "CMakeFiles/unidir_broadcast.dir/noneq.cpp.o.d"
+  "CMakeFiles/unidir_broadcast.dir/rb_uni_round.cpp.o"
+  "CMakeFiles/unidir_broadcast.dir/rb_uni_round.cpp.o.d"
+  "CMakeFiles/unidir_broadcast.dir/srb.cpp.o"
+  "CMakeFiles/unidir_broadcast.dir/srb.cpp.o.d"
+  "CMakeFiles/unidir_broadcast.dir/srb_from_uni.cpp.o"
+  "CMakeFiles/unidir_broadcast.dir/srb_from_uni.cpp.o.d"
+  "CMakeFiles/unidir_broadcast.dir/srb_hub.cpp.o"
+  "CMakeFiles/unidir_broadcast.dir/srb_hub.cpp.o.d"
+  "libunidir_broadcast.a"
+  "libunidir_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unidir_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unidir_common.dir/bytes.cpp.o"
+  "CMakeFiles/unidir_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/unidir_common.dir/log.cpp.o"
+  "CMakeFiles/unidir_common.dir/log.cpp.o.d"
+  "CMakeFiles/unidir_common.dir/serde.cpp.o"
+  "CMakeFiles/unidir_common.dir/serde.cpp.o.d"
+  "libunidir_common.a"
+  "libunidir_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unidir_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unidir_core.dir/classification.cpp.o"
+  "CMakeFiles/unidir_core.dir/classification.cpp.o.d"
+  "CMakeFiles/unidir_core.dir/separation.cpp.o"
+  "CMakeFiles/unidir_core.dir/separation.cpp.o.d"
+  "libunidir_core.a"
+  "libunidir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unidir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unidir_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/unidir_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/unidir_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/unidir_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/unidir_crypto.dir/signature.cpp.o"
+  "CMakeFiles/unidir_crypto.dir/signature.cpp.o.d"
+  "libunidir_crypto.a"
+  "libunidir_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unidir_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rounds/checkers.cpp" "src/rounds/CMakeFiles/unidir_rounds.dir/checkers.cpp.o" "gcc" "src/rounds/CMakeFiles/unidir_rounds.dir/checkers.cpp.o.d"
+  "/root/repo/src/rounds/msg_rounds.cpp" "src/rounds/CMakeFiles/unidir_rounds.dir/msg_rounds.cpp.o" "gcc" "src/rounds/CMakeFiles/unidir_rounds.dir/msg_rounds.cpp.o.d"
+  "/root/repo/src/rounds/object_uni_round.cpp" "src/rounds/CMakeFiles/unidir_rounds.dir/object_uni_round.cpp.o" "gcc" "src/rounds/CMakeFiles/unidir_rounds.dir/object_uni_round.cpp.o.d"
+  "/root/repo/src/rounds/round_driver.cpp" "src/rounds/CMakeFiles/unidir_rounds.dir/round_driver.cpp.o" "gcc" "src/rounds/CMakeFiles/unidir_rounds.dir/round_driver.cpp.o.d"
+  "/root/repo/src/rounds/shmem_uni_round.cpp" "src/rounds/CMakeFiles/unidir_rounds.dir/shmem_uni_round.cpp.o" "gcc" "src/rounds/CMakeFiles/unidir_rounds.dir/shmem_uni_round.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unidir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unidir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/unidir_shmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/unidir_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

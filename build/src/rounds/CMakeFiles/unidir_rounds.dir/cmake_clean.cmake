@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unidir_rounds.dir/checkers.cpp.o"
+  "CMakeFiles/unidir_rounds.dir/checkers.cpp.o.d"
+  "CMakeFiles/unidir_rounds.dir/msg_rounds.cpp.o"
+  "CMakeFiles/unidir_rounds.dir/msg_rounds.cpp.o.d"
+  "CMakeFiles/unidir_rounds.dir/object_uni_round.cpp.o"
+  "CMakeFiles/unidir_rounds.dir/object_uni_round.cpp.o.d"
+  "CMakeFiles/unidir_rounds.dir/round_driver.cpp.o"
+  "CMakeFiles/unidir_rounds.dir/round_driver.cpp.o.d"
+  "CMakeFiles/unidir_rounds.dir/shmem_uni_round.cpp.o"
+  "CMakeFiles/unidir_rounds.dir/shmem_uni_round.cpp.o.d"
+  "libunidir_rounds.a"
+  "libunidir_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unidir_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shmem/acl.cpp" "src/shmem/CMakeFiles/unidir_shmem.dir/acl.cpp.o" "gcc" "src/shmem/CMakeFiles/unidir_shmem.dir/acl.cpp.o.d"
+  "/root/repo/src/shmem/memory_host.cpp" "src/shmem/CMakeFiles/unidir_shmem.dir/memory_host.cpp.o" "gcc" "src/shmem/CMakeFiles/unidir_shmem.dir/memory_host.cpp.o.d"
+  "/root/repo/src/shmem/peats.cpp" "src/shmem/CMakeFiles/unidir_shmem.dir/peats.cpp.o" "gcc" "src/shmem/CMakeFiles/unidir_shmem.dir/peats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unidir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unidir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/unidir_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

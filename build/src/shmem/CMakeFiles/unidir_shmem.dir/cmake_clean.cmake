@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unidir_shmem.dir/acl.cpp.o"
+  "CMakeFiles/unidir_shmem.dir/acl.cpp.o.d"
+  "CMakeFiles/unidir_shmem.dir/memory_host.cpp.o"
+  "CMakeFiles/unidir_shmem.dir/memory_host.cpp.o.d"
+  "CMakeFiles/unidir_shmem.dir/peats.cpp.o"
+  "CMakeFiles/unidir_shmem.dir/peats.cpp.o.d"
+  "libunidir_shmem.a"
+  "libunidir_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unidir_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

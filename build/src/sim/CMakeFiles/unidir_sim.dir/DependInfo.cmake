@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adversaries.cpp" "src/sim/CMakeFiles/unidir_sim.dir/adversaries.cpp.o" "gcc" "src/sim/CMakeFiles/unidir_sim.dir/adversaries.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/unidir_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/unidir_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/sim/CMakeFiles/unidir_sim.dir/rng.cpp.o" "gcc" "src/sim/CMakeFiles/unidir_sim.dir/rng.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/unidir_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/unidir_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/transcript.cpp" "src/sim/CMakeFiles/unidir_sim.dir/transcript.cpp.o" "gcc" "src/sim/CMakeFiles/unidir_sim.dir/transcript.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/unidir_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/unidir_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unidir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/unidir_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unidir_sim.dir/adversaries.cpp.o"
+  "CMakeFiles/unidir_sim.dir/adversaries.cpp.o.d"
+  "CMakeFiles/unidir_sim.dir/network.cpp.o"
+  "CMakeFiles/unidir_sim.dir/network.cpp.o.d"
+  "CMakeFiles/unidir_sim.dir/rng.cpp.o"
+  "CMakeFiles/unidir_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/unidir_sim.dir/simulator.cpp.o"
+  "CMakeFiles/unidir_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/unidir_sim.dir/transcript.cpp.o"
+  "CMakeFiles/unidir_sim.dir/transcript.cpp.o.d"
+  "CMakeFiles/unidir_sim.dir/world.cpp.o"
+  "CMakeFiles/unidir_sim.dir/world.cpp.o.d"
+  "libunidir_sim.a"
+  "libunidir_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unidir_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

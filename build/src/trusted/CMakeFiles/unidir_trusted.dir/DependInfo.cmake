@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trusted/a2m.cpp" "src/trusted/CMakeFiles/unidir_trusted.dir/a2m.cpp.o" "gcc" "src/trusted/CMakeFiles/unidir_trusted.dir/a2m.cpp.o.d"
+  "/root/repo/src/trusted/a2m_from_trinc.cpp" "src/trusted/CMakeFiles/unidir_trusted.dir/a2m_from_trinc.cpp.o" "gcc" "src/trusted/CMakeFiles/unidir_trusted.dir/a2m_from_trinc.cpp.o.d"
+  "/root/repo/src/trusted/sgx.cpp" "src/trusted/CMakeFiles/unidir_trusted.dir/sgx.cpp.o" "gcc" "src/trusted/CMakeFiles/unidir_trusted.dir/sgx.cpp.o.d"
+  "/root/repo/src/trusted/trinc.cpp" "src/trusted/CMakeFiles/unidir_trusted.dir/trinc.cpp.o" "gcc" "src/trusted/CMakeFiles/unidir_trusted.dir/trinc.cpp.o.d"
+  "/root/repo/src/trusted/trinc_from_srb.cpp" "src/trusted/CMakeFiles/unidir_trusted.dir/trinc_from_srb.cpp.o" "gcc" "src/trusted/CMakeFiles/unidir_trusted.dir/trinc_from_srb.cpp.o.d"
+  "/root/repo/src/trusted/usig.cpp" "src/trusted/CMakeFiles/unidir_trusted.dir/usig.cpp.o" "gcc" "src/trusted/CMakeFiles/unidir_trusted.dir/usig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unidir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/unidir_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unidir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/unidir_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/rounds/CMakeFiles/unidir_rounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/unidir_shmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

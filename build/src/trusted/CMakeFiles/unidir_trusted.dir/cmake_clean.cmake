@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unidir_trusted.dir/a2m.cpp.o"
+  "CMakeFiles/unidir_trusted.dir/a2m.cpp.o.d"
+  "CMakeFiles/unidir_trusted.dir/a2m_from_trinc.cpp.o"
+  "CMakeFiles/unidir_trusted.dir/a2m_from_trinc.cpp.o.d"
+  "CMakeFiles/unidir_trusted.dir/sgx.cpp.o"
+  "CMakeFiles/unidir_trusted.dir/sgx.cpp.o.d"
+  "CMakeFiles/unidir_trusted.dir/trinc.cpp.o"
+  "CMakeFiles/unidir_trusted.dir/trinc.cpp.o.d"
+  "CMakeFiles/unidir_trusted.dir/trinc_from_srb.cpp.o"
+  "CMakeFiles/unidir_trusted.dir/trinc_from_srb.cpp.o.d"
+  "CMakeFiles/unidir_trusted.dir/usig.cpp.o"
+  "CMakeFiles/unidir_trusted.dir/usig.cpp.o.d"
+  "libunidir_trusted.a"
+  "libunidir_trusted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unidir_trusted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agreement.dir/dolev_strong_test.cpp.o"
+  "CMakeFiles/test_agreement.dir/dolev_strong_test.cpp.o.d"
+  "CMakeFiles/test_agreement.dir/minbft_test.cpp.o"
+  "CMakeFiles/test_agreement.dir/minbft_test.cpp.o.d"
+  "CMakeFiles/test_agreement.dir/pbft_test.cpp.o"
+  "CMakeFiles/test_agreement.dir/pbft_test.cpp.o.d"
+  "CMakeFiles/test_agreement.dir/state_machines_test.cpp.o"
+  "CMakeFiles/test_agreement.dir/state_machines_test.cpp.o.d"
+  "CMakeFiles/test_agreement.dir/very_weak_test.cpp.o"
+  "CMakeFiles/test_agreement.dir/very_weak_test.cpp.o.d"
+  "CMakeFiles/test_agreement.dir/weak_agreement_test.cpp.o"
+  "CMakeFiles/test_agreement.dir/weak_agreement_test.cpp.o.d"
+  "test_agreement"
+  "test_agreement.pdb"
+  "test_agreement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_broadcast.dir/broadcast_test.cpp.o"
+  "CMakeFiles/test_broadcast.dir/broadcast_test.cpp.o.d"
+  "CMakeFiles/test_broadcast.dir/echo_test.cpp.o"
+  "CMakeFiles/test_broadcast.dir/echo_test.cpp.o.d"
+  "CMakeFiles/test_broadcast.dir/srb_uni_test.cpp.o"
+  "CMakeFiles/test_broadcast.dir/srb_uni_test.cpp.o.d"
+  "test_broadcast"
+  "test_broadcast.pdb"
+  "test_broadcast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rounds.dir/checkers_test.cpp.o"
+  "CMakeFiles/test_rounds.dir/checkers_test.cpp.o.d"
+  "CMakeFiles/test_rounds.dir/object_rounds_test.cpp.o"
+  "CMakeFiles/test_rounds.dir/object_rounds_test.cpp.o.d"
+  "CMakeFiles/test_rounds.dir/rounds_test.cpp.o"
+  "CMakeFiles/test_rounds.dir/rounds_test.cpp.o.d"
+  "test_rounds"
+  "test_rounds.pdb"
+  "test_rounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

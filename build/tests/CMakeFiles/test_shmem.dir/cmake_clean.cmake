@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shmem.dir/peats_test.cpp.o"
+  "CMakeFiles/test_shmem.dir/peats_test.cpp.o.d"
+  "CMakeFiles/test_shmem.dir/shmem_test.cpp.o"
+  "CMakeFiles/test_shmem.dir/shmem_test.cpp.o.d"
+  "test_shmem"
+  "test_shmem.pdb"
+  "test_shmem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

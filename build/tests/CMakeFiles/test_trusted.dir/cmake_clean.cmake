@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trusted.dir/trinc_from_srb_test.cpp.o"
+  "CMakeFiles/test_trusted.dir/trinc_from_srb_test.cpp.o.d"
+  "CMakeFiles/test_trusted.dir/trusted_test.cpp.o"
+  "CMakeFiles/test_trusted.dir/trusted_test.cpp.o.d"
+  "test_trusted"
+  "test_trusted.pdb"
+  "test_trusted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trusted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

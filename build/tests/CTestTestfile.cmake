@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_shmem[1]_include.cmake")
+include("/root/repo/build/tests/test_rounds[1]_include.cmake")
+include("/root/repo/build/tests/test_broadcast[1]_include.cmake")
+include("/root/repo/build/tests/test_trusted[1]_include.cmake")
+include("/root/repo/build/tests/test_agreement[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_sweep[1]_include.cmake")
