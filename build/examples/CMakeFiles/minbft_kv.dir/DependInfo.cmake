@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sim/CMakeFiles/unidir_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/crypto/CMakeFiles/unidir_crypto.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/unidir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/unidir_explore.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -13,3 +13,4 @@ subdirs("broadcast")
 subdirs("trusted")
 subdirs("agreement")
 subdirs("core")
+subdirs("explore")

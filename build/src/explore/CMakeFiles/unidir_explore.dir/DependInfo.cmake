@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explore/explorer.cpp" "src/explore/CMakeFiles/unidir_explore.dir/explorer.cpp.o" "gcc" "src/explore/CMakeFiles/unidir_explore.dir/explorer.cpp.o.d"
+  "/root/repo/src/explore/invariants.cpp" "src/explore/CMakeFiles/unidir_explore.dir/invariants.cpp.o" "gcc" "src/explore/CMakeFiles/unidir_explore.dir/invariants.cpp.o.d"
+  "/root/repo/src/explore/record_replay.cpp" "src/explore/CMakeFiles/unidir_explore.dir/record_replay.cpp.o" "gcc" "src/explore/CMakeFiles/unidir_explore.dir/record_replay.cpp.o.d"
+  "/root/repo/src/explore/scenario.cpp" "src/explore/CMakeFiles/unidir_explore.dir/scenario.cpp.o" "gcc" "src/explore/CMakeFiles/unidir_explore.dir/scenario.cpp.o.d"
+  "/root/repo/src/explore/shrink.cpp" "src/explore/CMakeFiles/unidir_explore.dir/shrink.cpp.o" "gcc" "src/explore/CMakeFiles/unidir_explore.dir/shrink.cpp.o.d"
+  "/root/repo/src/explore/trace.cpp" "src/explore/CMakeFiles/unidir_explore.dir/trace.cpp.o" "gcc" "src/explore/CMakeFiles/unidir_explore.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agreement/CMakeFiles/unidir_agreement.dir/DependInfo.cmake"
+  "/root/repo/build/src/rounds/CMakeFiles/unidir_rounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unidir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/unidir_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/unidir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trusted/CMakeFiles/unidir_trusted.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/unidir_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/unidir_shmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

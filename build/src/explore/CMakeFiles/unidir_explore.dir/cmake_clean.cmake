@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unidir_explore.dir/explorer.cpp.o"
+  "CMakeFiles/unidir_explore.dir/explorer.cpp.o.d"
+  "CMakeFiles/unidir_explore.dir/invariants.cpp.o"
+  "CMakeFiles/unidir_explore.dir/invariants.cpp.o.d"
+  "CMakeFiles/unidir_explore.dir/record_replay.cpp.o"
+  "CMakeFiles/unidir_explore.dir/record_replay.cpp.o.d"
+  "CMakeFiles/unidir_explore.dir/scenario.cpp.o"
+  "CMakeFiles/unidir_explore.dir/scenario.cpp.o.d"
+  "CMakeFiles/unidir_explore.dir/shrink.cpp.o"
+  "CMakeFiles/unidir_explore.dir/shrink.cpp.o.d"
+  "CMakeFiles/unidir_explore.dir/trace.cpp.o"
+  "CMakeFiles/unidir_explore.dir/trace.cpp.o.d"
+  "libunidir_explore.a"
+  "libunidir_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unidir_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libunidir_explore.a"
+)

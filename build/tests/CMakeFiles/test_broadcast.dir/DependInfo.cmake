@@ -24,6 +24,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/trusted/CMakeFiles/unidir_trusted.dir/DependInfo.cmake"
   "/root/repo/build/src/agreement/CMakeFiles/unidir_agreement.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/unidir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/unidir_explore.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -293,18 +293,15 @@ tests/CMakeFiles/test_fault_sweep.dir/fault_sweep_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/agreement/minbft.h /root/repo/src/agreement/client.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/agreement/smr.h \
- /root/repo/src/common/bytes.h /usr/include/c++/12/span \
- /root/repo/src/common/serde.h /root/repo/src/common/types.h \
- /root/repo/src/crypto/sha256.h /root/repo/src/sim/world.h \
- /root/repo/src/common/check.h /root/repo/src/crypto/signature.h \
+ /root/repo/src/explore/scenario.h /root/repo/src/explore/invariants.h \
+ /root/repo/src/agreement/smr.h /root/repo/src/common/bytes.h \
+ /usr/include/c++/12/span /root/repo/src/common/serde.h \
+ /root/repo/src/common/types.h /root/repo/src/crypto/sha256.h \
+ /root/repo/src/rounds/checkers.h /root/repo/src/rounds/round_driver.h \
+ /root/repo/src/common/check.h /root/repo/src/sim/transcript.h \
  /root/repo/src/sim/network.h /root/repo/src/sim/rng.h \
  /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/transcript.h \
- /root/repo/src/agreement/usig_directory.h /root/repo/src/trusted/trinc.h \
- /root/repo/src/trusted/usig.h /root/repo/src/trusted/sgx.h \
- /root/repo/src/agreement/pbft.h \
- /root/repo/src/agreement/state_machines.h \
- /root/repo/src/sim/adversaries.h
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/world.h /root/repo/src/crypto/signature.h \
+ /root/repo/src/explore/trace.h

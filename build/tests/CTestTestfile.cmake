@@ -14,4 +14,5 @@ include("/root/repo/build/tests/test_trusted[1]_include.cmake")
 include("/root/repo/build/tests/test_agreement[1]_include.cmake")
 include("/root/repo/build/tests/test_core[1]_include.cmake")
 include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_explore[1]_include.cmake")
 include("/root/repo/build/tests/test_fault_sweep[1]_include.cmake")

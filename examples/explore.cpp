@@ -1,0 +1,141 @@
+// Schedule explorer CLI: seeded sweeps over {protocol × adversary × crash
+// plan} with record → check → shrink → replay on every invariant
+// violation.
+//
+// With no flags this runs two phases:
+//   1. a small clean sweep (standard SMR invariants — expected to pass);
+//   2. the same sweep with a deliberately broken invariant injected
+//      (bounded-executions), demonstrating what a finding looks like: the
+//      shrunken scenario, the minimized schedule trace, and copy-pasteable
+//      replay instructions with the hex-encoded artifacts.
+//
+// Build & run:  ./build/examples/explore
+//
+//   --protocol  minbft | pbft | both          (default both)
+//   --adversary random-delay | duplicating | gst | all   (default all)
+//   --seeds N        seeds per (protocol, adversary) pair (default 5)
+//   --seed-base N    first seed (default 1)
+//   --no-shrink      keep findings unshrunk
+//   --inject-bug     only run the injected-bug phase
+//
+// Exit status is nonzero iff a sweep with the *standard* invariants finds
+// a violation — injected-bug findings are the expected demo output.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "explore/explorer.h"
+
+using namespace unidir::explore;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--protocol minbft|pbft|both] "
+      "[--adversary random-delay|duplicating|gst|all]\n"
+      "          [--seeds N] [--seed-base N] [--no-shrink] [--inject-bug]\n",
+      argv0);
+  std::exit(2);
+}
+
+ExplorationReport sweep(const SweepPlan& plan, const InvariantRegistry& reg) {
+  const ExplorationReport report = Explorer(plan, reg).run();
+  std::printf("  %s\n", report.summary().c_str());
+  for (const Finding& f : report.findings) {
+    std::puts("");
+    std::printf("%s", f.replay_snippet().c_str());
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepPlan plan;
+  plan.protocols = {ProtocolKind::MinBft, ProtocolKind::Pbft};
+  plan.adversaries = {AdversaryKind::RandomDelay, AdversaryKind::Duplicating,
+                      AdversaryKind::Gst};
+  plan.seeds = 5;
+  bool inject_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--protocol") {
+      const std::string v = value();
+      if (v == "minbft")
+        plan.protocols = {ProtocolKind::MinBft};
+      else if (v == "pbft")
+        plan.protocols = {ProtocolKind::Pbft};
+      else if (v == "both")
+        plan.protocols = {ProtocolKind::MinBft, ProtocolKind::Pbft};
+      else
+        usage(argv[0]);
+    } else if (arg == "--adversary") {
+      const std::string v = value();
+      if (v == "random-delay")
+        plan.adversaries = {AdversaryKind::RandomDelay};
+      else if (v == "duplicating")
+        plan.adversaries = {AdversaryKind::Duplicating};
+      else if (v == "gst")
+        plan.adversaries = {AdversaryKind::Gst};
+      else if (v == "all")
+        plan.adversaries = {AdversaryKind::RandomDelay,
+                            AdversaryKind::Duplicating, AdversaryKind::Gst};
+      else
+        usage(argv[0]);
+    } else if (arg == "--seeds") {
+      plan.seeds = std::strtoull(value().c_str(), nullptr, 10);
+      if (plan.seeds == 0) usage(argv[0]);
+    } else if (arg == "--seed-base") {
+      plan.seed_base = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--no-shrink") {
+      plan.shrink = false;
+    } else if (arg == "--inject-bug") {
+      inject_only = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  int status = 0;
+
+  if (!inject_only) {
+    std::puts("== sweep with the standard SMR invariant registry ==");
+    std::puts("   (prefix consistency, digest equality, client completion)");
+    const ExplorationReport clean =
+        sweep(plan, InvariantRegistry::standard_smr());
+    if (!clean.findings.empty()) {
+      std::puts("!! the standard invariants should hold — this is a real bug");
+      status = 1;
+    }
+    std::puts("");
+  }
+
+  std::puts("== demo: the same sweep with an injected broken invariant ==");
+  std::puts("   (bounded-executions: \"no replica may execute > 2 commands\"");
+  std::puts("    — guaranteed to fail, so you can see a finding end-to-end)");
+  InvariantRegistry buggy = InvariantRegistry::standard_smr();
+  buggy.add(bounded_executions(2));
+  SweepPlan demo = plan;
+  demo.protocols = {plan.protocols.front()};
+  demo.adversaries = {plan.adversaries.front()};
+  demo.seeds = inject_only ? plan.seeds : 1;
+  const ExplorationReport demo_report = sweep(demo, buggy);
+  if (demo_report.findings.empty()) {
+    std::puts("!! injected bug produced no finding — explorer is broken");
+    status = 1;
+  }
+
+  std::puts("");
+  std::puts("every finding above ends with a replay snippet: paste the two");
+  std::puts("hex strings into ScenarioSpec::from_hex / ScheduleTrace::from_hex");
+  std::puts("and run_scenario(..., RunMode::Replay, &trace) reproduces the");
+  std::puts("violation byte-for-byte. see EXPERIMENTS.md, record->replay->shrink.");
+  return status;
+}

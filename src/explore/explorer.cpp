@@ -1,0 +1,87 @@
+#include "explore/explorer.h"
+
+#include <sstream>
+#include <utility>
+
+namespace unidir::explore {
+
+std::string Finding::replay_snippet() const {
+  std::ostringstream os;
+  os << "VIOLATION " << violation.describe() << "\n"
+     << "  found in: " << spec.describe() << "\n"
+     << "  shrunk to: " << shrunk_spec.describe() << "\n"
+     << "  schedule: " << shrunk_trace.summary() << " (recorded "
+     << recorded_decisions << ", " << shrink_runs << " shrink replays, "
+     << (deterministic ? "replay deterministic" : "REPLAY UNSTABLE") << ")\n"
+     << "  reproduce with:\n"
+     << "    using namespace unidir::explore;\n"
+     << "    auto spec  = ScenarioSpec::from_hex(\"" << shrunk_spec.to_hex()
+     << "\");\n"
+     << "    auto trace = ScheduleTrace::from_hex(\"" << shrunk_trace.to_hex()
+     << "\");\n"
+     << "    auto out = run_scenario(spec, InvariantRegistry::standard_smr(),\n"
+     << "                            RunMode::Replay, &trace);\n"
+     << "    // out.violation => " << violation.invariant << "\n";
+  return os.str();
+}
+
+std::string ExplorationReport::summary() const {
+  std::ostringstream os;
+  os << "explored " << runs << " executions, " << findings.size()
+     << " invariant violation(s)";
+  if (!findings.empty()) {
+    std::size_t deterministic = 0;
+    for (const Finding& f : findings)
+      if (f.deterministic) ++deterministic;
+    os << " (" << deterministic << " reproduce deterministically)";
+  }
+  return os.str();
+}
+
+Explorer::Explorer(SweepPlan plan, InvariantRegistry registry)
+    : plan_(std::move(plan)), registry_(std::move(registry)) {
+  UNIDIR_REQUIRE(!plan_.protocols.empty() && !plan_.adversaries.empty() &&
+                 plan_.seeds >= 1);
+}
+
+ExplorationReport Explorer::run() const {
+  ExplorationReport report;
+  for (ProtocolKind protocol : plan_.protocols) {
+    for (AdversaryKind adversary : plan_.adversaries) {
+      for (std::uint64_t s = 0; s < plan_.seeds; ++s) {
+        const ScenarioSpec spec = ScenarioSpec::materialize(
+            protocol, adversary, plan_.seed_base + s);
+        RunOutcome out = run_scenario(spec, registry_, RunMode::Record);
+        ++report.runs;
+        if (!out.violation) continue;
+
+        Finding f;
+        f.spec = spec;
+        f.violation = *out.violation;
+        f.recorded_decisions = out.trace.decisions.size();
+        f.shrunk_spec = spec;
+        f.shrunk_trace = std::move(out.trace);
+        if (plan_.shrink) {
+          ShrinkOutcome shr =
+              shrink_failure(f.shrunk_spec, f.shrunk_trace, registry_,
+                             f.violation.invariant, plan_.shrink_limits);
+          f.shrunk_spec = std::move(shr.spec);
+          f.shrunk_trace = std::move(shr.trace);
+          f.shrink_runs = shr.runs;
+        }
+        const RunOutcome r1 = run_scenario(f.shrunk_spec, registry_,
+                                           RunMode::Replay, &f.shrunk_trace);
+        const RunOutcome r2 = run_scenario(f.shrunk_spec, registry_,
+                                           RunMode::Replay, &f.shrunk_trace);
+        f.deterministic = r1.violation && r2.violation &&
+                          r1.violation->invariant == f.violation.invariant &&
+                          r2.violation->invariant == f.violation.invariant &&
+                          r1.fingerprint == r2.fingerprint;
+        report.findings.push_back(std::move(f));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace unidir::explore

@@ -1,0 +1,63 @@
+// Explorer: seeded sweeps over {protocol × adversary × crash plan} with
+// record → check → shrink → replay on every violation.
+//
+// Each run records its schedule; when an invariant fails, the shrinker
+// minimizes the (spec, trace) pair and the explorer replays the shrunken
+// artifact twice to certify determinism. A Finding carries everything
+// needed to reproduce the violation in isolation — including a
+// copy-pasteable replay snippet with the hex-encoded artifacts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "explore/invariants.h"
+#include "explore/scenario.h"
+#include "explore/shrink.h"
+
+namespace unidir::explore {
+
+struct SweepPlan {
+  std::vector<ProtocolKind> protocols{ProtocolKind::MinBft,
+                                      ProtocolKind::Pbft};
+  std::vector<AdversaryKind> adversaries{AdversaryKind::RandomDelay};
+  std::uint64_t seeds = 10;       // seeds per (protocol, adversary) pair
+  std::uint64_t seed_base = 1;
+  bool shrink = true;
+  ShrinkLimits shrink_limits{};
+};
+
+struct Finding {
+  ScenarioSpec spec;  // the failing scenario, as materialized
+  InvariantViolation violation;
+  ScenarioSpec shrunk_spec;
+  ScheduleTrace shrunk_trace;
+  std::size_t recorded_decisions = 0;
+  std::size_t shrink_runs = 0;
+  /// Two replays of the shrunken artifact produced identical executions
+  /// and the same violation.
+  bool deterministic = false;
+
+  /// Human-facing reproduction instructions embedding the hex artifacts.
+  std::string replay_snippet() const;
+};
+
+struct ExplorationReport {
+  std::uint64_t runs = 0;
+  std::vector<Finding> findings;
+
+  std::string summary() const;
+};
+
+class Explorer {
+ public:
+  Explorer(SweepPlan plan, InvariantRegistry registry);
+
+  ExplorationReport run() const;
+
+ private:
+  SweepPlan plan_;
+  InvariantRegistry registry_;
+};
+
+}  // namespace unidir::explore

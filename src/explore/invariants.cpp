@@ -1,0 +1,122 @@
+#include "explore/invariants.h"
+
+#include <sstream>
+
+namespace unidir::explore {
+
+InvariantRegistry& InvariantRegistry::add(Invariant inv) {
+  UNIDIR_REQUIRE(!inv.name.empty() && inv.check != nullptr);
+  invariants_.push_back(std::move(inv));
+  return *this;
+}
+
+std::optional<InvariantViolation> InvariantRegistry::check(
+    const ExplorationContext& ctx) const {
+  for (const Invariant& inv : invariants_) {
+    if (std::optional<std::string> msg = inv.check(ctx))
+      return InvariantViolation{inv.name, std::move(*msg)};
+  }
+  return std::nullopt;
+}
+
+InvariantRegistry InvariantRegistry::standard_smr() {
+  InvariantRegistry r;
+  r.add(smr_prefix_consistency());
+  r.add(smr_digest_equality());
+  r.add(client_completion());
+  return r;
+}
+
+Invariant smr_prefix_consistency() {
+  return {"smr-prefix-consistency",
+          [](const ExplorationContext& ctx) -> std::optional<std::string> {
+            std::vector<std::pair<ProcessId,
+                                  const std::vector<agreement::ExecutionRecord>*>>
+                logs;
+            for (const SmrReplicaView& r : ctx.smr)
+              if (r.log) logs.emplace_back(r.id, r.log);
+            if (logs.size() < 2) return std::nullopt;
+            return agreement::check_execution_consistency(logs);
+          }};
+}
+
+Invariant smr_digest_equality() {
+  return {"smr-digest-equality",
+          [](const ExplorationContext& ctx) -> std::optional<std::string> {
+            for (std::size_t i = 0; i < ctx.smr.size(); ++i)
+              for (std::size_t j = i + 1; j < ctx.smr.size(); ++j) {
+                const SmrReplicaView& a = ctx.smr[i];
+                const SmrReplicaView& b = ctx.smr[j];
+                if (a.executed == b.executed && a.digest != b.digest) {
+                  std::ostringstream os;
+                  os << "replicas " << a.id << " and " << b.id
+                     << " both executed " << a.executed
+                     << " commands but hold different state digests";
+                  return os.str();
+                }
+              }
+            return std::nullopt;
+          }};
+}
+
+Invariant client_completion() {
+  return {"client-completion",
+          [](const ExplorationContext& ctx) -> std::optional<std::string> {
+            if (ctx.completed == ctx.expected) return std::nullopt;
+            std::ostringstream os;
+            os << "only " << ctx.completed << " of " << ctx.expected
+               << " client requests completed";
+            return os.str();
+          }};
+}
+
+Invariant unidirectional_rounds() {
+  return {"unidirectional-rounds",
+          [](const ExplorationContext& ctx) -> std::optional<std::string> {
+            if (ctx.histories.size() < 2) return std::nullopt;
+            if (std::optional<rounds::DirectionalityViolation> v =
+                    rounds::check_unidirectional(ctx.histories))
+              return v->describe();
+            return std::nullopt;
+          }};
+}
+
+Invariant tagged_output_total_order(std::string tag) {
+  return {"total-order[" + tag + "]",
+          [tag](const ExplorationContext& ctx) -> std::optional<std::string> {
+            std::vector<std::pair<ProcessId, std::vector<sim::ObservedEvent>>>
+                seqs;
+            for (const auto& [id, t] : ctx.transcripts)
+              if (t) seqs.emplace_back(id, t->outputs(tag));
+            for (std::size_t i = 0; i < seqs.size(); ++i)
+              for (std::size_t j = i + 1; j < seqs.size(); ++j) {
+                const auto& [pa, a] = seqs[i];
+                const auto& [pb, b] = seqs[j];
+                const std::size_t common = std::min(a.size(), b.size());
+                for (std::size_t k = 0; k < common; ++k)
+                  if (a[k].payload != b[k].payload) {
+                    std::ostringstream os;
+                    os << "processes " << pa << " and " << pb
+                       << " diverge at '" << tag << "' output index " << k;
+                    return os.str();
+                  }
+              }
+            return std::nullopt;
+          }};
+}
+
+Invariant bounded_executions(std::uint64_t limit) {
+  return {"bounded-executions",
+          [limit](const ExplorationContext& ctx) -> std::optional<std::string> {
+            for (const SmrReplicaView& r : ctx.smr)
+              if (r.executed > limit) {
+                std::ostringstream os;
+                os << "replica " << r.id << " executed " << r.executed
+                   << " commands (injected bound: " << limit << ")";
+                return os.str();
+              }
+            return std::nullopt;
+          }};
+}
+
+}  // namespace unidir::explore

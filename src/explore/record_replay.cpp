@@ -1,0 +1,102 @@
+#include "explore/record_replay.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace unidir::explore {
+
+// ---- RecordingAdversary ----------------------------------------------------
+
+RecordingAdversary::RecordingAdversary(std::unique_ptr<sim::Adversary> inner)
+    : inner_(std::move(inner)) {
+  UNIDIR_REQUIRE(inner_ != nullptr);
+}
+
+void RecordingAdversary::record(DecisionKind kind, const sim::Envelope& env,
+                                const std::optional<Time>& delay,
+                                std::uint64_t copies) {
+  ScheduleDecision d;
+  d.kind = kind;
+  d.key = MessageKey::of(env);
+  d.held = !delay.has_value();
+  d.delay = delay.value_or(0);
+  d.copies = copies;
+  trace_.decisions.push_back(d);
+}
+
+std::optional<Time> RecordingAdversary::on_send(const sim::Envelope& env,
+                                                sim::Rng& rng) {
+  const std::optional<Time> delay = inner_->on_send(env, rng);
+  record(DecisionKind::Send, env, delay, 1);
+  return delay;
+}
+
+unsigned RecordingAdversary::copies(const sim::Envelope& env, sim::Rng& rng) {
+  const unsigned c = inner_->copies(env, rng);
+  record(DecisionKind::Copies, env, Time{0}, c);
+  return c;
+}
+
+std::optional<Time> RecordingAdversary::on_release(const sim::Envelope& env,
+                                                   sim::Rng& rng) {
+  const std::optional<Time> delay = inner_->on_release(env, rng);
+  record(DecisionKind::Release, env, delay, 1);
+  return delay;
+}
+
+// ---- ReplayAdversary -------------------------------------------------------
+
+ReplayAdversary::ReplayAdversary(const ScheduleTrace& trace) : trace_(trace) {
+  used_.assign(trace_.decisions.size(), false);
+  for (std::size_t i = 0; i < trace_.decisions.size(); ++i) {
+    const ScheduleDecision& d = trace_.decisions[i];
+    queues_[{static_cast<std::uint8_t>(d.kind), d.key}].push_back(i);
+  }
+}
+
+const ScheduleDecision* ReplayAdversary::next(DecisionKind kind,
+                                              const sim::Envelope& env) {
+  const auto it =
+      queues_.find({static_cast<std::uint8_t>(kind), MessageKey::of(env)});
+  if (it == queues_.end() || it->second.empty()) {
+    ++missed_;
+    return nullptr;
+  }
+  const std::size_t idx = it->second.front();
+  it->second.pop_front();
+  used_[idx] = true;
+  ++matched_;
+  return &trace_.decisions[idx];
+}
+
+std::optional<Time> ReplayAdversary::on_send(const sim::Envelope& env,
+                                             sim::Rng&) {
+  const ScheduleDecision* d = next(DecisionKind::Send, env);
+  if (!d) return Time{1};
+  if (d->held) return std::nullopt;
+  return d->delay;
+}
+
+unsigned ReplayAdversary::copies(const sim::Envelope& env, sim::Rng&) {
+  const ScheduleDecision* d = next(DecisionKind::Copies, env);
+  if (!d) return 1;
+  return static_cast<unsigned>(d->copies);
+}
+
+std::optional<Time> ReplayAdversary::on_release(const sim::Envelope& env,
+                                                sim::Rng&) {
+  const ScheduleDecision* d = next(DecisionKind::Release, env);
+  if (!d) return Time{1};
+  if (d->held) return std::nullopt;
+  return d->delay;
+}
+
+ScheduleTrace ReplayAdversary::consumed_trace() const {
+  ScheduleTrace out;
+  for (std::size_t i = 0; i < trace_.decisions.size(); ++i)
+    if (used_[i]) out.decisions.push_back(trace_.decisions[i]);
+  return out;
+}
+
+}  // namespace unidir::explore

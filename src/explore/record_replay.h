@@ -1,0 +1,73 @@
+// Record/replay adversary decorators.
+//
+// RecordingAdversary wraps any Adversary and writes every decision it makes
+// into a ScheduleTrace; ReplayAdversary re-imposes a trace on a fresh
+// execution. Because the simulator is deterministic, an unmodified
+// (spec, trace) pair replays byte-for-byte: every adversary consult finds
+// its recorded decision. A *shrunken* scenario produces fewer or different
+// messages; consults that no longer match anything recorded fall back to
+// immediate delivery (delay 1, one copy), which keeps the replay total —
+// the shrinker only keeps a mutation if the violation still reproduces.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "explore/trace.h"
+#include "sim/network.h"
+
+namespace unidir::explore {
+
+class RecordingAdversary final : public sim::Adversary {
+ public:
+  explicit RecordingAdversary(std::unique_ptr<sim::Adversary> inner);
+
+  std::optional<Time> on_send(const sim::Envelope& env, sim::Rng& rng) override;
+  unsigned copies(const sim::Envelope& env, sim::Rng& rng) override;
+  std::optional<Time> on_release(const sim::Envelope& env,
+                                 sim::Rng& rng) override;
+
+  const ScheduleTrace& trace() const { return trace_; }
+  ScheduleTrace take_trace() { return std::move(trace_); }
+
+ private:
+  void record(DecisionKind kind, const sim::Envelope& env,
+              const std::optional<Time>& delay, std::uint64_t copies);
+
+  std::unique_ptr<sim::Adversary> inner_;
+  ScheduleTrace trace_;
+};
+
+class ReplayAdversary final : public sim::Adversary {
+ public:
+  explicit ReplayAdversary(const ScheduleTrace& trace);
+
+  std::optional<Time> on_send(const sim::Envelope& env, sim::Rng& rng) override;
+  unsigned copies(const sim::Envelope& env, sim::Rng& rng) override;
+  std::optional<Time> on_release(const sim::Envelope& env,
+                                 sim::Rng& rng) override;
+
+  /// Consults answered from the trace.
+  std::size_t matched() const { return matched_; }
+  /// Consults with no recorded decision (fallback applied).
+  std::size_t missed() const { return missed_; }
+
+  /// The decisions actually consumed, in original trace order. After a
+  /// scenario has been shrunk, this garbage-collects decisions for messages
+  /// that no longer occur.
+  ScheduleTrace consumed_trace() const;
+
+ private:
+  const ScheduleDecision* next(DecisionKind kind, const sim::Envelope& env);
+
+  ScheduleTrace trace_;
+  // Per (kind, key) FIFO of indices into trace_.decisions.
+  std::map<std::pair<std::uint8_t, MessageKey>, std::deque<std::size_t>>
+      queues_;
+  std::vector<bool> used_;
+  std::size_t matched_ = 0;
+  std::size_t missed_ = 0;
+};
+
+}  // namespace unidir::explore

@@ -1,0 +1,343 @@
+#include "explore/scenario.h"
+
+#include <sstream>
+#include <utility>
+
+#include "agreement/minbft.h"
+#include "agreement/pbft.h"
+#include "agreement/state_machines.h"
+#include "explore/record_replay.h"
+#include "sim/adversaries.h"
+
+namespace unidir::explore {
+
+std::string protocol_name(ProtocolKind p) {
+  switch (p) {
+    case ProtocolKind::MinBft:
+      return "minbft";
+    case ProtocolKind::Pbft:
+      return "pbft";
+  }
+  return "?";
+}
+
+std::string adversary_name(AdversaryKind a) {
+  switch (a) {
+    case AdversaryKind::Immediate:
+      return "immediate";
+    case AdversaryKind::RandomDelay:
+      return "random-delay";
+    case AdversaryKind::Duplicating:
+      return "duplicating";
+    case AdversaryKind::Gst:
+      return "gst";
+  }
+  return "?";
+}
+
+void CrashEvent::encode(serde::Writer& w) const {
+  w.uvarint(victim);
+  w.uvarint(when);
+}
+
+CrashEvent CrashEvent::decode(serde::Reader& r) {
+  CrashEvent e;
+  e.victim = serde::read<ProcessId>(r);
+  e.when = r.uvarint();
+  return e;
+}
+
+ScenarioSpec ScenarioSpec::materialize(ProtocolKind protocol,
+                                       AdversaryKind adversary,
+                                       std::uint64_t seed) {
+  ScenarioSpec s;
+  s.protocol = protocol;
+  s.adversary = adversary;
+  s.seed = seed;
+
+  sim::Rng pick(seed ^ (protocol == ProtocolKind::Pbft ? 0xABCDEFULL : 0ULL));
+  s.f = pick.range(1, 2);
+  s.n = (protocol == ProtocolKind::MinBft ? 2 * s.f + 1 : 3 * s.f + 1);
+
+  sim::Rng plan(seed * 0x9E3779B97F4A7C15ULL + 1);
+  switch (adversary) {
+    case AdversaryKind::Immediate:
+      s.max_delay = 1;
+      break;
+    case AdversaryKind::RandomDelay:
+      s.max_delay = plan.range(2, 20);
+      break;
+    case AdversaryKind::Duplicating:
+      s.max_delay = plan.range(2, 10);
+      s.max_copies = plan.range(2, 3);
+      break;
+    case AdversaryKind::Gst:
+      s.gst = plan.range(50, 250);
+      s.gst_delta = plan.range(1, 5);
+      s.gst_pre_extra = plan.range(10, 150);
+      break;
+  }
+  s.pipeline_depth = plan.range(1, 4);
+  s.resend_timeout = 200;
+  s.view_change_timeout = 150;
+
+  const std::uint64_t requests = plan.range(4, 10);
+  for (std::uint64_t k = 0; k < requests; ++k)
+    s.requests.push_back(agreement::KvStateMachine::put_op(
+        "key" + std::to_string(k % 3), "v" + std::to_string(k)));
+
+  const std::uint64_t crashes = plan.range(0, s.f);
+  std::vector<ProcessId> victims;
+  for (std::uint64_t i = 0; i < s.n; ++i)
+    victims.push_back(static_cast<ProcessId>(i));
+  plan.shuffle(victims);
+  for (std::uint64_t c = 0; c < crashes; ++c)
+    s.crashes.push_back({victims[c], plan.range(1, 400)});
+  return s;
+}
+
+std::string ScenarioSpec::describe() const {
+  std::ostringstream os;
+  os << protocol_name(protocol) << " n=" << n << " f=" << f << " seed=" << seed
+     << " adversary=" << adversary_name(adversary);
+  switch (adversary) {
+    case AdversaryKind::Immediate:
+      break;
+    case AdversaryKind::RandomDelay:
+      os << "(max=" << max_delay << ")";
+      break;
+    case AdversaryKind::Duplicating:
+      os << "(max=" << max_delay << ", copies=" << max_copies << ")";
+      break;
+    case AdversaryKind::Gst:
+      os << "(gst=" << gst << ", delta=" << gst_delta << ")";
+      break;
+  }
+  os << " requests=" << requests.size() << " pipeline=" << pipeline_depth
+     << " crashes=[";
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    if (i) os << ", ";
+    os << crashes[i].victim << "@t" << crashes[i].when;
+  }
+  os << "]";
+  return os.str();
+}
+
+void ScenarioSpec::encode(serde::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(protocol));
+  w.u8(static_cast<std::uint8_t>(adversary));
+  w.uvarint(seed);
+  w.uvarint(n);
+  w.uvarint(f);
+  w.uvarint(max_delay);
+  w.uvarint(max_copies);
+  w.uvarint(gst);
+  w.uvarint(gst_delta);
+  w.uvarint(gst_pre_extra);
+  w.uvarint(pipeline_depth);
+  w.uvarint(resend_timeout);
+  w.uvarint(view_change_timeout);
+  w.uvarint(commit_quorum);
+  serde::write(w, requests);
+  serde::write(w, crashes);
+  w.uvarint(max_events);
+}
+
+ScenarioSpec ScenarioSpec::decode(serde::Reader& r) {
+  ScenarioSpec s;
+  const std::uint8_t p = r.u8();
+  if (p > static_cast<std::uint8_t>(ProtocolKind::Pbft))
+    throw serde::DecodeError("bad ProtocolKind");
+  s.protocol = static_cast<ProtocolKind>(p);
+  const std::uint8_t a = r.u8();
+  if (a > static_cast<std::uint8_t>(AdversaryKind::Gst))
+    throw serde::DecodeError("bad AdversaryKind");
+  s.adversary = static_cast<AdversaryKind>(a);
+  s.seed = r.uvarint();
+  s.n = r.uvarint();
+  s.f = r.uvarint();
+  s.max_delay = r.uvarint();
+  s.max_copies = r.uvarint();
+  s.gst = r.uvarint();
+  s.gst_delta = r.uvarint();
+  s.gst_pre_extra = r.uvarint();
+  s.pipeline_depth = r.uvarint();
+  s.resend_timeout = r.uvarint();
+  s.view_change_timeout = r.uvarint();
+  s.commit_quorum = r.uvarint();
+  s.requests = serde::read<std::vector<Bytes>>(r);
+  s.crashes = serde::read<std::vector<CrashEvent>>(r);
+  s.max_events = r.uvarint();
+  return s;
+}
+
+std::string ScenarioSpec::to_hex() const {
+  return unidir::to_hex(serde::encode(*this));
+}
+
+ScenarioSpec ScenarioSpec::from_hex(std::string_view hex) {
+  return serde::decode<ScenarioSpec>(unidir::from_hex(hex));
+}
+
+std::unique_ptr<sim::Adversary> make_adversary(const ScenarioSpec& spec) {
+  switch (spec.adversary) {
+    case AdversaryKind::Immediate:
+      return std::make_unique<sim::ImmediateAdversary>();
+    case AdversaryKind::RandomDelay:
+      return std::make_unique<sim::RandomDelayAdversary>(1, spec.max_delay);
+    case AdversaryKind::Duplicating:
+      return std::make_unique<sim::DuplicatingAdversary>(
+          static_cast<unsigned>(spec.max_copies), spec.max_delay);
+    case AdversaryKind::Gst:
+      return std::make_unique<sim::GstAdversary>(spec.gst, spec.gst_delta,
+                                                 spec.gst_pre_extra);
+  }
+  throw std::invalid_argument("unknown AdversaryKind");
+}
+
+namespace {
+
+/// Type-erased replica accessors: MinBftReplica and PbftReplica share the
+/// introspection surface but no base class.
+struct ReplicaHandle {
+  ProcessId id = kNoProcess;
+  std::function<const std::vector<agreement::ExecutionRecord>&()> log;
+  std::function<std::uint64_t()> executed;
+  std::function<crypto::Digest()> digest;
+};
+
+crypto::Digest fingerprint_of(const sim::World& world,
+                              std::uint64_t completed, Time final_time) {
+  serde::Writer w;
+  w.uvarint(completed);
+  w.uvarint(final_time);
+  for (ProcessId p = 0; p < world.size(); ++p) {
+    const std::vector<sim::ObservedEvent>& evs = world.transcript(p).events();
+    w.uvarint(evs.size());
+    for (const sim::ObservedEvent& ev : evs) {
+      w.u8(static_cast<std::uint8_t>(ev.kind));
+      w.uvarint(ev.from);
+      w.uvarint(ev.channel);
+      w.str(ev.tag);
+      w.bytes(ev.payload);
+    }
+  }
+  return crypto::Sha256::hash(w.buffer());
+}
+
+}  // namespace
+
+RunOutcome run_scenario(const ScenarioSpec& spec,
+                        const InvariantRegistry& registry, RunMode mode,
+                        const ScheduleTrace* trace) {
+  UNIDIR_REQUIRE_MSG(mode != RunMode::Replay || trace != nullptr,
+                     "Replay mode needs a trace");
+  UNIDIR_REQUIRE(spec.n >= 1 && !spec.requests.empty());
+
+  RecordingAdversary* recorder = nullptr;
+  ReplayAdversary* replayer = nullptr;
+  std::unique_ptr<sim::Adversary> adversary;
+  switch (mode) {
+    case RunMode::Direct:
+      adversary = make_adversary(spec);
+      break;
+    case RunMode::Record: {
+      auto rec = std::make_unique<RecordingAdversary>(make_adversary(spec));
+      recorder = rec.get();
+      adversary = std::move(rec);
+      break;
+    }
+    case RunMode::Replay: {
+      auto rep = std::make_unique<ReplayAdversary>(*trace);
+      replayer = rep.get();
+      adversary = std::move(rep);
+      break;
+    }
+  }
+
+  // The USIG directory must outlive the world whose replicas reference it.
+  std::unique_ptr<agreement::SgxUsigDirectory> usigs;
+  sim::World world(spec.seed, std::move(adversary));
+
+  RunOutcome out;
+  world.network().set_observer(
+      [&out](const sim::Envelope&, sim::DecisionPoint,
+             const std::optional<Time>&) { ++out.decisions; });
+
+  std::vector<ProcessId> ids;
+  for (std::uint64_t i = 0; i < spec.n; ++i)
+    ids.push_back(static_cast<ProcessId>(i));
+
+  std::vector<ReplicaHandle> handles;
+  if (spec.protocol == ProtocolKind::MinBft) {
+    usigs = std::make_unique<agreement::SgxUsigDirectory>(world.keys());
+    for (std::uint64_t i = 0; i < spec.n; ++i) {
+      agreement::MinBftReplica::Options o;
+      o.replicas = ids;
+      o.f = static_cast<std::size_t>(spec.f);
+      o.view_change_timeout = spec.view_change_timeout;
+      o.commit_quorum = static_cast<std::size_t>(spec.commit_quorum);
+      auto& r = world.spawn<agreement::MinBftReplica>(
+          o, *usigs, std::make_unique<agreement::KvStateMachine>());
+      handles.push_back({r.id(),
+                         [&r]() -> const auto& { return r.execution_log(); },
+                         [&r] { return r.executed_count(); },
+                         [&r] { return r.state_digest(); }});
+    }
+  } else {
+    for (std::uint64_t i = 0; i < spec.n; ++i) {
+      agreement::PbftReplica::Options o;
+      o.replicas = ids;
+      o.f = static_cast<std::size_t>(spec.f);
+      o.view_change_timeout = spec.view_change_timeout;
+      auto& r = world.spawn<agreement::PbftReplica>(
+          o, std::make_unique<agreement::KvStateMachine>());
+      handles.push_back({r.id(),
+                         [&r]() -> const auto& { return r.execution_log(); },
+                         [&r] { return r.executed_count(); },
+                         [&r] { return r.state_digest(); }});
+    }
+  }
+
+  agreement::SmrClient::Options copt;
+  copt.replicas = ids;
+  copt.f = static_cast<std::size_t>(spec.f);
+  copt.resend_timeout = spec.resend_timeout;
+  copt.max_outstanding = static_cast<std::size_t>(spec.pipeline_depth);
+  auto& client = world.spawn<agreement::SmrClient>(copt);
+  for (const Bytes& op : spec.requests) client.submit(op);
+
+  for (const CrashEvent& ev : spec.crashes)
+    world.simulator().at(ev.when,
+                         [&world, v = ev.victim] { world.crash(v); });
+
+  world.start();
+  out.events = world.run_to_quiescence(
+      static_cast<std::size_t>(spec.max_events));
+
+  out.completed = client.completed();
+  out.expected = spec.requests.size();
+  out.final_time = world.now();
+  out.net = world.network().stats();
+  out.fingerprint = fingerprint_of(world, out.completed, out.final_time);
+
+  ExplorationContext ctx;
+  ctx.world = &world;
+  for (const ReplicaHandle& h : handles)
+    if (world.correct(h.id))
+      ctx.smr.push_back({h.id, &h.log(), h.executed(), h.digest()});
+  ctx.completed = out.completed;
+  ctx.expected = out.expected;
+  for (ProcessId p = 0; p < world.size(); ++p)
+    if (world.correct(p)) ctx.transcripts.emplace_back(p, &world.transcript(p));
+  out.violation = registry.check(ctx);
+
+  if (recorder) out.trace = recorder->take_trace();
+  if (replayer) {
+    out.trace = replayer->consumed_trace();
+    out.replay_missed = replayer->missed();
+  }
+  return out;
+}
+
+}  // namespace unidir::explore

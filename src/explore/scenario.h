@@ -1,0 +1,126 @@
+// Explicit, serializable sweep scenarios.
+//
+// The fault sweep used to draw its whole configuration (delays, pipeline
+// depth, crash plan, workload) from a seed inside the test body — a failing
+// seed gave a number, not an artifact. ScenarioSpec materializes that draw
+// into explicit data: which protocol, which adversary with which
+// parameters, the exact client operations, and the exact crash schedule.
+// Explicit data is what the shrinker mutates (drop a request, un-crash a
+// replica) and what a replay snippet embeds.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explore/invariants.h"
+#include "explore/trace.h"
+#include "sim/network.h"
+
+namespace unidir::explore {
+
+enum class ProtocolKind : std::uint8_t { MinBft = 0, Pbft = 1 };
+enum class AdversaryKind : std::uint8_t {
+  Immediate = 0,
+  RandomDelay = 1,
+  Duplicating = 2,
+  Gst = 3,
+};
+
+std::string protocol_name(ProtocolKind p);
+std::string adversary_name(AdversaryKind a);
+
+struct CrashEvent {
+  ProcessId victim = kNoProcess;
+  Time when = 1;
+
+  bool operator==(const CrashEvent&) const = default;
+
+  void encode(serde::Writer& w) const;
+  static CrashEvent decode(serde::Reader& r);
+};
+
+struct ScenarioSpec {
+  ProtocolKind protocol = ProtocolKind::MinBft;
+  AdversaryKind adversary = AdversaryKind::RandomDelay;
+  std::uint64_t seed = 1;
+  std::uint64_t n = 3;
+  std::uint64_t f = 1;
+
+  // Adversary parameters (which apply depends on `adversary`).
+  Time max_delay = 1;            // RandomDelay, Duplicating
+  std::uint64_t max_copies = 1;  // Duplicating
+  Time gst = 0;                  // Gst
+  Time gst_delta = 1;            // Gst
+  Time gst_pre_extra = 0;        // Gst
+
+  // Client / protocol knobs.
+  std::uint64_t pipeline_depth = 1;
+  Time resend_timeout = 200;
+  Time view_change_timeout = 150;
+  /// MinBFT commit quorum override; 0 = protocol default (f+1). A mutated
+  /// knob for deliberately mis-tuning the protocol in explorer self-tests.
+  std::uint64_t commit_quorum = 0;
+
+  /// Exact client operations, in submission order (shrinkable).
+  std::vector<Bytes> requests;
+  /// Exact crash schedule (shrinkable).
+  std::vector<CrashEvent> crashes;
+
+  std::uint64_t max_events = 2'000'000;
+
+  bool operator==(const ScenarioSpec&) const = default;
+
+  /// Draws a randomized scenario the way the fault sweep does: random
+  /// delays/copies/GST, pipeline depth 1–4, 4–10 KV puts, up to f crashes
+  /// at random times (primaries included).
+  static ScenarioSpec materialize(ProtocolKind protocol,
+                                  AdversaryKind adversary, std::uint64_t seed);
+
+  std::string describe() const;
+
+  void encode(serde::Writer& w) const;
+  static ScenarioSpec decode(serde::Reader& r);
+  std::string to_hex() const;
+  static ScenarioSpec from_hex(std::string_view hex);
+};
+
+/// Builds the spec's adversary (the *inner* one — callers wrap it for
+/// record/replay).
+std::unique_ptr<sim::Adversary> make_adversary(const ScenarioSpec& spec);
+
+enum class RunMode : std::uint8_t {
+  Direct,  // spec's own adversary, no trace
+  Record,  // spec's adversary wrapped in RecordingAdversary
+  Replay,  // ReplayAdversary re-imposing a supplied trace
+};
+
+struct RunOutcome {
+  std::uint64_t completed = 0;
+  std::uint64_t expected = 0;
+  Time final_time = 0;
+  std::uint64_t events = 0;
+  /// Scheduling decisions observed via the Network tap.
+  std::uint64_t decisions = 0;
+  sim::NetworkStats net{};
+  std::optional<InvariantViolation> violation;
+  /// Record mode: the captured trace. Replay mode: the consumed decisions
+  /// (garbage-collected trace). Direct mode: empty.
+  ScheduleTrace trace;
+  /// Replay mode: consults that found no recorded decision.
+  std::size_t replay_missed = 0;
+  /// Fingerprint of everything processes observed (all transcripts) plus
+  /// completion and final time. Two runs with equal fingerprints executed
+  /// indistinguishably.
+  crypto::Digest fingerprint{};
+};
+
+/// Runs one scenario end-to-end and checks the registry's invariants.
+/// `trace` is required iff mode == Replay.
+RunOutcome run_scenario(const ScenarioSpec& spec,
+                        const InvariantRegistry& registry,
+                        RunMode mode = RunMode::Direct,
+                        const ScheduleTrace* trace = nullptr);
+
+}  // namespace unidir::explore

@@ -1,0 +1,141 @@
+#include "explore/shrink.h"
+
+#include <algorithm>
+
+namespace unidir::explore {
+
+namespace {
+
+struct Shrinker {
+  const InvariantRegistry& registry;
+  const std::string& invariant;
+  std::size_t max_runs;
+  std::size_t runs = 0;
+
+  /// True iff the candidate still fails with the same invariant. Returns
+  /// false without running once the budget is spent, which freezes the
+  /// current best result.
+  bool fails(const ScenarioSpec& spec, const ScheduleTrace& trace) {
+    if (runs >= max_runs) return false;
+    ++runs;
+    const RunOutcome out =
+        run_scenario(spec, registry, RunMode::Replay, &trace);
+    return out.violation && out.violation->invariant == invariant;
+  }
+};
+
+/// ddmin-style chunk removal over `items`: tries dropping windows of
+/// halving size; `accepts` judges each candidate list. Returns accepted
+/// removals.
+template <typename T, typename Accepts>
+std::size_t minimize_list(std::vector<T>& items, Accepts accepts) {
+  std::size_t reductions = 0;
+  if (items.empty()) return reductions;
+  for (std::size_t chunk = items.size(); chunk >= 1; chunk /= 2) {
+    for (std::size_t start = 0; start + chunk <= items.size();) {
+      std::vector<T> candidate(items.begin(),
+                               items.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       items.begin() + static_cast<std::ptrdiff_t>(start + chunk),
+                       items.end());
+      if (accepts(candidate)) {
+        items = std::move(candidate);
+        ++reductions;
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return reductions;
+}
+
+bool collapsible(const ScheduleDecision& d) {
+  if (d.kind == DecisionKind::Copies) return d.copies > 1;
+  return !d.held && d.delay > 1;
+}
+
+void collapse(ScheduleDecision& d) {
+  if (d.kind == DecisionKind::Copies)
+    d.copies = 1;
+  else
+    d.delay = 1;
+}
+
+}  // namespace
+
+ShrinkOutcome shrink_failure(const ScenarioSpec& spec,
+                             const ScheduleTrace& trace,
+                             const InvariantRegistry& registry,
+                             const std::string& invariant,
+                             const ShrinkLimits& limits) {
+  ShrinkOutcome out{spec, trace};
+  Shrinker sh{registry, invariant, limits.max_runs};
+
+  // 1. Un-crash replicas, one event at a time (few enough that chunking
+  //    buys nothing).
+  for (std::size_t i = out.spec.crashes.size(); i-- > 0;) {
+    ScenarioSpec candidate = out.spec;
+    candidate.crashes.erase(candidate.crashes.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+    if (sh.fails(candidate, out.trace)) {
+      out.spec = std::move(candidate);
+      ++out.reductions;
+    }
+  }
+
+  // 2. Drop client requests. run_scenario requires a non-empty workload, so
+  //    an empty candidate is never offered.
+  out.reductions += minimize_list(
+      out.spec.requests, [&](const std::vector<Bytes>& candidate) {
+        if (candidate.empty()) return false;
+        ScenarioSpec s = out.spec;
+        s.requests = candidate;
+        return sh.fails(s, out.trace);
+      });
+
+  // 3. Collapse delays and copy counts toward 1 — all at once if possible,
+  //    then halving windows of the remaining targets.
+  std::vector<std::size_t> targets;
+  for (std::size_t i = 0; i < out.trace.decisions.size(); ++i)
+    if (collapsible(out.trace.decisions[i])) targets.push_back(i);
+  if (!targets.empty()) {
+    for (std::size_t chunk = targets.size(); chunk >= 1; chunk /= 2) {
+      for (std::size_t start = 0; start + chunk <= targets.size();) {
+        ScheduleTrace candidate = out.trace;
+        for (std::size_t k = start; k < start + chunk; ++k)
+          collapse(candidate.decisions[targets[k]]);
+        if (sh.fails(out.spec, candidate)) {
+          out.trace = std::move(candidate);
+          targets.erase(targets.begin() + static_cast<std::ptrdiff_t>(start),
+                        targets.begin() +
+                            static_cast<std::ptrdiff_t>(start + chunk));
+          ++out.reductions;
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+
+  // 4. Garbage-collect decisions the shrunken scenario never consults. The
+  //    consumed trace replays the exact same schedule, so this can only
+  //    fail if the budget ran out — in which case keep the uncollected one.
+  {
+    const RunOutcome replayed =
+        run_scenario(out.spec, registry, RunMode::Replay, &out.trace);
+    ++sh.runs;
+    if (replayed.violation && replayed.violation->invariant == invariant &&
+        replayed.trace.decisions.size() < out.trace.decisions.size() &&
+        sh.fails(out.spec, replayed.trace)) {
+      out.trace = replayed.trace;
+      ++out.reductions;
+    }
+  }
+
+  out.runs = sh.runs;
+  return out;
+}
+
+}  // namespace unidir::explore

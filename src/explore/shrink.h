@@ -1,0 +1,43 @@
+// Delta-debugging shrinker for failing executions.
+//
+// Given a (spec, trace) pair under which an invariant is violated, greedily
+// minimizes both while the SAME invariant keeps failing under replay:
+//
+//   1. un-crash replicas (drop crash events one at a time),
+//   2. drop client requests (ddmin-style chunk removal),
+//   3. collapse scheduling delays toward 1 and duplicate copies toward 1
+//      (all-at-once first, then chunked, then per-decision),
+//   4. garbage-collect trace decisions the shrunken scenario never consults.
+//
+// Every candidate is validated by a full deterministic replay, so the
+// result is always a genuinely failing artifact, never a guess.
+#pragma once
+
+#include "explore/invariants.h"
+#include "explore/scenario.h"
+#include "explore/trace.h"
+
+namespace unidir::explore {
+
+struct ShrinkLimits {
+  /// Budget of replays the shrinker may spend; once exhausted it keeps the
+  /// best result so far.
+  std::size_t max_runs = 600;
+};
+
+struct ShrinkOutcome {
+  ScenarioSpec spec;
+  ScheduleTrace trace;
+  std::size_t runs = 0;        // replays executed
+  std::size_t reductions = 0;  // accepted shrink steps
+};
+
+/// Requires that (spec, trace) currently violates `invariant` when
+/// replayed; returns a minimized pair that still does.
+ShrinkOutcome shrink_failure(const ScenarioSpec& spec,
+                             const ScheduleTrace& trace,
+                             const InvariantRegistry& registry,
+                             const std::string& invariant,
+                             const ShrinkLimits& limits = {});
+
+}  // namespace unidir::explore

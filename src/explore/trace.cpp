@@ -1,0 +1,135 @@
+#include "explore/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace unidir::explore {
+
+std::uint64_t fnv1a64(ByteSpan data) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string decision_kind_name(DecisionKind kind) {
+  switch (kind) {
+    case DecisionKind::Send:
+      return "send";
+    case DecisionKind::Copies:
+      return "copies";
+    case DecisionKind::Release:
+      return "release";
+  }
+  return "?";
+}
+
+MessageKey MessageKey::of(const sim::Envelope& env) {
+  MessageKey k;
+  k.from = env.from;
+  k.to = env.to;
+  k.channel = env.channel;
+  k.payload_hash = fnv1a64(env.payload);
+  return k;
+}
+
+void MessageKey::encode(serde::Writer& w) const {
+  w.uvarint(from);
+  w.uvarint(to);
+  w.uvarint(channel);
+  w.uvarint(payload_hash);
+}
+
+MessageKey MessageKey::decode(serde::Reader& r) {
+  MessageKey k;
+  k.from = serde::read<ProcessId>(r);
+  k.to = serde::read<ProcessId>(r);
+  k.channel = serde::read<sim::Channel>(r);
+  k.payload_hash = r.uvarint();
+  return k;
+}
+
+std::string ScheduleDecision::describe() const {
+  std::ostringstream os;
+  os << decision_kind_name(kind) << " " << key.from << "->" << key.to
+     << " ch=" << key.channel;
+  if (kind == DecisionKind::Copies)
+    os << " copies=" << copies;
+  else if (held)
+    os << " HELD";
+  else
+    os << " delay=" << delay;
+  return os.str();
+}
+
+void ScheduleDecision::encode(serde::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  key.encode(w);
+  w.boolean(held);
+  w.uvarint(delay);
+  w.uvarint(copies);
+}
+
+ScheduleDecision ScheduleDecision::decode(serde::Reader& r) {
+  ScheduleDecision d;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(DecisionKind::Release))
+    throw serde::DecodeError("bad DecisionKind");
+  d.kind = static_cast<DecisionKind>(kind);
+  d.key = MessageKey::decode(r);
+  d.held = r.boolean();
+  d.delay = r.uvarint();
+  d.copies = r.uvarint();
+  return d;
+}
+
+std::string ScheduleTrace::summary() const {
+  std::size_t sends = 0, copies = 0, releases = 0, holds = 0;
+  Time max_delay = 0;
+  for (const ScheduleDecision& d : decisions) {
+    switch (d.kind) {
+      case DecisionKind::Send:
+        ++sends;
+        break;
+      case DecisionKind::Copies:
+        ++copies;
+        break;
+      case DecisionKind::Release:
+        ++releases;
+        break;
+    }
+    if (d.kind != DecisionKind::Copies) {
+      if (d.held)
+        ++holds;
+      else
+        max_delay = std::max(max_delay, d.delay);
+    }
+  }
+  std::ostringstream os;
+  os << decisions.size() << " decisions (" << sends << " sends, " << copies
+     << " copy choices, " << releases << " releases, " << holds
+     << " holds, max delay " << max_delay << ")";
+  return os.str();
+}
+
+void ScheduleTrace::encode(serde::Writer& w) const {
+  serde::write(w, decisions);
+}
+
+ScheduleTrace ScheduleTrace::decode(serde::Reader& r) {
+  ScheduleTrace t;
+  t.decisions = serde::read<std::vector<ScheduleDecision>>(r);
+  return t;
+}
+
+std::string ScheduleTrace::to_hex() const {
+  return unidir::to_hex(serde::encode(*this));
+}
+
+ScheduleTrace ScheduleTrace::from_hex(std::string_view hex) {
+  return serde::decode<ScheduleTrace>(unidir::from_hex(hex));
+}
+
+}  // namespace unidir::explore

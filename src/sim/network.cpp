@@ -37,6 +37,7 @@ void Network::send(ProcessId from, ProcessId to, Channel channel,
   for (unsigned i = 0; i + 1 < copies; ++i) {
     Envelope dup = env;
     const std::optional<Time> delay = adversary_->on_send(dup, rng_);
+    if (observer_) observer_(dup, DecisionPoint::Duplicate, delay);
     ++stats_.messages_duplicated;
     if (!delay) {
       held_.push_back(std::move(dup));
@@ -47,6 +48,7 @@ void Network::send(ProcessId from, ProcessId to, Channel channel,
   }
 
   const std::optional<Time> delay = adversary_->on_send(env, rng_);
+  if (observer_) observer_(env, DecisionPoint::Send, delay);
   if (!delay) {
     held_.push_back(std::move(env));
     ++stats_.messages_held;
@@ -79,6 +81,7 @@ void Network::flush_held_if(const std::function<bool(const Envelope&)>& pred) {
       continue;
     }
     const std::optional<Time> delay = adversary_->on_release(env, rng_);
+    if (observer_) observer_(env, DecisionPoint::Release, delay);
     if (!delay) {
       keep.push_back(std::move(env));
       continue;

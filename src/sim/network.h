@@ -70,17 +70,28 @@ struct NetworkStats {
   std::uint64_t bytes_sent = 0;
 };
 
+/// Where in the send path a scheduling decision was made: the original
+/// copy of a message, an extra duplicate copy, or the re-offer of a held
+/// message.
+enum class DecisionPoint : std::uint8_t { Send, Duplicate, Release };
+
 class Network {
  public:
   /// `deliver` is invoked (as a simulator event) for each delivered message.
   using DeliverFn = std::function<void(const Envelope&)>;
   /// Queried at send and delivery time; crashed endpoints drop messages.
   using CrashedFn = std::function<bool(ProcessId)>;
+  /// Passive tap fired after the adversary rules on a message (nullopt
+  /// delay = held). Used by tracing/diagnostic tooling (see src/explore/);
+  /// must not send or mutate the network from inside the callback.
+  using ObserverFn = std::function<void(const Envelope&, DecisionPoint,
+                                        const std::optional<Time>& delay)>;
 
   Network(Simulator& simulator, Rng rng, std::unique_ptr<Adversary> adversary);
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
   void set_crashed(CrashedFn fn) { crashed_ = std::move(fn); }
+  void set_observer(ObserverFn fn) { observer_ = std::move(fn); }
 
   /// Sends a message; the adversary picks its fate.
   void send(ProcessId from, ProcessId to, Channel channel, Bytes payload);
@@ -106,6 +117,7 @@ class Network {
   std::unique_ptr<Adversary> adversary_;
   DeliverFn deliver_;
   CrashedFn crashed_;
+  ObserverFn observer_;
   std::vector<Envelope> held_;
   std::uint64_t next_id_ = 1;
   NetworkStats stats_;

@@ -1,159 +1,64 @@
-// Randomized fault-injection sweep ("mini-Jepsen"): for many seeds, run an
-// SMR cluster under a randomly drawn adversary with randomly timed crashes
-// of up to f replicas (primaries included), and check the two invariants
-// that must never move:
-//   safety   — correct replicas' execution logs stay prefix-consistent and
-//              end in identical state digests;
-//   liveness — with at most f crashes and an eventually-fair network,
-//              every client request completes.
+// Randomized fault-injection sweep ("mini-Jepsen"), run through the
+// schedule explorer: for many seeds, materialize an explicit ScenarioSpec
+// (randomly drawn adversary parameters, workload, and crash plan with up
+// to f crashes, primaries included) and check the standard SMR invariant
+// registry — safety (prefix-consistent logs, digest equality) and
+// liveness (every client request completes under an eventually-fair
+// network).
+//
+// Running through run_scenario rather than ad-hoc harness code means any
+// failing seed here can be turned into a minimal committed artifact:
+// record it (RunMode::Record), shrink it (shrink_failure), and paste the
+// resulting hex pair into a regression test — see EXPERIMENTS.md,
+// "Record → replay → shrink".
+//
+// Seed counts are deliberately asymmetric to stay CI-fast: the benign
+// random-delay adversary gets the widest sweep; the duplicating and GST
+// adversaries (satellite coverage: at-least-once delivery and partial
+// synchrony) get a smaller but still multi-seed slice each.
 #include <gtest/gtest.h>
 
-#include "agreement/minbft.h"
-#include "agreement/pbft.h"
-#include "agreement/state_machines.h"
-#include "sim/adversaries.h"
+#include "explore/scenario.h"
 
-namespace unidir::agreement {
+namespace unidir::explore {
 namespace {
 
-struct SweepOutcome {
-  std::uint64_t completed = 0;
-  std::uint64_t expected = 0;
-  std::optional<std::string> divergence;
-  bool digests_match = true;
-};
+class FaultSweep
+    : public ::testing::TestWithParam<
+          std::tuple<ProtocolKind, AdversaryKind, std::uint64_t>> {};
 
-template <typename MakeReplica, typename Replica>
-SweepOutcome run_fault_sweep(std::uint64_t seed, std::size_t n,
-                             std::size_t f, MakeReplica make_replica,
-                             std::vector<Replica*>& replicas) {
-  sim::Rng plan(seed * 0x9E3779B97F4A7C15ULL + 1);
-
-  // Randomly drawn benign-to-nasty network.
-  const Time max_delay = plan.range(2, 20);
-  sim::World world(seed, std::make_unique<sim::RandomDelayAdversary>(
-                             1, max_delay));
-  std::vector<ProcessId> ids;
-  for (std::size_t i = 0; i < n; ++i) ids.push_back(static_cast<ProcessId>(i));
-  for (std::size_t i = 0; i < n; ++i)
-    replicas.push_back(make_replica(world, ids, f));
-
-  SmrClient::Options copt;
-  copt.replicas = ids;
-  copt.f = f;
-  copt.resend_timeout = 200;
-  copt.max_outstanding = plan.range(1, 4);
-  auto& client = world.spawn<SmrClient>(copt);
-  const int requests = static_cast<int>(plan.range(4, 10));
-  for (int k = 0; k < requests; ++k)
-    client.submit(KvStateMachine::put_op("key" + std::to_string(k % 3),
-                                         "v" + std::to_string(k)));
-
-  // Crash schedule: up to f replicas, uniformly chosen, at random times.
-  const std::size_t crashes = plan.range(0, f);
-  std::vector<ProcessId> victims = ids;
-  plan.shuffle(victims);
-  for (std::size_t c = 0; c < crashes; ++c) {
-    const ProcessId victim = victims[c];
-    const Time when = plan.range(1, 400);
-    world.simulator().at(when, [&world, victim] { world.crash(victim); });
-  }
-
-  world.start();
-  world.run_to_quiescence();
-
-  SweepOutcome out;
-  out.completed = client.completed();
-  out.expected = static_cast<std::uint64_t>(requests);
-
-  std::vector<std::pair<ProcessId, const std::vector<ExecutionRecord>*>>
-      logs;
-  for (auto* r : replicas)
-    if (world.correct(r->id()))
-      logs.emplace_back(r->id(), &r->execution_log());
-  out.divergence = check_execution_consistency(logs);
-
-  // Replicas with equal execution counts must hold identical state.
-  for (std::size_t i = 0; i < replicas.size(); ++i)
-    for (std::size_t j = i + 1; j < replicas.size(); ++j) {
-      auto* a = replicas[i];
-      auto* b = replicas[j];
-      if (!world.correct(a->id()) || !world.correct(b->id())) continue;
-      if (a->executed_count() == b->executed_count() &&
-          a->state_digest() != b->state_digest())
-        out.digests_match = false;
-    }
-  return out;
+TEST_P(FaultSweep, InvariantsHoldUnderRandomFaults) {
+  const auto [protocol, adversary, seed] = GetParam();
+  const ScenarioSpec spec = ScenarioSpec::materialize(protocol, adversary,
+                                                      seed);
+  const RunOutcome out =
+      run_scenario(spec, InvariantRegistry::standard_smr());
+  EXPECT_FALSE(out.violation.has_value())
+      << out.violation->describe() << "\n  scenario: " << spec.describe()
+      << "\n  reproduce: record this spec (RunMode::Record), shrink with "
+         "shrink_failure(), and replay — see EXPERIMENTS.md";
 }
 
-class MinBftFaultSweep : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(
+    RandomDelay, FaultSweep,
+    ::testing::Combine(::testing::Values(ProtocolKind::MinBft,
+                                         ProtocolKind::Pbft),
+                       ::testing::Values(AdversaryKind::RandomDelay),
+                       ::testing::Range<std::uint64_t>(1, 21)));
 
-TEST_P(MinBftFaultSweep, InvariantsHoldUnderRandomFaults) {
-  const std::uint64_t seed = GetParam();
-  std::vector<MinBftReplica*> replicas;
-  sim::Rng pick(seed);
-  const std::size_t f = pick.range(1, 2);
-  const std::size_t n = 2 * f + 1;
-  SgxUsigDirectory* usigs = nullptr;
-  std::unique_ptr<SgxUsigDirectory> usigs_owner;
-  const SweepOutcome out = run_fault_sweep<
-      std::function<MinBftReplica*(sim::World&, const std::vector<ProcessId>&,
-                                   std::size_t)>,
-      MinBftReplica>(
-      seed, n, f,
-      [&](sim::World& w, const std::vector<ProcessId>& ids,
-          std::size_t f_) -> MinBftReplica* {
-        if (!usigs) {
-          usigs_owner = std::make_unique<SgxUsigDirectory>(w.keys());
-          usigs = usigs_owner.get();
-        }
-        MinBftReplica::Options o;
-        o.replicas = ids;
-        o.f = f_;
-        o.view_change_timeout = 150;
-        return &w.spawn<MinBftReplica>(o, *usigs,
-                                       std::make_unique<KvStateMachine>());
-      },
-      replicas);
-  EXPECT_FALSE(out.divergence.has_value()) << *out.divergence << " seed "
-                                           << seed;
-  EXPECT_TRUE(out.digests_match) << "seed " << seed;
-  EXPECT_EQ(out.completed, out.expected) << "seed " << seed;
-}
+INSTANTIATE_TEST_SUITE_P(
+    Duplicating, FaultSweep,
+    ::testing::Combine(::testing::Values(ProtocolKind::MinBft,
+                                         ProtocolKind::Pbft),
+                       ::testing::Values(AdversaryKind::Duplicating),
+                       ::testing::Range<std::uint64_t>(1, 9)));
 
-INSTANTIATE_TEST_SUITE_P(Seeds, MinBftFaultSweep,
-                         ::testing::Range<std::uint64_t>(1, 21));
-
-class PbftFaultSweep : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(PbftFaultSweep, InvariantsHoldUnderRandomFaults) {
-  const std::uint64_t seed = GetParam();
-  std::vector<PbftReplica*> replicas;
-  sim::Rng pick(seed ^ 0xABCDEF);
-  const std::size_t f = pick.range(1, 2);
-  const std::size_t n = 3 * f + 1;
-  const SweepOutcome out = run_fault_sweep<
-      std::function<PbftReplica*(sim::World&, const std::vector<ProcessId>&,
-                                 std::size_t)>,
-      PbftReplica>(
-      seed, n, f,
-      [&](sim::World& w, const std::vector<ProcessId>& ids,
-          std::size_t f_) -> PbftReplica* {
-        PbftReplica::Options o;
-        o.replicas = ids;
-        o.f = f_;
-        o.view_change_timeout = 150;
-        return &w.spawn<PbftReplica>(o, std::make_unique<KvStateMachine>());
-      },
-      replicas);
-  EXPECT_FALSE(out.divergence.has_value()) << *out.divergence << " seed "
-                                           << seed;
-  EXPECT_TRUE(out.digests_match) << "seed " << seed;
-  EXPECT_EQ(out.completed, out.expected) << "seed " << seed;
-}
-
-INSTANTIATE_TEST_SUITE_P(Seeds, PbftFaultSweep,
-                         ::testing::Range<std::uint64_t>(1, 21));
+INSTANTIATE_TEST_SUITE_P(
+    Gst, FaultSweep,
+    ::testing::Combine(::testing::Values(ProtocolKind::MinBft,
+                                         ProtocolKind::Pbft),
+                       ::testing::Values(AdversaryKind::Gst),
+                       ::testing::Range<std::uint64_t>(1, 9)));
 
 }  // namespace
-}  // namespace unidir::agreement
+}  // namespace unidir::explore

@@ -185,6 +185,82 @@ TEST(Network, ScriptedAdversaryControlsEachMessage) {
   EXPECT_EQ(b.pings, 5);
 }
 
+/// Misbehaving adversary: claims zero copies of every message. The network
+/// contract says links are reliable-but-duplicating, so 0 must be clamped
+/// to 1 — loss is only expressible by holding.
+class ZeroCopiesAdversary final : public Adversary {
+ public:
+  std::optional<Time> on_send(const Envelope&, Rng&) override {
+    return Time{1};
+  }
+  unsigned copies(const Envelope&, Rng&) override { return 0; }
+};
+
+TEST(Network, ZeroCopiesFromAdversaryStillDeliversOnce) {
+  World w(1, std::make_unique<ZeroCopiesAdversary>());
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  w.start();
+  a.ping(b.id());
+  w.run_to_quiescence();
+  EXPECT_EQ(b.pings, 1);   // clamped to exactly one copy — not lost...
+  EXPECT_EQ(a.pongs, 1);
+  EXPECT_EQ(w.network().stats().messages_duplicated, 0u);  // ...not duped
+  EXPECT_EQ(w.network().stats().messages_delivered, 2u);
+}
+
+TEST(Network, ObserverSeesEveryDecisionPoint) {
+  auto adversary = std::make_unique<PartitionAdversary>();
+  PartitionAdversary* part = adversary.get();
+  World w(7, std::move(adversary));
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+
+  std::vector<DecisionPoint> points;
+  std::size_t holds = 0;
+  w.network().set_observer(
+      [&](const Envelope&, DecisionPoint p, const std::optional<Time>& delay) {
+        points.push_back(p);
+        if (!delay) ++holds;
+      });
+  w.start();
+
+  part->block({a.id()}, {b.id()});
+  a.ping(b.id());
+  w.run_to_quiescence();
+  ASSERT_EQ(points.size(), 1u);  // one Send decision, held
+  EXPECT_EQ(points[0], DecisionPoint::Send);
+  EXPECT_EQ(holds, 1u);
+
+  part->clear();
+  w.network().flush_held();
+  w.run_to_quiescence();
+  // Release of the held ping, then the Send decision for b's pong.
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[1], DecisionPoint::Release);
+  EXPECT_EQ(points[2], DecisionPoint::Send);
+  EXPECT_EQ(holds, 1u);
+}
+
+TEST(Network, ObserverSeesDuplicateDecisions) {
+  World w(11, std::make_unique<DuplicatingAdversary>(/*max_copies=*/3,
+                                                     /*max_delay=*/2));
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  std::size_t dups = 0;
+  std::size_t sends = 0;
+  w.network().set_observer(
+      [&](const Envelope&, DecisionPoint p, const std::optional<Time>&) {
+        if (p == DecisionPoint::Duplicate) ++dups;
+        if (p == DecisionPoint::Send) ++sends;
+      });
+  w.start();
+  a.ping(b.id());
+  w.run_to_quiescence();
+  EXPECT_EQ(dups, w.network().stats().messages_duplicated);
+  EXPECT_EQ(sends, w.network().stats().messages_sent);
+}
+
 TEST(Network, StatsCountSendsAndBytes) {
   World w(1, std::make_unique<ImmediateAdversary>());
   auto& a = w.spawn<Echo>();

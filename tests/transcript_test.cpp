@@ -60,6 +60,42 @@ TEST(Transcript, DivergenceDetectsPayloadDifference) {
   EXPECT_EQ(a.first_divergence(b), 1);
 }
 
+TEST(Transcript, EmptyTranscriptsAreIndistinguishable) {
+  Transcript a;
+  Transcript b;
+  EXPECT_TRUE(a.indistinguishable_from(b));
+  EXPECT_EQ(a.first_divergence(b), -1);
+}
+
+TEST(Transcript, EmptyVersusNonEmptyDivergesAtZero) {
+  Transcript a;
+  Transcript b;
+  b.record_message(1, 0, bytes_of("m"));
+  EXPECT_FALSE(a.indistinguishable_from(b));
+  EXPECT_EQ(a.first_divergence(b), 0);
+  EXPECT_EQ(b.first_divergence(a), 0);  // symmetric
+}
+
+TEST(Transcript, DivergenceAtZeroOnEventKind) {
+  // Same position, same payload — but one saw a message and the other
+  // produced an output. Kind alone must distinguish them.
+  Transcript a;
+  Transcript b;
+  a.record_message(1, 0, bytes_of("m"));
+  b.record_output("deliver", bytes_of("m"));
+  EXPECT_FALSE(a.indistinguishable_from(b));
+  EXPECT_EQ(a.first_divergence(b), 0);
+}
+
+TEST(Transcript, TagOnlyDifferenceDistinguishes) {
+  Transcript a;
+  Transcript b;
+  a.record_output("deliver", bytes_of("v"));
+  b.record_output("commit", bytes_of("v"));
+  EXPECT_FALSE(a.indistinguishable_from(b));
+  EXPECT_EQ(a.first_divergence(b), 0);
+}
+
 TEST(Transcript, DescribeIsHumanReadable) {
   Transcript t;
   t.record_message(3, 9, bytes_of("hello"));
