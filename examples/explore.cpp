@@ -35,7 +35,11 @@ namespace {
   std::printf(
       "usage: %s [--protocol minbft|pbft|both] "
       "[--adversary random-delay|duplicating|gst|all]\n"
-      "          [--seeds N] [--seed-base N] [--no-shrink] [--inject-bug]\n",
+      "          [--seeds N] [--seed-base N] [--threads N] [--no-shrink] "
+      "[--inject-bug]\n"
+      "  --threads N   record-phase worker threads (0 = all cores, "
+      "default 1);\n"
+      "                findings are identical at any thread count\n",
       argv0);
   std::exit(2);
 }
@@ -94,6 +98,8 @@ int main(int argc, char** argv) {
       if (plan.seeds == 0) usage(argv[0]);
     } else if (arg == "--seed-base") {
       plan.seed_base = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--threads") {
+      plan.threads = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--no-shrink") {
       plan.shrink = false;
     } else if (arg == "--inject-bug") {

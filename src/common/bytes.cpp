@@ -51,6 +51,15 @@ void append(Bytes& dst, ByteSpan src) {
   dst.insert(dst.end(), src.begin(), src.end());
 }
 
+std::uint64_t fnv1a64(ByteSpan data) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
 bool constant_time_equal(ByteSpan a, ByteSpan b) {
   if (a.size() != b.size()) return false;
   std::uint8_t acc = 0;

@@ -34,4 +34,8 @@ void append(Bytes& dst, ByteSpan src);
 /// false on length mismatch without early exit on content.
 bool constant_time_equal(ByteSpan a, ByteSpan b);
 
+/// FNV-1a 64-bit hash. Non-cryptographic: used for content fingerprints in
+/// schedule-trace keys and crypto memo tables, never for authentication.
+std::uint64_t fnv1a64(ByteSpan data);
+
 }  // namespace unidir

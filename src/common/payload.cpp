@@ -1,0 +1,12 @@
+#include "common/payload.h"
+
+namespace unidir {
+
+const Bytes& Payload::empty_bytes() {
+  static const Bytes empty;
+  return empty;
+}
+
+const std::uint64_t Payload::kFnvEmpty = fnv1a64(ByteSpan{});
+
+}  // namespace unidir

@@ -16,12 +16,20 @@ void Writer::svarint(std::int64_t v) {
   uvarint((u << 1) ^ static_cast<std::uint64_t>(v >> 63));
 }
 
+namespace {
+// A uvarint occupies at most 10 bytes; reserving prefix + payload in one
+// step caps any length-prefixed append at a single reallocation.
+constexpr std::size_t kMaxVarintSize = 10;
+}  // namespace
+
 void Writer::bytes(ByteSpan data) {
+  ensure(kMaxVarintSize + data.size());
   uvarint(data.size());
   raw(data);
 }
 
 void Writer::str(std::string_view s) {
+  ensure(kMaxVarintSize + s.size());
   uvarint(s.size());
   out_.insert(out_.end(), s.begin(), s.end());
 }

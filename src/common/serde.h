@@ -13,6 +13,7 @@
 // `serde_decode` found by ADL (used for third-party and enum types).
 #pragma once
 
+#include <algorithm>
 #include <concepts>
 #include <cstdint>
 #include <limits>
@@ -55,10 +56,24 @@ class Writer {
   /// Raw bytes with no length prefix (caller knows the length).
   void raw(ByteSpan data);
 
+  /// Pre-sizes the buffer for `additional` more bytes. Encoders that know
+  /// their payload size call this once so the appends below never
+  /// reallocate; bytes()/str() also reserve internally before appending.
+  void reserve(std::size_t additional) { out_.reserve(out_.size() + additional); }
+
   const Bytes& buffer() const { return out_; }
   Bytes take() { return std::move(out_); }
 
  private:
+  /// Internal growth: like reserve(), but never shrinks the doubling
+  /// schedule — repeated small appends stay amortized O(1) instead of
+  /// reallocating to each exact size.
+  void ensure(std::size_t additional) {
+    const std::size_t need = out_.size() + additional;
+    if (need > out_.capacity())
+      out_.reserve(std::max(need, out_.capacity() * 2));
+  }
+
   Bytes out_;
 };
 

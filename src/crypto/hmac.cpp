@@ -4,7 +4,7 @@
 
 namespace unidir::crypto {
 
-Digest hmac_sha256(ByteSpan key, ByteSpan message) {
+HmacKey::HmacKey(ByteSpan key) {
   constexpr std::size_t kBlock = 64;
   std::array<std::uint8_t, kBlock> k{};
   if (key.size() > kBlock) {
@@ -21,15 +21,25 @@ Digest hmac_sha256(ByteSpan key, ByteSpan message) {
     opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
   }
 
-  Sha256 inner;
-  inner.update(ipad);
+  // Each pad is exactly one SHA-256 block, so after these updates both
+  // hashers sit on a block boundary with the pad fully compressed: the
+  // stored objects are pure midstates with nothing buffered.
+  inner_.update(ipad);
+  outer_.update(opad);
+}
+
+Digest HmacKey::mac(ByteSpan message) const {
+  Sha256 inner = inner_;
   inner.update(message);
   const Digest inner_digest = inner.finish();
 
-  Sha256 outer;
-  outer.update(opad);
+  Sha256 outer = outer_;
   outer.update(inner_digest);
   return outer.finish();
+}
+
+Digest hmac_sha256(ByteSpan key, ByteSpan message) {
+  return HmacKey(key).mac(message);
 }
 
 }  // namespace unidir::crypto

@@ -1,9 +1,19 @@
 // SHA-256 (FIPS 180-4), implemented from scratch.
 //
 // Used as the hash underlying HMAC signatures, attestation digests, and
-// hash-chained trusted logs. The implementation is a straightforward,
-// portable one: this library's performance story is about protocol message
-// complexity, not hash throughput.
+// hash-chained trusted logs. Two compression backends share one incremental
+// front end:
+//
+//  * a portable C++ path that processes runs of blocks with the working
+//    state kept in locals (the multi-block fast path), and
+//  * an x86 SHA-NI path selected once at startup by CPUID, ~5-10x faster.
+//
+// Digests are identical bit-for-bit on both paths; which one runs never
+// affects simulation results, only wall-clock time.
+//
+// Sha256 objects are copyable: a copy resumes hashing from the same
+// midstate. HMAC key schedules (hmac.h) rely on this to precompute the
+// ipad/opad block once per key.
 #pragma once
 
 #include <array>
@@ -29,9 +39,10 @@ class Sha256 {
   /// One-shot convenience.
   static Digest hash(ByteSpan data);
 
- private:
-  void process_block(const std::uint8_t* block);
+  /// True iff the CPU's SHA extensions drive compression (bench reporting).
+  static bool hardware_accelerated();
 
+ private:
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;
   std::size_t buffered_ = 0;

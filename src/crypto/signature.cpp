@@ -1,7 +1,6 @@
 #include "crypto/signature.h"
 
 #include "common/check.h"
-#include "crypto/hmac.h"
 
 namespace unidir::crypto {
 
@@ -14,22 +13,42 @@ Signer KeyRegistry::generate_key() {
   w.uvarint(id);
   seed_counter_ = seed_counter_ * 6364136223846793005ULL + 1442695040888963407ULL;
   const Digest d = Sha256::hash(w.buffer());
-  secrets_.emplace(id, Bytes(d.begin(), d.end()));
+  Bytes secret(d.begin(), d.end());
+  HmacKey schedule{ByteSpan(secret.data(), secret.size())};
+  keys_.emplace(id, KeyMaterial{std::move(secret), schedule});
   return Signer(this, id);
 }
 
+const Digest* KeyRegistry::true_mac(KeyId key, ByteSpan message) const {
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return nullptr;
+
+  const std::uint64_t fp = fnv1a64(message);
+  MemoEntry& slot = memo_[(fp ^ key * 0x9e3779b97f4a7c15ULL) & (kMemoSlots - 1)];
+  if (slot.key == key && slot.fingerprint == fp && slot.length == message.size()) {
+    ++stats_.memo_hits;
+    return &slot.mac;
+  }
+
+  ++stats_.macs;
+  slot.key = key;
+  slot.fingerprint = fp;
+  slot.length = message.size();
+  slot.mac = it->second.schedule.mac(message);
+  return &slot.mac;
+}
+
 Signature KeyRegistry::sign_internal(KeyId key, ByteSpan message) const {
-  auto it = secrets_.find(key);
-  UNIDIR_CHECK_MSG(it != secrets_.end(), "signing with unknown key");
-  const Digest mac = hmac_sha256(it->second, message);
-  return Signature{key, Bytes(mac.begin(), mac.end())};
+  const Digest* mac = true_mac(key, message);
+  UNIDIR_CHECK_MSG(mac != nullptr, "signing with unknown key");
+  return Signature{key, Bytes(mac->begin(), mac->end())};
 }
 
 bool KeyRegistry::verify(const Signature& sig, ByteSpan message) const {
-  auto it = secrets_.find(sig.key);
-  if (it == secrets_.end()) return false;
-  const Digest mac = hmac_sha256(it->second, message);
-  return constant_time_equal(ByteSpan(mac.data(), mac.size()), sig.mac);
+  ++stats_.verifies;
+  const Digest* mac = true_mac(sig.key, message);
+  if (mac == nullptr) return false;
+  return constant_time_equal(ByteSpan(mac->data(), mac->size()), sig.mac);
 }
 
 Signature Signer::sign(ByteSpan message) const {

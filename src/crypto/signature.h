@@ -11,16 +11,25 @@
 //  * Transferability: verification needs only the public KeyRegistry and the
 //    signer's key id, so any process can verify and forward a signature.
 //
+// Hot-path engineering: each key stores a precomputed HMAC schedule
+// (hmac.h), and verification runs through a small direct-mapped memo table
+// keyed by (key id, payload fingerprint). Broadcast protocols verify the
+// same certificate once per receiver; the memo collapses those repeats to a
+// single HMAC computation. The registry is per-world, and worlds are
+// thread-confined, so the unsynchronized mutable cache is safe.
+//
 // A production deployment would swap this for Ed25519; every protocol in the
 // library goes through the Signer/Verifier interfaces and would not change.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 
 #include "common/bytes.h"
 #include "common/serde.h"
+#include "crypto/hmac.h"
 #include "crypto/sha256.h"
 
 namespace unidir::crypto {
@@ -47,6 +56,13 @@ struct Signature {
   }
 };
 
+/// Counters for the verification memo (bench reporting).
+struct VerifyStats {
+  std::uint64_t verifies = 0;   // calls to KeyRegistry::verify
+  std::uint64_t memo_hits = 0;  // verifies answered from the memo table
+  std::uint64_t macs = 0;       // HMAC computations (sign + verify misses)
+};
+
 class Signer;
 
 /// The trusted key store. One per simulated world.
@@ -63,16 +79,43 @@ class KeyRegistry {
   /// Verifies `sig` over `message`. Unknown keys verify as false.
   bool verify(const Signature& sig, ByteSpan message) const;
 
-  std::size_t key_count() const { return secrets_.size(); }
+  std::size_t key_count() const { return keys_.size(); }
+
+  const VerifyStats& verify_stats() const { return stats_; }
 
  private:
   friend class Signer;
 
+  struct KeyMaterial {
+    Bytes secret;
+    HmacKey schedule;
+  };
+
+  // Direct-mapped memo of true MACs, keyed by (key, payload fingerprint,
+  // length). A fingerprint collision could only make verify() return a
+  // wrong answer if two distinct messages of equal length collided under
+  // 64-bit FNV-1a *and* were checked against the same key — at ~2^-64 per
+  // pair we accept that in a simulator. The table is bounded: a new entry
+  // simply evicts whatever shared its slot.
+  struct MemoEntry {
+    KeyId key = 0;  // 0 = empty (key ids start at 1)
+    std::uint64_t fingerprint = 0;
+    std::uint64_t length = 0;
+    Digest mac{};
+  };
+  static constexpr std::size_t kMemoSlots = 1024;  // power of two
+
   Signature sign_internal(KeyId key, ByteSpan message) const;
 
-  std::unordered_map<KeyId, Bytes> secrets_;
+  /// True MAC for (key, message), memoized. Null if the key is unknown.
+  const Digest* true_mac(KeyId key, ByteSpan message) const;
+
+  std::unordered_map<KeyId, KeyMaterial> keys_;
   KeyId next_key_ = 1;
   std::uint64_t seed_counter_ = 0x9e3779b97f4a7c15ULL;
+
+  mutable std::array<MemoEntry, kMemoSlots> memo_{};
+  mutable VerifyStats stats_;
 };
 
 /// Capability to sign with one key. Copyable (a process may hand it to the

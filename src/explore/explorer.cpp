@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "explore/parallel.h"
+
 namespace unidir::explore {
 
 std::string Finding::replay_snippet() const {
@@ -45,41 +47,55 @@ Explorer::Explorer(SweepPlan plan, InvariantRegistry registry)
 }
 
 ExplorationReport Explorer::run() const {
-  ExplorationReport report;
-  for (ProtocolKind protocol : plan_.protocols) {
-    for (AdversaryKind adversary : plan_.adversaries) {
-      for (std::uint64_t s = 0; s < plan_.seeds; ++s) {
-        const ScenarioSpec spec = ScenarioSpec::materialize(
-            protocol, adversary, plan_.seed_base + s);
-        RunOutcome out = run_scenario(spec, registry_, RunMode::Record);
-        ++report.runs;
-        if (!out.violation) continue;
+  // Record phase: materialize the whole {protocol × adversary × seed} grid
+  // and fan it across the runner. Each recording is an independent world;
+  // the runner merges outcomes in input order, so the findings below come
+  // out identical whatever plan_.threads is.
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(plan_.protocols.size() * plan_.adversaries.size() *
+                plan_.seeds);
+  for (ProtocolKind protocol : plan_.protocols)
+    for (AdversaryKind adversary : plan_.adversaries)
+      for (std::uint64_t s = 0; s < plan_.seeds; ++s)
+        specs.push_back(ScenarioSpec::materialize(protocol, adversary,
+                                                  plan_.seed_base + s));
 
-        Finding f;
-        f.spec = spec;
-        f.violation = *out.violation;
-        f.recorded_decisions = out.trace.decisions.size();
-        f.shrunk_spec = spec;
-        f.shrunk_trace = std::move(out.trace);
-        if (plan_.shrink) {
-          ShrinkOutcome shr =
-              shrink_failure(f.shrunk_spec, f.shrunk_trace, registry_,
-                             f.violation.invariant, plan_.shrink_limits);
-          f.shrunk_spec = std::move(shr.spec);
-          f.shrunk_trace = std::move(shr.trace);
-          f.shrink_runs = shr.runs;
-        }
-        const RunOutcome r1 = run_scenario(f.shrunk_spec, registry_,
-                                           RunMode::Replay, &f.shrunk_trace);
-        const RunOutcome r2 = run_scenario(f.shrunk_spec, registry_,
-                                           RunMode::Replay, &f.shrunk_trace);
-        f.deterministic = r1.violation && r2.violation &&
-                          r1.violation->invariant == f.violation.invariant &&
-                          r2.violation->invariant == f.violation.invariant &&
-                          r1.fingerprint == r2.fingerprint;
-        report.findings.push_back(std::move(f));
-      }
+  const ParallelRunner runner(plan_.threads);
+  std::vector<RunOutcome> outcomes =
+      runner.run_scenarios(specs, registry_, RunMode::Record);
+
+  // Shrink + replay certification stays serial, in input order: shrinking
+  // replays thousands of candidate schedules against one finding, and
+  // serial processing keeps finding order (and so reports) reproducible.
+  ExplorationReport report;
+  report.runs = outcomes.size();
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    RunOutcome& out = outcomes[i];
+    if (!out.violation) continue;
+
+    Finding f;
+    f.spec = specs[i];
+    f.violation = *out.violation;
+    f.recorded_decisions = out.trace.decisions.size();
+    f.shrunk_spec = specs[i];
+    f.shrunk_trace = std::move(out.trace);
+    if (plan_.shrink) {
+      ShrinkOutcome shr =
+          shrink_failure(f.shrunk_spec, f.shrunk_trace, registry_,
+                         f.violation.invariant, plan_.shrink_limits);
+      f.shrunk_spec = std::move(shr.spec);
+      f.shrunk_trace = std::move(shr.trace);
+      f.shrink_runs = shr.runs;
     }
+    const RunOutcome r1 = run_scenario(f.shrunk_spec, registry_,
+                                       RunMode::Replay, &f.shrunk_trace);
+    const RunOutcome r2 = run_scenario(f.shrunk_spec, registry_,
+                                       RunMode::Replay, &f.shrunk_trace);
+    f.deterministic = r1.violation && r2.violation &&
+                      r1.violation->invariant == f.violation.invariant &&
+                      r2.violation->invariant == f.violation.invariant &&
+                      r1.fingerprint == r2.fingerprint;
+    report.findings.push_back(std::move(f));
   }
   return report;
 }

@@ -8,6 +8,7 @@
 // copy-pasteable replay snippet with the hex-encoded artifacts.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,11 @@ struct SweepPlan {
   std::uint64_t seed_base = 1;
   bool shrink = true;
   ShrinkLimits shrink_limits{};
+  /// Worker threads for the record phase (ParallelRunner): 1 = serial,
+  /// 0 = one per hardware thread. Findings are identical either way —
+  /// recording is per-scenario and outcomes merge in input order; only
+  /// shrink/replay certification runs serially.
+  std::size_t threads = 1;
 };
 
 struct Finding {

@@ -1,0 +1,67 @@
+#include "explore/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace unidir::explore {
+
+ParallelRunner::ParallelRunner(std::size_t threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+}
+
+std::vector<RunOutcome> ParallelRunner::run_scenarios(
+    const std::vector<ScenarioSpec>& specs, const InvariantRegistry& registry,
+    RunMode mode) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<RunOutcome> results(specs.size());
+
+  // Never spin up more workers than there is work.
+  const std::size_t workers = std::min(threads_, specs.size());
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      results[i] = run_scenario(specs[i], registry, mode);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto work = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= specs.size()) return;
+        try {
+          results[i] = run_scenario(specs[i], registry, mode);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  stats_.threads = std::max<std::size_t>(workers, 1);
+  stats_.scenarios = specs.size();
+  stats_.total_events = 0;
+  for (const RunOutcome& r : results) stats_.total_events += r.events;
+  stats_.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return results;
+}
+
+}  // namespace unidir::explore

@@ -319,6 +319,8 @@ RunOutcome run_scenario(const ScenarioSpec& spec,
   out.expected = spec.requests.size();
   out.final_time = world.now();
   out.net = world.network().stats();
+  out.sim = world.simulator().stats();
+  out.sig = world.keys().verify_stats();
   out.fingerprint = fingerprint_of(world, out.completed, out.final_time);
 
   ExplorationContext ctx;

@@ -14,9 +14,11 @@
 #include <string>
 #include <vector>
 
+#include "crypto/signature.h"
 #include "explore/invariants.h"
 #include "explore/trace.h"
 #include "sim/network.h"
+#include "sim/simulator.h"
 
 namespace unidir::explore {
 
@@ -104,6 +106,10 @@ struct RunOutcome {
   /// Scheduling decisions observed via the Network tap.
   std::uint64_t decisions = 0;
   sim::NetworkStats net{};
+  /// Event-queue counters for this run (ring fast path, peak depth, ...).
+  sim::SimulatorStats sim{};
+  /// Signature verification counters (memo hits vs HMACs computed).
+  crypto::VerifyStats sig{};
   std::optional<InvariantViolation> violation;
   /// Record mode: the captured trace. Replay mode: the consumed decisions
   /// (garbage-collected trace). Direct mode: empty.

@@ -5,15 +5,6 @@
 
 namespace unidir::explore {
 
-std::uint64_t fnv1a64(ByteSpan data) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (std::uint8_t b : data) {
-    h ^= b;
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
 std::string decision_kind_name(DecisionKind kind) {
   switch (kind) {
     case DecisionKind::Send:
@@ -31,7 +22,9 @@ MessageKey MessageKey::of(const sim::Envelope& env) {
   k.from = env.from;
   k.to = env.to;
   k.channel = env.channel;
-  k.payload_hash = fnv1a64(env.payload);
+  // Cached per buffer: duplicates, held re-offers and replay consults of
+  // the same payload hash it once.
+  k.payload_hash = env.payload.fnv();
   return k;
 }
 

@@ -24,7 +24,8 @@
 namespace unidir::explore {
 
 /// FNV-1a 64-bit hash, used to fingerprint message payloads in trace keys.
-std::uint64_t fnv1a64(ByteSpan data);
+/// (Now lives in common/bytes.h; re-exported here for existing callers.)
+using unidir::fnv1a64;
 
 /// Which adversary entry point produced a decision.
 enum class DecisionKind : std::uint8_t { Send = 0, Copies = 1, Release = 2 };

@@ -15,7 +15,7 @@ Network::Network(Simulator& simulator, Rng rng,
 }
 
 void Network::send(ProcessId from, ProcessId to, Channel channel,
-                   Bytes payload) {
+                   Payload payload) {
   UNIDIR_CHECK_MSG(deliver_ != nullptr, "network not wired to a world");
   Envelope env;
   env.id = next_id_++;
@@ -35,7 +35,7 @@ void Network::send(ProcessId from, ProcessId to, Channel channel,
 
   const unsigned copies = std::max(1u, adversary_->copies(env, rng_));
   for (unsigned i = 0; i + 1 < copies; ++i) {
-    Envelope dup = env;
+    Envelope dup = env;  // shares the payload buffer (COW)
     const std::optional<Time> delay = adversary_->on_send(dup, rng_);
     if (observer_) observer_(dup, DecisionPoint::Duplicate, delay);
     ++stats_.messages_duplicated;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/payload.h"
 #include "common/types.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -25,12 +26,14 @@ namespace unidir::sim {
 /// Multiplexing tag: lets several protocol components share one process.
 using Channel = std::uint32_t;
 
+/// The unit the network schedules. Copying an Envelope (duplication, held-
+/// message storage, delivery closures) shares the payload buffer.
 struct Envelope {
   std::uint64_t id = 0;
   ProcessId from = kNoProcess;
   ProcessId to = kNoProcess;
   Channel channel = 0;
-  Bytes payload;
+  Payload payload;
   Time sent_at = 0;
 };
 
@@ -93,8 +96,13 @@ class Network {
   void set_crashed(CrashedFn fn) { crashed_ = std::move(fn); }
   void set_observer(ObserverFn fn) { observer_ = std::move(fn); }
 
-  /// Sends a message; the adversary picks its fate.
-  void send(ProcessId from, ProcessId to, Channel channel, Bytes payload);
+  /// Sends a message; the adversary picks its fate. The Payload overload is
+  /// the core path — broadcasts wrap their bytes once and every per-link
+  /// send shares the same buffer.
+  void send(ProcessId from, ProcessId to, Channel channel, Payload payload);
+  void send(ProcessId from, ProcessId to, Channel channel, Bytes payload) {
+    send(from, to, channel, Payload(std::move(payload)));
+  }
 
   /// Re-offers all held messages to the adversary (via on_release). Call
   /// after reconfiguring a partition adversary.

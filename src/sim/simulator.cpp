@@ -1,13 +1,122 @@
 #include "sim/simulator.h"
 
+#include <chrono>
+
 #include "common/check.h"
 
 namespace unidir::sim {
 
+namespace {
+
+/// (time, seq) lexicographic order.
+inline bool earlier(Time at_a, std::uint64_t seq_a, Time at_b,
+                    std::uint64_t seq_b) {
+  if (at_a != at_b) return at_a < at_b;
+  return seq_a < seq_b;
+}
+
+}  // namespace
+
+// ---- Ring ------------------------------------------------------------------
+
+void Simulator::Ring::push(Time at, Entry e) {
+  if (size_ == 0)
+    time_ = at;
+  else
+    UNIDIR_CHECK_MSG(time_ == at, "ring holds a single virtual time");
+  if (size_ == buf_.size()) grow();
+  buf_[(head_ + size_) % buf_.size()] = e;
+  ++size_;
+}
+
+Simulator::Entry Simulator::Ring::pop() {
+  Entry e = buf_[head_];
+  head_ = (head_ + 1) % buf_.size();
+  --size_;
+  return e;
+}
+
+void Simulator::Ring::grow() {
+  const std::size_t cap = buf_.empty() ? 64 : buf_.size() * 2;
+  std::vector<Entry> next(cap);
+  for (std::size_t i = 0; i < size_; ++i)
+    next[i] = buf_[(head_ + i) % buf_.size()];
+  buf_ = std::move(next);
+  head_ = 0;
+}
+
+// ---- slab ------------------------------------------------------------------
+
+std::uint32_t Simulator::acquire_slot(Action fn) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slab_[slot] = std::move(fn);
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slab_.size());
+  slab_.push_back(std::move(fn));
+  return slot;
+}
+
+// ---- heap ------------------------------------------------------------------
+
+void Simulator::heap_push(Entry e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(heap_[i].at, heap_[i].seq, heap_[parent].at,
+                 heap_[parent].seq))
+      break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Simulator::Entry Simulator::heap_pop() {
+  Entry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = l + 1;
+    std::size_t best = i;
+    if (l < n && earlier(heap_[l].at, heap_[l].seq, heap_[best].at,
+                         heap_[best].seq))
+      best = l;
+    if (r < n && earlier(heap_[r].at, heap_[r].seq, heap_[best].at,
+                         heap_[best].seq))
+      best = r;
+    if (best == i) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  return top;
+}
+
+// ---- scheduling ------------------------------------------------------------
+
+void Simulator::note_scheduled() {
+  ++stats_.scheduled;
+  const std::size_t depth = pending();
+  if (depth > stats_.peak_pending) stats_.peak_pending = depth;
+}
+
 void Simulator::at(Time t, Action fn) {
   UNIDIR_REQUIRE_MSG(t >= now_, "cannot schedule in the past");
-  UNIDIR_REQUIRE(fn != nullptr);
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  UNIDIR_REQUIRE(static_cast<bool>(fn));
+  const Entry e{t, next_seq_++, acquire_slot(std::move(fn))};
+  if (t <= now_ + 1 && now_ != kTimeMax) {
+    rings_[t & 1].push(t, e);
+    ++stats_.ring_fast_path;
+  } else {
+    heap_push(e);
+    ++stats_.heap_events;
+  }
+  note_scheduled();
 }
 
 void Simulator::after(Time delay, Action fn) {
@@ -15,48 +124,98 @@ void Simulator::after(Time delay, Action fn) {
   at(now_ + delay, std::move(fn));
 }
 
-Simulator::Event Simulator::pop() {
-  // priority_queue::top() returns const&; moving the action out requires a
-  // const_cast, which is safe because we pop immediately after.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  return ev;
+// ---- execution -------------------------------------------------------------
+
+Time Simulator::min_time() const {
+  Time best = kTimeMax;
+  bool found = false;
+  for (const Ring& ring : rings_) {
+    if (ring.empty()) continue;
+    if (!found || ring.time() < best) best = ring.time();
+    found = true;
+  }
+  if (!heap_.empty() && (!found || heap_.front().at < best))
+    best = heap_.front().at;
+  return best;
+}
+
+Simulator::Entry Simulator::pop_min() {
+  // Candidates: each ring's front (minimal seq for that ring's time) and
+  // the heap top. At most three comparisons by (time, seq).
+  int best_ring = -1;
+  for (int i = 0; i < 2; ++i) {
+    if (rings_[i].empty()) continue;
+    if (best_ring < 0 ||
+        earlier(rings_[i].time(), rings_[i].front().seq,
+                rings_[best_ring].time(), rings_[best_ring].front().seq))
+      best_ring = i;
+  }
+  if (best_ring >= 0 &&
+      (heap_.empty() ||
+       earlier(rings_[best_ring].time(), rings_[best_ring].front().seq,
+               heap_.front().at, heap_.front().seq)))
+    return rings_[best_ring].pop();
+  return heap_pop();
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  Event ev = pop();
-  UNIDIR_CHECK(ev.at >= now_);
-  now_ = ev.at;
-  ++executed_;
-  ev.fn();
+  if (idle()) return false;
+  const Entry e = pop_min();
+  UNIDIR_CHECK(e.at >= now_);
+  now_ = e.at;
+  ++stats_.executed;
+  InlineFn fn = std::move(slab_[e.slot]);
+  free_slots_.push_back(e.slot);
+  fn();
   return true;
 }
 
 std::size_t Simulator::run(std::size_t max_events) {
+  const auto t0 = std::chrono::steady_clock::now();
   std::size_t n = 0;
   while (n < max_events && step()) ++n;
+  stats_.run_wall_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
   return n;
 }
 
 bool Simulator::run_until(const std::function<bool()>& pred,
                           std::size_t max_events) {
   if (pred()) return true;
+  const auto t0 = std::chrono::steady_clock::now();
+  bool held = false;
   for (std::size_t n = 0; n < max_events; ++n) {
-    if (!step()) return pred();
-    if (pred()) return true;
+    if (!step()) {
+      held = pred();
+      break;
+    }
+    if (pred()) {
+      held = true;
+      break;
+    }
   }
-  return false;
+  stats_.run_wall_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return held;
 }
 
 void Simulator::run_to_time(Time t, std::size_t max_events) {
   UNIDIR_REQUIRE(t >= now_);
+  const auto t0 = std::chrono::steady_clock::now();
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().at <= t && n < max_events) {
+  while (!idle() && min_time() <= t && n < max_events) {
     step();
     ++n;
   }
   now_ = t;
+  stats_.run_wall_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
 }
 
 }  // namespace unidir::sim

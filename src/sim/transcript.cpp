@@ -20,16 +20,16 @@ std::string ObservedEvent::describe() const {
 }
 
 void Transcript::record_message(ProcessId from, Channel channel,
-                                const Bytes& payload) {
+                                Payload payload) {
   ObservedEvent ev;
   ev.kind = ObservedEvent::Kind::MessageReceived;
   ev.from = from;
   ev.channel = channel;
-  ev.payload = payload;
+  ev.payload = std::move(payload);
   events_.push_back(std::move(ev));
 }
 
-void Transcript::record_output(std::string tag, Bytes payload) {
+void Transcript::record_output(std::string tag, Payload payload) {
   ObservedEvent ev;
   ev.kind = ObservedEvent::Kind::LocalOutput;
   ev.tag = std::move(tag);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/payload.h"
 #include "common/types.h"
 #include "sim/network.h"
 
@@ -27,7 +28,9 @@ struct ObservedEvent {
   ProcessId from = kNoProcess;
   Channel channel = 0;
   std::string tag;
-  Bytes payload;
+  /// Shares the delivered envelope's buffer — recording an observation
+  /// never deep-copies message bytes.
+  Payload payload;
 
   bool operator==(const ObservedEvent&) const = default;
 
@@ -36,8 +39,8 @@ struct ObservedEvent {
 
 class Transcript {
  public:
-  void record_message(ProcessId from, Channel channel, const Bytes& payload);
-  void record_output(std::string tag, Bytes payload);
+  void record_message(ProcessId from, Channel channel, Payload payload);
+  void record_output(std::string tag, Payload payload);
 
   const std::vector<ObservedEvent>& events() const { return events_; }
 

@@ -20,9 +20,11 @@ void Process::send(ProcessId to, Channel channel, Bytes payload) {
 void Process::broadcast(Channel channel, const Bytes& payload,
                         bool include_self) {
   World& w = world();
+  // Wrap once; every per-link send below shares the same buffer.
+  const Payload shared = Payload::copy_of(payload);
   for (ProcessId p = 0; p < w.size(); ++p) {
     if (p == id_ && !include_self) continue;
-    w.network().send(id_, p, channel, payload);
+    w.network().send(id_, p, channel, shared);
   }
 }
 
@@ -159,7 +161,7 @@ void World::deliver(const Envelope& env) {
   // naming a bogus client) vanish, as on a real network.
   if (env.to >= processes_.size()) return;
   transcripts_[env.to].record_message(env.from, env.channel, env.payload);
-  processes_[env.to]->dispatch(env.from, env.channel, env.payload);
+  processes_[env.to]->dispatch(env.from, env.channel, env.payload.bytes());
 }
 
 }  // namespace unidir::sim

@@ -1,0 +1,89 @@
+// ParallelRunner determinism: fanning scenarios across threads must change
+// wall-clock time only. Per-scenario RunOutcome fingerprints (a hash over
+// every transcript plus completion and final time) from a parallel run are
+// compared byte-for-byte against a serial run of the same specs, and
+// against run_scenario called directly — three paths, one answer.
+#include <gtest/gtest.h>
+
+#include "explore/parallel.h"
+
+namespace unidir::explore {
+namespace {
+
+std::vector<ScenarioSpec> mixed_grid(std::uint64_t seeds) {
+  std::vector<ScenarioSpec> specs;
+  for (ProtocolKind p : {ProtocolKind::MinBft, ProtocolKind::Pbft})
+    for (AdversaryKind a : {AdversaryKind::RandomDelay,
+                            AdversaryKind::Duplicating, AdversaryKind::Gst})
+      for (std::uint64_t s = 1; s <= seeds; ++s)
+        specs.push_back(ScenarioSpec::materialize(p, a, s));
+  return specs;
+}
+
+TEST(ParallelSweep, FingerprintsMatchSerialRun) {
+  const std::vector<ScenarioSpec> specs = mixed_grid(3);  // 18 scenarios
+  const InvariantRegistry reg = InvariantRegistry::standard_smr();
+
+  const ParallelRunner serial(1);
+  const std::vector<RunOutcome> s = serial.run_scenarios(specs, reg);
+
+  const ParallelRunner parallel(4);
+  const std::vector<RunOutcome> p = parallel.run_scenarios(specs, reg);
+
+  ASSERT_EQ(s.size(), specs.size());
+  ASSERT_EQ(p.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(s[i].fingerprint, p[i].fingerprint)
+        << "scenario " << i << ": " << specs[i].describe();
+    EXPECT_EQ(s[i].events, p[i].events);
+    EXPECT_EQ(s[i].completed, p[i].completed);
+    EXPECT_EQ(s[i].final_time, p[i].final_time);
+    EXPECT_EQ(s[i].violation.has_value(), p[i].violation.has_value());
+  }
+}
+
+TEST(ParallelSweep, MatchesDirectRunScenario) {
+  const std::vector<ScenarioSpec> specs = mixed_grid(1);  // 6 scenarios
+  const InvariantRegistry reg = InvariantRegistry::standard_smr();
+
+  const ParallelRunner parallel(3);
+  const std::vector<RunOutcome> p = parallel.run_scenarios(specs, reg);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const RunOutcome direct = run_scenario(specs[i], reg);
+    EXPECT_EQ(direct.fingerprint, p[i].fingerprint)
+        << "scenario " << i << ": " << specs[i].describe();
+  }
+}
+
+TEST(ParallelSweep, StatsCoverTheBatch) {
+  const std::vector<ScenarioSpec> specs = mixed_grid(1);
+  const InvariantRegistry reg = InvariantRegistry::standard_smr();
+  const ParallelRunner runner(2);
+  const std::vector<RunOutcome> out = runner.run_scenarios(specs, reg);
+
+  std::uint64_t events = 0;
+  for (const RunOutcome& o : out) events += o.events;
+  const ParallelStats& st = runner.last_stats();
+  EXPECT_EQ(st.scenarios, specs.size());
+  EXPECT_EQ(st.total_events, events);
+  EXPECT_GE(st.threads, 1u);
+  EXPECT_LE(st.threads, 2u);
+  EXPECT_GT(st.wall_ns, 0u);
+}
+
+TEST(ParallelSweep, EmptyBatchAndMoreThreadsThanWork) {
+  const InvariantRegistry reg = InvariantRegistry::standard_smr();
+  const ParallelRunner runner(8);
+  EXPECT_TRUE(runner.run_scenarios({}, reg).empty());
+
+  const std::vector<ScenarioSpec> one = {
+      ScenarioSpec::materialize(ProtocolKind::MinBft,
+                                AdversaryKind::RandomDelay, 1)};
+  const std::vector<RunOutcome> out = runner.run_scenarios(one, reg);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].fingerprint, run_scenario(one[0], reg).fingerprint);
+}
+
+}  // namespace
+}  // namespace unidir::explore

@@ -1,0 +1,92 @@
+// Payload copy-on-write semantics: copies share one buffer, mutation
+// detaches, and the cached content hash tracks the buffer it was computed
+// over. The duplication/hold/release paths in Network lean on exactly these
+// properties to keep adversarial copies zero-copy.
+#include <gtest/gtest.h>
+
+#include "common/payload.h"
+
+namespace unidir {
+namespace {
+
+Bytes some_bytes() { return bytes_of("the quick brown fox"); }
+
+TEST(Payload, CopiesShareOneBuffer) {
+  const Payload a{some_bytes()};
+  const Payload b = a;      // NOLINT(performance-unnecessary-copy-initialization)
+  const Payload c = b;      // NOLINT(performance-unnecessary-copy-initialization)
+
+  EXPECT_TRUE(a.shares_buffer_with(b));
+  EXPECT_TRUE(a.shares_buffer_with(c));
+  EXPECT_EQ(a.use_count(), 3u);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Payload, DroppingCopiesReleasesTheBuffer) {
+  const Payload a{some_bytes()};
+  {
+    const Payload b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+    EXPECT_EQ(a.use_count(), 2u);
+  }
+  EXPECT_EQ(a.use_count(), 1u);
+}
+
+TEST(Payload, MutateDetachesSharedBuffer) {
+  const Payload a{some_bytes()};
+  Payload b = a;
+  b.mutate()[0] = 'T';
+
+  EXPECT_FALSE(a.shares_buffer_with(b));
+  EXPECT_EQ(a.use_count(), 1u);
+  EXPECT_EQ(b.use_count(), 1u);
+  EXPECT_EQ(a.bytes(), some_bytes());  // original untouched
+  EXPECT_EQ(b[0], 'T');
+}
+
+TEST(Payload, MutateWhenUniqueKeepsTheBuffer) {
+  Payload a{some_bytes()};
+  const std::uint8_t* before = a.data();
+  a.mutate()[0] = 'T';
+  EXPECT_EQ(a.data(), before);
+}
+
+TEST(Payload, FnvIsCachedPerBufferAndInvalidatedByMutation) {
+  const Payload a{some_bytes()};
+  const Payload b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(a.fnv(), fnv1a64(a.span()));
+  EXPECT_EQ(a.fnv(), b.fnv());  // shared buffer -> shared cache
+
+  Payload c = a;
+  c.mutate()[0] = 'T';
+  EXPECT_EQ(c.fnv(), fnv1a64(c.span()));
+  EXPECT_NE(c.fnv(), a.fnv());
+  EXPECT_EQ(a.fnv(), fnv1a64(a.span()));  // original cache still right
+}
+
+TEST(Payload, EmptyAndDefaultBehaveAsEmptyBytes) {
+  const Payload def;
+  EXPECT_TRUE(def.empty());
+  EXPECT_EQ(def.size(), 0u);
+  EXPECT_EQ(def.fnv(), fnv1a64(ByteSpan{}));
+  EXPECT_EQ(def, Payload{Bytes{}});
+}
+
+TEST(Payload, EqualityComparesContentAcrossDistinctBuffers) {
+  const Payload a{some_bytes()};
+  const Payload b{some_bytes()};
+  EXPECT_FALSE(a.shares_buffer_with(b));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, some_bytes());
+  EXPECT_NE(a, Payload{bytes_of("other")});
+}
+
+TEST(Payload, CopyOfSnapshotsTheSpan) {
+  Bytes original = some_bytes();
+  const Payload p = Payload::copy_of(ByteSpan(original.data(), original.size()));
+  original[0] = 'X';
+  EXPECT_EQ(p.bytes(), some_bytes());
+}
+
+}  // namespace
+}  // namespace unidir

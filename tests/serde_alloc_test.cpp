@@ -1,0 +1,100 @@
+// Allocation-count regression tests for the serde Writer.
+//
+// The Writer's appends are on the signing/hashing path of every protocol
+// message; Writer::reserve() plus the internal geometric `ensure` are what
+// keep a message encode at O(1) allocations. These tests count global
+// operator new calls around encode loops and pin that behavior, so a later
+// "simplification" that reintroduces per-append reallocation fails loudly.
+//
+// The whole file is compiled out under sanitizers: replacing global
+// operator new would fight their interceptors for no coverage gain.
+#include <gtest/gtest.h>
+
+#include "common/serde.h"
+
+namespace unidir::serde {
+namespace {
+
+// Always-on reserve() behavior check, so this binary has coverage even
+// where the allocation-counting half below is compiled out.
+TEST(SerdeAlloc, ReserveKeepsContentsAndGrowsCapacity) {
+  Writer w;
+  w.u8(0x42);
+  w.reserve(1 << 16);
+  w.bytes(Bytes(1024, 0xCD));
+  EXPECT_EQ(w.buffer()[0], 0x42);
+  EXPECT_EQ(w.buffer().size(), 1u + 2u + 1024u);  // u8 + varint(1024) + data
+}
+
+}  // namespace
+}  // namespace unidir::serde
+
+#if !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <new>
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace unidir::serde {
+namespace {
+
+std::uint64_t allocations_during(const std::function<void()>& body) {
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  body();
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+TEST(SerdeAlloc, ReservedWriterAppendsWithoutAllocating) {
+  const Bytes chunk(64, 0xAB);
+  Writer w;
+  w.reserve(100 * (chunk.size() + 10));
+  const std::uint64_t allocs = allocations_during([&] {
+    for (int i = 0; i < 100; ++i) w.bytes(chunk);
+  });
+  EXPECT_EQ(allocs, 0u) << "appends reallocated despite an exact reserve()";
+  EXPECT_EQ(w.buffer().size(), 100 * (chunk.size() + 1));
+}
+
+TEST(SerdeAlloc, LargeBytesAppendAllocatesAtMostOnce) {
+  const Bytes blob(64 * 1024, 0x5A);
+  Writer w;
+  const std::uint64_t allocs =
+      allocations_during([&] { w.bytes(blob); });
+  EXPECT_LE(allocs, 1u)
+      << "length-prefixed append should reserve prefix+payload in one step";
+}
+
+TEST(SerdeAlloc, ManySmallAppendsStayAmortized) {
+  // 4096 two-byte appends total ~12 KB; geometric growth from empty means
+  // at most ~log2(12K) reallocations. The regression this guards against —
+  // reserving to the exact size on every append — would cost 4096.
+  const Bytes tiny{0x01, 0x02};
+  Writer w;
+  const std::uint64_t allocs = allocations_during([&] {
+    for (int i = 0; i < 4096; ++i) w.bytes(tiny);
+  });
+  EXPECT_LE(allocs, 32u) << "per-append reallocation detected";
+}
+
+}  // namespace
+}  // namespace unidir::serde
+
+#endif  // !sanitizers

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+
 #include "sim/simulator.h"
 
 namespace unidir::sim {
@@ -109,6 +112,93 @@ TEST(Simulator, ExecutedCounter) {
   for (int i = 0; i < 7; ++i) sim.at(static_cast<Time>(i), [] {});
   sim.run();
   EXPECT_EQ(sim.executed(), 7u);
+}
+
+TEST(Simulator, StatsCountRingAndHeapRouting) {
+  Simulator sim;
+  // at(now) and at(now+1) take the FIFO rings; farther events the heap.
+  sim.after(0, [] {});
+  sim.after(1, [] {});
+  sim.after(10, [] {});
+  sim.after(20, [] {});
+  EXPECT_EQ(sim.stats().ring_fast_path, 2u);
+  EXPECT_EQ(sim.stats().heap_events, 2u);
+  EXPECT_EQ(sim.stats().scheduled, 4u);
+  EXPECT_EQ(sim.stats().peak_pending, 4u);
+  sim.run();
+  EXPECT_EQ(sim.stats().executed, 4u);
+  EXPECT_EQ(sim.stats().peak_pending, 4u);  // high-water mark sticks
+  EXPECT_GT(sim.stats().run_wall_ns, 0u);
+  EXPECT_GT(sim.stats().events_per_sec(), 0.0);
+}
+
+TEST(Simulator, RingAndHeapInterleaveInTimeSeqOrder) {
+  // Mix near events (rings) with far events (heap) at colliding times and
+  // check the global (time, seq) order survives the split data structures.
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(2, [&] { order.push_back(20); });           // heap (t = now + 2)
+  sim.at(0, [&] {                                    // ring[0]
+    order.push_back(0);
+    sim.after(1, [&] { order.push_back(10); });      // ring at t=1, before 20
+    sim.after(2, [&] { order.push_back(21); });      // heap at t=2, after 20
+  });
+  sim.at(1, [&] { order.push_back(11); });           // ring[1]
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 11, 10, 20, 21}));
+}
+
+TEST(Simulator, ManySameTickEventsStayFifoThroughRingGrowth) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(0, [&] {
+    for (int i = 0; i < 1000; ++i) sim.after(1, [&order, i] { order.push_back(i); });
+  });
+  sim.run();
+  ASSERT_EQ(order.size(), 1000u);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, LargeCapturesFallBackToHeapStorage) {
+  // Captures beyond InlineFn's inline buffer must still execute correctly
+  // (pointer-indirected storage) and move with their slab slot.
+  Simulator sim;
+  std::array<std::uint64_t, 32> big{};  // 256 bytes > kInlineSize
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i * 3 + 1;
+  std::uint64_t sum = 0;
+  sim.at(1, [big, &sum] {
+    for (std::uint64_t v : big) sum += v;
+  });
+  sim.run();
+  std::uint64_t expect = 0;
+  for (std::size_t i = 0; i < big.size(); ++i) expect += i * 3 + 1;
+  EXPECT_EQ(sum, expect);
+}
+
+TEST(InlineFn, MoveTransfersTheCallable) {
+  int calls = 0;
+  InlineFn a([&calls] { ++calls; });
+  InlineFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  InlineFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFn, DestroysCapturedState) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFn fn([t = std::move(token)] { (void)*t; });
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
 }
 
 }  // namespace
