@@ -11,6 +11,7 @@
 #include "agreement/minbft.h"
 #include "agreement/state_machines.h"
 #include "sim/adversaries.h"
+#include "wire/channels.h"
 
 using namespace unidir;
 using namespace unidir::agreement;
@@ -92,5 +93,19 @@ int main() {
   const auto divergence = check_execution_consistency(logs);
   std::printf("execution logs prefix-consistent: %s\n",
               divergence ? divergence->c_str() : "yes");
+
+  // The typed wire layer accounts every protocol message by channel and
+  // type — no instrumentation in the protocol code itself.
+  std::puts("\nwire traffic on the MinBFT protocol channel:");
+  const wire::ChannelStats& ws = world.wire_stats().channel(wire::kMinBftCh);
+  for (const auto& [tag, t] : ws.types)
+    std::printf("  %-18s sent=%-4llu received=%-4llu bytes_sent=%llu\n",
+                t.name, static_cast<unsigned long long>(t.sent),
+                static_cast<unsigned long long>(t.received),
+                static_cast<unsigned long long>(t.bytes_sent));
+  std::printf("  dropped: malformed=%llu unknown_tag=%llu filtered=%llu\n",
+              static_cast<unsigned long long>(ws.dropped_malformed),
+              static_cast<unsigned long long>(ws.dropped_unknown_tag),
+              static_cast<unsigned long long>(ws.dropped_filtered));
   return divergence ? 1 : 0;
 }

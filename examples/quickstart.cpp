@@ -14,6 +14,7 @@
 #include "rounds/shmem_uni_round.h"
 #include "sim/adversaries.h"
 #include "trusted/trinc.h"
+#include "wire/channels.h"
 
 using namespace unidir;
 
@@ -85,6 +86,16 @@ int main() {
     std::printf("  done in %llu virtual ticks, %llu rounds at node 0\n",
                 static_cast<unsigned long long>(world.now()),
                 static_cast<unsigned long long>(nodes[0]->srb->rounds_run()));
+
+    // Every byte that crossed a protocol boundary went through the typed
+    // wire layer; the World keeps per-channel, per-message-type counters.
+    // Algorithm 1's slot payloads ride shared memory, not the network, so
+    // they are accounted under a pseudo-channel.
+    const auto& ws = world.wire_stats().channel(wire::kUniSrbPayloadCh);
+    std::printf("  wire: %llu slot payloads decoded, %llu dropped as "
+                "malformed\n",
+                static_cast<unsigned long long>(ws.received),
+                static_cast<unsigned long long>(ws.dropped_malformed));
   }
   std::puts("");
   std::puts("next steps: examples/minbft_kv (BFT key-value store),");

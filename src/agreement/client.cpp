@@ -4,14 +4,14 @@
 
 namespace unidir::agreement {
 
-SmrClient::SmrClient(Options options) : options_(std::move(options)) {
+SmrClient::SmrClient(Options options)
+    : options_(std::move(options)), reply_router_(*this, kClientReplyCh) {
   UNIDIR_REQUIRE(!options_.replicas.empty());
   UNIDIR_REQUIRE(options_.f + 1 <= options_.replicas.size());
   UNIDIR_REQUIRE(options_.max_outstanding >= 1);
-  register_channel(kClientReplyCh,
-                   [this](ProcessId from, const Bytes& payload) {
-                     on_reply(from, payload);
-                   });
+  reply_router_.on<Reply>([this](ProcessId from, Reply reply) {
+    on_reply(from, std::move(reply));
+  });
 }
 
 void SmrClient::on_start() {
@@ -42,8 +42,7 @@ void SmrClient::issue_ready() {
 }
 
 void SmrClient::send_request(const Command& cmd) {
-  const Bytes wire = serde::encode(cmd);
-  for (ProcessId r : options_.replicas) send(r, kClientRequestCh, wire);
+  wire::multicast(world(), id(), options_.replicas, kClientRequestCh, cmd);
 }
 
 void SmrClient::arm_resend(std::uint64_t request_id) {
@@ -56,13 +55,7 @@ void SmrClient::arm_resend(std::uint64_t request_id) {
   });
 }
 
-void SmrClient::on_reply(ProcessId from, const Bytes& payload) {
-  Reply reply;
-  try {
-    reply = serde::decode<Reply>(payload);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
+void SmrClient::on_reply(ProcessId from, Reply reply) {
   auto it = in_flight_.find(reply.request_id);
   if (it == in_flight_.end()) return;
   InFlight& req = it->second;

@@ -12,14 +12,17 @@
 
 #include "agreement/smr.h"
 #include "sim/world.h"
+#include "wire/channels.h"
+#include "wire/router.h"
 
 namespace unidir::agreement {
 
-/// Channel conventions shared by replicas and clients.
-inline constexpr sim::Channel kClientRequestCh = 50;
-inline constexpr sim::Channel kClientReplyCh = 51;
-inline constexpr sim::Channel kMinBftCh = 52;
-inline constexpr sim::Channel kPbftCh = 53;
+/// Channel conventions shared by replicas and clients. The values live in
+/// wire/channels.h, the library-wide channel registry.
+inline constexpr sim::Channel kClientRequestCh = wire::kClientRequestCh;
+inline constexpr sim::Channel kClientReplyCh = wire::kClientReplyCh;
+inline constexpr sim::Channel kMinBftCh = wire::kMinBftCh;
+inline constexpr sim::Channel kPbftCh = wire::kPbftCh;
 
 class SmrClient final : public sim::Process {
  public:
@@ -64,9 +67,10 @@ class SmrClient final : public sim::Process {
   void issue_ready();
   void send_request(const Command& cmd);
   void arm_resend(std::uint64_t request_id);
-  void on_reply(ProcessId from, const Bytes& payload);
+  void on_reply(ProcessId from, Reply reply);
 
   Options options_;
+  wire::Router reply_router_;
   std::deque<QueuedOp> queue_;
   bool started_ = false;
   std::uint64_t next_request_id_ = 0;

@@ -8,6 +8,8 @@ namespace unidir::agreement {
 namespace {
 
 struct ChainWire {
+  static constexpr wire::MsgDesc kDesc{1, "dolev-strong-chain"};
+
   Bytes value;
   std::vector<std::pair<ProcessId, crypto::Signature>> signatures;
 
@@ -28,12 +30,13 @@ struct ChainWire {
 
 DolevStrongBroadcast::DolevStrongBroadcast(sim::Process& host,
                                            Options options)
-    : host_(host), options_(options) {
+    : host_(host), options_(options), router_(host, options.channel) {
   UNIDIR_REQUIRE(options_.round_length >= 2);
-  host_.register_channel(options_.channel,
-                         [this](ProcessId from, const Bytes& payload) {
-                           on_wire(from, payload);
-                         });
+  // The envelope's `from` is irrelevant: a chain speaks for itself via
+  // its signatures (any process may relay any chain).
+  router_.on<ChainWire>([this](ProcessId, ChainWire wire) {
+    on_chain(Chain{std::move(wire.value), std::move(wire.signatures)});
+  });
 }
 
 Bytes DolevStrongBroadcast::link_binding(const Bytes& value) const {
@@ -61,8 +64,7 @@ void DolevStrongBroadcast::run(std::optional<Bytes> input,
     chain.signatures.emplace_back(
         host_.id(), host_.signer().sign(link_binding(chain.value)));
     extracted_.insert(chain.value);
-    ChainWire wire{chain.value, chain.signatures};
-    host_.broadcast(options_.channel, serde::encode(wire));
+    router_.broadcast(ChainWire{chain.value, chain.signatures});
   }
 
   // End-of-round processing for rounds 1..f+1.
@@ -87,15 +89,8 @@ bool DolevStrongBroadcast::valid_chain(const Chain& chain,
   return signers.size() >= min_len;
 }
 
-void DolevStrongBroadcast::on_wire(ProcessId from, const Bytes& payload) {
-  (void)from;
+void DolevStrongBroadcast::on_chain(Chain chain) {
   if (committed_) return;
-  ChainWire wire;
-  try {
-    wire = serde::decode<ChainWire>(payload);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
   // The round this message arrived in (1-based; boundaries belong to the
   // next round, matching the lock-step windows).
   const Time now = host_.world().now();
@@ -103,7 +98,6 @@ void DolevStrongBroadcast::on_wire(ProcessId from, const Bytes& payload) {
       static_cast<std::size_t>(now / options_.round_length) + 1;
   if (round > options_.f + 1) return;  // too late to matter
 
-  Chain chain{std::move(wire.value), std::move(wire.signatures)};
   // The classic acceptance rule: a chain seen in round r needs >= r
   // distinct signatures, the sender's among them.
   if (!valid_chain(chain, round)) return;
@@ -132,8 +126,7 @@ void DolevStrongBroadcast::relay(const Chain& chain) {
   Chain extended = chain;
   extended.signatures.emplace_back(
       host_.id(), host_.signer().sign(link_binding(extended.value)));
-  ChainWire wire{extended.value, extended.signatures};
-  host_.broadcast(options_.channel, serde::encode(wire));
+  router_.broadcast(ChainWire{extended.value, extended.signatures});
 }
 
 void DolevStrongBroadcast::finish() {

@@ -31,6 +31,8 @@
 
 #include "crypto/signature.h"
 #include "sim/world.h"
+#include "wire/channels.h"
+#include "wire/router.h"
 
 namespace unidir::agreement {
 
@@ -44,7 +46,7 @@ class DolevStrongBroadcast {
     ProcessId sender = 0;
     std::size_t f = 0;
     Time round_length = 8;  // must exceed the network's delay bound
-    sim::Channel channel = 90;
+    sim::Channel channel = wire::kDolevStrongCh;
   };
 
   using CommitFn = std::function<void(const std::optional<Bytes>&)>;
@@ -69,13 +71,14 @@ class DolevStrongBroadcast {
 
   Bytes link_binding(const Bytes& value) const;
   bool valid_chain(const Chain& chain, std::size_t max_len) const;
-  void on_wire(ProcessId from, const Bytes& payload);
+  void on_chain(Chain chain);
   void relay(const Chain& chain);
   void end_of_round(std::size_t round);
   void finish();
 
   sim::Process& host_;
   Options options_;
+  wire::Router router_;
   CommitFn on_commit_;
   std::set<Bytes> extracted_;           // accepted values
   std::vector<Chain> pending_relays_;   // chains to extend next round
@@ -91,7 +94,9 @@ class StrongAgreement {
     std::size_t n = 0;
     std::size_t f = 0;
     Time round_length = 8;
-    sim::Channel channel_base = 100;  // channels [base, base+n) are used
+    /// Channels [base, base+n) are used; the registry reserves
+    /// [kStrongAgreementChBase, kStrongAgreementChMax] for this.
+    sim::Channel channel_base = wire::kStrongAgreementChBase;
   };
 
   using CommitFn = std::function<void(const Bytes&)>;

@@ -9,12 +9,6 @@ namespace unidir::agreement {
 
 namespace {
 
-constexpr std::uint8_t kPrepare = 1;
-constexpr std::uint8_t kCommit = 2;
-constexpr std::uint8_t kCheckpoint = 3;
-constexpr std::uint8_t kViewChange = 4;
-constexpr std::uint8_t kNewView = 5;
-
 Bytes prepare_binding(ViewNum view, const Command& cmd) {
   serde::Writer w;
   w.str("minbft-prep");
@@ -53,7 +47,13 @@ Bytes view_change_binding(ViewNum target, const std::vector<VcEntry>& entries,
   return w.take();
 }
 
-struct PrepareWire {
+}  // namespace
+
+namespace minbft_wire {
+
+struct Prepare {
+  static constexpr wire::MsgDesc kDesc{1, "minbft-prepare"};
+
   ViewNum view = 0;
   Command cmd;
   trusted::UniqueIdentifier ui;
@@ -63,8 +63,8 @@ struct PrepareWire {
     cmd.encode(w);
     ui.encode(w);
   }
-  static PrepareWire decode(serde::Reader& r) {
-    PrepareWire p;
+  static Prepare decode(serde::Reader& r) {
+    Prepare p;
     p.view = r.uvarint();
     p.cmd = Command::decode(r);
     p.ui = trusted::UniqueIdentifier::decode(r);
@@ -72,7 +72,9 @@ struct PrepareWire {
   }
 };
 
-struct CommitWire {
+struct Commit {
+  static constexpr wire::MsgDesc kDesc{2, "minbft-commit"};
+
   ViewNum view = 0;
   Command cmd;
   trusted::UniqueIdentifier primary_ui;
@@ -84,8 +86,8 @@ struct CommitWire {
     primary_ui.encode(w);
     replica_ui.encode(w);
   }
-  static CommitWire decode(serde::Reader& r) {
-    CommitWire c;
+  static Commit decode(serde::Reader& r) {
+    Commit c;
     c.view = r.uvarint();
     c.cmd = Command::decode(r);
     c.primary_ui = trusted::UniqueIdentifier::decode(r);
@@ -94,7 +96,9 @@ struct CommitWire {
   }
 };
 
-struct CheckpointWire {
+struct Checkpoint {
+  static constexpr wire::MsgDesc kDesc{3, "minbft-checkpoint"};
+
   std::uint64_t executed = 0;
   Bytes digest;
   crypto::Signature sig;
@@ -104,8 +108,8 @@ struct CheckpointWire {
     w.bytes(digest);
     sig.encode(w);
   }
-  static CheckpointWire decode(serde::Reader& r) {
-    CheckpointWire c;
+  static Checkpoint decode(serde::Reader& r) {
+    Checkpoint c;
     c.executed = r.uvarint();
     c.digest = r.bytes();
     c.sig = crypto::Signature::decode(r);
@@ -113,7 +117,9 @@ struct CheckpointWire {
   }
 };
 
-struct ViewChangeWire {
+struct ViewChange {
+  static constexpr wire::MsgDesc kDesc{4, "minbft-view-change"};
+
   ViewNum target = 0;
   std::vector<VcEntry> entries;    // accepted slots, with order info
   std::vector<Command> pending;    // buffered requests never slotted
@@ -125,8 +131,8 @@ struct ViewChangeWire {
     serde::write(w, pending);
     sig.encode(w);
   }
-  static ViewChangeWire decode(serde::Reader& r) {
-    ViewChangeWire v;
+  static ViewChange decode(serde::Reader& r) {
+    ViewChange v;
     v.target = r.uvarint();
     v.entries = serde::read<std::vector<VcEntry>>(r);
     v.pending = serde::read<std::vector<Command>>(r);
@@ -135,7 +141,9 @@ struct ViewChangeWire {
   }
 };
 
-struct NewViewWire {
+struct NewView {
+  static constexpr wire::MsgDesc kDesc{5, "minbft-new-view"};
+
   ViewNum target = 0;
   crypto::Signature sig;  // over ("minbft-nv", target)
 
@@ -150,23 +158,17 @@ struct NewViewWire {
     w.uvarint(target);
     sig.encode(w);
   }
-  static NewViewWire decode(serde::Reader& r) {
-    NewViewWire v;
+  static NewView decode(serde::Reader& r) {
+    NewView v;
     v.target = r.uvarint();
     v.sig = crypto::Signature::decode(r);
     return v;
   }
 };
 
-template <typename Wire>
-Bytes tagged(std::uint8_t tag, const Wire& wire) {
-  serde::Writer w;
-  w.u8(tag);
-  wire.encode(w);
-  return w.take();
-}
+}  // namespace minbft_wire
 
-}  // namespace
+using namespace minbft_wire;
 
 void MinBftVcEntry::encode(serde::Writer& w) const {
   w.uvarint(view);
@@ -185,18 +187,20 @@ MinBftVcEntry MinBftVcEntry::decode(serde::Reader& r) {
 Bytes MinBftReplica::encode_prepare_for_test(UsigDirectory& usigs,
                                              ProcessId as, ViewNum view,
                                              const Command& cmd) {
-  PrepareWire p;
+  Prepare p;
   p.view = view;
   p.cmd = cmd;
   p.ui = usigs.create_ui(as, prepare_binding(view, cmd));
-  return tagged(kPrepare, p);
+  return wire::encode_tagged(p);
 }
 
 MinBftReplica::MinBftReplica(Options options, UsigDirectory& usigs,
                              std::unique_ptr<StateMachine> machine)
     : options_(std::move(options)),
       usigs_(usigs),
-      machine_(std::move(machine)) {
+      machine_(std::move(machine)),
+      request_router_(*this, kClientRequestCh),
+      protocol_router_(*this, kMinBftCh) {
   UNIDIR_REQUIRE(machine_ != nullptr);
   UNIDIR_REQUIRE_MSG(options_.replicas.size() >= 2 * options_.f + 1,
                      "MinBFT requires n >= 2f+1");
@@ -204,12 +208,25 @@ MinBftReplica::MinBftReplica(Options options, UsigDirectory& usigs,
   UNIDIR_REQUIRE_MSG(options_.commit_quorum >= options_.f + 1 &&
                          options_.commit_quorum <= options_.replicas.size(),
                      "commit quorum must be in [f+1, n]");
-  register_channel(kClientRequestCh,
-                   [this](ProcessId from, const Bytes& payload) {
-                     on_request(from, payload);
-                   });
-  register_channel(kMinBftCh, [this](ProcessId from, const Bytes& payload) {
-    on_protocol(from, payload);
+  request_router_.on<Command>([this](ProcessId from, Command cmd) {
+    on_request(from, std::move(cmd));
+  });
+  protocol_router_.set_peer_filter(
+      [this](ProcessId p) { return is_replica(p); });
+  protocol_router_.on<Prepare>([this](ProcessId from, Prepare p) {
+    handle_prepare(from, std::move(p));
+  });
+  protocol_router_.on<Commit>([this](ProcessId from, Commit c) {
+    handle_commit(from, std::move(c));
+  });
+  protocol_router_.on<Checkpoint>([this](ProcessId from, Checkpoint cp) {
+    handle_checkpoint(from, std::move(cp));
+  });
+  protocol_router_.on<ViewChange>([this](ProcessId from, ViewChange vc) {
+    handle_view_change(from, std::move(vc));
+  });
+  protocol_router_.on<NewView>([this](ProcessId from, NewView nv) {
+    handle_new_view(from, std::move(nv));
   });
 }
 
@@ -225,13 +242,7 @@ bool MinBftReplica::is_replica(ProcessId p) const {
 
 // ---- client requests ----------------------------------------------------------
 
-void MinBftReplica::on_request(ProcessId from, const Bytes& payload) {
-  Command cmd;
-  try {
-    cmd = serde::decode<Command>(payload);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
+void MinBftReplica::on_request(ProcessId from, Command cmd) {
   if (cmd.client != from) return;  // clients speak only for themselves
 
   if (const auto cached = dedup_.lookup(cmd)) {
@@ -248,41 +259,20 @@ void MinBftReplica::propose(const Command& cmd) {
   for (const auto& [counter, slot] : slots_)
     if (slot.cmd.key() == cmd.key()) return;
 
-  PrepareWire p;
+  Prepare p;
   p.view = view_;
   p.cmd = cmd;
   p.ui = usigs_.create_ui(id(), prepare_binding(view_, cmd));
   // Our own UI consumption advances our own stream: messages from peers
   // embedding this UI must not wait for us to "receive" it.
   ui_high_[id()] = p.ui.counter;
-  broadcast(kMinBftCh, tagged(kPrepare, p));
+  protocol_router_.broadcast(p);
   // Our own PREPARE is our commit vote.
   accept_slot(p.view, p.cmd, p.ui);
   try_execute();
 }
 
 // ---- protocol messages ----------------------------------------------------------
-
-void MinBftReplica::on_protocol(ProcessId from, const Bytes& payload) {
-  if (!is_replica(from)) return;
-  serde::Reader r(payload);
-  std::uint8_t tag = 0;
-  Bytes body;
-  try {
-    tag = r.u8();
-    body = r.raw(r.remaining());
-  } catch (const serde::DecodeError&) {
-    return;
-  }
-  switch (tag) {
-    case kPrepare: handle_prepare(from, body); break;
-    case kCommit: handle_commit(from, body); break;
-    case kCheckpoint: handle_checkpoint(from, body); break;
-    case kViewChange: handle_view_change(from, body); break;
-    case kNewView: handle_new_view(from, body); break;
-    default: break;
-  }
-}
 
 bool MinBftReplica::accept_slot(ViewNum view,
                                 const Command& cmd,
@@ -334,13 +324,7 @@ void MinBftReplica::sequenced(ProcessId sender, SeqNum counter,
   }
 }
 
-void MinBftReplica::handle_prepare(ProcessId from, const Bytes& body) {
-  PrepareWire p;
-  try {
-    p = serde::decode<PrepareWire>(body);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
+void MinBftReplica::handle_prepare(ProcessId from, Prepare p) {
   if (from == id()) return;
   // UI validity is checked at arrival (a forged UI must not advance the
   // sender's stream); all protocol-state checks wait until the counter is
@@ -361,13 +345,7 @@ void MinBftReplica::handle_prepare(ProcessId from, const Bytes& body) {
   });
 }
 
-void MinBftReplica::handle_commit(ProcessId from, const Bytes& body) {
-  CommitWire c;
-  try {
-    c = serde::decode<CommitWire>(body);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
+void MinBftReplica::handle_commit(ProcessId from, Commit c) {
   if (from == id()) return;
   const ProcessId prepare_author = primary_of(c.view);
   if (!usigs_.verify(prepare_author, c.primary_ui,
@@ -406,14 +384,14 @@ void MinBftReplica::maybe_send_own_commit(SeqNum primary_counter) {
   if (is_primary()) return;
   Slot& slot = slots_.at(primary_counter);
   if (!slot.committers.insert(id()).second) return;
-  CommitWire c;
+  Commit c;
   c.view = view_;
   c.cmd = slot.cmd;
   c.primary_ui = slot.primary_ui;
   c.replica_ui = usigs_.create_ui(
       id(), commit_binding(view_, primary_counter, slot.cmd));
   ui_high_[id()] = c.replica_ui.counter;  // see propose()
-  broadcast(kMinBftCh, tagged(kCommit, c));
+  protocol_router_.broadcast(c);
 }
 
 void MinBftReplica::try_execute() {
@@ -452,7 +430,7 @@ void MinBftReplica::reply_to(const Command& cmd, const Bytes& result) {
   Reply reply;
   reply.request_id = cmd.request_id;
   reply.result = result;
-  send(cmd.client, kClientReplyCh, serde::encode(reply));
+  wire::send(*this, cmd.client, kClientReplyCh, reply);
 }
 
 // ---- checkpoints ----------------------------------------------------------------
@@ -460,21 +438,15 @@ void MinBftReplica::reply_to(const Command& cmd, const Bytes& result) {
 void MinBftReplica::maybe_checkpoint() {
   if (options_.checkpoint_interval == 0) return;
   if (log_.size() % options_.checkpoint_interval != 0) return;
-  CheckpointWire cp;
+  Checkpoint cp;
   cp.executed = log_.size();
   cp.digest = crypto::digest_bytes(machine_->digest());
   cp.sig = signer().sign(checkpoint_binding(cp.executed, cp.digest));
-  broadcast(kMinBftCh, tagged(kCheckpoint, cp));
+  protocol_router_.broadcast(cp);
   cp_votes_[cp.executed][cp.digest].insert(id());
 }
 
-void MinBftReplica::handle_checkpoint(ProcessId from, const Bytes& body) {
-  CheckpointWire cp;
-  try {
-    cp = serde::decode<CheckpointWire>(body);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
+void MinBftReplica::handle_checkpoint(ProcessId from, Checkpoint cp) {
   if (cp.sig.key != world().key_of(from)) return;
   if (!world().keys().verify(cp.sig,
                              checkpoint_binding(cp.executed, cp.digest)))
@@ -505,7 +477,7 @@ void MinBftReplica::start_view_change(ViewNum target) {
   vc_target_ = target;
   ++view_changes_;
 
-  ViewChangeWire vc;
+  ViewChange vc;
   vc.target = target;
   // Report every slot we ever accepted (with its original order) plus any
   // buffered client requests that never made it into a slot.
@@ -513,7 +485,7 @@ void MinBftReplica::start_view_change(ViewNum target) {
   for (const auto& [key, cmd] : pending_) vc.pending.push_back(cmd);
   vc.sig =
       signer().sign(view_change_binding(target, vc.entries, vc.pending));
-  broadcast(kMinBftCh, tagged(kViewChange, vc));
+  protocol_router_.broadcast(vc);
   vc_msgs_[target][id()] = VcReport{vc.entries, vc.pending};
   maybe_assume_primacy(target);
 
@@ -545,13 +517,7 @@ void MinBftReplica::abandon_view_change() {
   for (const auto& [key, cmd] : pending_) arm_request_timer(cmd);
 }
 
-void MinBftReplica::handle_view_change(ProcessId from, const Bytes& body) {
-  ViewChangeWire vc;
-  try {
-    vc = serde::decode<ViewChangeWire>(body);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
+void MinBftReplica::handle_view_change(ProcessId from, ViewChange vc) {
   if (vc.target <= view_) return;
   if (vc.sig.key != world().key_of(from)) return;
   if (!world().keys().verify(
@@ -575,10 +541,10 @@ void MinBftReplica::maybe_assume_primacy(ViewNum target) {
   if (it == vc_msgs_.end() || it->second.size() < options_.f + 1) return;
 
   // Announce and take over.
-  NewViewWire nv;
+  NewView nv;
   nv.target = target;
-  nv.sig = signer().sign(NewViewWire::binding(target));
-  broadcast(kMinBftCh, tagged(kNewView, nv));
+  nv.sig = signer().sign(NewView::binding(target));
+  protocol_router_.broadcast(nv);
   enter_view(target);
 
   // Re-propose in a consistent order: first every reported slot, sorted
@@ -596,25 +562,27 @@ void MinBftReplica::maybe_assume_primacy(ViewNum target) {
   }
   auto consider = [&](const Command& cmd) {
     if (!seen.insert(cmd.key()).second) return;
-    if (dedup_.lookup(cmd)) return;  // already executed everywhere we know
-    if (pending_.emplace(cmd.key(), cmd).second) arm_request_timer(cmd);
+    // Re-propose even commands this replica has already executed: a
+    // correct replica may enter this view having committed less than the
+    // primary did (enter_view drops per-view slot progress), and only the
+    // full archive in its original order realigns it. Skipping executed
+    // commands would hand laggards a residual sequence whose positions
+    // depend on the primary's own execution history — divergent logs
+    // (found by the byte-mutation fuzz sweep). Exactly-once is preserved
+    // by dedup at execution time.
+    if (!dedup_.lookup(cmd) && pending_.emplace(cmd.key(), cmd).second)
+      arm_request_timer(cmd);
     propose(cmd);
   };
   for (const auto& [order, cmd] : slotted) consider(cmd);
   for (const auto& [key, cmd] : loose) consider(cmd);
 }
 
-void MinBftReplica::handle_new_view(ProcessId from, const Bytes& body) {
-  NewViewWire nv;
-  try {
-    nv = serde::decode<NewViewWire>(body);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
+void MinBftReplica::handle_new_view(ProcessId from, NewView nv) {
   if (nv.target <= view_) return;
   if (from != primary_of(nv.target)) return;
   if (nv.sig.key != world().key_of(from)) return;
-  if (!world().keys().verify(nv.sig, NewViewWire::binding(nv.target))) return;
+  if (!world().keys().verify(nv.sig, NewView::binding(nv.target))) return;
   enter_view(nv.target);
   // Pending requests restart their clocks under the new primary.
   for (const auto& [key, cmd] : pending_) arm_request_timer(cmd);

@@ -36,6 +36,7 @@
 #include "agreement/smr.h"
 #include "agreement/usig_directory.h"
 #include "sim/world.h"
+#include "wire/router.h"
 
 namespace unidir::agreement {
 
@@ -49,6 +50,16 @@ struct MinBftVcEntry {
   void encode(serde::Writer& w) const;
   static MinBftVcEntry decode(serde::Reader& r);
 };
+
+/// MinBFT's typed wire messages; defined in minbft.cpp, routed by tag
+/// through the replica's wire::Router.
+namespace minbft_wire {
+struct Prepare;
+struct Commit;
+struct Checkpoint;
+struct ViewChange;
+struct NewView;
+}  // namespace minbft_wire
 
 class MinBftReplica final : public sim::Process {
  public:
@@ -101,10 +112,9 @@ class MinBftReplica final : public sim::Process {
   bool is_replica(ProcessId p) const;
 
   // message handling
-  void on_request(ProcessId from, const Bytes& payload);
-  void on_protocol(ProcessId from, const Bytes& payload);
-  void handle_prepare(ProcessId from, const Bytes& body);
-  void handle_commit(ProcessId from, const Bytes& body);
+  void on_request(ProcessId from, Command cmd);
+  void handle_prepare(ProcessId from, minbft_wire::Prepare p);
+  void handle_commit(ProcessId from, minbft_wire::Commit c);
 
   /// The sequential-UI rule of MinBFT: a receiver processes each sender's
   /// UI-stamped messages strictly in counter order. `action` runs when
@@ -121,9 +131,9 @@ class MinBftReplica final : public sim::Process {
   /// view race on an asynchronous network; without this, a replica that
   /// sees the PREPARE first would silently lose it.
   void when_in_view(ViewNum view, std::function<void()> action);
-  void handle_checkpoint(ProcessId from, const Bytes& body);
-  void handle_view_change(ProcessId from, const Bytes& body);
-  void handle_new_view(ProcessId from, const Bytes& body);
+  void handle_checkpoint(ProcessId from, minbft_wire::Checkpoint cp);
+  void handle_view_change(ProcessId from, minbft_wire::ViewChange vc);
+  void handle_new_view(ProcessId from, minbft_wire::NewView nv);
 
   // normal path
   void propose(const Command& cmd);
@@ -149,6 +159,11 @@ class MinBftReplica final : public sim::Process {
   Options options_;
   UsigDirectory& usigs_;
   std::unique_ptr<StateMachine> machine_;
+
+  /// Decode boundaries: client requests, and replica-to-replica protocol
+  /// traffic (with a replicas-only admission filter).
+  wire::Router request_router_;
+  wire::Router protocol_router_;
 
   ViewNum view_ = 0;
   bool in_view_change_ = false;

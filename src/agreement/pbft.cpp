@@ -9,13 +9,6 @@ namespace unidir::agreement {
 
 namespace {
 
-constexpr std::uint8_t kPrePrepare = 1;
-constexpr std::uint8_t kPrepare = 2;
-constexpr std::uint8_t kCommit = 3;
-constexpr std::uint8_t kCheckpoint = 4;
-constexpr std::uint8_t kViewChange = 5;
-constexpr std::uint8_t kNewView = 6;
-
 Bytes command_digest(const Command& cmd) {
   const crypto::Digest d = crypto::Sha256::hash(serde::encode(cmd));
   return crypto::digest_bytes(d);
@@ -59,7 +52,13 @@ Bytes view_change_binding(ViewNum target,
   return w.take();
 }
 
-struct PrePrepareWire {
+}  // namespace
+
+namespace pbft_wire {
+
+struct PrePrepare {
+  static constexpr wire::MsgDesc kDesc{1, "pbft-pre-prepare"};
+
   ViewNum view = 0;
   SeqNum seq = 0;
   Command cmd;
@@ -71,8 +70,8 @@ struct PrePrepareWire {
     cmd.encode(w);
     sig.encode(w);
   }
-  static PrePrepareWire decode(serde::Reader& r) {
-    PrePrepareWire p;
+  static PrePrepare decode(serde::Reader& r) {
+    PrePrepare p;
     p.view = r.uvarint();
     p.seq = r.uvarint();
     p.cmd = Command::decode(r);
@@ -81,7 +80,9 @@ struct PrePrepareWire {
   }
 };
 
-struct VoteWire {  // PREPARE and COMMIT share shape
+/// PREPARE and COMMIT share a shape; each phase is its own tagged type
+/// over the common body.
+struct VoteBody {
   ViewNum view = 0;
   SeqNum seq = 0;
   Bytes digest;
@@ -93,8 +94,8 @@ struct VoteWire {  // PREPARE and COMMIT share shape
     w.bytes(digest);
     sig.encode(w);
   }
-  static VoteWire decode(serde::Reader& r) {
-    VoteWire v;
+  static VoteBody decode(serde::Reader& r) {
+    VoteBody v;
     v.view = r.uvarint();
     v.seq = r.uvarint();
     v.digest = r.bytes();
@@ -103,7 +104,19 @@ struct VoteWire {  // PREPARE and COMMIT share shape
   }
 };
 
-struct CheckpointWire {
+struct Prepare : VoteBody {
+  static constexpr wire::MsgDesc kDesc{2, "pbft-prepare"};
+  static Prepare decode(serde::Reader& r) { return {VoteBody::decode(r)}; }
+};
+
+struct Commit : VoteBody {
+  static constexpr wire::MsgDesc kDesc{3, "pbft-commit"};
+  static Commit decode(serde::Reader& r) { return {VoteBody::decode(r)}; }
+};
+
+struct Checkpoint {
+  static constexpr wire::MsgDesc kDesc{4, "pbft-checkpoint"};
+
   std::uint64_t executed = 0;
   Bytes digest;
   crypto::Signature sig;
@@ -113,8 +126,8 @@ struct CheckpointWire {
     w.bytes(digest);
     sig.encode(w);
   }
-  static CheckpointWire decode(serde::Reader& r) {
-    CheckpointWire c;
+  static Checkpoint decode(serde::Reader& r) {
+    Checkpoint c;
     c.executed = r.uvarint();
     c.digest = r.bytes();
     c.sig = crypto::Signature::decode(r);
@@ -122,7 +135,9 @@ struct CheckpointWire {
   }
 };
 
-struct ViewChangeWire {
+struct ViewChange {
+  static constexpr wire::MsgDesc kDesc{5, "pbft-view-change"};
+
   ViewNum target = 0;
   std::vector<PbftVcEntry> entries;
   std::vector<Command> pending;
@@ -134,8 +149,8 @@ struct ViewChangeWire {
     serde::write(w, pending);
     sig.encode(w);
   }
-  static ViewChangeWire decode(serde::Reader& r) {
-    ViewChangeWire v;
+  static ViewChange decode(serde::Reader& r) {
+    ViewChange v;
     v.target = r.uvarint();
     v.entries = serde::read<std::vector<PbftVcEntry>>(r);
     v.pending = serde::read<std::vector<Command>>(r);
@@ -144,7 +159,9 @@ struct ViewChangeWire {
   }
 };
 
-struct NewViewWire {
+struct NewView {
+  static constexpr wire::MsgDesc kDesc{6, "pbft-new-view"};
+
   ViewNum target = 0;
   crypto::Signature sig;
 
@@ -159,23 +176,17 @@ struct NewViewWire {
     w.uvarint(target);
     sig.encode(w);
   }
-  static NewViewWire decode(serde::Reader& r) {
-    NewViewWire v;
+  static NewView decode(serde::Reader& r) {
+    NewView v;
     v.target = r.uvarint();
     v.sig = crypto::Signature::decode(r);
     return v;
   }
 };
 
-template <typename Wire>
-Bytes tagged(std::uint8_t tag, const Wire& wire) {
-  serde::Writer w;
-  w.u8(tag);
-  wire.encode(w);
-  return w.take();
-}
+}  // namespace pbft_wire
 
-}  // namespace
+using namespace pbft_wire;
 
 void PbftVcEntry::encode(serde::Writer& w) const {
   w.uvarint(view);
@@ -194,26 +205,45 @@ PbftVcEntry PbftVcEntry::decode(serde::Reader& r) {
 Bytes PbftReplica::encode_preprepare_for_test(const crypto::Signer& signer,
                                               ViewNum view, SeqNum seq,
                                               const Command& cmd) {
-  PrePrepareWire pp;
+  PrePrepare pp;
   pp.view = view;
   pp.seq = seq;
   pp.cmd = cmd;
   pp.sig = signer.sign(preprepare_binding(view, seq, cmd));
-  return tagged(kPrePrepare, pp);
+  return wire::encode_tagged(pp);
 }
 
 PbftReplica::PbftReplica(Options options,
                          std::unique_ptr<StateMachine> machine)
-    : options_(std::move(options)), machine_(std::move(machine)) {
+    : options_(std::move(options)),
+      machine_(std::move(machine)),
+      request_router_(*this, kClientRequestCh),
+      protocol_router_(*this, kPbftCh) {
   UNIDIR_REQUIRE(machine_ != nullptr);
   UNIDIR_REQUIRE_MSG(options_.replicas.size() >= 3 * options_.f + 1,
                      "PBFT requires n >= 3f+1");
-  register_channel(kClientRequestCh,
-                   [this](ProcessId from, const Bytes& payload) {
-                     on_request(from, payload);
-                   });
-  register_channel(kPbftCh, [this](ProcessId from, const Bytes& payload) {
-    on_protocol(from, payload);
+  request_router_.on<Command>([this](ProcessId from, Command cmd) {
+    on_request(from, std::move(cmd));
+  });
+  protocol_router_.set_peer_filter(
+      [this](ProcessId p) { return is_replica(p); });
+  protocol_router_.on<PrePrepare>([this](ProcessId from, PrePrepare pp) {
+    handle_preprepare(from, std::move(pp));
+  });
+  protocol_router_.on<Prepare>([this](ProcessId from, Prepare v) {
+    handle_prepare(from, std::move(v));
+  });
+  protocol_router_.on<Commit>([this](ProcessId from, Commit v) {
+    handle_commit(from, std::move(v));
+  });
+  protocol_router_.on<Checkpoint>([this](ProcessId from, Checkpoint cp) {
+    handle_checkpoint(from, std::move(cp));
+  });
+  protocol_router_.on<ViewChange>([this](ProcessId from, ViewChange vc) {
+    handle_view_change(from, std::move(vc));
+  });
+  protocol_router_.on<NewView>([this](ProcessId from, NewView nv) {
+    handle_new_view(from, std::move(nv));
   });
 }
 
@@ -229,13 +259,7 @@ bool PbftReplica::is_replica(ProcessId p) const {
 
 // ---- client requests -----------------------------------------------------------
 
-void PbftReplica::on_request(ProcessId from, const Bytes& payload) {
-  Command cmd;
-  try {
-    cmd = serde::decode<Command>(payload);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
+void PbftReplica::on_request(ProcessId from, Command cmd) {
   if (cmd.client != from) return;
   if (const auto cached = dedup_.lookup(cmd)) {
     reply_to(cmd, *cached);
@@ -250,12 +274,12 @@ void PbftReplica::propose(const Command& cmd) {
   for (const auto& [seq, slot] : slots_)
     if (slot.cmd.key() == cmd.key()) return;
 
-  PrePrepareWire pp;
+  PrePrepare pp;
   pp.view = view_;
   pp.seq = next_propose_seq_++;
   pp.cmd = cmd;
   pp.sig = signer().sign(preprepare_binding(pp.view, pp.seq, cmd));
-  broadcast(kPbftCh, tagged(kPrePrepare, pp));
+  protocol_router_.broadcast(pp);
 
   Slot& slot = slots_[pp.seq];
   slot.cmd = cmd;
@@ -267,35 +291,7 @@ void PbftReplica::propose(const Command& cmd) {
 
 // ---- protocol messages -----------------------------------------------------------
 
-void PbftReplica::on_protocol(ProcessId from, const Bytes& payload) {
-  if (!is_replica(from)) return;
-  serde::Reader r(payload);
-  std::uint8_t tag = 0;
-  Bytes body;
-  try {
-    tag = r.u8();
-    body = r.raw(r.remaining());
-  } catch (const serde::DecodeError&) {
-    return;
-  }
-  switch (tag) {
-    case kPrePrepare: handle_preprepare(from, body); break;
-    case kPrepare: handle_prepare(from, body); break;
-    case kCommit: handle_commit(from, body); break;
-    case kCheckpoint: handle_checkpoint(from, body); break;
-    case kViewChange: handle_view_change(from, body); break;
-    case kNewView: handle_new_view(from, body); break;
-    default: break;
-  }
-}
-
-void PbftReplica::handle_preprepare(ProcessId from, const Bytes& body) {
-  PrePrepareWire pp;
-  try {
-    pp = serde::decode<PrePrepareWire>(body);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
+void PbftReplica::handle_preprepare(ProcessId from, PrePrepare pp) {
   if (from == id() || pp.seq == 0) return;
   if (pp.sig.key != world().key_of(from)) return;
   if (!world().keys().verify(pp.sig,
@@ -317,25 +313,19 @@ void PbftReplica::handle_preprepare(ProcessId from, const Bytes& body) {
     if (!slot.sent_prepare) {
       slot.sent_prepare = true;
       slot.prepares[slot.digest].insert(id());
-      VoteWire v;
+      Prepare v;
       v.view = view_;
       v.seq = pp.seq;
       v.digest = slot.digest;
       v.sig = signer().sign(vote_binding("pbft-prepare", v.view, v.seq,
                                          v.digest));
-      broadcast(kPbftCh, tagged(kPrepare, v));
+      protocol_router_.broadcast(v);
     }
     step(pp.seq);
   });
 }
 
-void PbftReplica::handle_prepare(ProcessId from, const Bytes& body) {
-  VoteWire v;
-  try {
-    v = serde::decode<VoteWire>(body);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
+void PbftReplica::handle_prepare(ProcessId from, Prepare v) {
   if (from == id()) return;
   if (v.sig.key != world().key_of(from)) return;
   if (!world().keys().verify(
@@ -348,13 +338,7 @@ void PbftReplica::handle_prepare(ProcessId from, const Bytes& body) {
   });
 }
 
-void PbftReplica::handle_commit(ProcessId from, const Bytes& body) {
-  VoteWire v;
-  try {
-    v = serde::decode<VoteWire>(body);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
+void PbftReplica::handle_commit(ProcessId from, Commit v) {
   if (from == id()) return;
   if (v.sig.key != world().key_of(from)) return;
   if (!world().keys().verify(
@@ -388,13 +372,13 @@ void PbftReplica::step(SeqNum seq) {
   if (prepared && !slot.sent_commit) {
     slot.sent_commit = true;
     slot.commits[slot.digest].insert(id());
-    VoteWire v;
+    Commit v;
     v.view = view_;
     v.seq = seq;
     v.digest = slot.digest;
     v.sig = signer().sign(vote_binding("pbft-commit", v.view, v.seq,
                                        v.digest));
-    broadcast(kPbftCh, tagged(kCommit, v));
+    protocol_router_.broadcast(v);
   }
   try_execute();
 }
@@ -435,7 +419,7 @@ void PbftReplica::reply_to(const Command& cmd, const Bytes& result) {
   Reply reply;
   reply.request_id = cmd.request_id;
   reply.result = result;
-  send(cmd.client, kClientReplyCh, serde::encode(reply));
+  wire::send(*this, cmd.client, kClientReplyCh, reply);
 }
 
 // ---- checkpoints -----------------------------------------------------------------
@@ -443,21 +427,15 @@ void PbftReplica::reply_to(const Command& cmd, const Bytes& result) {
 void PbftReplica::maybe_checkpoint() {
   if (options_.checkpoint_interval == 0) return;
   if (log_.size() % options_.checkpoint_interval != 0) return;
-  CheckpointWire cp;
+  Checkpoint cp;
   cp.executed = log_.size();
   cp.digest = crypto::digest_bytes(machine_->digest());
   cp.sig = signer().sign(checkpoint_binding(cp.executed, cp.digest));
-  broadcast(kPbftCh, tagged(kCheckpoint, cp));
+  protocol_router_.broadcast(cp);
   cp_votes_[cp.executed][cp.digest].insert(id());
 }
 
-void PbftReplica::handle_checkpoint(ProcessId from, const Bytes& body) {
-  CheckpointWire cp;
-  try {
-    cp = serde::decode<CheckpointWire>(body);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
+void PbftReplica::handle_checkpoint(ProcessId from, Checkpoint cp) {
   if (cp.sig.key != world().key_of(from)) return;
   if (!world().keys().verify(cp.sig,
                              checkpoint_binding(cp.executed, cp.digest)))
@@ -488,13 +466,13 @@ void PbftReplica::start_view_change(ViewNum target) {
   vc_target_ = target;
   ++view_changes_;
 
-  ViewChangeWire vc;
+  ViewChange vc;
   vc.target = target;
   vc.entries = vc_archive_;
   for (const auto& [key, cmd] : pending_) vc.pending.push_back(cmd);
   vc.sig =
       signer().sign(view_change_binding(target, vc.entries, vc.pending));
-  broadcast(kPbftCh, tagged(kViewChange, vc));
+  protocol_router_.broadcast(vc);
   vc_msgs_[target][id()] = VcReport{vc.entries, vc.pending};
   maybe_assume_primacy(target);
 
@@ -521,13 +499,7 @@ void PbftReplica::abandon_view_change() {
   for (const auto& [key, cmd] : pending_) arm_request_timer(cmd);
 }
 
-void PbftReplica::handle_view_change(ProcessId from, const Bytes& body) {
-  ViewChangeWire vc;
-  try {
-    vc = serde::decode<ViewChangeWire>(body);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
+void PbftReplica::handle_view_change(ProcessId from, ViewChange vc) {
   if (vc.target <= view_) return;
   if (vc.sig.key != world().key_of(from)) return;
   if (!world().keys().verify(
@@ -550,10 +522,10 @@ void PbftReplica::maybe_assume_primacy(ViewNum target) {
   // PBFT requires a 2f+1 quorum of view-change messages.
   if (it == vc_msgs_.end() || it->second.size() < 2 * options_.f + 1) return;
 
-  NewViewWire nv;
+  NewView nv;
   nv.target = target;
-  nv.sig = signer().sign(NewViewWire::binding(target));
-  broadcast(kPbftCh, tagged(kNewView, nv));
+  nv.sig = signer().sign(NewView::binding(target));
+  protocol_router_.broadcast(nv);
   enter_view(target);
 
   std::map<std::tuple<ViewNum, SeqNum>, Command> slotted;
@@ -566,25 +538,27 @@ void PbftReplica::maybe_assume_primacy(ViewNum target) {
   }
   auto consider = [&](const Command& cmd) {
     if (!seen.insert(cmd.key()).second) return;
-    if (dedup_.lookup(cmd)) return;
-    if (pending_.emplace(cmd.key(), cmd).second) arm_request_timer(cmd);
+    // Re-propose even commands this replica has already executed: a
+    // correct replica may enter this view having committed less than the
+    // primary did (enter_view drops per-view slot progress), and only the
+    // full archive in its original order realigns it. Skipping executed
+    // commands would hand laggards a residual sequence whose positions
+    // depend on the primary's own execution history — divergent logs
+    // (found by the byte-mutation fuzz sweep). Exactly-once is preserved
+    // by dedup at execution time.
+    if (!dedup_.lookup(cmd) && pending_.emplace(cmd.key(), cmd).second)
+      arm_request_timer(cmd);
     propose(cmd);
   };
   for (const auto& [order, cmd] : slotted) consider(cmd);
   for (const auto& [key, cmd] : loose) consider(cmd);
 }
 
-void PbftReplica::handle_new_view(ProcessId from, const Bytes& body) {
-  NewViewWire nv;
-  try {
-    nv = serde::decode<NewViewWire>(body);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
+void PbftReplica::handle_new_view(ProcessId from, NewView nv) {
   if (nv.target <= view_) return;
   if (from != primary_of(nv.target)) return;
   if (nv.sig.key != world().key_of(from)) return;
-  if (!world().keys().verify(nv.sig, NewViewWire::binding(nv.target))) return;
+  if (!world().keys().verify(nv.sig, NewView::binding(nv.target))) return;
   enter_view(nv.target);
   for (const auto& [key, cmd] : pending_) arm_request_timer(cmd);
 }

@@ -27,6 +27,7 @@
 #include "agreement/client.h"
 #include "agreement/smr.h"
 #include "sim/world.h"
+#include "wire/router.h"
 
 namespace unidir::agreement {
 
@@ -40,6 +41,17 @@ struct PbftVcEntry {
   void encode(serde::Writer& w) const;
   static PbftVcEntry decode(serde::Reader& r);
 };
+
+/// PBFT's typed wire messages; defined in pbft.cpp, routed by tag through
+/// the replica's wire::Router.
+namespace pbft_wire {
+struct PrePrepare;
+struct Prepare;
+struct Commit;
+struct Checkpoint;
+struct ViewChange;
+struct NewView;
+}  // namespace pbft_wire
 
 class PbftReplica final : public sim::Process {
  public:
@@ -88,14 +100,13 @@ class PbftReplica final : public sim::Process {
   std::size_t n() const { return options_.replicas.size(); }
   bool is_replica(ProcessId p) const;
 
-  void on_request(ProcessId from, const Bytes& payload);
-  void on_protocol(ProcessId from, const Bytes& payload);
-  void handle_preprepare(ProcessId from, const Bytes& body);
-  void handle_prepare(ProcessId from, const Bytes& body);
-  void handle_commit(ProcessId from, const Bytes& body);
-  void handle_checkpoint(ProcessId from, const Bytes& body);
-  void handle_view_change(ProcessId from, const Bytes& body);
-  void handle_new_view(ProcessId from, const Bytes& body);
+  void on_request(ProcessId from, Command cmd);
+  void handle_preprepare(ProcessId from, pbft_wire::PrePrepare pp);
+  void handle_prepare(ProcessId from, pbft_wire::Prepare v);
+  void handle_commit(ProcessId from, pbft_wire::Commit v);
+  void handle_checkpoint(ProcessId from, pbft_wire::Checkpoint cp);
+  void handle_view_change(ProcessId from, pbft_wire::ViewChange vc);
+  void handle_new_view(ProcessId from, pbft_wire::NewView nv);
 
   /// Same role as MinBftReplica::when_in_view: run now if `view` is
   /// current and stable, buffer for a future view, drop if past.
@@ -118,6 +129,11 @@ class PbftReplica final : public sim::Process {
 
   Options options_;
   std::unique_ptr<StateMachine> machine_;
+
+  /// Decode boundaries: client requests, and replica-to-replica protocol
+  /// traffic (with a replicas-only admission filter).
+  wire::Router request_router_;
+  wire::Router protocol_router_;
 
   ViewNum view_ = 0;
   bool in_view_change_ = false;

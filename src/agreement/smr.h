@@ -13,11 +13,14 @@
 #include "common/serde.h"
 #include "common/types.h"
 #include "crypto/sha256.h"
+#include "wire/message.h"
 
 namespace unidir::agreement {
 
 /// A client operation to be totally ordered and executed.
 struct Command {
+  static constexpr wire::MsgDesc kDesc{1, "smr-command"};
+
   ProcessId client = kNoProcess;
   std::uint64_t request_id = 0;  // per-client, strictly increasing
   Bytes op;
@@ -34,6 +37,8 @@ struct Command {
 };
 
 struct Reply {
+  static constexpr wire::MsgDesc kDesc{1, "smr-reply"};
+
   std::uint64_t request_id = 0;
   Bytes result;
 

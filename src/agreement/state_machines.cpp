@@ -36,7 +36,7 @@ Bytes KvStateMachine::del_op(std::string_view key) {
   return w.take();
 }
 
-Bytes KvStateMachine::apply(const Bytes& op) {
+Bytes KvStateMachine::apply(const Bytes& op) try {
   serde::Reader r(op);
   const std::uint8_t kind = r.u8();
   switch (kind) {
@@ -68,6 +68,12 @@ Bytes KvStateMachine::apply(const Bytes& op) {
       // Unknown ops execute as deterministic no-ops: all replicas agree.
       return {};
   }
+} catch (const serde::DecodeError&) {
+  // The op blob is opaque to the wire layer (it rides inside a valid
+  // Command), so a Byzantine network can get corrupted bytes agreed on and
+  // executed. Every replica executing the slot holds the same bytes, so a
+  // deterministic no-op keeps logs and digests consistent.
+  return {};
 }
 
 crypto::Digest KvStateMachine::digest() const {
@@ -92,7 +98,7 @@ Bytes CounterStateMachine::read_op() {
   return w.take();
 }
 
-Bytes CounterStateMachine::apply(const Bytes& op) {
+Bytes CounterStateMachine::apply(const Bytes& op) try {
   serde::Reader r(op);
   const std::uint8_t kind = r.u8();
   switch (kind) {
@@ -107,6 +113,8 @@ Bytes CounterStateMachine::apply(const Bytes& op) {
     default:
       return {};
   }
+} catch (const serde::DecodeError&) {
+  return {};  // undecodable op: deterministic no-op (see KvStateMachine)
 }
 
 crypto::Digest CounterStateMachine::digest() const {

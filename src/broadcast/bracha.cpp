@@ -6,21 +6,20 @@ namespace unidir::broadcast {
 
 namespace {
 
-struct Wire {
-  std::uint8_t type = 0;
+// INITIAL/ECHO/READY share one body; each phase is its own wire type so
+// the router handles tag dispatch (and counts per-phase traffic).
+struct Body {
   ProcessId sender = kNoProcess;
   SeqNum seq = 0;
   Bytes message;
 
   void encode(serde::Writer& w) const {
-    w.u8(type);
     w.uvarint(sender);
     w.uvarint(seq);
     w.bytes(message);
   }
-  static Wire decode(serde::Reader& r) {
-    Wire m;
-    m.type = r.u8();
+  static Body decode(serde::Reader& r) {
+    Body m;
     m.sender = serde::read<ProcessId>(r);
     m.seq = r.uvarint();
     m.message = r.bytes();
@@ -28,16 +27,34 @@ struct Wire {
   }
 };
 
+struct InitialMsg : Body {
+  static constexpr wire::MsgDesc kDesc{1, "bracha-initial"};
+  static InitialMsg decode(serde::Reader& r) { return {Body::decode(r)}; }
+};
+struct EchoMsg : Body {
+  static constexpr wire::MsgDesc kDesc{2, "bracha-echo"};
+  static EchoMsg decode(serde::Reader& r) { return {Body::decode(r)}; }
+};
+struct ReadyMsg : Body {
+  static constexpr wire::MsgDesc kDesc{3, "bracha-ready"};
+  static ReadyMsg decode(serde::Reader& r) { return {Body::decode(r)}; }
+};
+
 }  // namespace
 
 BrachaEndpoint::BrachaEndpoint(sim::Process& host, sim::Channel channel,
                                std::size_t n, std::size_t f)
-    : host_(host), channel_(channel), n_(n), f_(f) {
+    : host_(host), router_(host, channel), n_(n), f_(f) {
   UNIDIR_REQUIRE_MSG(n > 3 * f, "Bracha requires n > 3f");
-  host_.register_channel(channel,
-                         [this](ProcessId from, const Bytes& payload) {
-                           on_wire(from, payload);
-                         });
+  router_.on<InitialMsg>([this](ProcessId from, InitialMsg m) {
+    handle(from, Type::Initial, m.sender, m.seq, m.message);
+  });
+  router_.on<EchoMsg>([this](ProcessId from, EchoMsg m) {
+    handle(from, Type::Echo, m.sender, m.seq, m.message);
+  });
+  router_.on<ReadyMsg>([this](ProcessId from, ReadyMsg m) {
+    handle(from, Type::Ready, m.sender, m.seq, m.message);
+  });
 }
 
 void BrachaEndpoint::broadcast(Bytes message) {
@@ -50,24 +67,19 @@ void BrachaEndpoint::broadcast(Bytes message) {
 
 void BrachaEndpoint::send_to_all(Type type, ProcessId sender, SeqNum seq,
                                  const Bytes& message) {
-  Wire w;
-  w.type = static_cast<std::uint8_t>(type);
-  w.sender = sender;
-  w.seq = seq;
-  w.message = message;
+  const Body body{sender, seq, message};
   sent_ += host_.world().size() - 1;
-  host_.broadcast(channel_, serde::encode(w));
-}
-
-void BrachaEndpoint::on_wire(ProcessId from, const Bytes& payload) {
-  Wire w;
-  try {
-    w = serde::decode<Wire>(payload);
-  } catch (const serde::DecodeError&) {
-    return;
+  switch (type) {
+    case Type::Initial:
+      router_.broadcast(InitialMsg{body});
+      break;
+    case Type::Echo:
+      router_.broadcast(EchoMsg{body});
+      break;
+    case Type::Ready:
+      router_.broadcast(ReadyMsg{body});
+      break;
   }
-  if (w.type < 1 || w.type > 3) return;
-  handle(from, static_cast<Type>(w.type), w.sender, w.seq, w.message);
 }
 
 void BrachaEndpoint::handle(ProcessId from, Type type, ProcessId sender,

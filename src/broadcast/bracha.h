@@ -20,6 +20,7 @@
 
 #include "broadcast/srb.h"
 #include "sim/world.h"
+#include "wire/router.h"
 
 namespace unidir::broadcast {
 
@@ -48,7 +49,6 @@ class BrachaEndpoint final : public SrbEndpoint {
     std::map<Bytes, std::set<ProcessId>> readies;
   };
 
-  void on_wire(ProcessId from, const Bytes& payload);
   void handle(ProcessId from, Type type, ProcessId sender, SeqNum seq,
               const Bytes& message);
   void send_to_all(Type type, ProcessId sender, SeqNum seq,
@@ -60,7 +60,7 @@ class BrachaEndpoint final : public SrbEndpoint {
   std::size_t echo_quorum() const { return (n_ + f_) / 2 + 1; }
 
   sim::Process& host_;
-  sim::Channel channel_;
+  wire::Router router_;
   std::size_t n_;
   std::size_t f_;
   SeqNum my_seq_ = 0;

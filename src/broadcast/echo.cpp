@@ -6,54 +6,62 @@ namespace unidir::broadcast {
 
 namespace {
 
-constexpr std::uint8_t kSend = 1;
-constexpr std::uint8_t kEcho = 2;
-constexpr std::uint8_t kFinal = 3;
+// The old single Wire struct switched on a type byte in both encode and
+// decode; each phase is now its own typed message.
+struct SendMsg {
+  static constexpr wire::MsgDesc kDesc{1, "echo-send"};
 
-struct Wire {
-  std::uint8_t type = 0;
   SeqNum seq = 0;
-  Bytes message;                                            // Send / Final
-  crypto::Signature echo_sig;                               // Echo
-  std::vector<std::pair<ProcessId, crypto::Signature>> certificate;  // Final
+  Bytes message;
 
   void encode(serde::Writer& w) const {
-    w.u8(type);
     w.uvarint(seq);
-    switch (type) {
-      case kSend:
-        w.bytes(message);
-        break;
-      case kEcho:
-        echo_sig.encode(w);
-        break;
-      case kFinal:
-        w.bytes(message);
-        serde::write(w, certificate);
-        break;
-      default:
-        break;
-    }
+    w.bytes(message);
   }
-  static Wire decode(serde::Reader& r) {
-    Wire m;
-    m.type = r.u8();
+  static SendMsg decode(serde::Reader& r) {
+    SendMsg m;
     m.seq = r.uvarint();
-    switch (m.type) {
-      case kSend:
-        m.message = r.bytes();
-        break;
-      case kEcho:
-        m.echo_sig = crypto::Signature::decode(r);
-        break;
-      case kFinal:
-        m.message = r.bytes();
-        m.certificate = serde::read<
-            std::vector<std::pair<ProcessId, crypto::Signature>>>(r);
-        break;
-      default:
-        throw serde::DecodeError("bad echo-broadcast type");
-    }
+    m.message = r.bytes();
+    return m;
+  }
+};
+
+struct EchoVote {
+  static constexpr wire::MsgDesc kDesc{2, "echo-vote"};
+
+  SeqNum seq = 0;
+  crypto::Signature echo_sig;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(seq);
+    echo_sig.encode(w);
+  }
+  static EchoVote decode(serde::Reader& r) {
+    EchoVote m;
+    m.seq = r.uvarint();
+    m.echo_sig = crypto::Signature::decode(r);
+    return m;
+  }
+};
+
+struct FinalMsg {
+  static constexpr wire::MsgDesc kDesc{3, "echo-final"};
+
+  SeqNum seq = 0;
+  Bytes message;
+  std::vector<std::pair<ProcessId, crypto::Signature>> certificate;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(seq);
+    w.bytes(message);
+    serde::write(w, certificate);
+  }
+  static FinalMsg decode(serde::Reader& r) {
+    FinalMsg m;
+    m.seq = r.uvarint();
+    m.message = r.bytes();
+    m.certificate =
+        serde::read<std::vector<std::pair<ProcessId, crypto::Signature>>>(r);
     return m;
   }
 };
@@ -63,12 +71,22 @@ struct Wire {
 EchoBroadcastEndpoint::EchoBroadcastEndpoint(sim::Process& host,
                                              sim::Channel channel,
                                              std::size_t n, std::size_t f)
-    : host_(host), channel_(channel), n_(n), f_(f) {
+    : host_(host), router_(host, channel), n_(n), f_(f) {
   UNIDIR_REQUIRE_MSG(n > 3 * f, "echo broadcast requires n > 3f");
-  host_.register_channel(channel,
-                         [this](ProcessId from, const Bytes& payload) {
-                           on_wire(from, payload);
-                         });
+  // seq 0 means "none yet" library-wide; a wire message carrying it is
+  // Byzantine noise.
+  router_.on<SendMsg>([this](ProcessId from, SendMsg m) {
+    if (m.seq == 0) return;
+    handle_send(from, m.seq, std::move(m.message));
+  });
+  router_.on<EchoVote>([this](ProcessId from, EchoVote m) {
+    if (m.seq == 0) return;
+    handle_echo(from, m.seq, m.echo_sig);
+  });
+  router_.on<FinalMsg>([this](ProcessId from, FinalMsg m) {
+    if (m.seq == 0) return;
+    handle_final(from, m.seq, std::move(m.message), m.certificate);
+  });
 }
 
 Bytes EchoBroadcastEndpoint::echo_binding(ProcessId sender, SeqNum seq,
@@ -89,30 +107,8 @@ void EchoBroadcastEndpoint::broadcast(Bytes message) {
   slot.echoes.emplace(
       host_.id(),
       host_.signer().sign(echo_binding(host_.id(), seq, message)));
-  Wire w;
-  w.type = kSend;
-  w.seq = seq;
-  w.message = std::move(message);
   sent_ += host_.world().size() - 1;
-  host_.broadcast(channel_, serde::encode(w));
-}
-
-void EchoBroadcastEndpoint::on_wire(ProcessId from, const Bytes& payload) {
-  Wire w;
-  try {
-    w = serde::decode<Wire>(payload);
-  } catch (const serde::DecodeError&) {
-    return;
-  }
-  if (w.seq == 0) return;
-  switch (w.type) {
-    case kSend: handle_send(from, w.seq, std::move(w.message)); break;
-    case kEcho: handle_echo(from, w.seq, w.echo_sig); break;
-    case kFinal:
-      handle_final(from, w.seq, std::move(w.message), w.certificate);
-      break;
-    default: break;
-  }
+  router_.broadcast(SendMsg{seq, std::move(message)});
 }
 
 void EchoBroadcastEndpoint::handle_send(ProcessId from, SeqNum seq,
@@ -120,12 +116,10 @@ void EchoBroadcastEndpoint::handle_send(ProcessId from, SeqNum seq,
   // One echo per (sender, seq), ever — the consistency anchor.
   auto [it, fresh] = echoed_.emplace(std::make_pair(from, seq), message);
   if (!fresh) return;
-  Wire w;
-  w.type = kEcho;
-  w.seq = seq;
-  w.echo_sig = host_.signer().sign(echo_binding(from, seq, message));
   ++sent_;
-  host_.send(from, channel_, serde::encode(w));
+  router_.send(from,
+               EchoVote{seq, host_.signer().sign(echo_binding(from, seq,
+                                                              message))});
 }
 
 void EchoBroadcastEndpoint::handle_echo(ProcessId from, SeqNum seq,
@@ -141,13 +135,12 @@ void EchoBroadcastEndpoint::handle_echo(ProcessId from, SeqNum seq,
   if (slot.echoes.size() < quorum()) return;
 
   slot.finalized = true;
-  Wire w;
-  w.type = kFinal;
-  w.seq = seq;
-  w.message = slot.message;
-  for (const auto& [pid, s] : slot.echoes) w.certificate.emplace_back(pid, s);
+  FinalMsg fin;
+  fin.seq = seq;
+  fin.message = slot.message;
+  for (const auto& [pid, s] : slot.echoes) fin.certificate.emplace_back(pid, s);
   sent_ += host_.world().size() - 1;
-  host_.broadcast(channel_, serde::encode(w));
+  router_.broadcast(fin);
   // Deliver locally: the certificate is ours.
   accepted_[host_.id()][seq] = slot.message;
   flush(host_.id());

@@ -22,6 +22,7 @@
 #include "broadcast/srb.h"
 #include "crypto/signature.h"
 #include "sim/world.h"
+#include "wire/router.h"
 
 namespace unidir::broadcast {
 
@@ -45,7 +46,6 @@ class EchoBroadcastEndpoint final : public SrbEndpoint {
   static Bytes echo_binding(ProcessId sender, SeqNum seq,
                             const Bytes& message);
 
-  void on_wire(ProcessId from, const Bytes& payload);
   void handle_send(ProcessId from, SeqNum seq, Bytes message);
   void handle_echo(ProcessId from, SeqNum seq,
                    const crypto::Signature& sig);
@@ -57,7 +57,7 @@ class EchoBroadcastEndpoint final : public SrbEndpoint {
   std::size_t quorum() const { return (n_ + f_) / 2 + 1; }
 
   sim::Process& host_;
-  sim::Channel channel_;
+  wire::Router router_;
   std::size_t n_;
   std::size_t f_;
   SeqNum my_seq_ = 0;

@@ -30,35 +30,48 @@ struct NoneqVal {
   }
 };
 
+/// Batch of forwarded sender values — one round payload's worth.
+struct NoneqBatch {
+  static constexpr wire::MsgDesc kDesc{1, "noneq-batch"};
+
+  std::vector<NoneqVal> vals;
+
+  void encode(serde::Writer& w) const { serde::write(w, vals); }
+  static NoneqBatch decode(serde::Reader& r) {
+    return {serde::read<std::vector<NoneqVal>>(r)};
+  }
+};
+
 }  // namespace
 
 NonEqBroadcast::NonEqBroadcast(sim::Process& host,
                                rounds::RoundDriver& driver, ProcessId sender)
-    : host_(host), driver_(driver), sender_(sender) {}
-
-Bytes NonEqBroadcast::payload() const {
-  std::vector<NoneqVal> vals;
-  vals.reserve(seen_.size());
-  for (const auto& [value, sig] : seen_) vals.push_back({value, sig});
-  return serde::encode(vals);
-}
-
-void NonEqBroadcast::absorb(const std::vector<rounds::Received>& received) {
-  const sim::World& w = host_.world();
-  for (const rounds::Received& r : received) {
-    std::vector<NoneqVal> vals;
-    try {
-      vals = serde::decode<std::vector<NoneqVal>>(r.message);
-    } catch (const serde::DecodeError&) {
-      continue;
-    }
-    for (NoneqVal& v : vals) {
+    : host_(host),
+      driver_(driver),
+      payload_router_([this]() { return &host_.world().wire_stats(); },
+                      wire::kNoneqPayloadCh),
+      sender_(sender) {
+  payload_router_.on<NoneqBatch>([this](ProcessId, NoneqBatch batch) {
+    const sim::World& w = host_.world();
+    for (NoneqVal& v : batch.vals) {
       if (v.sig.key != w.key_of(sender_)) continue;
       if (!w.keys().verify(v.sig, NoneqVal::signing_bytes(sender_, v.value)))
         continue;
       seen_.emplace(std::move(v.value), v.sig);
     }
-  }
+  });
+}
+
+Bytes NonEqBroadcast::payload() const {
+  NoneqBatch batch;
+  batch.vals.reserve(seen_.size());
+  for (const auto& [value, sig] : seen_) batch.vals.push_back({value, sig});
+  return wire::encode_tagged(batch);
+}
+
+void NonEqBroadcast::absorb(const std::vector<rounds::Received>& received) {
+  for (const rounds::Received& r : received)
+    payload_router_.dispatch(r.from, r.message);
 }
 
 void NonEqBroadcast::run(std::optional<Bytes> input, CommitFn on_commit) {

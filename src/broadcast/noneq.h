@@ -20,6 +20,8 @@
 #include "crypto/signature.h"
 #include "rounds/round_driver.h"
 #include "sim/world.h"
+#include "wire/channels.h"
+#include "wire/router.h"
 
 namespace unidir::broadcast {
 
@@ -47,6 +49,9 @@ class NonEqBroadcast {
 
   sim::Process& host_;
   rounds::RoundDriver& driver_;
+  /// Hardened decode boundary for the (untrusted) forward lists arriving
+  /// in round payloads; pseudo-channel, see wire/channels.h.
+  wire::Router payload_router_;
   ProcessId sender_;
   /// Validly sender-signed values observed, with their signatures
   /// (≥2 entries means equivocation).

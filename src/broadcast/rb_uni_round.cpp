@@ -36,35 +36,43 @@ struct ForwardedVal {
   }
 };
 
-struct Wire {
+// The old Wire struct switched on a phase byte; each phase is now its own
+// typed message routed by tag.
+struct Phase1Msg {
+  static constexpr wire::MsgDesc kDesc{1, "rb-uni-phase1"};
+
   RoundNum round = 0;
-  std::uint8_t phase = 0;
-  Bytes value;              // phase 1
-  crypto::Signature sig;    // phase 1
-  std::vector<ForwardedVal> forwards;  // phase 2
+  Bytes value;
+  crypto::Signature sig;
 
   void encode(serde::Writer& w) const {
     w.uvarint(round);
-    w.u8(phase);
-    if (phase == 1) {
-      w.bytes(value);
-      sig.encode(w);
-    } else {
-      serde::write(w, forwards);
-    }
+    w.bytes(value);
+    sig.encode(w);
   }
-  static Wire decode(serde::Reader& r) {
-    Wire m;
+  static Phase1Msg decode(serde::Reader& r) {
+    Phase1Msg m;
     m.round = r.uvarint();
-    m.phase = r.u8();
-    if (m.phase == 1) {
-      m.value = r.bytes();
-      m.sig = crypto::Signature::decode(r);
-    } else if (m.phase == 2) {
-      m.forwards = serde::read<std::vector<ForwardedVal>>(r);
-    } else {
-      throw serde::DecodeError("bad phase");
-    }
+    m.value = r.bytes();
+    m.sig = crypto::Signature::decode(r);
+    return m;
+  }
+};
+
+struct Phase2Msg {
+  static constexpr wire::MsgDesc kDesc{2, "rb-uni-phase2"};
+
+  RoundNum round = 0;
+  std::vector<ForwardedVal> forwards;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(round);
+    serde::write(w, forwards);
+  }
+  static Phase2Msg decode(serde::Reader& r) {
+    Phase2Msg m;
+    m.round = r.uvarint();
+    m.forwards = serde::read<std::vector<ForwardedVal>>(r);
     return m;
   }
 };
@@ -72,10 +80,41 @@ struct Wire {
 }  // namespace
 
 RbUniRoundDriver::RbUniRoundDriver(sim::Process& host, SrbHub& hub)
-    : host_(host), rb_(hub.make_endpoint(host)) {
+    : host_(host),
+      rb_(hub.make_endpoint(host)),
+      payload_router_([this]() { return &host_.world().wire_stats(); },
+                      wire::kRbUniPayloadCh) {
   UNIDIR_REQUIRE_MSG(host.world().size() >= 3,
                      "RB->uni corner case requires n >= 3");
   rb_->set_deliver([this](const Delivery& d) { on_delivery(d); });
+  payload_router_.on<Phase1Msg>([this](ProcessId from, Phase1Msg m) {
+    const sim::World& world = host_.world();
+    // The RB layer authenticates `from`; the signature makes the value
+    // *transferable* inside phase-2 forwards.
+    if (m.sig.key != world.key_of(from)) return;
+    if (!world.keys().verify(m.sig,
+                             phase1_signing_bytes(from, m.round, m.value)))
+      return;
+    absorb_phase1(from, m.round, Phase1Entry{std::move(m.value), m.sig});
+    check_progress();
+  });
+  payload_router_.on<Phase2Msg>([this](ProcessId from, Phase2Msg m) {
+    const sim::World& world = host_.world();
+    // Validate forwards; a phase-2 message counts toward the quorum only
+    // if it carries valid values from >= 2 distinct originators.
+    std::set<ProcessId> origins;
+    for (ForwardedVal& f : m.forwards) {
+      if (f.origin >= world.size()) continue;
+      if (f.sig.key != world.key_of(f.origin)) continue;
+      if (!world.keys().verify(
+              f.sig, phase1_signing_bytes(f.origin, m.round, f.value)))
+        continue;
+      origins.insert(f.origin);
+      absorb_phase1(f.origin, m.round, Phase1Entry{std::move(f.value), f.sig});
+    }
+    if (origins.size() >= 2) phase2_senders_[m.round].insert(from);
+    check_progress();
+  });
 }
 
 void RbUniRoundDriver::start_round(Bytes message,
@@ -83,13 +122,12 @@ void RbUniRoundDriver::start_round(Bytes message,
   active_round_ = begin(message);
   done_ = std::move(done);
   stage_ = 1;
-  Wire w;
-  w.round = active_round_;
-  w.phase = 1;
-  w.value = std::move(message);
-  w.sig = host_.signer().sign(
-      phase1_signing_bytes(host_.id(), active_round_, w.value));
-  rb_->broadcast(serde::encode(w));
+  Phase1Msg m;
+  m.round = active_round_;
+  m.value = std::move(message);
+  m.sig = host_.signer().sign(
+      phase1_signing_bytes(host_.id(), active_round_, m.value));
+  rb_->broadcast(wire::encode_tagged(m));
   check_progress();  // early arrivals may already satisfy the quorum
 }
 
@@ -100,37 +138,9 @@ void RbUniRoundDriver::absorb_phase1(ProcessId origin, RoundNum round,
 }
 
 void RbUniRoundDriver::on_delivery(const Delivery& d) {
-  Wire w;
-  try {
-    w = serde::decode<Wire>(d.message);
-  } catch (const serde::DecodeError&) {
-    return;  // Byzantine payload inside the trusted RB envelope
-  }
-  const sim::World& world = host_.world();
-  if (w.phase == 1) {
-    // The RB layer authenticates d.sender; the signature makes the value
-    // *transferable* inside phase-2 forwards.
-    if (w.sig.key != world.key_of(d.sender)) return;
-    if (!world.keys().verify(w.sig,
-                             phase1_signing_bytes(d.sender, w.round, w.value)))
-      return;
-    absorb_phase1(d.sender, w.round, Phase1Entry{std::move(w.value), w.sig});
-  } else {
-    // Validate forwards; a phase-2 message counts toward the quorum only
-    // if it carries valid values from >= 2 distinct originators.
-    std::set<ProcessId> origins;
-    for (ForwardedVal& f : w.forwards) {
-      if (f.origin >= world.size()) continue;
-      if (f.sig.key != world.key_of(f.origin)) continue;
-      if (!world.keys().verify(f.sig,
-                               phase1_signing_bytes(f.origin, w.round, f.value)))
-        continue;
-      origins.insert(f.origin);
-      absorb_phase1(f.origin, w.round, Phase1Entry{std::move(f.value), f.sig});
-    }
-    if (origins.size() >= 2) phase2_senders_[w.round].insert(d.sender);
-  }
-  check_progress();
+  // A Byzantine payload inside the trusted RB envelope is counted as
+  // dropped_malformed on the pseudo-channel.
+  payload_router_.dispatch(d.sender, d.message);
 }
 
 void RbUniRoundDriver::check_progress() {
@@ -138,13 +148,12 @@ void RbUniRoundDriver::check_progress() {
     const auto& p1 = phase1_[active_round_];
     if (p1.size() < quorum()) return;
     // Phase 2: forward everything received.
-    Wire w;
-    w.round = active_round_;
-    w.phase = 2;
+    Phase2Msg m;
+    m.round = active_round_;
     for (const auto& [origin, entry] : p1)
-      w.forwards.push_back({origin, entry.value, entry.sig});
+      m.forwards.push_back({origin, entry.value, entry.sig});
     stage_ = 2;
-    rb_->broadcast(serde::encode(w));
+    rb_->broadcast(wire::encode_tagged(m));
   }
   if (stage_ == 2) {
     if (phase2_senders_[active_round_].size() < quorum()) return;

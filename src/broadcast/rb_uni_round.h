@@ -21,6 +21,8 @@
 
 #include "broadcast/srb_hub.h"
 #include "rounds/round_driver.h"
+#include "wire/channels.h"
+#include "wire/router.h"
 
 namespace unidir::broadcast {
 
@@ -45,6 +47,9 @@ class RbUniRoundDriver final : public rounds::RoundDriver {
 
   sim::Process& host_;
   std::unique_ptr<SrbHubEndpoint> rb_;
+  /// Decode boundary for the payloads carried inside trusted RB envelopes;
+  /// pseudo-channel, see wire/channels.h.
+  wire::Router payload_router_;
 
   RoundNum active_round_ = 0;
   int stage_ = 0;  // 0 idle, 1 waiting for phase-1 quorum, 2 for phase-2

@@ -157,8 +157,16 @@ UniSlotPayload UniSlotPayload::decode(serde::Reader& r) {
 UniSrbEndpoint::UniSrbEndpoint(sim::Process& host, rounds::RoundDriver& driver,
                                std::size_t n, std::size_t t,
                                UniSrbOptions options)
-    : host_(host), driver_(driver), n_(n), t_(t), options_(options) {
+    : host_(host),
+      driver_(driver),
+      payload_router_([this]() { return &host_.world().wire_stats(); },
+                      wire::kUniSrbPayloadCh),
+      n_(n),
+      t_(t),
+      options_(options) {
   UNIDIR_REQUIRE_MSG(n >= 2 * t + 1, "Algorithm 1 requires n >= 2t+1");
+  payload_router_.on<UniSlotPayload>(
+      [this](ProcessId from, UniSlotPayload p) { on_payload(from, std::move(p)); });
   driver_.set_activity_listener([this] {
     if (started_ && parked_) {
       idle_rounds_ = 0;
@@ -219,7 +227,7 @@ void UniSrbEndpoint::on_round_done(const std::vector<rounds::Received>&) {
   // is all the safety argument needs.
   for (const rounds::Received& r : driver_.take_fresh()) {
     if (r.from == host_.id()) continue;
-    process_payload(r.from, r.message);
+    payload_router_.dispatch(r.from, r.message);
   }
   // The sender participates in its own broadcast like any replica: it
   // trivially "receives" its own next value and counter-signs a copy.
@@ -251,16 +259,10 @@ Bytes UniSrbEndpoint::build_payload() {
     if (st.my_l1) p.l1s.push_back(*st.my_l1);
   }
   for (const auto& [key, proof] : l2_store_) p.l2s.push_back(proof);
-  return serde::encode(p);
+  return wire::encode_tagged(p);
 }
 
-void UniSrbEndpoint::process_payload(ProcessId from, const Bytes& payload) {
-  UniSlotPayload p;
-  try {
-    p = serde::decode<UniSlotPayload>(payload);
-  } catch (const serde::DecodeError&) {
-    return;  // Byzantine garbage
-  }
+void UniSrbEndpoint::on_payload(ProcessId from, UniSlotPayload p) {
   for (const SignedVal& val : p.my_vals) consider_val(from, val);
   for (const auto& [val, vote] : p.copies) consider_copy(from, val, vote);
   for (const L1Proof& l1 : p.l1s) consider_l1(from, l1);

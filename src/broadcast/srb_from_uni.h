@@ -35,6 +35,8 @@
 #include "crypto/signature.h"
 #include "rounds/round_driver.h"
 #include "sim/world.h"
+#include "wire/channels.h"
+#include "wire/router.h"
 
 namespace unidir::broadcast {
 
@@ -89,6 +91,8 @@ struct L2Proof {
 /// The full slot state a process publishes each round. Public so that
 /// tests can hand-craft Byzantine payloads (e.g. equivocating senders).
 struct UniSlotPayload {
+  static constexpr wire::MsgDesc kDesc{1, "uni-slot-payload"};
+
   std::vector<SignedVal> my_vals;
   /// Adopted copies: (value, our vote), one per sender slot.
   std::vector<std::pair<SignedVal, CopyVote>> copies;
@@ -180,7 +184,7 @@ class UniSrbEndpoint final : public SrbEndpoint {
   void run_round();
   void on_round_done(const std::vector<rounds::Received>& received);
   Bytes build_payload();
-  void process_payload(ProcessId from, const Bytes& payload);
+  void on_payload(ProcessId from, UniSlotPayload p);
 
   void consider_val(ProcessId relay, const SignedVal& val);
   void consider_copy(ProcessId relay, const SignedVal& val,
@@ -195,6 +199,10 @@ class UniSrbEndpoint final : public SrbEndpoint {
 
   sim::Process& host_;
   rounds::RoundDriver& driver_;
+  /// Round payloads are not network envelopes, but they are still
+  /// untrusted bytes: a detached router on a pseudo-channel gives them the
+  /// same hardened decode boundary and stats as real wire traffic.
+  wire::Router payload_router_;
   std::size_t n_;
   std::size_t t_;
   UniSrbOptions options_;

@@ -8,6 +8,8 @@ namespace {
 
 /// Wire format of a hub-authenticated copy.
 struct HubWire {
+  static constexpr wire::MsgDesc kDesc{1, "srb-hub-copy"};
+
   ProcessId sender = kNoProcess;
   SeqNum seq = 0;
   Bytes message;
@@ -54,11 +56,9 @@ SeqNum SrbHub::submit(ProcessId sender, const Bytes& message) {
   wire.seq = seq;
   wire.message = message;
   wire.hub_sig = hub_key_.sign(wire.signed_bytes());
-  const Bytes payload = serde::encode(wire);
   // Ship one copy per process (including the sender: RB delivers to self),
   // each under independent adversary control.
-  for (ProcessId p = 0; p < world_.size(); ++p)
-    world_.network().send(sender, p, channel_, payload);
+  wire::broadcast(world_, sender, channel_, wire, /*include_self=*/true);
   return seq;
 }
 
@@ -72,30 +72,26 @@ bool SrbHub::verify(ProcessId sender, SeqNum seq, const Bytes& message,
 }
 
 SrbHubEndpoint::SrbHubEndpoint(SrbHub& hub, sim::Process& host)
-    : hub_(hub), host_(host), self_(host.id()) {
-  host_.register_channel(hub_.channel_,
-                         [this](ProcessId, const Bytes& payload) {
-                           on_wire(payload);
-                         });
+    : hub_(hub), host_(host), router_(host, hub.channel_), self_(host.id()) {
+  // The envelope's `from` is ignored: authenticity comes from the hub
+  // signature, not the (spoofable) sender id.
+  router_.on<HubWire>([this](ProcessId, HubWire wire) {
+    on_copy(wire.sender, wire.seq, std::move(wire.message), wire.hub_sig);
+  });
 }
 
 void SrbHubEndpoint::broadcast(Bytes message) {
   hub_.submit(self_, std::move(message));
 }
 
-void SrbHubEndpoint::on_wire(const Bytes& payload) {
-  HubWire wire;
-  try {
-    wire = serde::decode<HubWire>(payload);
-  } catch (const serde::DecodeError&) {
-    return;  // spoofed or corrupt
-  }
+void SrbHubEndpoint::on_copy(ProcessId sender, SeqNum seq, Bytes message,
+                             const crypto::Signature& hub_sig) {
   // The hub signature is what makes the primitive trusted: a Byzantine
   // process sending directly on this channel cannot produce it.
-  if (!hub_.verify(wire.sender, wire.seq, wire.message, wire.hub_sig)) return;
-  if (wire.seq <= delivered_up_to(wire.sender)) return;  // duplicate
-  pending_[wire.sender][wire.seq] = std::move(wire.message);
-  try_deliver(wire.sender);
+  if (!hub_.verify(sender, seq, message, hub_sig)) return;
+  if (seq <= delivered_up_to(sender)) return;  // duplicate
+  pending_[sender][seq] = std::move(message);
+  try_deliver(sender);
 }
 
 void SrbHubEndpoint::try_deliver(ProcessId sender) {

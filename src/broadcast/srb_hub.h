@@ -25,6 +25,7 @@
 #include "broadcast/srb.h"
 #include "crypto/signature.h"
 #include "sim/world.h"
+#include "wire/router.h"
 
 namespace unidir::broadcast {
 
@@ -67,11 +68,13 @@ class SrbHubEndpoint final : public SrbEndpoint {
   friend class SrbHub;
   SrbHubEndpoint(SrbHub& hub, sim::Process& host);
 
-  void on_wire(const Bytes& payload);
+  void on_copy(ProcessId sender, SeqNum seq, Bytes message,
+               const crypto::Signature& hub_sig);
   void try_deliver(ProcessId sender);
 
   SrbHub& hub_;
   sim::Process& host_;
+  wire::Router router_;
   ProcessId self_;
   // Out-of-order buffer: sender -> seq -> message.
   std::map<ProcessId, std::map<SeqNum, Bytes>> pending_;

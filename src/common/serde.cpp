@@ -39,7 +39,10 @@ void Writer::raw(ByteSpan data) {
 }
 
 void Reader::need(std::size_t n) const {
-  if (remaining() < n) throw DecodeError("truncated input");
+  if (remaining() < n)
+    throw DecodeError("truncated input: need " + std::to_string(n) +
+                      " byte(s) at offset " + std::to_string(pos_) + " of " +
+                      std::to_string(data_.size()));
 }
 
 std::uint8_t Reader::u8() {
@@ -93,7 +96,11 @@ Bytes Reader::raw(std::size_t n) {
 }
 
 void Reader::expect_done() const {
-  if (!done()) throw DecodeError("trailing bytes after value");
+  if (!done())
+    throw DecodeError("trailing bytes after value: " +
+                      std::to_string(remaining()) + " byte(s) left at offset " +
+                      std::to_string(pos_) + " of " +
+                      std::to_string(data_.size()));
 }
 
 }  // namespace unidir::serde

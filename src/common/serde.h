@@ -91,6 +91,9 @@ class Reader {
 
   bool done() const { return pos_ == data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }
+  /// Byte offset of the next read; decode boundaries use it for error
+  /// context.
+  std::size_t position() const { return pos_; }
 
   /// Throws DecodeError unless all input has been consumed. Call at the end
   /// of a message decode to reject trailing garbage.

@@ -22,6 +22,11 @@ using RoundNum = std::uint64_t;
 /// View number of a view-based SMR protocol (MinBFT / PBFT).
 using ViewNum = std::uint64_t;
 
+/// Multiplexing tag on a network link: lets several protocol components
+/// share one process. Channel ids live in the registry in wire/channels.h;
+/// the sim layer re-exports this alias for its own interfaces.
+using Channel = std::uint32_t;
+
 inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
 inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
 

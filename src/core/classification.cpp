@@ -15,6 +15,7 @@
 #include "rounds/shmem_uni_round.h"
 #include "sim/adversaries.h"
 #include "trusted/trinc_from_srb.h"
+#include "wire/channels.h"
 
 namespace unidir::core {
 
@@ -106,8 +107,8 @@ std::string ClassificationReport::render() const {
 
 namespace {
 
-constexpr sim::Channel kRoundCh = 80;
-constexpr sim::Channel kSrbCh = 81;
+constexpr sim::Channel kRoundCh = wire::kClassificationRoundCh;
+constexpr sim::Channel kSrbCh = wire::kClassificationSrbCh;
 constexpr Time kDelta = 4;
 
 /// E2 — shared memory implements unidirectional rounds.

@@ -8,12 +8,13 @@
 #include "common/serde.h"
 #include "sim/adversaries.h"
 #include "sim/world.h"
+#include "wire/channels.h"
 
 namespace unidir::core {
 
 namespace {
 
-constexpr sim::Channel kSrbCh = 70;
+constexpr sim::Channel kSrbCh = wire::kSeparationSrbCh;
 
 /// A process attempting one "round" over SRB: broadcast a round message,
 /// finish the round once round messages from n−f distinct processes

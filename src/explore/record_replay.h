@@ -27,6 +27,12 @@ class RecordingAdversary final : public sim::Adversary {
   unsigned copies(const sim::Envelope& env, sim::Rng& rng) override;
   std::optional<Time> on_release(const sim::Envelope& env,
                                  sim::Rng& rng) override;
+  // Forwarded so recording composes with MutatingAdversary. Mutation runs
+  // before on_send, so the trace keys see the post-mutation bytes; replay
+  // cannot re-impose the mutation itself (use Direct mode for fuzz repros).
+  bool mutate(sim::Envelope& env, sim::Rng& rng) override {
+    return inner_->mutate(env, rng);
+  }
 
   const ScheduleTrace& trace() const { return trace_; }
   ScheduleTrace take_trace() { return std::move(trace_); }

@@ -31,6 +31,8 @@ std::string adversary_name(AdversaryKind a) {
       return "duplicating";
     case AdversaryKind::Gst:
       return "gst";
+    case AdversaryKind::Mutating:
+      return "mutating";
   }
   return "?";
 }
@@ -76,6 +78,10 @@ ScenarioSpec ScenarioSpec::materialize(ProtocolKind protocol,
       s.gst_delta = plan.range(1, 5);
       s.gst_pre_extra = plan.range(10, 150);
       break;
+    case AdversaryKind::Mutating:
+      s.max_delay = plan.range(2, 10);
+      s.mutate_rate = plan.range(10, 40);
+      break;
   }
   s.pipeline_depth = plan.range(1, 4);
   s.resend_timeout = 200;
@@ -112,6 +118,9 @@ std::string ScenarioSpec::describe() const {
     case AdversaryKind::Gst:
       os << "(gst=" << gst << ", delta=" << gst_delta << ")";
       break;
+    case AdversaryKind::Mutating:
+      os << "(max=" << max_delay << ", rate=" << mutate_rate << "%)";
+      break;
   }
   os << " requests=" << requests.size() << " pipeline=" << pipeline_depth
      << " crashes=[";
@@ -141,6 +150,7 @@ void ScenarioSpec::encode(serde::Writer& w) const {
   serde::write(w, requests);
   serde::write(w, crashes);
   w.uvarint(max_events);
+  w.uvarint(mutate_rate);
 }
 
 ScenarioSpec ScenarioSpec::decode(serde::Reader& r) {
@@ -150,7 +160,7 @@ ScenarioSpec ScenarioSpec::decode(serde::Reader& r) {
     throw serde::DecodeError("bad ProtocolKind");
   s.protocol = static_cast<ProtocolKind>(p);
   const std::uint8_t a = r.u8();
-  if (a > static_cast<std::uint8_t>(AdversaryKind::Gst))
+  if (a > static_cast<std::uint8_t>(AdversaryKind::Mutating))
     throw serde::DecodeError("bad AdversaryKind");
   s.adversary = static_cast<AdversaryKind>(a);
   s.seed = r.uvarint();
@@ -168,6 +178,7 @@ ScenarioSpec ScenarioSpec::decode(serde::Reader& r) {
   s.requests = serde::read<std::vector<Bytes>>(r);
   s.crashes = serde::read<std::vector<CrashEvent>>(r);
   s.max_events = r.uvarint();
+  s.mutate_rate = r.uvarint();
   return s;
 }
 
@@ -191,6 +202,12 @@ std::unique_ptr<sim::Adversary> make_adversary(const ScenarioSpec& spec) {
     case AdversaryKind::Gst:
       return std::make_unique<sim::GstAdversary>(spec.gst, spec.gst_delta,
                                                  spec.gst_pre_extra);
+    case AdversaryKind::Mutating: {
+      sim::MutatingAdversary::Options o;
+      o.rate_percent = static_cast<std::uint32_t>(spec.mutate_rate);
+      return std::make_unique<sim::MutatingAdversary>(
+          std::make_unique<sim::RandomDelayAdversary>(1, spec.max_delay), o);
+    }
   }
   throw std::invalid_argument("unknown AdversaryKind");
 }
@@ -321,6 +338,7 @@ RunOutcome run_scenario(const ScenarioSpec& spec,
   out.net = world.network().stats();
   out.sim = world.simulator().stats();
   out.sig = world.keys().verify_stats();
+  out.wire = world.wire_stats();
   out.fingerprint = fingerprint_of(world, out.completed, out.final_time);
 
   ExplorationContext ctx;

@@ -19,6 +19,7 @@
 #include "explore/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "wire/stats.h"
 
 namespace unidir::explore {
 
@@ -28,6 +29,11 @@ enum class AdversaryKind : std::uint8_t {
   RandomDelay = 1,
   Duplicating = 2,
   Gst = 3,
+  /// RandomDelay plus byte-level payload corruption (wire::Router's fuzz
+  /// partner; see sim::MutatingAdversary). Mutations happen at send time,
+  /// so Record mode captures post-mutation bytes, but Replay cannot
+  /// re-impose them — use Direct mode for deterministic fuzz repros.
+  Mutating = 4,
 };
 
 std::string protocol_name(ProtocolKind p);
@@ -56,6 +62,7 @@ struct ScenarioSpec {
   Time gst = 0;                  // Gst
   Time gst_delta = 1;            // Gst
   Time gst_pre_extra = 0;        // Gst
+  std::uint64_t mutate_rate = 25;  // Mutating: percent of links corrupted
 
   // Client / protocol knobs.
   std::uint64_t pipeline_depth = 1;
@@ -110,6 +117,8 @@ struct RunOutcome {
   sim::SimulatorStats sim{};
   /// Signature verification counters (memo hits vs HMACs computed).
   crypto::VerifyStats sig{};
+  /// Per-channel, per-message-type wire counters (decode boundary drops).
+  wire::StatsHub wire{};
   std::optional<InvariantViolation> violation;
   /// Record mode: the captured trace. Replay mode: the consumed decisions
   /// (garbage-collected trace). Direct mode: empty.

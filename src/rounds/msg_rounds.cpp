@@ -4,19 +4,12 @@ namespace unidir::rounds {
 
 MsgRoundDriverBase::MsgRoundDriverBase(sim::Process& host,
                                        sim::Channel channel)
-    : host_(host), channel_(channel) {
-  host_.register_channel(channel, [this](ProcessId from, const Bytes& payload) {
-    handle(from, payload);
-  });
+    : host_(host), router_(host, channel) {
+  router_.on<RoundMsg>(
+      [this](ProcessId from, RoundMsg msg) { handle(from, std::move(msg)); });
 }
 
-void MsgRoundDriverBase::handle(ProcessId from, const Bytes& payload) {
-  RoundMsg msg;
-  try {
-    msg = serde::decode<RoundMsg>(payload);
-  } catch (const serde::DecodeError&) {
-    return;  // malformed — Byzantine sender; drop
-  }
+void MsgRoundDriverBase::handle(ProcessId from, RoundMsg msg) {
   auto& per_sender = arrived_[msg.round];
   // Keep the first message per (round, sender).
   auto [it, inserted] = per_sender.emplace(from, std::move(msg.message));
@@ -27,7 +20,7 @@ void MsgRoundDriverBase::handle(ProcessId from, const Bytes& payload) {
 }
 
 void MsgRoundDriverBase::send_round_msg(RoundNum round, const Bytes& message) {
-  host_.broadcast(channel_, serde::encode(RoundMsg{round, message}));
+  router_.broadcast(RoundMsg{round, message});
 }
 
 std::vector<Received> MsgRoundDriverBase::collect(RoundNum round) const {

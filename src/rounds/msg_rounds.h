@@ -24,6 +24,7 @@
 
 #include "rounds/round_driver.h"
 #include "sim/world.h"
+#include "wire/router.h"
 
 namespace unidir::rounds {
 
@@ -49,9 +50,9 @@ class MsgRoundDriverBase : public RoundDriver {
   sim::Process& host_;
 
  private:
-  void handle(ProcessId from, const Bytes& payload);
+  void handle(ProcessId from, RoundMsg msg);
 
-  sim::Channel channel_;
+  wire::Router router_;
   std::map<RoundNum, std::map<ProcessId, Bytes>> arrived_;
 };
 

@@ -26,6 +26,7 @@
 #include "common/check.h"
 #include "common/serde.h"
 #include "common/types.h"
+#include "wire/message.h"
 
 namespace unidir::rounds {
 
@@ -113,6 +114,8 @@ class RoundDriver {
 
 /// Wire format shared by the message-passing round drivers.
 struct RoundMsg {
+  static constexpr wire::MsgDesc kDesc{1, "round-msg"};
+
   RoundNum round = 0;
   Bytes message;
 

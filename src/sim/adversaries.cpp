@@ -33,6 +33,57 @@ std::optional<Time> PartitionAdversary::on_release(const Envelope& env,
   return rng.range(1, intra_max_);
 }
 
+MutatingAdversary::MutatingAdversary(std::unique_ptr<Adversary> inner)
+    : MutatingAdversary(std::move(inner), Options()) {}
+
+MutatingAdversary::MutatingAdversary(std::unique_ptr<Adversary> inner,
+                                     Options options)
+    : inner_(std::move(inner)), options_(options) {
+  UNIDIR_REQUIRE(inner_ != nullptr);
+  UNIDIR_REQUIRE(options_.rate_percent <= 100);
+}
+
+bool MutatingAdversary::mutate(Envelope& env, Rng& rng) {
+  if (options_.only_from && env.from != *options_.only_from) return false;
+  if (!options_.only_channels.empty() &&
+      !options_.only_channels.contains(env.channel))
+    return false;
+  if (!rng.chance(options_.rate_percent, 100)) return false;
+
+  enum Kind : std::uint64_t { kTruncate, kFlip, kSplice };
+  std::vector<std::uint64_t> kinds;
+  if (options_.truncate) kinds.push_back(kTruncate);
+  if (options_.flip) kinds.push_back(kFlip);
+  if (options_.splice) kinds.push_back(kSplice);
+  if (kinds.empty()) return false;
+
+  // Detaches from any Payload sharing this buffer, so the original copy of
+  // a duplicated message is untouched.
+  Bytes& b = env.payload.mutate();
+  switch (rng.pick(kinds)) {
+    case kTruncate:
+      if (b.empty()) return false;
+      b.resize(static_cast<std::size_t>(rng.below(b.size())));
+      return true;
+    case kFlip:
+      if (b.empty()) return false;
+      b[static_cast<std::size_t>(rng.below(b.size()))] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+      return true;
+    case kSplice: {
+      const std::size_t count = static_cast<std::size_t>(rng.range(1, 4));
+      const std::size_t at = static_cast<std::size_t>(rng.below(b.size() + 1));
+      Bytes junk;
+      for (std::size_t i = 0; i < count; ++i)
+        junk.push_back(static_cast<std::uint8_t>(rng.below(256)));
+      b.insert(b.begin() + static_cast<std::ptrdiff_t>(at), junk.begin(),
+               junk.end());
+      return true;
+    }
+  }
+  return false;
+}
+
 std::optional<Time> GstAdversary::on_send(const Envelope& env, Rng& rng) {
   const Time sent = env.sent_at;
   if (sent >= gst_) return rng.range(1, delta_);

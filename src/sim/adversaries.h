@@ -3,6 +3,8 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -117,6 +119,47 @@ class DuplicatingAdversary final : public Adversary {
  private:
   unsigned max_copies_;
   Time max_delay_;
+};
+
+/// Byzantine network: deterministically rewrites payload bytes in flight on
+/// chosen links, delegating all *scheduling* to an inner adversary. Three
+/// mutation kinds — truncate (drop a suffix), flip (xor one bit), splice
+/// (insert random bytes) — exercise the typed wire layer's decode boundary
+/// uniformly across protocols: truncation trips `truncated input`, flips
+/// corrupt tags/fields/signatures, splices trip exact-consume. Mutated
+/// copies detach from the COW payload buffer, so duplicates of one send can
+/// diverge byte-wise.
+class MutatingAdversary final : public Adversary {
+ public:
+  struct Options {
+    /// Per-copy mutation probability, in percent (0..100).
+    std::uint32_t rate_percent = 25;
+    bool truncate = true;
+    bool flip = true;
+    bool splice = true;
+    /// Restrict mutation to messages from this sender (targeted tests).
+    std::optional<ProcessId> only_from;
+    /// Restrict mutation to these channels; empty = every channel.
+    std::set<Channel> only_channels;
+  };
+
+  explicit MutatingAdversary(std::unique_ptr<Adversary> inner);
+  MutatingAdversary(std::unique_ptr<Adversary> inner, Options options);
+
+  std::optional<Time> on_send(const Envelope& env, Rng& rng) override {
+    return inner_->on_send(env, rng);
+  }
+  unsigned copies(const Envelope& env, Rng& rng) override {
+    return inner_->copies(env, rng);
+  }
+  std::optional<Time> on_release(const Envelope& env, Rng& rng) override {
+    return inner_->on_release(env, rng);
+  }
+  bool mutate(Envelope& env, Rng& rng) override;
+
+ private:
+  std::unique_ptr<Adversary> inner_;
+  Options options_;
 };
 
 /// Fully scripted: delegates to a user function. Used by targeted tests to

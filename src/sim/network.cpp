@@ -36,6 +36,10 @@ void Network::send(ProcessId from, ProcessId to, Channel channel,
   const unsigned copies = std::max(1u, adversary_->copies(env, rng_));
   for (unsigned i = 0; i + 1 < copies; ++i) {
     Envelope dup = env;  // shares the payload buffer (COW)
+    // Mutation before on_send: the scheduling decision, the observer tap
+    // and any trace key all see the bytes that will be delivered. Payload
+    // is COW, so mutating the duplicate detaches it from the original.
+    if (adversary_->mutate(dup, rng_)) ++stats_.messages_mutated;
     const std::optional<Time> delay = adversary_->on_send(dup, rng_);
     if (observer_) observer_(dup, DecisionPoint::Duplicate, delay);
     ++stats_.messages_duplicated;
@@ -47,6 +51,7 @@ void Network::send(ProcessId from, ProcessId to, Channel channel,
     schedule_delivery(std::move(dup), *delay);
   }
 
+  if (adversary_->mutate(env, rng_)) ++stats_.messages_mutated;
   const std::optional<Time> delay = adversary_->on_send(env, rng_);
   if (observer_) observer_(env, DecisionPoint::Send, delay);
   if (!delay) {

@@ -24,7 +24,9 @@
 namespace unidir::sim {
 
 /// Multiplexing tag: lets several protocol components share one process.
-using Channel = std::uint32_t;
+/// The canonical alias lives in common/types.h; sim re-exports it so
+/// existing `sim::Channel` spellings keep working.
+using Channel = unidir::Channel;
 
 /// The unit the network schedules. Copying an Envelope (duplication, held-
 /// message storage, delivery closures) shares the payload buffer.
@@ -62,6 +64,17 @@ class Adversary {
     (void)rng;
     return Time{1};
   }
+
+  /// Offered each copy of a message (duplicates included) before its
+  /// scheduling decision; a Byzantine-network adversary may rewrite
+  /// `env.payload` in place (see MutatingAdversary). Returns true iff the
+  /// payload was changed. Runs before on_send so trace keys and observers
+  /// see the bytes that will actually be delivered. Default: no mutation.
+  virtual bool mutate(Envelope& env, Rng& rng) {
+    (void)env;
+    (void)rng;
+    return false;
+  }
 };
 
 struct NetworkStats {
@@ -70,6 +83,7 @@ struct NetworkStats {
   std::uint64_t messages_dropped = 0;     // to/from crashed processes
   std::uint64_t messages_held = 0;        // currently held by the adversary
   std::uint64_t messages_duplicated = 0;  // extra copies injected
+  std::uint64_t messages_mutated = 0;     // payloads rewritten in flight
   std::uint64_t bytes_sent = 0;
 };
 

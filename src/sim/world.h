@@ -27,6 +27,7 @@
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "sim/transcript.h"
+#include "wire/stats.h"
 
 namespace unidir::sim {
 
@@ -118,6 +119,11 @@ class World {
   const crypto::KeyRegistry& keys() const { return keys_; }
   Rng& rng() { return rng_; }
   Time now() const { return simulator_.now(); }
+  /// Per-channel / per-message-type wire counters, maintained by the typed
+  /// routers (see wire/router.h). Lives next to the simulator and network
+  /// stats so experiments read all observability from one place.
+  wire::StatsHub& wire_stats() { return wire_stats_; }
+  const wire::StatsHub& wire_stats() const { return wire_stats_; }
 
   /// Runs until the event queue drains (all messages delivered or held).
   /// Returns events executed.
@@ -154,6 +160,7 @@ class World {
   Simulator simulator_;
   Rng rng_;
   Network network_;
+  wire::StatsHub wire_stats_;
   crypto::KeyRegistry keys_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Transcript> transcripts_;

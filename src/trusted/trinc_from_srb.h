@@ -21,6 +21,8 @@
 
 #include "broadcast/srb.h"
 #include "common/serde.h"
+#include "wire/channels.h"
+#include "wire/router.h"
 
 namespace unidir::trusted {
 
@@ -41,8 +43,11 @@ struct SrbAttestation {
 class TrincFromSrb {
  public:
   /// `srb` is this process's endpoint of any SRB implementation. The
-  /// construction claims the endpoint's delivery callback.
-  TrincFromSrb(broadcast::SrbEndpoint& srb, ProcessId self);
+  /// construction claims the endpoint's delivery callback. `hub`, if
+  /// given, receives the decode-boundary counters (pseudo-channel
+  /// wire::kTrincAttestCh); pass &world.wire_stats() when a World exists.
+  TrincFromSrb(broadcast::SrbEndpoint& srb, ProcessId self,
+               wire::StatsHub* hub = nullptr);
 
   /// Attest(c, m). Like a real Trinket, refuses locally if c was already
   /// used by *this* process (a Byzantine caller bypassing the refusal is
@@ -61,9 +66,12 @@ class TrincFromSrb {
   void on_delivery(const broadcast::Delivery& d);
 
   broadcast::SrbEndpoint& srb_;
+  /// Decode boundary for attestation payloads arriving via SRB.
+  wire::Router payload_router_;
   ProcessId self_;
   SeqNum my_last_c_ = 0;
   SeqNum my_next_k_ = 0;
+  SeqNum dispatching_seq_ = 0;  // k of the delivery currently dispatching
   std::map<ProcessId, SeqNum> counters_;  // C[q]
   // stored[(q, c)] = the accepted attestation for that counter value.
   std::map<std::pair<ProcessId, SeqNum>, SrbAttestation> stored_;

@@ -34,7 +34,13 @@ void UniqueIdentifier::encode(serde::Writer& w) const {
 UniqueIdentifier UniqueIdentifier::decode(serde::Reader& r) {
   UniqueIdentifier ui;
   ui.counter = r.uvarint();
-  ui.digest = crypto::digest_from_bytes(r.bytes());
+  // Runs at the wire decode boundary on attacker-controlled bytes: a bad
+  // digest length must surface as DecodeError (counted, dropped), not as
+  // digest_from_bytes's invalid_argument.
+  const Bytes digest = r.bytes();
+  if (digest.size() != crypto::kSha256DigestSize)
+    throw serde::DecodeError("UniqueIdentifier: bad digest size");
+  ui.digest = crypto::digest_from_bytes(digest);
   ui.sig = crypto::Signature::decode(r);
   return ui;
 }

@@ -1,0 +1,77 @@
+// Central registry of channel ids.
+//
+// A channel multiplexes one (sender, receiver) link between protocol
+// components; ids only need to be distinct within one world, but keeping
+// every assignment in one table (instead of per-file magic numbers) makes
+// collisions impossible to introduce silently — the static_assert below
+// fails the build if two entries ever coincide. Tests that build private
+// toy worlds may still use ad-hoc ids < 50; everything the library itself
+// instantiates draws from here.
+//
+// Pseudo-channels: components that receive bytes through a carrier other
+// than the network (SRB deliveries, round-driver payload slots) still route
+// those bytes through a wire::Router for uniform malformed-input hardening
+// and stats. Their "channel" never appears on an Envelope; it exists purely
+// as a stats/dispatch key, and lives at 200+ to stay clear of real links
+// (StrongAgreement claims [kStrongAgreementChBase, kStrongAgreementChBase
+// + n) for per-instance Dolev–Strong channels).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace unidir::wire {
+
+// -- SMR (client <-> replicas) ----------------------------------------------
+inline constexpr Channel kClientRequestCh = 50;
+inline constexpr Channel kClientReplyCh = 51;
+inline constexpr Channel kMinBftCh = 52;
+inline constexpr Channel kPbftCh = 53;
+
+// -- core experiments -------------------------------------------------------
+inline constexpr Channel kSeparationSrbCh = 70;
+inline constexpr Channel kClassificationRoundCh = 80;
+inline constexpr Channel kClassificationSrbCh = 81;
+
+// -- agreement --------------------------------------------------------------
+inline constexpr Channel kDolevStrongCh = 90;
+/// StrongAgreement runs n Dolev–Strong instances on [base, base + n).
+inline constexpr Channel kStrongAgreementChBase = 100;
+inline constexpr Channel kStrongAgreementChMax = 199;
+
+// -- pseudo-channels (decode boundaries with a non-network carrier) ---------
+inline constexpr Channel kRbUniPayloadCh = 200;
+inline constexpr Channel kUniSrbPayloadCh = 201;
+inline constexpr Channel kNoneqPayloadCh = 202;
+inline constexpr Channel kTrincAttestCh = 203;
+
+namespace detail {
+inline constexpr Channel kRegistered[] = {
+    kClientRequestCh,     kClientReplyCh,          kMinBftCh,
+    kPbftCh,              kSeparationSrbCh,        kClassificationRoundCh,
+    kClassificationSrbCh, kDolevStrongCh,          kStrongAgreementChBase,
+    kStrongAgreementChMax, kRbUniPayloadCh,        kUniSrbPayloadCh,
+    kNoneqPayloadCh,      kTrincAttestCh,
+};
+
+constexpr bool all_distinct() {
+  constexpr std::size_t n = sizeof(kRegistered) / sizeof(kRegistered[0]);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (kRegistered[i] == kRegistered[j]) return false;
+  return true;
+}
+
+constexpr bool none_in_strong_agreement_range() {
+  for (Channel c : kRegistered)
+    if (c > kStrongAgreementChBase && c < kStrongAgreementChMax) return false;
+  return true;
+}
+}  // namespace detail
+
+static_assert(detail::all_distinct(), "channel id registered twice");
+static_assert(detail::none_in_strong_agreement_range(),
+              "channel id collides with StrongAgreement's instance range");
+
+}  // namespace unidir::wire

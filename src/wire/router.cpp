@@ -1,0 +1,35 @@
+#include "wire/router.h"
+
+namespace unidir::wire {
+
+void Router::dispatch(ProcessId from, const Bytes& payload) {
+  StatsHub* h = hub();
+  ChannelStats* cs = h ? &h->channel(channel_) : nullptr;
+  if (cs) {
+    ++cs->received;
+    cs->bytes_received += payload.size();
+  }
+  if (filter_ && !filter_(from)) {
+    if (cs) ++cs->dropped_filtered;
+    return;
+  }
+  if (payload.empty()) {
+    if (cs) ++cs->dropped_malformed;
+    UNIDIR_DEBUG("wire: dropping empty payload from " << from << " on channel "
+                                                      << channel_);
+    return;
+  }
+  serde::Reader r(payload);
+  const std::uint8_t tag = r.u8();
+  auto it = entries_.find(tag);
+  if (it == entries_.end()) {
+    if (cs) ++cs->dropped_unknown_tag;
+    UNIDIR_WARN("wire: dropping unknown tag " << static_cast<int>(tag)
+                                              << " on channel " << channel_
+                                              << " from process " << from);
+    return;
+  }
+  it->second.decode_and_run(from, r, payload.size());
+}
+
+}  // namespace unidir::wire

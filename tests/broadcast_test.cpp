@@ -311,13 +311,14 @@ class EquivocatingNoneqSender final : public sim::Process {
       inner.uvarint(id());
       inner.bytes(value);
       const crypto::Signature sig = signer().sign(inner.buffer());
-      // vector<NoneqVal> with one element, wrapped in RoundMsg round 1.
+      // NoneqBatch (tag 1) with one element, wrapped in RoundMsg round 1.
       serde::Writer vals;
+      vals.u8(1);  // wire tag of noneq-batch
       vals.uvarint(1);
       vals.bytes(value);
       sig.encode(vals);
       send(p, kRoundCh,
-           serde::encode(rounds::RoundMsg{1, vals.take()}));
+           wire::encode_tagged(rounds::RoundMsg{1, vals.take()}));
     }
   }
 };

@@ -250,8 +250,8 @@ TEST(AsyncZeroRound, ByzantineDuplicatesCountOnce) {
     void on_start() override {
       for (int i = 0; i < 3; ++i)
         broadcast(kRoundCh,
-                  serde::encode(RoundMsg{1, bytes_of("spam" +
-                                                     std::to_string(i))}));
+                  wire::encode_tagged(RoundMsg{
+                      1, bytes_of("spam" + std::to_string(i))}));
     }
   };
 

@@ -214,7 +214,8 @@ class UniEquivocator final : public sim::Process {
       // whatever round they are in.
       for (RoundNum r = 1; r <= 4; ++r)
         send(p, kRoundCh,
-             serde::encode(rounds::RoundMsg{r, serde::encode(slot)}));
+             wire::encode_tagged(
+                 rounds::RoundMsg{r, wire::encode_tagged(slot)}));
     }
   }
 
@@ -272,7 +273,8 @@ class UniEquivocator final : public sim::Process {
       if (is_left_victim != (val.msg == bytes_of("left"))) continue;
       for (RoundNum r = seen_round + 1; r <= seen_round + 4; ++r)
         send(p, kRoundCh,
-             serde::encode(rounds::RoundMsg{r, serde::encode(slot)}));
+             wire::encode_tagged(
+                 rounds::RoundMsg{r, wire::encode_tagged(slot)}));
     }
   }
 

@@ -110,9 +110,11 @@ TEST(TrincFromSrb, ByzantineCounterReuseFilteredConsistently) {
     Fixture fx(4, seed);
     // Bypass: write the wire format directly, twice, same c.
     serde::Writer w1;
+    w1.u8(1);  // wire tag of trinc-attest
     w1.uvarint(7);
     w1.bytes(bytes_of("first"));
     serde::Writer w2;
+    w2.u8(1);
     w2.uvarint(7);
     w2.bytes(bytes_of("second"));
     fx.world.mark_byzantine(fx.nodes[0]->id());

@@ -108,9 +108,9 @@ TEST(VeryWeakAgreement, EquivocatorCannotSplitNonBotCommits) {
    public:
     void on_start() override {
       send(1, kRoundCh,
-           serde::encode(rounds::RoundMsg{1, bytes_of("left")}));
+           wire::encode_tagged(rounds::RoundMsg{1, bytes_of("left")}));
       send(2, kRoundCh,
-           serde::encode(rounds::RoundMsg{1, bytes_of("right")}));
+           wire::encode_tagged(rounds::RoundMsg{1, bytes_of("right")}));
     }
   };
 
