@@ -15,6 +15,11 @@
 //     worker per core. Per-scenario fingerprints must match byte-for-byte:
 //     parallelism is wall-clock only, never results. A mismatch fails the
 //     benchmark regardless of flags.
+//  3. Recovery catch-up — a backup crashes early in the n=4 workload and
+//     restarts after the cluster has finished; the figure is virtual
+//     ticks from restart until its execution log matches the peers'
+//     (durable image replay + state transfer, DESIGN.md §9). A replica
+//     that never catches up fails the benchmark regardless of flags.
 //
 // Flags:
 //   --smoke          one throughput round instead of six (CI-sized)
@@ -32,10 +37,15 @@
 #include <string>
 #include <vector>
 
+#include "agreement/client.h"
+#include "agreement/minbft.h"
 #include "agreement/state_machines.h"
+#include "agreement/usig_directory.h"
 #include "crypto/sha256.h"
 #include "explore/parallel.h"
 #include "explore/scenario.h"
+#include "sim/adversaries.h"
+#include "sim/world.h"
 
 using namespace unidir;
 using namespace unidir::explore;
@@ -177,6 +187,79 @@ SweepResult measure_sweep() {
   return r;
 }
 
+struct RecoveryResult {
+  std::uint64_t seeds = 0;
+  std::uint64_t catchup_ticks_median = 0;  // restart -> log parity
+  std::uint64_t entries_recovered = 0;     // total across seeds
+  bool all_caught_up = false;
+};
+
+/// Ticks-to-catch-up: replica 3 crashes at t=40 (a handful of executions
+/// into the 64-put workload), the remaining three finish without it, and
+/// at t=2000 it restarts from its durable image. The clock runs from the
+/// restart until its executed count reaches the peers' frontier — that
+/// window is exactly one image load plus one StateRequest/StateReply
+/// round plus replaying the transferred suffix.
+RecoveryResult measure_recovery(std::uint64_t seeds) {
+  RecoveryResult res;
+  res.all_caught_up = true;
+  std::vector<std::uint64_t> ticks;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    sim::World world(seed,
+                     std::make_unique<sim::RandomDelayAdversary>(1, 3));
+    agreement::SgxUsigDirectory usigs(world.keys());
+    agreement::MinBftReplica::Options opt;
+    opt.f = 1;
+    opt.checkpoint_interval = 8;
+    for (ProcessId i = 0; i < 4; ++i) opt.replicas.push_back(i);
+    std::vector<agreement::MinBftReplica*> rs;
+    for (ProcessId i = 0; i < 4; ++i)
+      rs.push_back(&world.spawn<agreement::MinBftReplica>(
+          opt, usigs, std::make_unique<agreement::KvStateMachine>()));
+    agreement::SmrClient::Options copt;
+    copt.replicas = opt.replicas;
+    copt.f = 1;
+    copt.resend_timeout = 200;
+    copt.max_outstanding = 4;
+    auto& client = world.spawn<agreement::SmrClient>(copt);
+    for (int k = 0; k < 64; ++k)
+      client.submit(agreement::KvStateMachine::put_op(
+          "key" + std::to_string(k % 7), "value" + std::to_string(k)));
+
+    constexpr Time kCrashAt = 40;
+    constexpr Time kRestartAt = 2'000;
+    std::uint64_t frontier = 0;
+    std::uint64_t resumed_from = 0;
+    world.simulator().at(kCrashAt, [&] { world.crash(3); });
+    world.simulator().at(kRestartAt, [&] {
+      for (std::size_t i = 0; i < 3; ++i)
+        frontier = std::max(frontier, rs[i]->executed_count());
+      usigs.restart_device(3, /*durable=*/true);
+      world.restart(3);
+      resumed_from = rs[3]->executed_count();
+    });
+    world.start();
+    const bool caught = world.run_until(
+        [&] {
+          return world.now() > kRestartAt &&
+                 rs[3]->executed_count() >= frontier && frontier > 0;
+        },
+        2'000'000);
+    res.all_caught_up = res.all_caught_up && caught;
+    ++res.seeds;
+    if (caught) {
+      ticks.push_back(world.now() - kRestartAt);
+      res.entries_recovered += frontier - resumed_from;
+    }
+    (void)client;
+  }
+  if (!ticks.empty()) {
+    std::sort(ticks.begin(), ticks.end());
+    res.catchup_ticks_median = ticks[ticks.size() / 2];
+  }
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -258,6 +341,16 @@ int main(int argc, char** argv) {
       sw.parallel_secs > 0 ? sw.serial_secs / sw.parallel_secs : 0.0,
       sw.fingerprints_identical ? "identical" : "MISMATCH");
 
+  std::printf("phase 3: recovery catch-up\n");
+  const RecoveryResult rec = measure_recovery(8);
+  std::printf(
+      "  %llu seeds: median %llu ticks restart->parity, %llu entries "
+      "recovered, %s\n",
+      static_cast<unsigned long long>(rec.seeds),
+      static_cast<unsigned long long>(rec.catchup_ticks_median),
+      static_cast<unsigned long long>(rec.entries_recovered),
+      rec.all_caught_up ? "all caught up" : "CATCH-UP FAILED");
+
   {
     std::ofstream out(out_path);
     out << "{\n"
@@ -281,7 +374,14 @@ int main(int argc, char** argv) {
         << "  \"sweep_fingerprints_identical\": "
         << (sw.fingerprints_identical ? "true" : "false") << ",\n"
         << "  \"sweep_combined_fingerprint\": \"" << sw.combined_fingerprint
-        << "\"\n"
+        << "\",\n"
+        << "  \"recovery_seeds\": " << rec.seeds << ",\n"
+        << "  \"recovery_catchup_ticks_median\": "
+        << rec.catchup_ticks_median << ",\n"
+        << "  \"recovery_entries_recovered\": " << rec.entries_recovered
+        << ",\n"
+        << "  \"recovery_all_caught_up\": "
+        << (rec.all_caught_up ? "true" : "false") << "\n"
         << "}\n";
     std::printf("wrote %s\n", out_path.c_str());
   }
@@ -289,6 +389,12 @@ int main(int argc, char** argv) {
   if (!sw.fingerprints_identical) {
     std::fprintf(stderr,
                  "FAIL: parallel sweep fingerprints diverge from serial\n");
+    return 1;
+  }
+  if (!rec.all_caught_up) {
+    std::fprintf(stderr,
+                 "FAIL: restarted replica never reached its peers' "
+                 "execution frontier\n");
     return 1;
   }
   if (check && baseline_eps > 0 &&

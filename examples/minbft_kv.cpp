@@ -86,7 +86,7 @@ int main() {
   }
 
   // The safety property, checked explicitly:
-  std::vector<std::pair<ProcessId, const std::vector<ExecutionRecord>*>> logs;
+  std::vector<std::pair<ProcessId, const ExecutionLog*>> logs;
   for (auto* r : replicas)
     if (world.correct(r->id()))
       logs.emplace_back(r->id(), &r->execution_log());

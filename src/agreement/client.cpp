@@ -34,6 +34,7 @@ void SmrClient::issue_ready() {
     req.cmd.op = std::move(next.op);
     req.done = std::move(next.done);
     req.issued_at = world().now();
+    req.attempts = 1;
     const std::uint64_t rid = req.cmd.request_id;
     send_request(req.cmd);
     in_flight_.emplace(rid, std::move(req));
@@ -47,9 +48,25 @@ void SmrClient::send_request(const Command& cmd) {
 
 void SmrClient::arm_resend(std::uint64_t request_id) {
   if (options_.resend_timeout == 0) return;
-  set_timer(options_.resend_timeout, [this, request_id] {
+  const InFlight& req = in_flight_.at(request_id);
+  if (options_.max_attempts != 0 && req.attempts >= options_.max_attempts) {
+    // Out of attempts: surface the abandonment instead of waiting forever
+    // on a quorum that may never come back.
+    // The done callback is only for results; abandonment is visible via
+    // gave_up() and the "smr-gave-up" output record.
+    in_flight_.erase(request_id);
+    ++gave_up_;
+    output("smr-gave-up", serde::encode(request_id));
+    issue_ready();
+    return;
+  }
+  // Exponential backoff (capped shifts keep the arithmetic sane): replicas
+  // that are merely slow get room, dead ones stop eating bandwidth.
+  const std::size_t shift = std::min<std::size_t>(req.attempts - 1, 10);
+  set_timer(options_.resend_timeout << shift, [this, request_id] {
     auto it = in_flight_.find(request_id);
     if (it == in_flight_.end()) return;  // completed meanwhile
+    ++it->second.attempts;
     send_request(it->second.cmd);
     arm_resend(request_id);
   });

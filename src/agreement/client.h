@@ -31,8 +31,13 @@ class SmrClient final : public sim::Process {
     std::size_t f = 0;
     /// Re-broadcast an unanswered request after this many ticks
     /// (0 disables). Resends are what let a request survive a primary
-    /// that crashed before proposing it.
+    /// that crashed before proposing it. Consecutive resends of one
+    /// request back off exponentially from this base.
     Time resend_timeout = 400;
+    /// Total send attempts per request before the client gives up
+    /// (0 = retry forever). Bounding attempts is what lets a run quiesce
+    /// when a quorum is durably unreachable.
+    std::size_t max_attempts = 0;
     /// Requests allowed in flight simultaneously (pipeline depth).
     std::size_t max_outstanding = 1;
   };
@@ -45,6 +50,8 @@ class SmrClient final : public sim::Process {
   void submit(Bytes op, DoneFn done = nullptr);
 
   std::uint64_t completed() const { return completed_; }
+  /// Requests abandoned after exhausting Options::max_attempts.
+  std::uint64_t gave_up() const { return gave_up_; }
   std::size_t outstanding() const { return in_flight_.size(); }
   /// Per-request latency in virtual ticks, completion order.
   const std::vector<Time>& latencies() const { return latencies_; }
@@ -61,6 +68,7 @@ class SmrClient final : public sim::Process {
     Command cmd;
     DoneFn done;
     Time issued_at = 0;
+    std::size_t attempts = 0;  // sends so far (first send included)
     std::map<Bytes, std::set<ProcessId>> votes;  // result -> replicas
   };
 
@@ -76,6 +84,7 @@ class SmrClient final : public sim::Process {
   std::uint64_t next_request_id_ = 0;
   std::map<std::uint64_t, InFlight> in_flight_;  // by request_id
   std::uint64_t completed_ = 0;
+  std::uint64_t gave_up_ = 0;
   std::vector<Time> latencies_;
 };
 

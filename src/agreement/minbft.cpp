@@ -37,15 +37,64 @@ Bytes checkpoint_binding(std::uint64_t executed, const Bytes& digest) {
 
 using VcEntry = MinBftVcEntry;
 
-Bytes view_change_binding(ViewNum target, const std::vector<VcEntry>& entries,
+Bytes view_change_binding(ViewNum target, std::uint64_t stable,
+                          const std::vector<VcEntry>& entries,
                           const std::vector<Command>& pending) {
   serde::Writer w;
   w.str("minbft-vc");
   w.uvarint(target);
+  w.uvarint(stable);
   serde::write(w, entries);
   serde::write(w, pending);
   return w.take();
 }
+
+Bytes recover_binding() {
+  serde::Writer w;
+  w.str("minbft-recover");
+  return w.take();
+}
+
+constexpr std::string_view kDurableKey = "minbft/state";
+constexpr unsigned kMaxStateAttempts = 4;
+
+/// Everything a replica writes to its DurableStore: the recovery image.
+struct DurableImage {
+  ViewNum view = 0;
+  SeqNum view_base = 0;
+  SeqNum next_exec = 0;
+  std::map<ProcessId, SeqNum> ui_high;
+  std::uint64_t stable = 0;
+  std::uint64_t exec_floor = 0;
+  ExecutionLog log;
+  Bytes machine_snapshot;
+  ExecutionDeduper dedup;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(view);
+    w.uvarint(view_base);
+    w.uvarint(next_exec);
+    serde::write(w, ui_high);
+    w.uvarint(stable);
+    w.uvarint(exec_floor);
+    log.encode(w);
+    w.bytes(machine_snapshot);
+    dedup.encode(w);
+  }
+  static DurableImage decode(serde::Reader& r) {
+    DurableImage img;
+    img.view = r.uvarint();
+    img.view_base = r.uvarint();
+    img.next_exec = r.uvarint();
+    img.ui_high = serde::read<std::map<ProcessId, SeqNum>>(r);
+    img.stable = r.uvarint();
+    img.exec_floor = r.uvarint();
+    img.log = ExecutionLog::decode(r);
+    img.machine_snapshot = r.bytes();
+    img.dedup = ExecutionDeduper::decode(r);
+    return img;
+  }
+};
 
 }  // namespace
 
@@ -121,12 +170,14 @@ struct ViewChange {
   static constexpr wire::MsgDesc kDesc{4, "minbft-view-change"};
 
   ViewNum target = 0;
+  std::uint64_t stable = 0;        // reporter's stable checkpoint
   std::vector<VcEntry> entries;    // accepted slots, with order info
   std::vector<Command> pending;    // buffered requests never slotted
   crypto::Signature sig;
 
   void encode(serde::Writer& w) const {
     w.uvarint(target);
+    w.uvarint(stable);
     serde::write(w, entries);
     serde::write(w, pending);
     sig.encode(w);
@@ -134,6 +185,7 @@ struct ViewChange {
   static ViewChange decode(serde::Reader& r) {
     ViewChange v;
     v.target = r.uvarint();
+    v.stable = r.uvarint();
     v.entries = serde::read<std::vector<VcEntry>>(r);
     v.pending = serde::read<std::vector<Command>>(r);
     v.sig = crypto::Signature::decode(r);
@@ -145,24 +197,100 @@ struct NewView {
   static constexpr wire::MsgDesc kDesc{5, "minbft-new-view"};
 
   ViewNum target = 0;
-  crypto::Signature sig;  // over ("minbft-nv", target)
+  std::uint64_t executed = 0;  // the new primary's execution count
+  crypto::Signature sig;       // over ("minbft-nv", target, executed)
 
-  static Bytes binding(ViewNum target) {
+  static Bytes binding(ViewNum target, std::uint64_t executed) {
     serde::Writer w;
     w.str("minbft-nv");
     w.uvarint(target);
+    w.uvarint(executed);
     return w.take();
   }
 
   void encode(serde::Writer& w) const {
     w.uvarint(target);
+    w.uvarint(executed);
     sig.encode(w);
   }
   static NewView decode(serde::Reader& r) {
     NewView v;
     v.target = r.uvarint();
+    v.executed = r.uvarint();
     v.sig = crypto::Signature::decode(r);
     return v;
+  }
+};
+
+struct StateRequest {
+  static constexpr wire::MsgDesc kDesc{6, "minbft-state-request"};
+
+  std::uint64_t have = 0;  // requester's execution count
+
+  void encode(serde::Writer& w) const { w.uvarint(have); }
+  static StateRequest decode(serde::Reader& r) {
+    StateRequest req;
+    req.have = r.uvarint();
+    return req;
+  }
+};
+
+struct StateReply {
+  static constexpr wire::MsgDesc kDesc{7, "minbft-state-reply"};
+
+  ViewNum view = 0;
+  SeqNum view_base = 0;
+  SeqNum next_exec = 0;
+  std::map<ProcessId, SeqNum> ui_high;
+  std::uint64_t stable = 0;
+  std::uint64_t exec_floor = 0;
+  StateBundle core;
+  crypto::Signature sig;  // over ("minbft-state", body)
+
+  void encode_body(serde::Writer& w) const {
+    w.uvarint(view);
+    w.uvarint(view_base);
+    w.uvarint(next_exec);
+    serde::write(w, ui_high);
+    w.uvarint(stable);
+    w.uvarint(exec_floor);
+    core.encode(w);
+  }
+  Bytes binding() const {
+    serde::Writer w;
+    w.str("minbft-state");
+    encode_body(w);
+    return w.take();
+  }
+
+  void encode(serde::Writer& w) const {
+    encode_body(w);
+    sig.encode(w);
+  }
+  static StateReply decode(serde::Reader& r) {
+    StateReply rep;
+    rep.view = r.uvarint();
+    rep.view_base = r.uvarint();
+    rep.next_exec = r.uvarint();
+    rep.ui_high = serde::read<std::map<ProcessId, SeqNum>>(r);
+    rep.stable = r.uvarint();
+    rep.exec_floor = r.uvarint();
+    rep.core = StateBundle::decode(r);
+    rep.sig = crypto::Signature::decode(r);
+    return rep;
+  }
+};
+
+struct Recover {
+  static constexpr wire::MsgDesc kDesc{8, "minbft-recover"};
+
+  trusted::UniqueIdentifier ui;  // one fresh UI: where the stream resumes
+
+  void encode(serde::Writer& w) const { ui.encode(w); }
+  static Recover decode(serde::Reader& r) {
+    Recover rc;
+    rc.ui = trusted::UniqueIdentifier::decode(r);
+    return rc;
   }
 };
 
@@ -228,6 +356,16 @@ MinBftReplica::MinBftReplica(Options options, UsigDirectory& usigs,
   protocol_router_.on<NewView>([this](ProcessId from, NewView nv) {
     handle_new_view(from, std::move(nv));
   });
+  protocol_router_.on<StateRequest>([this](ProcessId from, StateRequest req) {
+    handle_state_request(from, std::move(req));
+  });
+  protocol_router_.on<StateReply>([this](ProcessId from, StateReply rep) {
+    handle_state_reply(from, std::move(rep));
+  });
+  protocol_router_.on<Recover>([this](ProcessId from, Recover rc) {
+    handle_recover(from, std::move(rc));
+  });
+  initial_snapshot_ = machine_->snapshot();
 }
 
 void MinBftReplica::on_start() {
@@ -312,16 +450,26 @@ void MinBftReplica::sequenced(ProcessId sender, SeqNum counter,
   }
   high = counter;
   action();
-  // Drain any actions the gap closure unblocked.
+  drain_ui(sender);  // the gap closure may have unblocked buffered actions
+}
+
+void MinBftReplica::drain_ui(ProcessId sender) {
   auto& waiting = ui_waiting_[sender];
-  while (true) {
-    auto it = waiting.find(high + 1);
-    if (it == waiting.end()) return;
-    high = it->first;
+  while (!waiting.empty()) {
+    SeqNum& high = ui_high_[sender];  // re-fetch: actions can move it
+    auto it = waiting.begin();
+    if (it->first > high + 1) return;
+    if (it->first == high + 1) high = it->first;
     std::vector<std::function<void()>> actions = std::move(it->second);
     waiting.erase(it);
     for (auto& fn : actions) fn();
   }
+}
+
+void MinBftReplica::raise_ui_high(ProcessId sender, SeqNum to) {
+  SeqNum& high = ui_high_[sender];
+  if (to > high) high = to;
+  drain_ui(sender);
 }
 
 void MinBftReplica::handle_prepare(ProcessId from, Prepare p) {
@@ -405,8 +553,18 @@ void MinBftReplica::try_execute() {
       continue;
     }
     if (slot.committers.size() < options_.commit_quorum) return;
-    execute(slot);
+    // Below a NEW-VIEW's execution floor, a fresh command would land at
+    // the wrong log index; wait for state transfer. Dedup'd re-executions
+    // never append, so they stay allowed (and keep clients served).
+    if (log_.size() < exec_floor_ && !dedup_.lookup(slot.cmd)) return;
+    // Advance the cursor before executing: execute() may hit a checkpoint
+    // boundary and persist(), and the durable image must record the
+    // *post*-execution cursor. An image saying "log holds k entries, next
+    // slot to execute = the one producing entry k" re-executes that
+    // counter after recovery — harmless stall with durable devices, but a
+    // self-inflicted equivocation slot once counters are volatile.
     ++next_exec_counter_;
+    execute(slot);
   }
 }
 
@@ -418,7 +576,7 @@ void MinBftReplica::execute(Slot& slot) {
   } else {
     result = machine_->apply(slot.cmd.op);
     dedup_.record(slot.cmd, result);
-    log_.push_back({slot.cmd, result});
+    log_.append({slot.cmd, result});
     output("smr-exec", serde::encode(slot.cmd));
     maybe_checkpoint();
   }
@@ -443,7 +601,10 @@ void MinBftReplica::maybe_checkpoint() {
   cp.digest = crypto::digest_bytes(machine_->digest());
   cp.sig = signer().sign(checkpoint_binding(cp.executed, cp.digest));
   protocol_router_.broadcast(cp);
-  cp_votes_[cp.executed][cp.digest].insert(id());
+  // A checkpoint boundary is also the durability boundary: crash recovery
+  // resumes from the image written here (see DESIGN.md §9).
+  persist();
+  note_checkpoint_vote(cp.executed, cp.digest, id());
 }
 
 void MinBftReplica::handle_checkpoint(ProcessId from, Checkpoint cp) {
@@ -451,10 +612,38 @@ void MinBftReplica::handle_checkpoint(ProcessId from, Checkpoint cp) {
   if (!world().keys().verify(cp.sig,
                              checkpoint_binding(cp.executed, cp.digest)))
     return;
-  auto& voters = cp_votes_[cp.executed][cp.digest];
-  voters.insert(from);
-  if (voters.size() >= options_.f + 1 && cp.executed > stable_checkpoint_)
-    stable_checkpoint_ = cp.executed;
+  note_checkpoint_vote(cp.executed, cp.digest, from);
+}
+
+void MinBftReplica::note_checkpoint_vote(std::uint64_t executed,
+                                         const Bytes& digest,
+                                         ProcessId voter) {
+  if (executed <= stable_checkpoint_) return;  // already stable
+  auto& voters = cp_votes_[executed][digest];
+  voters.insert(voter);
+  if (voters.size() < options_.f + 1) return;
+  stable_checkpoint_ = executed;
+  prune_stable();
+  persist();
+}
+
+void MinBftReplica::prune_stable() {
+  cp_votes_.erase(cp_votes_.begin(),
+                  cp_votes_.upper_bound(stable_checkpoint_));
+  // The archive exists to realign peers during view changes; below the
+  // stable checkpoint f+1 replicas hold the history durably, and laggards
+  // are realigned by state transfer instead — so both the executed prefix
+  // and the matching archive entries can go.
+  const std::uint64_t upto =
+      std::min<std::uint64_t>(stable_checkpoint_, log_.size());
+  if (upto <= log_.base()) return;
+  std::set<std::pair<ProcessId, std::uint64_t>> settled;
+  for (std::uint64_t k = log_.base(); k < upto; ++k)
+    settled.insert(log_.at(k).command.key());
+  std::erase_if(vc_archive_, [&](const VcEntry& e) {
+    return settled.contains(e.cmd.key());
+  });
+  log_.prune_to(upto);
 }
 
 // ---- view change ----------------------------------------------------------------
@@ -479,14 +668,16 @@ void MinBftReplica::start_view_change(ViewNum target) {
 
   ViewChange vc;
   vc.target = target;
-  // Report every slot we ever accepted (with its original order) plus any
-  // buffered client requests that never made it into a slot.
+  vc.stable = stable_checkpoint_;
+  // Report every accepted slot not yet settled by a stable checkpoint
+  // (with its original order) plus any buffered client requests that never
+  // made it into a slot.
   vc.entries = vc_archive_;
   for (const auto& [key, cmd] : pending_) vc.pending.push_back(cmd);
-  vc.sig =
-      signer().sign(view_change_binding(target, vc.entries, vc.pending));
+  vc.sig = signer().sign(
+      view_change_binding(target, vc.stable, vc.entries, vc.pending));
   protocol_router_.broadcast(vc);
-  vc_msgs_[target][id()] = VcReport{vc.entries, vc.pending};
+  vc_msgs_[target][id()] = VcReport{vc.entries, vc.pending, vc.stable};
   maybe_assume_primacy(target);
 
   // If this attempt stalls, either escalate (when f+1 replicas agree the
@@ -521,10 +712,11 @@ void MinBftReplica::handle_view_change(ProcessId from, ViewChange vc) {
   if (vc.target <= view_) return;
   if (vc.sig.key != world().key_of(from)) return;
   if (!world().keys().verify(
-          vc.sig, view_change_binding(vc.target, vc.entries, vc.pending)))
+          vc.sig, view_change_binding(vc.target, vc.stable, vc.entries,
+                                      vc.pending)))
     return;
   vc_msgs_[vc.target][from] =
-      VcReport{std::move(vc.entries), std::move(vc.pending)};
+      VcReport{std::move(vc.entries), std::move(vc.pending), vc.stable};
 
   // Join: f+1 replicas want a higher view, so at least one correct one
   // does; we follow even if our own timer has not fired.
@@ -540,10 +732,26 @@ void MinBftReplica::maybe_assume_primacy(ViewNum target) {
   auto it = vc_msgs_.find(target);
   if (it == vc_msgs_.end() || it->second.size() < options_.f + 1) return;
 
-  // Announce and take over.
+  // Archives are pruned below stable checkpoints, so re-proposals can only
+  // realign peers above the reported stable frontier. A primary still
+  // below it (it just recovered, or simply lagged) must state-transfer up
+  // to the frontier before taking over.
+  std::uint64_t frontier = stable_checkpoint_;
+  for (const auto& [reporter, report] : it->second)
+    frontier = std::max(frontier, report.stable);
+  if (log_.size() < frontier) {
+    deferred_primacy_ = target;
+    begin_state_sync();
+    return;
+  }
+  deferred_primacy_.reset();
+
+  // Announce and take over. The announced execution count becomes every
+  // entering replica's execution floor (see exec_floor_).
   NewView nv;
   nv.target = target;
-  nv.sig = signer().sign(NewView::binding(target));
+  nv.executed = log_.size();
+  nv.sig = signer().sign(NewView::binding(target, nv.executed));
   protocol_router_.broadcast(nv);
   enter_view(target);
 
@@ -582,10 +790,16 @@ void MinBftReplica::handle_new_view(ProcessId from, NewView nv) {
   if (nv.target <= view_) return;
   if (from != primary_of(nv.target)) return;
   if (nv.sig.key != world().key_of(from)) return;
-  if (!world().keys().verify(nv.sig, NewView::binding(nv.target))) return;
+  if (!world().keys().verify(nv.sig,
+                             NewView::binding(nv.target, nv.executed)))
+    return;
+  exec_floor_ = std::max(exec_floor_, nv.executed);
   enter_view(nv.target);
   // Pending requests restart their clocks under the new primary.
   for (const auto& [key, cmd] : pending_) arm_request_timer(cmd);
+  // Below the floor the primary's re-proposals cannot realign us (they sit
+  // above its stable checkpoint); fetch the missing prefix explicitly.
+  if (log_.size() < exec_floor_) begin_state_sync();
 }
 
 void MinBftReplica::enter_view(ViewNum v) {
@@ -594,6 +808,8 @@ void MinBftReplica::enter_view(ViewNum v) {
   slots_.clear();
   view_base_counter_ = 0;
   next_exec_counter_ = 0;
+  if (deferred_primacy_ && *deferred_primacy_ <= v) deferred_primacy_.reset();
+  persist();  // view entry is a durability boundary (see DESIGN.md §9)
   // Replay protocol messages that arrived for this view before we entered
   // it, and drop anything for views that can no longer happen.
   auto stale_end = view_waiting_.lower_bound(v);
@@ -603,6 +819,204 @@ void MinBftReplica::enter_view(ViewNum v) {
   std::vector<std::function<void()>> actions = std::move(it->second);
   view_waiting_.erase(it);
   for (auto& fn : actions) fn();
+}
+
+// ---- crash recovery (DESIGN.md §9) ----------------------------------------------
+
+void MinBftReplica::persist() {
+  DurableImage img;
+  img.view = view_;
+  img.view_base = view_base_counter_;
+  img.next_exec = next_exec_counter_;
+  img.ui_high = ui_high_;
+  img.stable = stable_checkpoint_;
+  img.exec_floor = exec_floor_;
+  img.log = log_;
+  img.machine_snapshot = machine_->snapshot();
+  img.dedup = dedup_;
+  world().durable(id()).put_value(std::string(kDurableKey), img);
+}
+
+void MinBftReplica::on_recover(sim::DurableStore& durable) {
+  // Everything volatile is gone; rebuild from the durable image (or from
+  // scratch when we crashed before the first checkpoint).
+  view_ = 0;
+  in_view_change_ = false;
+  vc_target_ = 0;
+  slots_.clear();
+  view_base_counter_ = 0;
+  next_exec_counter_ = 0;
+  ui_high_.clear();
+  ui_waiting_.clear();
+  view_waiting_.clear();
+  pending_.clear();
+  dedup_ = {};
+  log_ = {};
+  stable_checkpoint_ = 0;
+  cp_votes_.clear();
+  vc_archive_.clear();
+  vc_msgs_.clear();
+  exec_floor_ = 0;
+  deferred_primacy_.reset();
+  state_probe_ = false;
+  state_attempts_ = 0;
+  machine_->restore(initial_snapshot_);
+  if (const auto img =
+          durable.get_value<DurableImage>(std::string(kDurableKey))) {
+    view_ = img->view;
+    view_base_counter_ = img->view_base;
+    next_exec_counter_ = img->next_exec;
+    ui_high_ = img->ui_high;
+    stable_checkpoint_ = img->stable;
+    exec_floor_ = img->exec_floor;
+    log_ = img->log;
+    machine_->restore(img->machine_snapshot);
+    dedup_ = img->dedup;
+  }
+  ++recoveries_;
+
+  // Burn one fresh UI to announce where our stream resumes. Counters we
+  // consumed before the crash but never delivered would otherwise leave a
+  // permanent gap in every peer's sequential-UI tracking; the attested
+  // counter lets them skip it. (With a *volatile* trusted counter this UI
+  // reuses old values — the announcement raises nothing at peers, our
+  // stale counters collide with already-processed ones, and equivocation
+  // becomes possible: the negative experiment in the recovery sweeps.)
+  Recover rc;
+  rc.ui = usigs_.create_ui(id(), recover_binding());
+  ui_high_[id()] = rc.ui.counter;
+  protocol_router_.broadcast(rc);
+
+  // Catch up past the image: peers may have executed (and pruned) far
+  // beyond our last durable checkpoint.
+  begin_state_sync();
+}
+
+void MinBftReplica::handle_recover(ProcessId from, Recover rc) {
+  if (from == id()) return;
+  if (!usigs_.verify(from, rc.ui, recover_binding())) return;
+  raise_ui_high(from, rc.ui.counter);
+}
+
+bool MinBftReplica::needs_state() const {
+  return log_.size() < exec_floor_ || deferred_primacy_.has_value();
+}
+
+void MinBftReplica::begin_state_sync() {
+  state_probe_ = true;
+  state_attempts_ = 0;
+  send_state_request();
+  arm_state_retry();
+}
+
+void MinBftReplica::send_state_request() {
+  StateRequest req;
+  req.have = log_.size();
+  protocol_router_.broadcast(req);
+}
+
+void MinBftReplica::arm_state_retry() {
+  // Bounded exponential backoff: replies can be lost (in-flight drops when
+  // we crash again, crashed responders), but retransmission must not keep
+  // the world from quiescing, so give up after a few rounds — the next
+  // view change or checkpoint restarts the hunt if we still lag.
+  if (state_attempts_ >= kMaxStateAttempts) {
+    state_probe_ = false;
+    return;
+  }
+  const Time delay = (options_.view_change_timeout / 2 + 1)
+                     << state_attempts_;
+  set_timer(delay, [this] {
+    if (!state_probe_) return;
+    ++state_attempts_;
+    send_state_request();
+    arm_state_retry();
+  });
+}
+
+void MinBftReplica::handle_state_request(ProcessId from, StateRequest req) {
+  if (from == id()) return;
+  if (log_.size() <= req.have) return;  // nothing the requester lacks
+  StateReply rep;
+  rep.view = view_;
+  rep.view_base = view_base_counter_;
+  rep.next_exec = next_exec_counter_;
+  rep.ui_high = ui_high_;
+  rep.stable = stable_checkpoint_;
+  rep.exec_floor = exec_floor_;
+  rep.core.log = log_;
+  rep.core.machine_snapshot = machine_->snapshot();
+  rep.core.dedup = dedup_;
+  rep.sig = signer().sign(rep.binding());
+  wire::send(*this, from, kMinBftCh, rep);
+}
+
+void MinBftReplica::handle_state_reply(ProcessId from, StateReply rep) {
+  if (from == id()) return;
+  // Signed by the responding replica: a Byzantine network cannot forge a
+  // bundle, only replay one — and stale bundles are ignored below.
+  if (rep.sig.key != world().key_of(from)) return;
+  if (!world().keys().verify(rep.sig, rep.binding())) return;
+  install_bundle(rep);
+}
+
+void MinBftReplica::install_bundle(const StateReply& b) {
+  const ViewNum was_view = view_;
+  if (b.core.log.size() > log_.size()) {
+    log_ = b.core.log;
+    machine_->restore(b.core.machine_snapshot);
+    dedup_ = b.core.dedup;
+  }
+  if (b.stable > stable_checkpoint_) stable_checkpoint_ = b.stable;
+  exec_floor_ = std::max(exec_floor_, b.exec_floor);
+  if (b.view > view_) {
+    // Adopt the responder's view wholesale: our per-view window is void.
+    view_ = b.view;
+    in_view_change_ = false;
+    slots_.clear();
+    view_base_counter_ = b.view_base;
+    next_exec_counter_ = b.next_exec;
+  } else if (b.view == view_ && !in_view_change_) {
+    if (view_base_counter_ == 0) {
+      view_base_counter_ = b.view_base;
+      next_exec_counter_ = b.next_exec;
+    } else if (b.next_exec > next_exec_counter_) {
+      // The responder executed further into this view than we did; every
+      // slot it passed is in the installed log (or dedup'd), so resuming
+      // from its cursor skips nothing uncommitted.
+      next_exec_counter_ = b.next_exec;
+    }
+  }
+  prune_stable();
+  persist();
+  if (view_ > was_view) {
+    if (deferred_primacy_ && *deferred_primacy_ <= view_)
+      deferred_primacy_.reset();
+    // Mirror enter_view's buffered-action replay for the adopted view.
+    view_waiting_.erase(view_waiting_.begin(),
+                        view_waiting_.lower_bound(view_));
+    auto it = view_waiting_.find(view_);
+    if (it != view_waiting_.end()) {
+      std::vector<std::function<void()>> actions = std::move(it->second);
+      view_waiting_.erase(it);
+      for (auto& fn : actions) fn();
+    }
+    for (const auto& [key, cmd] : pending_) arm_request_timer(cmd);
+  }
+  // Adopt the responder's record of every peer's stream position: it
+  // processed those counters, so their effects are inside the installed
+  // log; stragglers below the new frontier still run via the idempotent
+  // already-due path when they arrive.
+  for (const auto& [p, h] : b.ui_high)
+    if (p != id()) raise_ui_high(p, h);
+  try_execute();
+  // Requests that arrived before the install but were executed elsewhere
+  // are settled by the bundle; drop them, or their timers would hunt for a
+  // view change nothing needs, forever.
+  for (auto it = pending_.begin(); it != pending_.end();)
+    it = dedup_.lookup(it->second) ? pending_.erase(it) : ++it;
+  if (!needs_state()) state_probe_ = false;
+  if (deferred_primacy_) maybe_assume_primacy(*deferred_primacy_);
 }
 
 }  // namespace unidir::agreement

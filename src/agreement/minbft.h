@@ -28,6 +28,19 @@
 // continuity across views, which matters only for Byzantine behaviour
 // *during* view changes; our fault-injection tests cover crash faults at
 // arbitrary points plus Byzantine equivocation in normal operation.
+//
+// Crash recovery (DESIGN.md §9): a replica persists a full image —
+// execution log, machine snapshot, reply cache, view window, and its
+// record of every peer's UI stream position — into its DurableStore at
+// checkpoint boundaries and view entries. on_recover reloads the image,
+// announces RECOVER (one fresh UI that tells peers where its own stream
+// resumes, since counters consumed but never delivered before the crash
+// would leave a permanent gap) and catches up past the image via
+// STATE-REQUEST/STATE-REPLY checkpoint state transfer with bounded
+// timeout-driven retransmission. The durable image only ever lags truth,
+// which for MinBFT's sequential-UI rule errs on the safe side: a stale
+// window can stall (answered by state transfer and view changes), never
+// skip a committed slot.
 #pragma once
 
 #include <set>
@@ -59,6 +72,9 @@ struct Commit;
 struct Checkpoint;
 struct ViewChange;
 struct NewView;
+struct StateRequest;
+struct StateReply;
+struct Recover;
 }  // namespace minbft_wire
 
 class MinBftReplica final : public sim::Process {
@@ -81,12 +97,16 @@ class MinBftReplica final : public sim::Process {
   // -- introspection ---------------------------------------------------------
   ViewNum view() const { return view_; }
   bool is_primary() const { return primary_of(view_) == id(); }
-  const std::vector<ExecutionRecord>& execution_log() const { return log_; }
+  const ExecutionLog& execution_log() const { return log_; }
   std::uint64_t executed_count() const { return log_.size(); }
   crypto::Digest state_digest() const { return machine_->digest(); }
   /// Highest execution count agreed stable via checkpoints.
   std::uint64_t stable_checkpoint() const { return stable_checkpoint_; }
   std::uint64_t view_changes_seen() const { return view_changes_; }
+  /// Times this replica came back from a crash.
+  std::uint64_t recoveries() const { return recoveries_; }
+  /// Slots retained for view-change reports (pruned below stable).
+  std::size_t vc_archive_size() const { return vc_archive_.size(); }
 
   /// Builds a signed PREPARE wire message outside any replica — exposed so
   /// adversarial tests can drive Byzantine primaries by hand.
@@ -95,6 +115,7 @@ class MinBftReplica final : public sim::Process {
 
  protected:
   void on_start() override;
+  void on_recover(sim::DurableStore& durable) override;
 
  private:
   struct Slot {
@@ -134,6 +155,29 @@ class MinBftReplica final : public sim::Process {
   void handle_checkpoint(ProcessId from, minbft_wire::Checkpoint cp);
   void handle_view_change(ProcessId from, minbft_wire::ViewChange vc);
   void handle_new_view(ProcessId from, minbft_wire::NewView nv);
+  void handle_state_request(ProcessId from, minbft_wire::StateRequest req);
+  void handle_state_reply(ProcessId from, minbft_wire::StateReply rep);
+  void handle_recover(ProcessId from, minbft_wire::Recover rc);
+
+  /// Forces `sender`'s processed-counter frontier up to `to` (from a
+  /// RECOVER announcement or a state-transfer snapshot) and runs whatever
+  /// buffered actions became due. Counters at or below the new frontier
+  /// run through the idempotent already-due path when they arrive.
+  void raise_ui_high(ProcessId sender, SeqNum to);
+  void drain_ui(ProcessId sender);
+
+  // crash recovery (see DESIGN.md §9)
+  void persist();
+  /// Prunes the execution-log prefix, the view-change archive, and dead
+  /// checkpoint votes below the stable checkpoint.
+  void prune_stable();
+  void note_checkpoint_vote(std::uint64_t executed, const Bytes& digest,
+                            ProcessId voter);
+  void install_bundle(const minbft_wire::StateReply& b);
+  bool needs_state() const;
+  void begin_state_sync();
+  void send_state_request();
+  void arm_state_retry();
 
   // normal path
   void propose(const Command& cmd);
@@ -159,6 +203,7 @@ class MinBftReplica final : public sim::Process {
   Options options_;
   UsigDirectory& usigs_;
   std::unique_ptr<StateMachine> machine_;
+  Bytes initial_snapshot_;  // pristine machine state, for blank recoveries
 
   /// Decode boundaries: client requests, and replica-to-replica protocol
   /// traffic (with a replicas-only admission filter).
@@ -186,7 +231,7 @@ class MinBftReplica final : public sim::Process {
   // Client-facing state.
   std::map<std::pair<ProcessId, std::uint64_t>, Command> pending_;
   ExecutionDeduper dedup_;
-  std::vector<ExecutionRecord> log_;
+  ExecutionLog log_;
 
   // Checkpoints.
   std::uint64_t stable_checkpoint_ = 0;
@@ -196,10 +241,25 @@ class MinBftReplica final : public sim::Process {
   struct VcReport {
     std::vector<MinBftVcEntry> entries;
     std::vector<Command> pending;
+    std::uint64_t stable = 0;  // reporter's stable checkpoint
   };
-  std::vector<MinBftVcEntry> vc_archive_;  // every slot ever accepted
+  /// Every accepted slot not yet covered by a stable checkpoint.
+  std::vector<MinBftVcEntry> vc_archive_;
   std::map<ViewNum, std::map<ProcessId, VcReport>> vc_msgs_;
   std::uint64_t view_changes_ = 0;
+
+  // Crash-recovery state.
+  std::uint64_t recoveries_ = 0;
+  /// Replicas below a NEW-VIEW's announced execution count must not
+  /// execute *fresh* commands (which would append to the log at the wrong
+  /// index) until state transfer raises the log to the floor; dedup'd
+  /// re-executions stay allowed.
+  std::uint64_t exec_floor_ = 0;
+  /// Target view whose primacy we postponed until state transfer brings us
+  /// to the reported stable frontier (archives are pruned below it).
+  std::optional<ViewNum> deferred_primacy_;
+  bool state_probe_ = false;       // a state-transfer round is in flight
+  unsigned state_attempts_ = 0;    // retransmissions used this round
 };
 
 }  // namespace unidir::agreement

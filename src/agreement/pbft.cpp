@@ -41,16 +41,53 @@ Bytes checkpoint_binding(std::uint64_t executed, const Bytes& digest) {
   return w.take();
 }
 
-Bytes view_change_binding(ViewNum target,
+Bytes view_change_binding(ViewNum target, std::uint64_t stable,
                           const std::vector<PbftVcEntry>& entries,
                           const std::vector<Command>& pending) {
   serde::Writer w;
   w.str("pbft-vc");
   w.uvarint(target);
+  w.uvarint(stable);
   serde::write(w, entries);
   serde::write(w, pending);
   return w.take();
 }
+
+constexpr std::string_view kDurableKey = "pbft/state";
+constexpr std::string_view kJournalKey = "pbft/journal";
+constexpr unsigned kMaxStateAttempts = 4;
+
+/// Everything a replica writes to its DurableStore: the recovery image.
+struct DurableImage {
+  ViewNum view = 0;
+  SeqNum next_exec = 0;
+  std::uint64_t stable = 0;
+  std::uint64_t exec_floor = 0;
+  ExecutionLog log;
+  Bytes machine_snapshot;
+  ExecutionDeduper dedup;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(view);
+    w.uvarint(next_exec);
+    w.uvarint(stable);
+    w.uvarint(exec_floor);
+    log.encode(w);
+    w.bytes(machine_snapshot);
+    dedup.encode(w);
+  }
+  static DurableImage decode(serde::Reader& r) {
+    DurableImage img;
+    img.view = r.uvarint();
+    img.next_exec = r.uvarint();
+    img.stable = r.uvarint();
+    img.exec_floor = r.uvarint();
+    img.log = ExecutionLog::decode(r);
+    img.machine_snapshot = r.bytes();
+    img.dedup = ExecutionDeduper::decode(r);
+    return img;
+  }
+};
 
 }  // namespace
 
@@ -139,12 +176,14 @@ struct ViewChange {
   static constexpr wire::MsgDesc kDesc{5, "pbft-view-change"};
 
   ViewNum target = 0;
+  std::uint64_t stable = 0;  // reporter's stable checkpoint
   std::vector<PbftVcEntry> entries;
   std::vector<Command> pending;
   crypto::Signature sig;
 
   void encode(serde::Writer& w) const {
     w.uvarint(target);
+    w.uvarint(stable);
     serde::write(w, entries);
     serde::write(w, pending);
     sig.encode(w);
@@ -152,6 +191,7 @@ struct ViewChange {
   static ViewChange decode(serde::Reader& r) {
     ViewChange v;
     v.target = r.uvarint();
+    v.stable = r.uvarint();
     v.entries = serde::read<std::vector<PbftVcEntry>>(r);
     v.pending = serde::read<std::vector<Command>>(r);
     v.sig = crypto::Signature::decode(r);
@@ -163,24 +203,81 @@ struct NewView {
   static constexpr wire::MsgDesc kDesc{6, "pbft-new-view"};
 
   ViewNum target = 0;
+  std::uint64_t executed = 0;  // the new primary's execution count
   crypto::Signature sig;
 
-  static Bytes binding(ViewNum target) {
+  static Bytes binding(ViewNum target, std::uint64_t executed) {
     serde::Writer w;
     w.str("pbft-nv");
     w.uvarint(target);
+    w.uvarint(executed);
     return w.take();
   }
 
   void encode(serde::Writer& w) const {
     w.uvarint(target);
+    w.uvarint(executed);
     sig.encode(w);
   }
   static NewView decode(serde::Reader& r) {
     NewView v;
     v.target = r.uvarint();
+    v.executed = r.uvarint();
     v.sig = crypto::Signature::decode(r);
     return v;
+  }
+};
+
+struct StateRequest {
+  static constexpr wire::MsgDesc kDesc{7, "pbft-state-request"};
+
+  std::uint64_t have = 0;  // requester's execution count
+
+  void encode(serde::Writer& w) const { w.uvarint(have); }
+  static StateRequest decode(serde::Reader& r) {
+    StateRequest req;
+    req.have = r.uvarint();
+    return req;
+  }
+};
+
+struct StateReply {
+  static constexpr wire::MsgDesc kDesc{8, "pbft-state-reply"};
+
+  ViewNum view = 0;
+  SeqNum next_exec = 0;
+  std::uint64_t stable = 0;
+  std::uint64_t exec_floor = 0;
+  StateBundle core;
+  crypto::Signature sig;  // over ("pbft-state", body)
+
+  void encode_body(serde::Writer& w) const {
+    w.uvarint(view);
+    w.uvarint(next_exec);
+    w.uvarint(stable);
+    w.uvarint(exec_floor);
+    core.encode(w);
+  }
+  Bytes binding() const {
+    serde::Writer w;
+    w.str("pbft-state");
+    encode_body(w);
+    return w.take();
+  }
+
+  void encode(serde::Writer& w) const {
+    encode_body(w);
+    sig.encode(w);
+  }
+  static StateReply decode(serde::Reader& r) {
+    StateReply rep;
+    rep.view = r.uvarint();
+    rep.next_exec = r.uvarint();
+    rep.stable = r.uvarint();
+    rep.exec_floor = r.uvarint();
+    rep.core = StateBundle::decode(r);
+    rep.sig = crypto::Signature::decode(r);
+    return rep;
   }
 };
 
@@ -245,6 +342,13 @@ PbftReplica::PbftReplica(Options options,
   protocol_router_.on<NewView>([this](ProcessId from, NewView nv) {
     handle_new_view(from, std::move(nv));
   });
+  protocol_router_.on<StateRequest>([this](ProcessId from, StateRequest req) {
+    handle_state_request(from, std::move(req));
+  });
+  protocol_router_.on<StateReply>([this](ProcessId from, StateReply rep) {
+    handle_state_reply(from, std::move(rep));
+  });
+  initial_snapshot_ = machine_->snapshot();
 }
 
 void PbftReplica::on_start() {
@@ -279,6 +383,9 @@ void PbftReplica::propose(const Command& cmd) {
   pp.seq = next_propose_seq_++;
   pp.cmd = cmd;
   pp.sig = signer().sign(preprepare_binding(pp.view, pp.seq, cmd));
+  // Journal before the broadcast can take effect: once any replica saw
+  // this sequence number, we must never assign it again, restart or not.
+  persist_journal();
   protocol_router_.broadcast(pp);
 
   Slot& slot = slots_[pp.seq];
@@ -394,8 +501,14 @@ void PbftReplica::try_execute() {
     }
     if (!slot.have_preprepare || !slot.sent_commit) return;
     if (slot.commits[slot.digest].size() < 2 * options_.f + 1) return;
-    execute(slot);
+    // Below a NEW-VIEW's execution floor, fresh commands wait for state
+    // transfer (see MinBftReplica::try_execute).
+    if (log_.size() < exec_floor_ && !dedup_.lookup(slot.cmd)) return;
+    // Advance before executing: execute() can persist() at a checkpoint
+    // boundary, and the durable image must record the post-execution
+    // cursor (see MinBftReplica::try_execute for the recovery hazard).
     ++next_exec_seq_;
+    execute(slot);
   }
 }
 
@@ -407,7 +520,7 @@ void PbftReplica::execute(Slot& slot) {
   } else {
     result = machine_->apply(slot.cmd.op);
     dedup_.record(slot.cmd, result);
-    log_.push_back({slot.cmd, result});
+    log_.append({slot.cmd, result});
     output("smr-exec", serde::encode(slot.cmd));
     maybe_checkpoint();
   }
@@ -432,7 +545,9 @@ void PbftReplica::maybe_checkpoint() {
   cp.digest = crypto::digest_bytes(machine_->digest());
   cp.sig = signer().sign(checkpoint_binding(cp.executed, cp.digest));
   protocol_router_.broadcast(cp);
-  cp_votes_[cp.executed][cp.digest].insert(id());
+  // A checkpoint boundary is also the durability boundary (DESIGN.md §9).
+  persist();
+  note_checkpoint_vote(cp.executed, cp.digest, id());
 }
 
 void PbftReplica::handle_checkpoint(ProcessId from, Checkpoint cp) {
@@ -440,12 +555,37 @@ void PbftReplica::handle_checkpoint(ProcessId from, Checkpoint cp) {
   if (!world().keys().verify(cp.sig,
                              checkpoint_binding(cp.executed, cp.digest)))
     return;
-  auto& voters = cp_votes_[cp.executed][cp.digest];
-  voters.insert(from);
+  note_checkpoint_vote(cp.executed, cp.digest, from);
+}
+
+void PbftReplica::note_checkpoint_vote(std::uint64_t executed,
+                                       const Bytes& digest, ProcessId voter) {
+  if (executed <= stable_checkpoint_) return;  // already stable
+  auto& voters = cp_votes_[executed][digest];
+  voters.insert(voter);
   // PBFT stabilizes a checkpoint at 2f+1 matching votes.
-  if (voters.size() >= 2 * options_.f + 1 &&
-      cp.executed > stable_checkpoint_)
-    stable_checkpoint_ = cp.executed;
+  if (voters.size() < 2 * options_.f + 1) return;
+  stable_checkpoint_ = executed;
+  prune_stable();
+  persist();
+}
+
+void PbftReplica::prune_stable() {
+  cp_votes_.erase(cp_votes_.begin(),
+                  cp_votes_.upper_bound(stable_checkpoint_));
+  // Below stable, 2f+1 replicas hold the history durably and laggards are
+  // served by state transfer, so the executed log prefix and the matching
+  // view-change archive entries can go (see MinBftReplica::prune_stable).
+  const std::uint64_t upto =
+      std::min<std::uint64_t>(stable_checkpoint_, log_.size());
+  if (upto <= log_.base()) return;
+  std::set<std::pair<ProcessId, std::uint64_t>> settled;
+  for (std::uint64_t k = log_.base(); k < upto; ++k)
+    settled.insert(log_.at(k).command.key());
+  std::erase_if(vc_archive_, [&](const PbftVcEntry& e) {
+    return settled.contains(e.cmd.key());
+  });
+  log_.prune_to(upto);
 }
 
 // ---- view change -----------------------------------------------------------------
@@ -468,12 +608,13 @@ void PbftReplica::start_view_change(ViewNum target) {
 
   ViewChange vc;
   vc.target = target;
+  vc.stable = stable_checkpoint_;
   vc.entries = vc_archive_;
   for (const auto& [key, cmd] : pending_) vc.pending.push_back(cmd);
-  vc.sig =
-      signer().sign(view_change_binding(target, vc.entries, vc.pending));
+  vc.sig = signer().sign(
+      view_change_binding(target, vc.stable, vc.entries, vc.pending));
   protocol_router_.broadcast(vc);
-  vc_msgs_[target][id()] = VcReport{vc.entries, vc.pending};
+  vc_msgs_[target][id()] = VcReport{vc.entries, vc.pending, vc.stable};
   maybe_assume_primacy(target);
 
   // Escalate only with f+1 supporters; otherwise abandon the attempt and
@@ -503,10 +644,11 @@ void PbftReplica::handle_view_change(ProcessId from, ViewChange vc) {
   if (vc.target <= view_) return;
   if (vc.sig.key != world().key_of(from)) return;
   if (!world().keys().verify(
-          vc.sig, view_change_binding(vc.target, vc.entries, vc.pending)))
+          vc.sig, view_change_binding(vc.target, vc.stable, vc.entries,
+                                      vc.pending)))
     return;
   vc_msgs_[vc.target][from] =
-      VcReport{std::move(vc.entries), std::move(vc.pending)};
+      VcReport{std::move(vc.entries), std::move(vc.pending), vc.stable};
 
   // Join once f+1 replicas demand a higher view (at least one correct).
   if (vc_msgs_[vc.target].size() >= options_.f + 1 &&
@@ -522,9 +664,23 @@ void PbftReplica::maybe_assume_primacy(ViewNum target) {
   // PBFT requires a 2f+1 quorum of view-change messages.
   if (it == vc_msgs_.end() || it->second.size() < 2 * options_.f + 1) return;
 
+  // Defer primacy below the reported stable frontier: archives are pruned
+  // below it, so re-proposals cannot realign peers there (see
+  // MinBftReplica::maybe_assume_primacy).
+  std::uint64_t frontier = stable_checkpoint_;
+  for (const auto& [reporter, report] : it->second)
+    frontier = std::max(frontier, report.stable);
+  if (log_.size() < frontier) {
+    deferred_primacy_ = target;
+    begin_state_sync();
+    return;
+  }
+  deferred_primacy_.reset();
+
   NewView nv;
   nv.target = target;
-  nv.sig = signer().sign(NewView::binding(target));
+  nv.executed = log_.size();
+  nv.sig = signer().sign(NewView::binding(target, nv.executed));
   protocol_router_.broadcast(nv);
   enter_view(target);
 
@@ -558,9 +714,13 @@ void PbftReplica::handle_new_view(ProcessId from, NewView nv) {
   if (nv.target <= view_) return;
   if (from != primary_of(nv.target)) return;
   if (nv.sig.key != world().key_of(from)) return;
-  if (!world().keys().verify(nv.sig, NewView::binding(nv.target))) return;
+  if (!world().keys().verify(nv.sig,
+                             NewView::binding(nv.target, nv.executed)))
+    return;
+  exec_floor_ = std::max(exec_floor_, nv.executed);
   enter_view(nv.target);
   for (const auto& [key, cmd] : pending_) arm_request_timer(cmd);
+  if (log_.size() < exec_floor_) begin_state_sync();
 }
 
 void PbftReplica::enter_view(ViewNum v) {
@@ -569,6 +729,8 @@ void PbftReplica::enter_view(ViewNum v) {
   slots_.clear();
   next_propose_seq_ = 1;
   next_exec_seq_ = 1;
+  if (deferred_primacy_ && *deferred_primacy_ <= v) deferred_primacy_.reset();
+  persist();  // view entry is a durability boundary (see DESIGN.md §9)
   auto stale_end = view_waiting_.lower_bound(v);
   view_waiting_.erase(view_waiting_.begin(), stale_end);
   auto it = view_waiting_.find(v);
@@ -576,6 +738,172 @@ void PbftReplica::enter_view(ViewNum v) {
   std::vector<std::function<void()>> actions = std::move(it->second);
   view_waiting_.erase(it);
   for (auto& fn : actions) fn();
+}
+
+// ---- crash recovery (DESIGN.md §9) ----------------------------------------------
+
+void PbftReplica::persist() {
+  DurableImage img;
+  img.view = view_;
+  img.next_exec = next_exec_seq_;
+  img.stable = stable_checkpoint_;
+  img.exec_floor = exec_floor_;
+  img.log = log_;
+  img.machine_snapshot = machine_->snapshot();
+  img.dedup = dedup_;
+  world().durable(id()).put_value(std::string(kDurableKey), img);
+}
+
+void PbftReplica::persist_journal() {
+  world().durable(id()).put_value(
+      std::string(kJournalKey),
+      std::make_pair(view_, next_propose_seq_));
+}
+
+void PbftReplica::on_recover(sim::DurableStore& durable) {
+  view_ = 0;
+  in_view_change_ = false;
+  vc_target_ = 0;
+  slots_.clear();
+  next_propose_seq_ = 1;
+  next_exec_seq_ = 1;
+  pending_.clear();
+  dedup_ = {};
+  log_ = {};
+  stable_checkpoint_ = 0;
+  cp_votes_.clear();
+  vc_archive_.clear();
+  vc_msgs_.clear();
+  view_waiting_.clear();
+  exec_floor_ = 0;
+  deferred_primacy_.reset();
+  state_probe_ = false;
+  state_attempts_ = 0;
+  machine_->restore(initial_snapshot_);
+  if (const auto img =
+          durable.get_value<DurableImage>(std::string(kDurableKey))) {
+    view_ = img->view;
+    next_exec_seq_ = img->next_exec;
+    stable_checkpoint_ = img->stable;
+    exec_floor_ = img->exec_floor;
+    log_ = img->log;
+    machine_->restore(img->machine_snapshot);
+    dedup_ = img->dedup;
+  }
+  // The propose journal outruns the image (it is written on every
+  // propose): if it belongs to the restored view, resume above it so an
+  // honest primary never reassigns a sequence number it already used.
+  if (const auto journal =
+          durable.get_value<std::pair<ViewNum, SeqNum>>(
+              std::string(kJournalKey))) {
+    if (journal->first == view_)
+      next_propose_seq_ = std::max(next_propose_seq_, journal->second);
+  }
+  ++recoveries_;
+  begin_state_sync();
+}
+
+bool PbftReplica::needs_state() const {
+  return log_.size() < exec_floor_ || deferred_primacy_.has_value();
+}
+
+void PbftReplica::begin_state_sync() {
+  state_probe_ = true;
+  state_attempts_ = 0;
+  send_state_request();
+  arm_state_retry();
+}
+
+void PbftReplica::send_state_request() {
+  StateRequest req;
+  req.have = log_.size();
+  protocol_router_.broadcast(req);
+}
+
+void PbftReplica::arm_state_retry() {
+  // Bounded exponential backoff, as in MinBftReplica::arm_state_retry.
+  if (state_attempts_ >= kMaxStateAttempts) {
+    state_probe_ = false;
+    return;
+  }
+  const Time delay = (options_.view_change_timeout / 2 + 1)
+                     << state_attempts_;
+  set_timer(delay, [this] {
+    if (!state_probe_) return;
+    ++state_attempts_;
+    send_state_request();
+    arm_state_retry();
+  });
+}
+
+void PbftReplica::handle_state_request(ProcessId from, StateRequest req) {
+  if (from == id()) return;
+  if (log_.size() <= req.have) return;  // nothing the requester lacks
+  StateReply rep;
+  rep.view = view_;
+  rep.next_exec = next_exec_seq_;
+  rep.stable = stable_checkpoint_;
+  rep.exec_floor = exec_floor_;
+  rep.core.log = log_;
+  rep.core.machine_snapshot = machine_->snapshot();
+  rep.core.dedup = dedup_;
+  rep.sig = signer().sign(rep.binding());
+  wire::send(*this, from, kPbftCh, rep);
+}
+
+void PbftReplica::handle_state_reply(ProcessId from, StateReply rep) {
+  if (from == id()) return;
+  if (rep.sig.key != world().key_of(from)) return;
+  if (!world().keys().verify(rep.sig, rep.binding())) return;
+  install_bundle(rep);
+}
+
+void PbftReplica::install_bundle(const StateReply& b) {
+  const ViewNum was_view = view_;
+  if (b.core.log.size() > log_.size()) {
+    log_ = b.core.log;
+    machine_->restore(b.core.machine_snapshot);
+    dedup_ = b.core.dedup;
+  }
+  if (b.stable > stable_checkpoint_) stable_checkpoint_ = b.stable;
+  exec_floor_ = std::max(exec_floor_, b.exec_floor);
+  if (b.view > view_) {
+    view_ = b.view;
+    in_view_change_ = false;
+    slots_.clear();
+    next_propose_seq_ = 1;
+    next_exec_seq_ = b.next_exec;
+  } else if (b.view == view_ && !in_view_change_) {
+    if (b.next_exec > next_exec_seq_) {
+      // The responder executed further into this view; every slot it
+      // passed is in the installed log (or dedup'd), so resuming from its
+      // cursor skips nothing uncommitted.
+      next_exec_seq_ = b.next_exec;
+    }
+  }
+  prune_stable();
+  persist();
+  if (view_ > was_view) {
+    if (deferred_primacy_ && *deferred_primacy_ <= view_)
+      deferred_primacy_.reset();
+    view_waiting_.erase(view_waiting_.begin(),
+                        view_waiting_.lower_bound(view_));
+    auto it = view_waiting_.find(view_);
+    if (it != view_waiting_.end()) {
+      std::vector<std::function<void()>> actions = std::move(it->second);
+      view_waiting_.erase(it);
+      for (auto& fn : actions) fn();
+    }
+    for (const auto& [key, cmd] : pending_) arm_request_timer(cmd);
+  }
+  try_execute();
+  // Requests that arrived before the install but were executed elsewhere
+  // are settled by the bundle; drop them, or their timers would hunt for a
+  // view change nothing needs, forever.
+  for (auto it = pending_.begin(); it != pending_.end();)
+    it = dedup_.lookup(it->second) ? pending_.erase(it) : ++it;
+  if (!needs_state()) state_probe_ = false;
+  if (deferred_primacy_) maybe_assume_primacy(*deferred_primacy_);
 }
 
 }  // namespace unidir::agreement

@@ -20,6 +20,15 @@
 // The view change follows the same simplified certificate-carrying scheme
 // as MinBftReplica (see that header and DESIGN.md), with PBFT-sized
 // quorums (2f+1 view-change messages).
+//
+// Crash recovery (DESIGN.md §9) mirrors MinBftReplica: a durable image at
+// checkpoint/view boundaries, STATE-REQUEST/STATE-REPLY checkpoint state
+// transfer, a NEW-VIEW execution floor, and primacy deferral below the
+// reported stable frontier. PBFT has no trusted device, so there is no
+// RECOVER announcement; instead an honest restarted *primary* must not
+// reuse a sequence number it already assigned (that would be equivocation
+// by amnesia — caught by the prepare phase, but a needless stall), so the
+// primary journals (view, next sequence) durably on every propose.
 #pragma once
 
 #include <set>
@@ -51,6 +60,8 @@ struct Commit;
 struct Checkpoint;
 struct ViewChange;
 struct NewView;
+struct StateRequest;
+struct StateReply;
 }  // namespace pbft_wire
 
 class PbftReplica final : public sim::Process {
@@ -66,11 +77,15 @@ class PbftReplica final : public sim::Process {
 
   ViewNum view() const { return view_; }
   bool is_primary() const { return primary_of(view_) == id(); }
-  const std::vector<ExecutionRecord>& execution_log() const { return log_; }
+  const ExecutionLog& execution_log() const { return log_; }
   std::uint64_t executed_count() const { return log_.size(); }
   crypto::Digest state_digest() const { return machine_->digest(); }
   std::uint64_t stable_checkpoint() const { return stable_checkpoint_; }
   std::uint64_t view_changes_seen() const { return view_changes_; }
+  /// Times this replica came back from a crash.
+  std::uint64_t recoveries() const { return recoveries_; }
+  /// Slots retained for view-change reports (pruned below stable).
+  std::size_t vc_archive_size() const { return vc_archive_.size(); }
 
   /// Builds a signed PRE-PREPARE wire message outside any replica —
   /// exposed so adversarial tests can drive Byzantine primaries by hand.
@@ -80,6 +95,7 @@ class PbftReplica final : public sim::Process {
 
  protected:
   void on_start() override;
+  void on_recover(sim::DurableStore& durable) override;
 
  private:
   struct Slot {
@@ -107,6 +123,22 @@ class PbftReplica final : public sim::Process {
   void handle_checkpoint(ProcessId from, pbft_wire::Checkpoint cp);
   void handle_view_change(ProcessId from, pbft_wire::ViewChange vc);
   void handle_new_view(ProcessId from, pbft_wire::NewView nv);
+  void handle_state_request(ProcessId from, pbft_wire::StateRequest req);
+  void handle_state_reply(ProcessId from, pbft_wire::StateReply rep);
+
+  // crash recovery (see DESIGN.md §9)
+  void persist();
+  /// Journals (view, next sequence) on every propose, so a restarted
+  /// honest primary never reassigns a used sequence number.
+  void persist_journal();
+  void prune_stable();
+  void note_checkpoint_vote(std::uint64_t executed, const Bytes& digest,
+                            ProcessId voter);
+  void install_bundle(const pbft_wire::StateReply& b);
+  bool needs_state() const;
+  void begin_state_sync();
+  void send_state_request();
+  void arm_state_retry();
 
   /// Same role as MinBftReplica::when_in_view: run now if `view` is
   /// current and stable, buffer for a future view, drop if past.
@@ -129,6 +161,7 @@ class PbftReplica final : public sim::Process {
 
   Options options_;
   std::unique_ptr<StateMachine> machine_;
+  Bytes initial_snapshot_;  // pristine machine state, for blank recoveries
 
   /// Decode boundaries: client requests, and replica-to-replica protocol
   /// traffic (with a replicas-only admission filter).
@@ -145,7 +178,7 @@ class PbftReplica final : public sim::Process {
 
   std::map<std::pair<ProcessId, std::uint64_t>, Command> pending_;
   ExecutionDeduper dedup_;
-  std::vector<ExecutionRecord> log_;
+  ExecutionLog log_;
 
   std::uint64_t stable_checkpoint_ = 0;
   std::map<std::uint64_t, std::map<Bytes, std::set<ProcessId>>> cp_votes_;
@@ -153,11 +186,20 @@ class PbftReplica final : public sim::Process {
   struct VcReport {
     std::vector<PbftVcEntry> entries;
     std::vector<Command> pending;
+    std::uint64_t stable = 0;  // reporter's stable checkpoint
   };
+  /// Every accepted slot not yet covered by a stable checkpoint.
   std::vector<PbftVcEntry> vc_archive_;
   std::map<ViewNum, std::map<ProcessId, VcReport>> vc_msgs_;
   std::map<ViewNum, std::vector<std::function<void()>>> view_waiting_;
   std::uint64_t view_changes_ = 0;
+
+  // Crash-recovery state (same semantics as MinBftReplica's).
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t exec_floor_ = 0;
+  std::optional<ViewNum> deferred_primacy_;
+  bool state_probe_ = false;
+  unsigned state_attempts_ = 0;
 };
 
 }  // namespace unidir::agreement

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/check.h"
+
 namespace unidir::agreement {
 
 void Command::encode(serde::Writer& w) const {
@@ -30,22 +32,110 @@ Reply Reply::decode(serde::Reader& r) {
   return rep;
 }
 
+void ExecutionRecord::encode(serde::Writer& w) const {
+  command.encode(w);
+  w.bytes(result);
+}
+
+ExecutionRecord ExecutionRecord::decode(serde::Reader& r) {
+  ExecutionRecord rec;
+  rec.command = Command::decode(r);
+  rec.result = r.bytes();
+  return rec;
+}
+
+namespace {
+
+crypto::Digest chain_step(const crypto::Digest& prev,
+                          const ExecutionRecord& rec) {
+  serde::Writer w;
+  w.bytes(crypto::digest_bytes(prev));
+  rec.encode(w);
+  return crypto::Sha256::hash(w.take());
+}
+
+}  // namespace
+
+void ExecutionLog::append(ExecutionRecord rec) {
+  const crypto::Digest& prev = chain_.empty() ? base_digest_ : chain_.back();
+  chain_.push_back(chain_step(prev, rec));
+  records_.push_back(std::move(rec));
+}
+
+const ExecutionRecord& ExecutionLog::at(std::uint64_t index) const {
+  UNIDIR_REQUIRE_MSG(index >= base_ && index < size(),
+                     "ExecutionLog::at outside retained range");
+  return records_[index - base_];
+}
+
+crypto::Digest ExecutionLog::digest_through(std::uint64_t count) const {
+  UNIDIR_REQUIRE_MSG(count >= base_ && count <= size(),
+                     "ExecutionLog::digest_through outside retained range");
+  if (count == base_) return base_digest_;
+  return chain_[count - base_ - 1];
+}
+
+void ExecutionLog::prune_to(std::uint64_t count) {
+  if (count <= base_) return;
+  if (count > size()) count = size();
+  const std::uint64_t drop = count - base_;
+  base_digest_ = chain_[drop - 1];
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(drop));
+  chain_.erase(chain_.begin(),
+               chain_.begin() + static_cast<std::ptrdiff_t>(drop));
+  base_ = count;
+}
+
+void ExecutionLog::encode(serde::Writer& w) const {
+  w.uvarint(base_);
+  w.bytes(crypto::digest_bytes(base_digest_));
+  serde::write(w, records_);
+}
+
+ExecutionLog ExecutionLog::decode(serde::Reader& r) {
+  ExecutionLog log;
+  log.base_ = r.uvarint();
+  const Bytes digest = r.bytes();
+  if (digest.size() != crypto::kSha256DigestSize)
+    throw serde::DecodeError("ExecutionLog: bad base digest size");
+  log.base_digest_ = crypto::digest_from_bytes(digest);
+  log.records_ = serde::read<std::vector<ExecutionRecord>>(r);
+  // The per-record chain is derived state: recompute instead of trusting
+  // the wire.
+  log.chain_.reserve(log.records_.size());
+  crypto::Digest prev = log.base_digest_;
+  for (const ExecutionRecord& rec : log.records_) {
+    prev = chain_step(prev, rec);
+    log.chain_.push_back(prev);
+  }
+  return log;
+}
+
 std::optional<std::string> check_execution_consistency(
-    const std::vector<std::pair<ProcessId,
-                                const std::vector<ExecutionRecord>*>>& logs) {
+    const std::vector<std::pair<ProcessId, const ExecutionLog*>>& logs) {
   for (std::size_t i = 0; i < logs.size(); ++i) {
     for (std::size_t j = i + 1; j < logs.size(); ++j) {
       const auto& [pi, li] = logs[i];
       const auto& [pj, lj] = logs[j];
-      const std::size_t common = std::min(li->size(), lj->size());
-      for (std::size_t k = 0; k < common; ++k) {
-        if (!((*li)[k] == (*lj)[k])) {
+      const std::uint64_t lo = std::max(li->base(), lj->base());
+      const std::uint64_t hi = std::min(li->size(), lj->size());
+      if (lo > hi) continue;  // disjoint ranges: nothing comparable
+      if (li->digest_through(lo) != lj->digest_through(lo)) {
+        std::ostringstream os;
+        os << "replicas " << pi << " and " << pj
+           << " diverge in their pruned prefix (chain digests through "
+           << lo << " differ)";
+        return os.str();
+      }
+      for (std::uint64_t k = lo; k < hi; ++k) {
+        if (!(li->at(k) == lj->at(k))) {
           std::ostringstream os;
           os << "replicas " << pi << " and " << pj
              << " diverge at execution index " << k << ": ("
-             << (*li)[k].command.client << "," << (*li)[k].command.request_id
-             << ") vs (" << (*lj)[k].command.client << ","
-             << (*lj)[k].command.request_id << ")";
+             << li->at(k).command.client << "," << li->at(k).command.request_id
+             << ") vs (" << lj->at(k).command.client << ","
+             << lj->at(k).command.request_id << ")";
           return os.str();
         }
       }
@@ -64,6 +154,31 @@ std::optional<Bytes> ExecutionDeduper::lookup(const Command& cmd) const {
 
 void ExecutionDeduper::record(const Command& cmd, const Bytes& result) {
   clients_[cmd.client].emplace(cmd.request_id, result);
+}
+
+void ExecutionDeduper::encode(serde::Writer& w) const {
+  serde::write(w, clients_);
+}
+
+ExecutionDeduper ExecutionDeduper::decode(serde::Reader& r) {
+  ExecutionDeduper d;
+  d.clients_ =
+      serde::read<std::map<ProcessId, std::map<std::uint64_t, Bytes>>>(r);
+  return d;
+}
+
+void StateBundle::encode(serde::Writer& w) const {
+  log.encode(w);
+  w.bytes(machine_snapshot);
+  dedup.encode(w);
+}
+
+StateBundle StateBundle::decode(serde::Reader& r) {
+  StateBundle b;
+  b.log = ExecutionLog::decode(r);
+  b.machine_snapshot = r.bytes();
+  b.dedup = ExecutionDeduper::decode(r);
+  return b;
 }
 
 }  // namespace unidir::agreement

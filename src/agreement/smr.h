@@ -54,6 +54,11 @@ class StateMachine {
   virtual Bytes apply(const Bytes& op) = 0;
   /// Digest of the current state (checkpoints compare these).
   virtual crypto::Digest digest() const = 0;
+  /// Serializes the full state, for checkpoints that survive a restart and
+  /// for checkpoint-based state transfer between replicas.
+  virtual Bytes snapshot() const = 0;
+  /// Replaces the state with a previously taken snapshot.
+  virtual void restore(const Bytes& snap) = 0;
 };
 
 /// What a replica executed, in order — the object of the SMR safety
@@ -63,13 +68,56 @@ struct ExecutionRecord {
   Bytes result;
 
   bool operator==(const ExecutionRecord&) const = default;
+
+  void encode(serde::Writer& w) const;
+  static ExecutionRecord decode(serde::Reader& r);
 };
 
-/// Checks prefix consistency of execution logs across correct replicas.
-/// Returns a description of the first divergence, or nullopt.
+/// A replica's execution history with a prunable prefix. Checkpointing
+/// discards records below the stable checkpoint; what remains is the base
+/// count, a chained digest over the discarded prefix
+/// (d_{i+1} = SHA-256(d_i || encode(record_i)), d_0 = zeros) and the
+/// explicit suffix. Two logs can therefore still be compared for prefix
+/// consistency after pruning: equal counts imply equal chain digests.
+class ExecutionLog {
+ public:
+  void append(ExecutionRecord rec);
+
+  /// Total records ever executed (pruned prefix included).
+  std::uint64_t size() const { return base_ + records_.size(); }
+  bool empty() const { return size() == 0; }
+  /// Records below this index have been pruned away.
+  std::uint64_t base() const { return base_; }
+  /// The retained suffix: records [base, size).
+  const std::vector<ExecutionRecord>& records() const { return records_; }
+  /// Record at absolute index; requires base <= index < size.
+  const ExecutionRecord& at(std::uint64_t index) const;
+
+  /// Chain digest over the first `count` records; requires
+  /// base <= count <= size.
+  crypto::Digest digest_through(std::uint64_t count) const;
+
+  /// Discards records below `count` (clamped to [base, size]), folding
+  /// them into the chain digest.
+  void prune_to(std::uint64_t count);
+
+  void encode(serde::Writer& w) const;
+  static ExecutionLog decode(serde::Reader& r);
+
+ private:
+  std::uint64_t base_ = 0;
+  crypto::Digest base_digest_{};  // chain digest through base_
+  std::vector<ExecutionRecord> records_;
+  std::vector<crypto::Digest> chain_;  // chain_[k] = digest through base_+k+1
+};
+
+/// Checks prefix consistency of execution logs across correct replicas:
+/// over every pair's comparable range [max(bases), min(sizes)) the chain
+/// digests at the range start and the records inside it must agree.
+/// Disjoint ranges (one replica pruned past the other's head) are vacuously
+/// consistent. Returns a description of the first divergence, or nullopt.
 std::optional<std::string> check_execution_consistency(
-    const std::vector<std::pair<ProcessId,
-                                const std::vector<ExecutionRecord>*>>& logs);
+    const std::vector<std::pair<ProcessId, const ExecutionLog*>>& logs);
 
 /// Exactly-once execution helper shared by both protocols: remembers every
 /// executed (client, request_id) with its reply, so re-proposals after
@@ -77,14 +125,32 @@ std::optional<std::string> check_execution_consistency(
 /// re-applying. Supports pipelined clients (multiple outstanding request
 /// ids), at the cost of unpruned per-client reply history — acceptable for
 /// the bounded executions this library runs (see DESIGN.md §7).
+/// Serializable: the reply cache is part of a replica's durable checkpoint
+/// and of state-transfer bundles.
 class ExecutionDeduper {
  public:
   /// The cached reply if this exact command was executed before.
   std::optional<Bytes> lookup(const Command& cmd) const;
   void record(const Command& cmd, const Bytes& result);
 
+  void encode(serde::Writer& w) const;
+  static ExecutionDeduper decode(serde::Reader& r);
+
  private:
   std::map<ProcessId, std::map<std::uint64_t, Bytes>> clients_;
+};
+
+/// The protocol-agnostic core of a checkpoint state-transfer reply: the
+/// responder's pruned execution log, matching machine snapshot and reply
+/// cache. Protocol wire messages wrap this with their own view/window
+/// coordinates and a signature.
+struct StateBundle {
+  ExecutionLog log;
+  Bytes machine_snapshot;
+  ExecutionDeduper dedup;
+
+  void encode(serde::Writer& w) const;
+  static StateBundle decode(serde::Reader& r);
 };
 
 }  // namespace unidir::agreement

@@ -85,6 +85,14 @@ crypto::Digest KvStateMachine::digest() const {
   return crypto::Sha256::hash(w.buffer());
 }
 
+Bytes KvStateMachine::snapshot() const {
+  return serde::encode(table_);
+}
+
+void KvStateMachine::restore(const Bytes& snap) {
+  table_ = serde::decode<std::map<std::string, std::string>>(snap);
+}
+
 Bytes CounterStateMachine::add_op(std::int64_t delta) {
   serde::Writer w;
   w.u8(kAdd);
@@ -119,6 +127,12 @@ Bytes CounterStateMachine::apply(const Bytes& op) try {
 
 crypto::Digest CounterStateMachine::digest() const {
   return crypto::Sha256::hash(serde::encode(value_));
+}
+
+Bytes CounterStateMachine::snapshot() const { return serde::encode(value_); }
+
+void CounterStateMachine::restore(const Bytes& snap) {
+  value_ = serde::decode<std::int64_t>(snap);
 }
 
 }  // namespace unidir::agreement

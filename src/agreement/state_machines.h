@@ -23,6 +23,8 @@ class KvStateMachine final : public StateMachine {
 
   Bytes apply(const Bytes& op) override;
   crypto::Digest digest() const override;
+  Bytes snapshot() const override;
+  void restore(const Bytes& snap) override;
 
   std::size_t size() const { return table_.size(); }
 
@@ -38,6 +40,8 @@ class CounterStateMachine final : public StateMachine {
 
   Bytes apply(const Bytes& op) override;
   crypto::Digest digest() const override;
+  Bytes snapshot() const override;
+  void restore(const Bytes& snap) override;
 
   std::int64_t value() const { return value_; }
 

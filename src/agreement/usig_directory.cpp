@@ -28,6 +28,18 @@ bool SgxUsigDirectory::verify(ProcessId p,
                                          message);
 }
 
+void SgxUsigDirectory::restart_device(ProcessId p, bool durable_state) {
+  auto it = enclaves_.find(p);
+  if (it == enclaves_.end()) return;  // device never used: nothing to lose
+  if (durable_state) {
+    // Round-trip through the sealed blob — the NVRAM boot read — so the
+    // serialization path is exercised on every recovery.
+    it->second->load_state(it->second->save_state());
+  } else {
+    it->second->reset_for_power_loss();
+  }
+}
+
 // ---- TrInc-backed ---------------------------------------------------------------
 
 trusted::Trinket& TrincUsigDirectory::trinket_for(ProcessId p) {
@@ -69,6 +81,16 @@ bool TrincUsigDirectory::verify(ProcessId p,
   attestation.message = crypto::digest_bytes(ui.digest);
   attestation.device_sig = ui.sig;
   return authority_.check(attestation, p);
+}
+
+void TrincUsigDirectory::restart_device(ProcessId p, bool durable_state) {
+  auto it = trinkets_.find(p);
+  if (it == trinkets_.end()) return;  // device never used: nothing to lose
+  if (durable_state) {
+    it->second->load_counters(it->second->save_counters());
+  } else {
+    it->second->reset_for_power_loss();
+  }
 }
 
 }  // namespace unidir::agreement

@@ -41,6 +41,14 @@ class UsigDirectory {
   /// Verifies that `ui` certifies `message` under replica `p`'s device.
   virtual bool verify(ProcessId p, const trusted::UniqueIdentifier& ui,
                       const Bytes& message) const = 0;
+
+  /// Models replica `p`'s trusted device going through a host restart
+  /// (see DESIGN.md §9). With `durable_state` the device state round-trips
+  /// through its serialized form, as if read back from NVRAM/sealed storage
+  /// at boot; without it the counters reset while the attestation key
+  /// survives — the broken deployment whose equivocation the recovery
+  /// sweeps demonstrate. No-op for replicas that never used their device.
+  virtual void restart_device(ProcessId p, bool durable_state) = 0;
 };
 
 /// USIG inside a simulated SGX enclave (trusted/usig.h).
@@ -52,6 +60,7 @@ class SgxUsigDirectory final : public UsigDirectory {
                                       const Bytes& message) override;
   bool verify(ProcessId p, const trusted::UniqueIdentifier& ui,
               const Bytes& message) const override;
+  void restart_device(ProcessId p, bool durable_state) override;
 
   /// Direct enclave access (tests that hand-craft Byzantine UIs).
   trusted::UsigEnclave& enclave_for(ProcessId p);
@@ -72,6 +81,7 @@ class TrincUsigDirectory final : public UsigDirectory {
                                       const Bytes& message) override;
   bool verify(ProcessId p, const trusted::UniqueIdentifier& ui,
               const Bytes& message) const override;
+  void restart_device(ProcessId p, bool durable_state) override;
 
  private:
   trusted::Trinket& trinket_for(ProcessId p);

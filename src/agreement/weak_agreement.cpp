@@ -34,6 +34,14 @@ crypto::Digest FirstWriteStateMachine::digest() const {
   return crypto::Sha256::hash(w.buffer());
 }
 
+Bytes FirstWriteStateMachine::snapshot() const {
+  return serde::encode(value_);
+}
+
+void FirstWriteStateMachine::restore(const Bytes& snap) {
+  value_ = serde::decode<std::optional<Bytes>>(snap);
+}
+
 WeakAgreementCluster::WeakAgreementCluster(sim::World& world,
                                            UsigDirectory& usigs,
                                            Options options,

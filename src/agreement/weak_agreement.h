@@ -30,6 +30,8 @@ class FirstWriteStateMachine final : public StateMachine {
 
   Bytes apply(const Bytes& op) override;
   crypto::Digest digest() const override;
+  Bytes snapshot() const override;
+  void restore(const Bytes& snap) override;
 
   const std::optional<Bytes>& value() const { return value_; }
 

@@ -30,8 +30,7 @@ InvariantRegistry InvariantRegistry::standard_smr() {
 Invariant smr_prefix_consistency() {
   return {"smr-prefix-consistency",
           [](const ExplorationContext& ctx) -> std::optional<std::string> {
-            std::vector<std::pair<ProcessId,
-                                  const std::vector<agreement::ExecutionRecord>*>>
+            std::vector<std::pair<ProcessId, const agreement::ExecutionLog*>>
                 logs;
             for (const SmrReplicaView& r : ctx.smr)
               if (r.log) logs.emplace_back(r.id, r.log);

@@ -23,7 +23,7 @@ namespace unidir::explore {
 /// One correct replica's post-run state, as seen by SMR checkers.
 struct SmrReplicaView {
   ProcessId id = kNoProcess;
-  const std::vector<agreement::ExecutionRecord>* log = nullptr;
+  const agreement::ExecutionLog* log = nullptr;
   std::uint64_t executed = 0;
   crypto::Digest digest{};
 };

@@ -49,6 +49,22 @@ CrashEvent CrashEvent::decode(serde::Reader& r) {
   return e;
 }
 
+void RecoveryEvent::encode(serde::Writer& w) const {
+  w.uvarint(victim);
+  w.uvarint(crash_at);
+  w.uvarint(restart_at);
+}
+
+RecoveryEvent RecoveryEvent::decode(serde::Reader& r) {
+  RecoveryEvent e;
+  e.victim = serde::read<ProcessId>(r);
+  e.crash_at = r.uvarint();
+  e.restart_at = r.uvarint();
+  if (e.restart_at <= e.crash_at)
+    throw serde::DecodeError("RecoveryEvent restart precedes crash");
+  return e;
+}
+
 ScenarioSpec ScenarioSpec::materialize(ProtocolKind protocol,
                                        AdversaryKind adversary,
                                        std::uint64_t seed) {
@@ -102,6 +118,29 @@ ScenarioSpec ScenarioSpec::materialize(ProtocolKind protocol,
   return s;
 }
 
+ScenarioSpec ScenarioSpec::materialize_recovery(ProtocolKind protocol,
+                                                AdversaryKind adversary,
+                                                std::uint64_t seed) {
+  // Same base draw as materialize() — the recovery schedule comes from a
+  // separate stream so existing sweeps keep their per-seed scenarios.
+  ScenarioSpec s = materialize(protocol, adversary, seed);
+  s.crashes.clear();  // recovery events carry their own crash schedule
+  sim::Rng rec(seed * 0xD1B54A32D192ED03ULL + 2);
+  const std::uint64_t count = rec.range(1, s.f);
+  std::vector<ProcessId> victims;
+  for (std::uint64_t i = 0; i < s.n; ++i)
+    victims.push_back(static_cast<ProcessId>(i));
+  rec.shuffle(victims);
+  for (std::uint64_t c = 0; c < count; ++c) {
+    const Time crash_at = rec.range(1, 300);
+    // Long enough to lose in-flight traffic, short enough that the run
+    // still quiesces with everything executed.
+    const Time restart_at = crash_at + rec.range(30, 500);
+    s.recoveries.push_back({victims[c], crash_at, restart_at});
+  }
+  return s;
+}
+
 std::string ScenarioSpec::describe() const {
   std::ostringstream os;
   os << protocol_name(protocol) << " n=" << n << " f=" << f << " seed=" << seed
@@ -128,7 +167,16 @@ std::string ScenarioSpec::describe() const {
     if (i) os << ", ";
     os << crashes[i].victim << "@t" << crashes[i].when;
   }
+  os << "] recoveries=[";
+  for (std::size_t i = 0; i < recoveries.size(); ++i) {
+    if (i) os << ", ";
+    os << recoveries[i].victim << "@t" << recoveries[i].crash_at << "-t"
+       << recoveries[i].restart_at;
+  }
   os << "]";
+  if (volatile_trusted_state) os << " volatile-trusted";
+  if (client_max_attempts) os << " max-attempts=" << client_max_attempts;
+  if (checkpoint_interval) os << " ckpt=" << checkpoint_interval;
   return os.str();
 }
 
@@ -151,6 +199,10 @@ void ScenarioSpec::encode(serde::Writer& w) const {
   serde::write(w, crashes);
   w.uvarint(max_events);
   w.uvarint(mutate_rate);
+  serde::write(w, recoveries);
+  w.u8(volatile_trusted_state ? 1 : 0);
+  w.uvarint(client_max_attempts);
+  w.uvarint(checkpoint_interval);
 }
 
 ScenarioSpec ScenarioSpec::decode(serde::Reader& r) {
@@ -179,6 +231,10 @@ ScenarioSpec ScenarioSpec::decode(serde::Reader& r) {
   s.crashes = serde::read<std::vector<CrashEvent>>(r);
   s.max_events = r.uvarint();
   s.mutate_rate = r.uvarint();
+  s.recoveries = serde::read<std::vector<RecoveryEvent>>(r);
+  s.volatile_trusted_state = r.u8() != 0;
+  s.client_max_attempts = r.uvarint();
+  s.checkpoint_interval = r.uvarint();
   return s;
 }
 
@@ -218,7 +274,7 @@ namespace {
 /// introspection surface but no base class.
 struct ReplicaHandle {
   ProcessId id = kNoProcess;
-  std::function<const std::vector<agreement::ExecutionRecord>&()> log;
+  std::function<const agreement::ExecutionLog&()> log;
   std::function<std::uint64_t()> executed;
   std::function<crypto::Digest()> digest;
 };
@@ -294,6 +350,8 @@ RunOutcome run_scenario(const ScenarioSpec& spec,
       o.f = static_cast<std::size_t>(spec.f);
       o.view_change_timeout = spec.view_change_timeout;
       o.commit_quorum = static_cast<std::size_t>(spec.commit_quorum);
+      if (spec.checkpoint_interval != 0)
+        o.checkpoint_interval = spec.checkpoint_interval;
       auto& r = world.spawn<agreement::MinBftReplica>(
           o, *usigs, std::make_unique<agreement::KvStateMachine>());
       handles.push_back({r.id(),
@@ -307,6 +365,8 @@ RunOutcome run_scenario(const ScenarioSpec& spec,
       o.replicas = ids;
       o.f = static_cast<std::size_t>(spec.f);
       o.view_change_timeout = spec.view_change_timeout;
+      if (spec.checkpoint_interval != 0)
+        o.checkpoint_interval = spec.checkpoint_interval;
       auto& r = world.spawn<agreement::PbftReplica>(
           o, std::make_unique<agreement::KvStateMachine>());
       handles.push_back({r.id(),
@@ -320,6 +380,7 @@ RunOutcome run_scenario(const ScenarioSpec& spec,
   copt.replicas = ids;
   copt.f = static_cast<std::size_t>(spec.f);
   copt.resend_timeout = spec.resend_timeout;
+  copt.max_attempts = static_cast<std::size_t>(spec.client_max_attempts);
   copt.max_outstanding = static_cast<std::size_t>(spec.pipeline_depth);
   auto& client = world.spawn<agreement::SmrClient>(copt);
   for (const Bytes& op : spec.requests) client.submit(op);
@@ -328,12 +389,27 @@ RunOutcome run_scenario(const ScenarioSpec& spec,
     world.simulator().at(ev.when,
                          [&world, v = ev.victim] { world.crash(v); });
 
+  for (const RecoveryEvent& ev : spec.recoveries) {
+    world.simulator().at(ev.crash_at,
+                         [&world, v = ev.victim] { world.crash(v); });
+    // Restart the trusted device first: on_recover talks to it.
+    world.simulator().at(
+        ev.restart_at,
+        [&world, dir = usigs.get(), v = ev.victim,
+         durable = !spec.volatile_trusted_state] {
+          if (!world.crashed(v)) return;  // hand-built spec double-scheduled
+          if (dir) dir->restart_device(v, durable);
+          world.restart(v);
+        });
+  }
+
   world.start();
   out.events = world.run_to_quiescence(
       static_cast<std::size_t>(spec.max_events));
 
   out.completed = client.completed();
   out.expected = spec.requests.size();
+  out.gave_up = client.gave_up();
   out.final_time = world.now();
   out.net = world.network().stats();
   out.sim = world.simulator().stats();

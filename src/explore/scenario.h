@@ -49,6 +49,20 @@ struct CrashEvent {
   static CrashEvent decode(serde::Reader& r);
 };
 
+/// A crash paired with a later restart (the crash-recovery fault model,
+/// DESIGN.md §9). The pair shrinks as a unit: dropping one keeps every
+/// remaining restart matched to its crash.
+struct RecoveryEvent {
+  ProcessId victim = kNoProcess;
+  Time crash_at = 1;
+  Time restart_at = 2;
+
+  bool operator==(const RecoveryEvent&) const = default;
+
+  void encode(serde::Writer& w) const;
+  static RecoveryEvent decode(serde::Reader& r);
+};
+
 struct ScenarioSpec {
   ProtocolKind protocol = ProtocolKind::MinBft;
   AdversaryKind adversary = AdversaryKind::RandomDelay;
@@ -76,6 +90,17 @@ struct ScenarioSpec {
   std::vector<Bytes> requests;
   /// Exact crash schedule (shrinkable).
   std::vector<CrashEvent> crashes;
+  /// Exact crash+restart schedule (shrinkable as whole pairs).
+  std::vector<RecoveryEvent> recoveries;
+  /// Negative-experiment toggle: restart trusted devices with their state
+  /// wiped (power-loss semantics) instead of reloaded from sealed storage.
+  /// With MinBFT this re-enables equivocation — the registry catches it.
+  bool volatile_trusted_state = false;
+  /// Client give-up bound (SmrClient::Options::max_attempts; 0 = forever).
+  std::uint64_t client_max_attempts = 0;
+  /// Replica checkpoint interval; 0 = protocol default. Recovery scenarios
+  /// lower it so durable images are dense enough for restarts to matter.
+  std::uint64_t checkpoint_interval = 0;
 
   std::uint64_t max_events = 2'000'000;
 
@@ -86,6 +111,13 @@ struct ScenarioSpec {
   /// at random times (primaries included).
   static ScenarioSpec materialize(ProtocolKind protocol,
                                   AdversaryKind adversary, std::uint64_t seed);
+
+  /// Draws a crash-recovery scenario: the same base draw as `materialize`
+  /// (existing sweeps keep their seeds), then replaces the crash schedule
+  /// with 1..f crash+restart pairs drawn from a separate stream.
+  static ScenarioSpec materialize_recovery(ProtocolKind protocol,
+                                           AdversaryKind adversary,
+                                           std::uint64_t seed);
 
   std::string describe() const;
 
@@ -108,6 +140,8 @@ enum class RunMode : std::uint8_t {
 struct RunOutcome {
   std::uint64_t completed = 0;
   std::uint64_t expected = 0;
+  /// Requests the client abandoned (spec.client_max_attempts exhausted).
+  std::uint64_t gave_up = 0;
   Time final_time = 0;
   std::uint64_t events = 0;
   /// Scheduling decisions observed via the Network tap.

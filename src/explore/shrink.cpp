@@ -84,6 +84,19 @@ ShrinkOutcome shrink_failure(const ScenarioSpec& spec,
     }
   }
 
+  // 1b. Drop crash+restart pairs, one event at a time. Each RecoveryEvent
+  //     is removed whole so every surviving restart stays matched to its
+  //     crash.
+  for (std::size_t i = out.spec.recoveries.size(); i-- > 0;) {
+    ScenarioSpec candidate = out.spec;
+    candidate.recoveries.erase(candidate.recoveries.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+    if (sh.fails(candidate, out.trace)) {
+      out.spec = std::move(candidate);
+      ++out.reductions;
+    }
+  }
+
   // 2. Drop client requests. run_scenario requires a non-empty workload, so
   //    an empty candidate is never offered.
   out.reductions += minimize_list(

@@ -3,7 +3,8 @@
 // Given a (spec, trace) pair under which an invariant is violated, greedily
 // minimizes both while the SAME invariant keeps failing under replay:
 //
-//   1. un-crash replicas (drop crash events one at a time),
+//   1. un-crash replicas (drop crash events one at a time, then drop
+//      crash+restart pairs whole so restarts stay matched to crashes),
 //   2. drop client requests (ddmin-style chunk removal),
 //   3. collapse scheduling delays toward 1 and duplicate copies toward 1
 //      (all-at-once first, then chunked, then per-decision),

@@ -1,0 +1,57 @@
+// Per-process durable storage modelling NVRAM/disk under the crash-recovery
+// fault model.
+//
+// A DurableStore's contents survive World::restart while everything held in
+// the Process object itself is presumed lost — recovery code must rebuild
+// all volatile state from what it explicitly persisted here (see
+// Process::on_recover). Keys are short stable strings ("minbft/state");
+// values are serde encodings, so stored state round-trips deterministically
+// and the store itself never interprets them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/serde.h"
+
+namespace unidir::sim {
+
+class DurableStore {
+ public:
+  void put(std::string key, Bytes value) {
+    data_[std::move(key)] = std::move(value);
+  }
+  /// nullptr when absent; the pointer is invalidated by the next put/erase.
+  const Bytes* get(const std::string& key) const {
+    auto it = data_.find(key);
+    return it == data_.end() ? nullptr : &it->second;
+  }
+  bool contains(const std::string& key) const {
+    return data_.find(key) != data_.end();
+  }
+  void erase(const std::string& key) { data_.erase(key); }
+  void clear() { data_.clear(); }
+  std::size_t size() const { return data_.size(); }
+
+  /// Typed wrappers over the serde codec. get_value throws DecodeError on a
+  /// corrupt record — durable storage is written only by the process itself,
+  /// so a decode failure is a bug, not an adversary.
+  template <typename T>
+  void put_value(std::string key, const T& value) {
+    put(std::move(key), serde::encode(value));
+  }
+  template <typename T>
+  std::optional<T> get_value(const std::string& key) const {
+    const Bytes* raw = get(key);
+    if (!raw) return std::nullopt;
+    return serde::decode<T>(*raw);
+  }
+
+ private:
+  std::map<std::string, Bytes> data_;
+};
+
+}  // namespace unidir::sim

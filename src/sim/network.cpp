@@ -65,7 +65,11 @@ void Network::send(ProcessId from, ProcessId to, Channel channel,
 void Network::schedule_delivery(Envelope env, Time delay) {
   simulator_.after(delay, [this, env = std::move(env)]() {
     if (crashed_ && (crashed_(env.from) || crashed_(env.to))) {
+      // The endpoint was up at send time but down by delivery time: the
+      // message was lost in flight. Counted separately so crash-recovery
+      // experiments can see exactly what a restarting replica missed.
       ++stats_.messages_dropped;
+      ++stats_.dropped_crashed;
       return;
     }
     ++stats_.messages_delivered;

@@ -81,6 +81,8 @@ struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;     // to/from crashed processes
+  std::uint64_t dropped_crashed = 0;      // of those: in flight when the
+                                          // destination (or source) crashed
   std::uint64_t messages_held = 0;        // currently held by the adversary
   std::uint64_t messages_duplicated = 0;  // extra copies injected
   std::uint64_t messages_mutated = 0;     // payloads rewritten in flight

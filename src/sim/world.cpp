@@ -31,8 +31,12 @@ void Process::broadcast(Channel channel, const Bytes& payload,
 void Process::set_timer(Time delay, std::function<void()> fn) {
   World& w = world();
   const ProcessId self = id_;
-  w.simulator().after(delay, [&w, self, fn = std::move(fn)]() {
-    if (!w.crashed(self)) fn();
+  // Capture the incarnation at arm time: a timer armed before a crash must
+  // not fire into the recovered incarnation (its closure references state
+  // the model says was lost).
+  const std::uint64_t epoch = w.incarnation(self);
+  w.simulator().after(delay, [&w, self, epoch, fn = std::move(fn)]() {
+    if (!w.crashed(self) && w.incarnation(self) == epoch) fn();
   });
 }
 
@@ -72,6 +76,8 @@ void World::adopt(std::unique_ptr<Process> p) {
   process_keys_.push_back(p->signer_.key());
   processes_.push_back(std::move(p));
   transcripts_.emplace_back();
+  durables_.emplace_back();
+  epochs_.push_back(0);
   crashed_.push_back(false);
   byzantine_.push_back(false);
 }
@@ -120,6 +126,27 @@ void World::crash(ProcessId id) {
 bool World::crashed(ProcessId id) const {
   UNIDIR_REQUIRE(id < crashed_.size());
   return crashed_[id];
+}
+
+void World::restart(ProcessId id) {
+  UNIDIR_REQUIRE(id < crashed_.size());
+  UNIDIR_REQUIRE_MSG(crashed_[id], "restart of a process that is not down");
+  crashed_[id] = false;
+  ++epochs_[id];
+  // Recovery runs synchronously: sends and timers it issues are scheduled
+  // from `now`, exactly as if the process's recovery code ran at the instant
+  // power came back.
+  processes_[id]->on_recover(durables_[id]);
+}
+
+DurableStore& World::durable(ProcessId id) {
+  UNIDIR_REQUIRE(id < durables_.size());
+  return durables_[id];
+}
+
+std::uint64_t World::incarnation(ProcessId id) const {
+  UNIDIR_REQUIRE(id < epochs_.size());
+  return epochs_[id];
 }
 
 void World::mark_byzantine(ProcessId id) {

@@ -11,6 +11,14 @@
 // silently drops its traffic from the crash point on) or marked Byzantine
 // (its implementation itself misbehaves; the mark tells property checkers
 // which processes the paper's guarantees quantify over).
+//
+// Crash-RECOVERY extension: a crashed process can be brought back with
+// World::restart. The Process object survives in memory (it stands in for
+// the re-executed program binary), but the model treats everything in it as
+// volatile: on_recover(DurableStore&) must rebuild state from what the
+// process explicitly persisted. Timers armed before the crash never fire
+// after a restart — each restart bumps the process's incarnation epoch and
+// set_timer checks the epoch it captured at arm time.
 #pragma once
 
 #include <functional>
@@ -23,6 +31,7 @@
 #include "common/check.h"
 #include "common/types.h"
 #include "crypto/signature.h"
+#include "sim/durable.h"
 #include "sim/network.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -65,6 +74,11 @@ class Process {
     (void)channel;
     (void)payload;
   }
+
+  /// Called by World::restart after a crash: reload durable state and
+  /// re-arm whatever timers the protocol needs. Volatile members must be
+  /// treated as garbage — reset them here. Default: nothing is durable.
+  virtual void on_recover(DurableStore& durable) { (void)durable; }
 
  public:
   // -- actions (public so attached components can drive their host) --------
@@ -141,6 +155,14 @@ class World {
 
   void crash(ProcessId id);
   bool crashed(ProcessId id) const;
+  /// Brings a crashed process back: clears the crash flag, bumps the
+  /// incarnation epoch (cancelling pre-crash timers) and synchronously runs
+  /// the process's on_recover against its DurableStore.
+  void restart(ProcessId id);
+  /// The per-process persistent store; survives restart().
+  DurableStore& durable(ProcessId id);
+  /// Starts at 0 and increments on every restart().
+  std::uint64_t incarnation(ProcessId id) const;
   /// Marks a process as Byzantine for property checkers. The process's own
   /// implementation is responsible for actually misbehaving.
   void mark_byzantine(ProcessId id);
@@ -165,6 +187,8 @@ class World {
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Transcript> transcripts_;
   std::vector<crypto::KeyId> process_keys_;
+  std::vector<DurableStore> durables_;
+  std::vector<std::uint64_t> epochs_;
   std::vector<bool> crashed_;
   std::vector<bool> byzantine_;
   bool started_ = false;

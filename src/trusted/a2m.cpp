@@ -104,4 +104,18 @@ std::optional<SeqNum> A2m::length(LogId id) const {
   return it->second.size();
 }
 
+Bytes A2m::save_state() const {
+  serde::Writer w;
+  w.uvarint(next_log_);
+  serde::write(w, logs_);
+  return w.take();
+}
+
+void A2m::load_state(ByteSpan data) {
+  serde::Reader r(data);
+  next_log_ = r.uvarint();
+  logs_ = serde::read<std::map<LogId, std::vector<Bytes>>>(r);
+  r.expect_done();
+}
+
 }  // namespace unidir::trusted

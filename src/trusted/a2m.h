@@ -83,6 +83,21 @@ class A2m {
 
   std::optional<SeqNum> length(LogId id) const;
 
+  // -- crash-recovery (see DESIGN.md §9) ------------------------------------
+  /// Serialized log contents (all logs + the id allocator), suitable for a
+  /// DurableStore.
+  Bytes save_state() const;
+  /// Restores state produced by save_state.
+  void load_state(ByteSpan data);
+  /// Deliberately models volatile log memory: every log vanishes and the id
+  /// allocator rewinds, while the device key survives — re-created logs can
+  /// attest fresh values for already-attested (log, seq) slots.
+  /// Negative-test only.
+  void reset_for_power_loss() {
+    logs_.clear();
+    next_log_ = 1;
+  }
+
  private:
   friend class A2mAuthority;
   A2m(ProcessId owner, crypto::Signer device_key)

@@ -49,6 +49,22 @@ class SgxEnclave {
   static bool verify(const crypto::KeyRegistry& keys, crypto::KeyId key,
                      const SealedOutput& out);
 
+  // -- sealed-storage export (crash-recovery model) -------------------------
+  // Real SGX seals state to disk encrypted under a key derived from the
+  // CPU; the host can store and return the blob but not read or forge it.
+  // We model the blob as the raw state bytes and rely on the crash-recovery
+  // fault model: durable storage is written only by the honest host path,
+  // so rollback attacks are out of scope (a Byzantine host is modelled by
+  // not calling the device at all, never by feeding it stale blobs).
+
+  /// The current sealed blob, for persisting to durable storage.
+  const Bytes& sealed_state() const { return state_; }
+
+  /// Reinstalls a previously exported blob after a restart. The attestation
+  /// key is burned into the device and is NOT part of the blob — it always
+  /// survives.
+  void restore_sealed_state(Bytes state) { state_ = std::move(state); }
+
  private:
   Program program_;
   Bytes state_;  // sealed: reachable only through program_

@@ -71,4 +71,10 @@ SeqNum Trinket::last_used(CounterId counter) const {
   return it == last_.end() ? 0 : it->second;
 }
 
+Bytes Trinket::save_counters() const { return serde::encode(last_); }
+
+void Trinket::load_counters(ByteSpan data) {
+  last_ = serde::decode<std::map<CounterId, SeqNum>>(data);
+}
+
 }  // namespace unidir::trusted

@@ -87,6 +87,22 @@ class Trinket {
   /// Last attested seq-num on a counter (0 if never used).
   SeqNum last_used(CounterId counter = 0) const;
 
+  // -- crash-recovery (see DESIGN.md §9) ------------------------------------
+  // TrInc's counters live in device NVRAM; save/load model the host
+  // persisting that NVRAM image. reset_for_power_loss models the *broken*
+  // deployment where the counters were volatile: every counter returns to
+  // zero while the device key survives, so the device will happily attest a
+  // second, different message under an already-used counter value — the
+  // equivocation the paper's classification says trusted logs must prevent.
+
+  /// Serialized counter table, suitable for a DurableStore.
+  Bytes save_counters() const;
+  /// Restores a table produced by save_counters.
+  void load_counters(ByteSpan data);
+  /// Deliberately models volatile counters: zeroes every counter, keeps the
+  /// device key. Negative-test only.
+  void reset_for_power_loss() { last_.clear(); }
+
  private:
   friend class TrincAuthority;
   Trinket(ProcessId owner, crypto::Signer device_key)

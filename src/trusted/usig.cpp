@@ -60,6 +60,16 @@ UniqueIdentifier UsigEnclave::create_ui(const Bytes& message) {
   return ui;
 }
 
+void UsigEnclave::load_state(Bytes data) {
+  last_ = serde::decode<SeqNum>(data);
+  enclave_.restore_sealed_state(std::move(data));
+}
+
+void UsigEnclave::reset_for_power_loss() {
+  last_ = 0;
+  enclave_.restore_sealed_state(serde::encode(SeqNum{0}));
+}
+
 bool UsigEnclave::verify_ui(const crypto::KeyRegistry& keys,
                             crypto::KeyId key, const UniqueIdentifier& ui,
                             const Bytes& message) {

@@ -42,6 +42,16 @@ class UsigEnclave {
   static bool verify_ui(const crypto::KeyRegistry& keys, crypto::KeyId key,
                         const UniqueIdentifier& ui, const Bytes& message);
 
+  // -- crash-recovery (see DESIGN.md §9) ------------------------------------
+  /// The enclave's sealed counter blob, suitable for a DurableStore.
+  Bytes save_state() const { return enclave_.sealed_state(); }
+  /// Reinstalls a blob produced by save_state after a restart.
+  void load_state(Bytes data);
+  /// Deliberately models an un-sealed counter: it rewinds to 0 while the
+  /// attestation key survives, so the enclave will re-issue already-used
+  /// counter values for different messages. Negative-test only.
+  void reset_for_power_loss();
+
  private:
   SgxEnclave enclave_;
   SeqNum last_ = 0;  // mirror for introspection; truth lives in the enclave

@@ -36,7 +36,7 @@ struct Cluster {
   }
 
   void expect_consistent(const char* context) {
-    std::vector<std::pair<ProcessId, const std::vector<ExecutionRecord>*>>
+    std::vector<std::pair<ProcessId, const ExecutionLog*>>
         logs;
     for (auto* r : replicas)
       if (world.correct(r->id()))
@@ -234,7 +234,7 @@ TEST(MinBft, ByzantineBackupCannotForgeOrDisrupt) {
   c.expect_consistent("disruptor");
   for (auto* r : c.replicas) {
     EXPECT_EQ(r->executed_count(), 4u);
-    for (const ExecutionRecord& rec : r->execution_log())
+    for (const ExecutionRecord& rec : r->execution_log().records())
       EXPECT_NE(rec.command.op, bytes_of("evil"));
   }
 }
@@ -282,7 +282,7 @@ TEST(MinBft, EquivocatingPrimaryCannotForkTheLog) {
     world.start();
     world.run_to_quiescence();
 
-    std::vector<std::pair<ProcessId, const std::vector<ExecutionRecord>*>>
+    std::vector<std::pair<ProcessId, const ExecutionLog*>>
         logs;
     for (auto* r : backups) logs.emplace_back(r->id(), &r->execution_log());
     const auto divergence = check_execution_consistency(logs);
@@ -341,7 +341,7 @@ TEST(MinBft, RunsUnchangedOverTrincBackedUsig) {
   world.crash(0);
   world.run_to_quiescence();
   EXPECT_EQ(client.completed(), 5u);
-  std::vector<std::pair<ProcessId, const std::vector<ExecutionRecord>*>> logs;
+  std::vector<std::pair<ProcessId, const ExecutionLog*>> logs;
   for (auto* r : replicas)
     if (world.correct(r->id()))
       logs.emplace_back(r->id(), &r->execution_log());
@@ -422,7 +422,7 @@ TEST(MinBft, SurvivesPartialSynchronyChaosBeforeGst) {
     world.start();
     world.run_to_quiescence();
     EXPECT_EQ(client.completed(), 5u) << "seed " << seed;
-    std::vector<std::pair<ProcessId, const std::vector<ExecutionRecord>*>>
+    std::vector<std::pair<ProcessId, const ExecutionLog*>>
         logs;
     for (auto* r : replicas) logs.emplace_back(r->id(), &r->execution_log());
     const auto divergence = check_execution_consistency(logs);

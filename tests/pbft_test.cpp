@@ -33,7 +33,7 @@ struct Cluster {
   }
 
   void expect_consistent(const char* context) {
-    std::vector<std::pair<ProcessId, const std::vector<ExecutionRecord>*>>
+    std::vector<std::pair<ProcessId, const ExecutionLog*>>
         logs;
     for (auto* r : replicas)
       if (world.correct(r->id()))
@@ -192,7 +192,7 @@ TEST(Pbft, EquivocatingPrimaryCannotCommitConflictingCommands) {
 
     // Consistency must survive; in particular "left" and "right" must not
     // both appear at slot-1 positions of different replicas.
-    std::vector<std::pair<ProcessId, const std::vector<ExecutionRecord>*>>
+    std::vector<std::pair<ProcessId, const ExecutionLog*>>
         logs;
     for (auto* r : backups) logs.emplace_back(r->id(), &r->execution_log());
     const auto divergence = check_execution_consistency(logs);
@@ -248,7 +248,7 @@ TEST(Pbft, SurvivesPartialSynchronyChaosBeforeGst) {
     world.start();
     world.run_to_quiescence();
     EXPECT_EQ(client.completed(), 5u) << "seed " << seed;
-    std::vector<std::pair<ProcessId, const std::vector<ExecutionRecord>*>>
+    std::vector<std::pair<ProcessId, const ExecutionLog*>>
         logs;
     for (auto* r : replicas) logs.emplace_back(r->id(), &r->execution_log());
     const auto divergence = check_execution_consistency(logs);

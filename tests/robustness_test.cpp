@@ -148,7 +148,7 @@ TEST(Duplication, MinBftStaysExactlyOnceAndConsistent) {
     w.run_to_quiescence();
     EXPECT_EQ(client.completed(), 4u) << "seed " << seed;
     std::vector<std::pair<ProcessId,
-                          const std::vector<agreement::ExecutionRecord>*>>
+                          const agreement::ExecutionLog*>>
         logs;
     for (auto* r : replicas) {
       EXPECT_EQ(r->executed_count(), 4u) << "seed " << seed;

@@ -95,13 +95,17 @@ TEST(ExecutionConsistency, DetectsDivergence) {
   Command b;
   b.client = 2;
   b.request_id = 1;
-  std::vector<ExecutionRecord> log1 = {{a, {}}, {b, {}}};
-  std::vector<ExecutionRecord> log2 = {{a, {}}, {b, {}}};
-  std::vector<ExecutionRecord> log3 = {{b, {}}, {a, {}}};
-  std::vector<ExecutionRecord> prefix = {{a, {}}};
+  ExecutionLog log1, log2, log3, prefix;
+  log1.append({a, {}});
+  log1.append({b, {}});
+  log2.append({a, {}});
+  log2.append({b, {}});
+  log3.append({b, {}});
+  log3.append({a, {}});
+  prefix.append({a, {}});
 
   using LogRef =
-      std::pair<ProcessId, const std::vector<ExecutionRecord>*>;
+      std::pair<ProcessId, const ExecutionLog*>;
   EXPECT_FALSE(check_execution_consistency(
                    std::vector<LogRef>{{0, &log1}, {1, &log2}})
                    .has_value());
