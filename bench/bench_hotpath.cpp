@@ -21,12 +21,21 @@
 //     (durable image replay + state transfer, DESIGN.md §9). A replica
 //     that never catches up fails the benchmark regardless of flags.
 //
+// The throughput phase also aggregates the obs-layer virtual-tick latency
+// histograms (per-slot commit latency at the replicas, end-to-end request
+// latency at the client) across its seeds. Percentiles of virtual ticks
+// are deterministic — the same on every machine — so under --check they
+// are gated hard: a >25% percentile regression vs the baseline fails.
+//
 // Flags:
 //   --smoke          one throughput round instead of six (CI-sized)
-//   --check          exit 1 if events/sec < (1 - 0.20) * baseline
+//   --check          exit 1 if events/sec < (1 - 0.20) * baseline, or a
+//                    latency percentile > (1 + 0.25) * baseline
 //   --baseline PATH  baseline JSON (default bench/baseline_hotpath.json,
 //                    looked up relative to the current directory)
 //   --out PATH       report path (default BENCH_hotpath.json)
+//   --trace-out PATH Chrome-trace JSON of one traced seed-1 run
+//                    (default BENCH_trace.json)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -44,6 +53,7 @@
 #include "crypto/sha256.h"
 #include "explore/parallel.h"
 #include "explore/scenario.h"
+#include "obs/metrics.h"
 #include "sim/adversaries.h"
 #include "sim/world.h"
 
@@ -53,6 +63,10 @@ using namespace unidir::explore;
 namespace {
 
 constexpr double kRegressionTolerance = 0.20;
+/// Latency percentiles are virtual-tick figures — deterministic per seed —
+/// so the gate has no machine noise to absorb; 25% still leaves room for
+/// intentional protocol tuning without a baseline bump.
+constexpr double kLatencyTolerance = 0.25;
 
 ScenarioSpec hotpath_spec(std::uint64_t seed) {
   ScenarioSpec s;
@@ -98,6 +112,10 @@ struct ThroughputResult {
   std::uint64_t runs = 0;
   sim::SimulatorStats sim{};
   crypto::VerifyStats sig{};
+  /// Virtual-tick latency histograms merged across the measured seeds
+  /// (identical every round, so merged from the first round only).
+  obs::HistogramData commit_latency;
+  obs::HistogramData client_latency;
 };
 
 ThroughputResult measure_throughput(int rounds) {
@@ -116,6 +134,14 @@ ThroughputResult measure_throughput(int rounds) {
       const RunOutcome out = run_scenario(hotpath_spec(seed), reg);
       round_events += out.events;
       ++r.runs;
+      if (round == 0) {
+        if (const obs::HistogramData* h =
+                out.metrics.find_histogram("smr.commit_latency_ticks"))
+          r.commit_latency.merge(*h);
+        if (const obs::HistogramData* h =
+                out.metrics.find_histogram("client.latency_ticks"))
+          r.client_latency.merge(*h);
+      }
       r.sim.ring_fast_path += out.sim.ring_fast_path;
       r.sim.heap_events += out.sim.heap_events;
       r.sim.scheduled += out.sim.scheduled;
@@ -267,6 +293,7 @@ int main(int argc, char** argv) {
   bool check = false;
   std::string baseline_path = "bench/baseline_hotpath.json";
   std::string out_path = "BENCH_hotpath.json";
+  std::string trace_out_path = "BENCH_trace.json";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -285,22 +312,26 @@ int main(int argc, char** argv) {
       baseline_path = value();
     else if (arg == "--out")
       out_path = value();
+    else if (arg == "--trace-out")
+      trace_out_path = value();
     else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--check] [--baseline PATH] "
-                   "[--out PATH]\n",
+                   "[--out PATH] [--trace-out PATH]\n",
                    argv[0]);
       return 2;
     }
   }
 
   double baseline_eps = 0;
+  std::string baseline_text;
   {
     std::ifstream in(baseline_path);
     if (in) {
       std::ostringstream ss;
       ss << in.rdbuf();
-      baseline_eps = json_number(ss.str(), "events_per_sec", 0);
+      baseline_text = ss.str();
+      baseline_eps = json_number(baseline_text, "events_per_sec", 0);
     } else {
       std::fprintf(stderr, "note: baseline %s not found; speedup omitted\n",
                    baseline_path.c_str());
@@ -331,6 +362,22 @@ int main(int argc, char** argv) {
       "sha-ni %s\n",
       100.0 * ring_share, tp.sim.peak_pending, 100.0 * memo_rate,
       crypto::Sha256::hardware_accelerated() ? "yes" : "no");
+  std::printf(
+      "  commit latency (virtual ticks): p50 %llu, p95 %llu, p99 %llu, "
+      "max %llu over %llu slots\n",
+      static_cast<unsigned long long>(tp.commit_latency.quantile(0.50)),
+      static_cast<unsigned long long>(tp.commit_latency.quantile(0.95)),
+      static_cast<unsigned long long>(tp.commit_latency.quantile(0.99)),
+      static_cast<unsigned long long>(tp.commit_latency.max),
+      static_cast<unsigned long long>(tp.commit_latency.count));
+  std::printf(
+      "  client latency (virtual ticks): p50 %llu, p95 %llu, p99 %llu, "
+      "max %llu over %llu requests\n",
+      static_cast<unsigned long long>(tp.client_latency.quantile(0.50)),
+      static_cast<unsigned long long>(tp.client_latency.quantile(0.95)),
+      static_cast<unsigned long long>(tp.client_latency.quantile(0.99)),
+      static_cast<unsigned long long>(tp.client_latency.max),
+      static_cast<unsigned long long>(tp.client_latency.count));
 
   std::printf("phase 2: parallel sweep\n");
   const SweepResult sw = measure_sweep();
@@ -351,6 +398,19 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(rec.entries_recovered),
       rec.all_caught_up ? "all caught up" : "CATCH-UP FAILED");
 
+  // One traced seed-1 run for the artifact: under UNIDIR_OBS_TRACING=OFF
+  // this writes the empty-but-valid trace skeleton, which still validates.
+  {
+    ScenarioSpec traced = hotpath_spec(1);
+    traced.trace = true;
+    const RunOutcome rt =
+        run_scenario(traced, InvariantRegistry::standard_smr());
+    std::ofstream tout(trace_out_path, std::ios::binary);
+    tout << rt.trace_json;
+    std::printf("wrote %s (%zu bytes)\n", trace_out_path.c_str(),
+                rt.trace_json.size());
+  }
+
   {
     std::ofstream out(out_path);
     out << "{\n"
@@ -366,6 +426,26 @@ int main(int argc, char** argv) {
         << "  \"verify_memo_hit_rate\": " << memo_rate << ",\n"
         << "  \"sha_ni\": "
         << (crypto::Sha256::hardware_accelerated() ? "true" : "false")
+        << ",\n"
+        << "  \"commit_latency_p50_ticks\": "
+        << tp.commit_latency.quantile(0.50) << ",\n"
+        << "  \"commit_latency_p95_ticks\": "
+        << tp.commit_latency.quantile(0.95) << ",\n"
+        << "  \"commit_latency_p99_ticks\": "
+        << tp.commit_latency.quantile(0.99) << ",\n"
+        << "  \"commit_latency_max_ticks\": " << tp.commit_latency.max
+        << ",\n"
+        << "  \"commit_latency_samples\": " << tp.commit_latency.count
+        << ",\n"
+        << "  \"client_latency_p50_ticks\": "
+        << tp.client_latency.quantile(0.50) << ",\n"
+        << "  \"client_latency_p95_ticks\": "
+        << tp.client_latency.quantile(0.95) << ",\n"
+        << "  \"client_latency_p99_ticks\": "
+        << tp.client_latency.quantile(0.99) << ",\n"
+        << "  \"client_latency_max_ticks\": " << tp.client_latency.max
+        << ",\n"
+        << "  \"client_latency_samples\": " << tp.client_latency.count
         << ",\n"
         << "  \"sweep_scenarios\": " << sw.scenarios << ",\n"
         << "  \"sweep_threads\": " << sw.threads << ",\n"
@@ -405,6 +485,34 @@ int main(int argc, char** argv) {
                  100.0 * kRegressionTolerance, tp.events_per_sec,
                  (1.0 - kRegressionTolerance) * baseline_eps);
     return 1;
+  }
+  if (check && !baseline_text.empty()) {
+    struct LatencyGate {
+      const char* key;
+      std::uint64_t current;
+    };
+    const LatencyGate gates[] = {
+        {"commit_latency_p50_ticks", tp.commit_latency.quantile(0.50)},
+        {"commit_latency_p95_ticks", tp.commit_latency.quantile(0.95)},
+        {"commit_latency_p99_ticks", tp.commit_latency.quantile(0.99)},
+        {"client_latency_p50_ticks", tp.client_latency.quantile(0.50)},
+        {"client_latency_p95_ticks", tp.client_latency.quantile(0.95)},
+        {"client_latency_p99_ticks", tp.client_latency.quantile(0.99)},
+    };
+    for (const LatencyGate& g : gates) {
+      const double base = json_number(baseline_text, g.key, 0);
+      if (base <= 0) continue;  // baseline predates latency accounting
+      if (static_cast<double>(g.current) >
+          (1.0 + kLatencyTolerance) * base) {
+        std::fprintf(stderr,
+                     "FAIL: %s regressed >%.0f%% vs baseline "
+                     "(%llu > %.0f)\n",
+                     g.key, 100.0 * kLatencyTolerance,
+                     static_cast<unsigned long long>(g.current),
+                     (1.0 + kLatencyTolerance) * base);
+        return 1;
+      }
+    }
   }
   return 0;
 }

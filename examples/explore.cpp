@@ -17,12 +17,16 @@
 //   --seed-base N    first seed (default 1)
 //   --no-shrink      keep findings unshrunk
 //   --inject-bug     only run the injected-bug phase
+//   --dump DIR       write each finding's trace/metrics/repro files (default .)
+//   --no-dump        keep findings on stdout only
 //
 // Exit status is nonzero iff a sweep with the *standard* invariants finds
 // a violation — injected-bug findings are the expected demo output.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "explore/explorer.h"
@@ -36,12 +40,48 @@ namespace {
       "usage: %s [--protocol minbft|pbft|both] "
       "[--adversary random-delay|duplicating|gst|all]\n"
       "          [--seeds N] [--seed-base N] [--threads N] [--no-shrink] "
-      "[--inject-bug]\n"
+      "[--inject-bug] [--dump DIR | --no-dump]\n"
       "  --threads N   record-phase worker threads (0 = all cores, "
       "default 1);\n"
-      "                findings are identical at any thread count\n",
+      "                findings are identical at any thread count\n"
+      "  --dump DIR    write <DIR>/<prefix>-finding-<k>.{trace.json,"
+      "metrics.txt,repro.txt}\n"
+      "                for every finding (default: current directory)\n",
       argv0);
   std::exit(2);
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "  !! cannot write %s\n", path.c_str());
+    return;
+  }
+  out << content;
+  std::printf("  wrote %s (%zu bytes)\n", path.c_str(), content.size());
+}
+
+/// Drops each finding's artifacts next to the repro hex: the Chrome-trace
+/// JSON (open in chrome://tracing or Perfetto), the metrics snapshot, and
+/// the replay snippet itself.
+void dump_findings(const ExplorationReport& report, const std::string& dir,
+                   const std::string& prefix) {
+  if (report.findings.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "  !! cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return;
+  }
+  for (std::size_t k = 0; k < report.findings.size(); ++k) {
+    const Finding& f = report.findings[k];
+    const std::string base =
+        dir + "/" + prefix + "-finding-" + std::to_string(k);
+    write_file(base + ".trace.json", f.trace_json);
+    write_file(base + ".metrics.txt", f.metrics_text);
+    write_file(base + ".repro.txt", f.replay_snippet());
+  }
 }
 
 ExplorationReport sweep(const SweepPlan& plan, const InvariantRegistry& reg) {
@@ -63,6 +103,8 @@ int main(int argc, char** argv) {
                       AdversaryKind::Gst};
   plan.seeds = 5;
   bool inject_only = false;
+  bool dump = true;
+  std::string dump_dir = ".";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -104,6 +146,11 @@ int main(int argc, char** argv) {
       plan.shrink = false;
     } else if (arg == "--inject-bug") {
       inject_only = true;
+    } else if (arg == "--dump") {
+      dump = true;
+      dump_dir = value();
+    } else if (arg == "--no-dump") {
+      dump = false;
     } else {
       usage(argv[0]);
     }
@@ -116,6 +163,7 @@ int main(int argc, char** argv) {
     std::puts("   (prefix consistency, digest equality, client completion)");
     const ExplorationReport clean =
         sweep(plan, InvariantRegistry::standard_smr());
+    if (dump) dump_findings(clean, dump_dir, "explore");
     if (!clean.findings.empty()) {
       std::puts("!! the standard invariants should hold — this is a real bug");
       status = 1;
@@ -133,6 +181,7 @@ int main(int argc, char** argv) {
   demo.adversaries = {plan.adversaries.front()};
   demo.seeds = inject_only ? plan.seeds : 1;
   const ExplorationReport demo_report = sweep(demo, buggy);
+  if (dump) dump_findings(demo_report, dump_dir, "explore-demo");
   if (demo_report.findings.empty()) {
     std::puts("!! injected bug produced no finding — explorer is broken");
     status = 1;

@@ -56,6 +56,9 @@ void SmrClient::arm_resend(std::uint64_t request_id) {
     // gave_up() and the "smr-gave-up" output record.
     in_flight_.erase(request_id);
     ++gave_up_;
+    world().metrics().add("client.gave_up");
+    world().tracer().instant("request-gave-up", "client", id(), world().now(),
+                             "request_id", request_id);
     output("smr-gave-up", serde::encode(request_id));
     issue_ready();
     return;
@@ -82,7 +85,12 @@ void SmrClient::on_reply(ProcessId from, Reply reply) {
 
   // f+1 matching replies: at least one from a correct replica.
   ++completed_;
-  latencies_.push_back(world().now() - req.issued_at);
+  const Time latency = world().now() - req.issued_at;
+  latencies_.push_back(latency);
+  world().metrics().histogram("client.latency_ticks").record(latency);
+  world().tracer().complete("request", "client", id(), req.issued_at, latency,
+                            "request_id", reply.request_id, "attempts",
+                            req.attempts);
   output("smr-complete", serde::encode(reply.request_id));
   DoneFn done = std::move(req.done);
   const Bytes result = reply.result;

@@ -432,6 +432,7 @@ bool MinBftReplica::accept_slot(ViewNum view,
   slot.cmd = cmd;
   slot.primary_ui = primary_ui;
   slot.committers.insert(primary_of(view_));
+  slot.accepted_at = world().now();
   slots_.emplace(primary_ui.counter, std::move(slot));
   vc_archive_.push_back({view, primary_ui.counter, cmd});
   return true;
@@ -577,6 +578,10 @@ void MinBftReplica::execute(Slot& slot) {
     result = machine_->apply(slot.cmd.op);
     dedup_.record(slot.cmd, result);
     log_.append({slot.cmd, result});
+    const Time latency = world().now() - slot.accepted_at;
+    world().metrics().histogram("smr.commit_latency_ticks").record(latency);
+    world().tracer().complete("commit", "smr", id(), slot.accepted_at,
+                              latency, "counter", slot.primary_ui.counter);
     output("smr-exec", serde::encode(slot.cmd));
     maybe_checkpoint();
   }
@@ -623,6 +628,12 @@ void MinBftReplica::note_checkpoint_vote(std::uint64_t executed,
   voters.insert(voter);
   if (voters.size() < options_.f + 1) return;
   stable_checkpoint_ = executed;
+  world().metrics()
+      .histogram("smr.checkpoint_gap_ticks")
+      .record(world().now() - last_checkpoint_at_);
+  last_checkpoint_at_ = world().now();
+  world().tracer().instant("checkpoint-stable", "smr", id(), world().now(),
+                           "executed", executed);
   prune_stable();
   persist();
 }
@@ -662,6 +673,13 @@ void MinBftReplica::arm_request_timer(const Command& cmd) {
 
 void MinBftReplica::start_view_change(ViewNum target) {
   if (target <= view_) return;
+  if (!in_view_change_) {
+    // Escalations re-enter here with the flag already set; the episode's
+    // duration is measured from its first attempt.
+    vc_started_at_ = world().now();
+    world().tracer().instant("view-change-start", "smr", id(), world().now(),
+                             "target", target);
+  }
   in_view_change_ = true;
   vc_target_ = target;
   ++view_changes_;
@@ -696,6 +714,7 @@ void MinBftReplica::start_view_change(ViewNum target) {
 
 void MinBftReplica::abandon_view_change() {
   in_view_change_ = false;
+  world().metrics().add("smr.view_changes_abandoned");
   // Replay whatever the attempt made us buffer for the view we never left.
   auto it = view_waiting_.find(view_);
   if (it != view_waiting_.end()) {
@@ -803,6 +822,12 @@ void MinBftReplica::handle_new_view(ProcessId from, NewView nv) {
 }
 
 void MinBftReplica::enter_view(ViewNum v) {
+  if (in_view_change_) {
+    const Time dur = world().now() - vc_started_at_;
+    world().metrics().histogram("smr.view_change_ticks").record(dur);
+    world().tracer().complete("view-change", "smr", id(), vc_started_at_, dur,
+                              "view", v);
+  }
   view_ = v;
   in_view_change_ = false;
   slots_.clear();
@@ -874,6 +899,10 @@ void MinBftReplica::on_recover(sim::DurableStore& durable) {
     dedup_ = img->dedup;
   }
   ++recoveries_;
+  world().metrics().add("smr.recoveries");
+  vc_started_at_ = 0;
+  state_sync_started_at_ = 0;
+  last_checkpoint_at_ = world().now();
 
   // Burn one fresh UI to announce where our stream resumes. Counters we
   // consumed before the crash but never delivered would otherwise leave a
@@ -903,6 +932,7 @@ bool MinBftReplica::needs_state() const {
 }
 
 void MinBftReplica::begin_state_sync() {
+  if (!state_probe_) state_sync_started_at_ = world().now();
   state_probe_ = true;
   state_attempts_ = 0;
   send_state_request();
@@ -922,6 +952,7 @@ void MinBftReplica::arm_state_retry() {
   // view change or checkpoint restarts the hunt if we still lag.
   if (state_attempts_ >= kMaxStateAttempts) {
     state_probe_ = false;
+    world().metrics().add("smr.state_sync_abandoned");
     return;
   }
   const Time delay = (options_.view_change_timeout / 2 + 1)
@@ -1015,7 +1046,14 @@ void MinBftReplica::install_bundle(const StateReply& b) {
   // view change nothing needs, forever.
   for (auto it = pending_.begin(); it != pending_.end();)
     it = dedup_.lookup(it->second) ? pending_.erase(it) : ++it;
-  if (!needs_state()) state_probe_ = false;
+  if (!needs_state() && state_probe_) {
+    state_probe_ = false;
+    const Time dur = world().now() - state_sync_started_at_;
+    world().metrics().histogram("smr.state_sync_ticks").record(dur);
+    world().tracer().complete("state-sync", "smr", id(),
+                              state_sync_started_at_, dur, "have",
+                              log_.size());
+  }
   if (deferred_primacy_) maybe_assume_primacy(*deferred_primacy_);
 }
 

@@ -123,6 +123,7 @@ class MinBftReplica final : public sim::Process {
     trusted::UniqueIdentifier primary_ui;
     std::set<ProcessId> committers;  // includes the primary and self
     bool executed = false;
+    Time accepted_at = 0;  // when this replica first saw the proposal
   };
 
   ProcessId primary_of(ViewNum v) const {
@@ -260,6 +261,12 @@ class MinBftReplica final : public sim::Process {
   std::optional<ViewNum> deferred_primacy_;
   bool state_probe_ = false;       // a state-transfer round is in flight
   unsigned state_attempts_ = 0;    // retransmissions used this round
+
+  // Observability anchors: virtual-time starts for in-progress episodes,
+  // recorded into World::metrics() when the episode ends.
+  Time vc_started_at_ = 0;          // first start_view_change of an episode
+  Time state_sync_started_at_ = 0;  // begin_state_sync of the current round
+  Time last_checkpoint_at_ = 0;     // previous stable-checkpoint instant
 };
 
 }  // namespace unidir::agreement

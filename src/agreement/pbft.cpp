@@ -392,6 +392,7 @@ void PbftReplica::propose(const Command& cmd) {
   slot.cmd = cmd;
   slot.digest = command_digest(cmd);
   slot.have_preprepare = true;
+  slot.accepted_at = world().now();
   vc_archive_.push_back({view_, pp.seq, cmd});
   step(pp.seq);
 }
@@ -411,6 +412,7 @@ void PbftReplica::handle_preprepare(ProcessId from, PrePrepare pp) {
     slot.cmd = pp.cmd;
     slot.digest = command_digest(pp.cmd);
     slot.have_preprepare = true;
+    slot.accepted_at = world().now();
     vc_archive_.push_back({view_, pp.seq, pp.cmd});
 
     if (!dedup_.lookup(pp.cmd) &&
@@ -521,6 +523,10 @@ void PbftReplica::execute(Slot& slot) {
     result = machine_->apply(slot.cmd.op);
     dedup_.record(slot.cmd, result);
     log_.append({slot.cmd, result});
+    const Time latency = world().now() - slot.accepted_at;
+    world().metrics().histogram("smr.commit_latency_ticks").record(latency);
+    world().tracer().complete("commit", "smr", id(), slot.accepted_at,
+                              latency, "log_index", log_.size());
     output("smr-exec", serde::encode(slot.cmd));
     maybe_checkpoint();
   }
@@ -566,6 +572,12 @@ void PbftReplica::note_checkpoint_vote(std::uint64_t executed,
   // PBFT stabilizes a checkpoint at 2f+1 matching votes.
   if (voters.size() < 2 * options_.f + 1) return;
   stable_checkpoint_ = executed;
+  world().metrics()
+      .histogram("smr.checkpoint_gap_ticks")
+      .record(world().now() - last_checkpoint_at_);
+  last_checkpoint_at_ = world().now();
+  world().tracer().instant("checkpoint-stable", "smr", id(), world().now(),
+                           "executed", executed);
   prune_stable();
   persist();
 }
@@ -602,6 +614,13 @@ void PbftReplica::arm_request_timer(const Command& cmd) {
 
 void PbftReplica::start_view_change(ViewNum target) {
   if (target <= view_) return;
+  if (!in_view_change_) {
+    // Escalations re-enter here with the flag already set; the episode's
+    // duration is measured from its first attempt.
+    vc_started_at_ = world().now();
+    world().tracer().instant("view-change-start", "smr", id(), world().now(),
+                             "target", target);
+  }
   in_view_change_ = true;
   vc_target_ = target;
   ++view_changes_;
@@ -631,6 +650,7 @@ void PbftReplica::start_view_change(ViewNum target) {
 
 void PbftReplica::abandon_view_change() {
   in_view_change_ = false;
+  world().metrics().add("smr.view_changes_abandoned");
   auto it = view_waiting_.find(view_);
   if (it != view_waiting_.end()) {
     std::vector<std::function<void()>> actions = std::move(it->second);
@@ -724,6 +744,12 @@ void PbftReplica::handle_new_view(ProcessId from, NewView nv) {
 }
 
 void PbftReplica::enter_view(ViewNum v) {
+  if (in_view_change_) {
+    const Time dur = world().now() - vc_started_at_;
+    world().metrics().histogram("smr.view_change_ticks").record(dur);
+    world().tracer().complete("view-change", "smr", id(), vc_started_at_, dur,
+                              "view", v);
+  }
   view_ = v;
   in_view_change_ = false;
   slots_.clear();
@@ -800,6 +826,10 @@ void PbftReplica::on_recover(sim::DurableStore& durable) {
       next_propose_seq_ = std::max(next_propose_seq_, journal->second);
   }
   ++recoveries_;
+  world().metrics().add("smr.recoveries");
+  vc_started_at_ = 0;
+  state_sync_started_at_ = 0;
+  last_checkpoint_at_ = world().now();
   begin_state_sync();
 }
 
@@ -808,6 +838,7 @@ bool PbftReplica::needs_state() const {
 }
 
 void PbftReplica::begin_state_sync() {
+  if (!state_probe_) state_sync_started_at_ = world().now();
   state_probe_ = true;
   state_attempts_ = 0;
   send_state_request();
@@ -824,6 +855,7 @@ void PbftReplica::arm_state_retry() {
   // Bounded exponential backoff, as in MinBftReplica::arm_state_retry.
   if (state_attempts_ >= kMaxStateAttempts) {
     state_probe_ = false;
+    world().metrics().add("smr.state_sync_abandoned");
     return;
   }
   const Time delay = (options_.view_change_timeout / 2 + 1)
@@ -902,7 +934,14 @@ void PbftReplica::install_bundle(const StateReply& b) {
   // view change nothing needs, forever.
   for (auto it = pending_.begin(); it != pending_.end();)
     it = dedup_.lookup(it->second) ? pending_.erase(it) : ++it;
-  if (!needs_state()) state_probe_ = false;
+  if (!needs_state() && state_probe_) {
+    state_probe_ = false;
+    const Time dur = world().now() - state_sync_started_at_;
+    world().metrics().histogram("smr.state_sync_ticks").record(dur);
+    world().tracer().complete("state-sync", "smr", id(),
+                              state_sync_started_at_, dur, "have",
+                              log_.size());
+  }
   if (deferred_primacy_) maybe_assume_primacy(*deferred_primacy_);
 }
 

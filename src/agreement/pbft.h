@@ -105,6 +105,7 @@ class PbftReplica final : public sim::Process {
     bool sent_prepare = false;
     bool sent_commit = false;
     bool executed = false;
+    Time accepted_at = 0;  // when this replica first saw the pre-prepare
     std::map<Bytes, std::set<ProcessId>> prepares;  // digest -> voters
     std::map<Bytes, std::set<ProcessId>> commits;
   };
@@ -200,6 +201,12 @@ class PbftReplica final : public sim::Process {
   std::optional<ViewNum> deferred_primacy_;
   bool state_probe_ = false;
   unsigned state_attempts_ = 0;
+
+  // Observability anchors: virtual-time starts for in-progress episodes,
+  // recorded into World::metrics() when the episode ends.
+  Time vc_started_at_ = 0;
+  Time state_sync_started_at_ = 0;
+  Time last_checkpoint_at_ = 0;
 };
 
 }  // namespace unidir::agreement

@@ -23,7 +23,9 @@ std::string Finding::replay_snippet() const {
      << "\");\n"
      << "    auto out = run_scenario(spec, InvariantRegistry::standard_smr(),\n"
      << "                            RunMode::Replay, &trace);\n"
-     << "    // out.violation => " << violation.invariant << "\n";
+     << "    // out.violation => " << violation.invariant << "\n"
+     << "  artifacts: trace_json " << trace_json.size()
+     << " bytes, metrics_text " << metrics_text.size() << " bytes\n";
   return os.str();
 }
 
@@ -95,6 +97,15 @@ ExplorationReport Explorer::run() const {
                       r1.violation->invariant == f.violation.invariant &&
                       r2.violation->invariant == f.violation.invariant &&
                       r1.fingerprint == r2.fingerprint;
+    // One more traced replay: the finding ships with a virtual-timeline
+    // trace and a metrics snapshot next to the repro hex, so diagnosis can
+    // start from a picture instead of a re-run.
+    ScenarioSpec traced = f.shrunk_spec;
+    traced.trace = true;
+    const RunOutcome rt =
+        run_scenario(traced, registry_, RunMode::Replay, &f.shrunk_trace);
+    f.trace_json = rt.trace_json;
+    f.metrics_text = rt.metrics.to_text();
     report.findings.push_back(std::move(f));
   }
   return report;

@@ -43,6 +43,12 @@ struct Finding {
   /// Two replays of the shrunken artifact produced identical executions
   /// and the same violation.
   bool deterministic = false;
+  /// Chrome-trace JSON of one traced replay of the shrunken artifact —
+  /// load in chrome://tracing / Perfetto to see the failing schedule on a
+  /// virtual timeline.
+  std::string trace_json;
+  /// Metrics snapshot of that same replay, rendered via to_text().
+  std::string metrics_text;
 
   /// Human-facing reproduction instructions embedding the hex artifacts.
   std::string replay_snippet() const;

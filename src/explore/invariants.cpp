@@ -24,6 +24,7 @@ InvariantRegistry InvariantRegistry::standard_smr() {
   r.add(smr_prefix_consistency());
   r.add(smr_digest_equality());
   r.add(client_completion());
+  r.add(network_byte_conservation());
   return r;
 }
 
@@ -66,6 +67,54 @@ Invariant client_completion() {
             os << "only " << ctx.completed << " of " << ctx.expected
                << " client requests completed";
             return os.str();
+          }};
+}
+
+Invariant network_byte_conservation() {
+  return {"network-byte-conservation",
+          [](const ExplorationContext& ctx) -> std::optional<std::string> {
+            if (!ctx.world) return std::nullopt;
+            // A run cut off by the event cap leaves deliveries queued inside
+            // the simulator — neither delivered, dropped nor held — so the
+            // ledger only balances for runs that reached quiescence.
+            const sim::SimulatorStats& q = ctx.world->simulator().stats();
+            if (q.scheduled != q.executed) return std::nullopt;
+            const sim::NetworkStats& s = ctx.world->network().stats();
+            // Every message and every byte entering the network (sends,
+            // duplicate copies, mutation growth) must be accounted for by
+            // an exit path (delivery, an attributed drop, still held).
+            // Mutation shrinkage leaves the inflow side as slack, hence
+            // inequalities rather than equalities.
+            const std::uint64_t msgs_in =
+                s.messages_sent + s.messages_duplicated;
+            const std::uint64_t msgs_out = s.messages_delivered +
+                                           s.messages_dropped +
+                                           s.messages_held;
+            if (msgs_in != msgs_out) {
+              std::ostringstream os;
+              os << "message ledger broken: sent+duplicated=" << msgs_in
+                 << " but delivered+dropped+held=" << msgs_out;
+              return os.str();
+            }
+            const std::uint64_t bytes_in =
+                s.bytes_sent + s.bytes_duplicated + s.bytes_mutation_added;
+            const std::uint64_t bytes_out =
+                s.bytes_delivered + s.bytes_dropped + s.bytes_held;
+            if (bytes_in < bytes_out) {
+              std::ostringstream os;
+              os << "byte ledger broken: sent+duplicated+mutation_added="
+                 << bytes_in << " < delivered+dropped+held=" << bytes_out;
+              return os.str();
+            }
+            if (bytes_in - s.bytes_mutation_removed > bytes_out) {
+              std::ostringstream os;
+              os << "byte ledger broken: "
+                 << "sent+duplicated+mutation_added-mutation_removed="
+                 << bytes_in - s.bytes_mutation_removed
+                 << " > delivered+dropped+held=" << bytes_out;
+              return os.str();
+            }
+            return std::nullopt;
           }};
 }
 

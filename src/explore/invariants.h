@@ -84,6 +84,11 @@ Invariant smr_digest_equality();
 /// request completed.
 Invariant client_completion();
 
+/// Network accounting: every message and byte entering the network (sends,
+/// duplicate copies, mutation growth) leaves by delivery, an attributed
+/// drop, or is still held; vacuous for runs cut off by the event cap.
+Invariant network_byte_conservation();
+
 /// Unidirectionality per round (the paper's Definition): for every pair of
 /// correct processes and common round, at least one direction got through.
 Invariant unidirectional_rounds();

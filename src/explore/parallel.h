@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "explore/scenario.h"
+#include "obs/rate.h"
 
 namespace unidir::explore {
 
@@ -27,9 +28,7 @@ struct ParallelStats {
   std::uint64_t wall_ns = 0;       // wall time for the whole batch
 
   double events_per_sec() const {
-    return wall_ns == 0 ? 0.0
-                        : static_cast<double>(total_events) * 1e9 /
-                              static_cast<double>(wall_ns);
+    return obs::rate_per_sec(total_events, wall_ns);
   }
 };
 

@@ -177,6 +177,7 @@ std::string ScenarioSpec::describe() const {
   if (volatile_trusted_state) os << " volatile-trusted";
   if (client_max_attempts) os << " max-attempts=" << client_max_attempts;
   if (checkpoint_interval) os << " ckpt=" << checkpoint_interval;
+  if (trace) os << " trace";
   return os.str();
 }
 
@@ -203,6 +204,7 @@ void ScenarioSpec::encode(serde::Writer& w) const {
   w.u8(volatile_trusted_state ? 1 : 0);
   w.uvarint(client_max_attempts);
   w.uvarint(checkpoint_interval);
+  w.u8(trace ? 1 : 0);
 }
 
 ScenarioSpec ScenarioSpec::decode(serde::Reader& r) {
@@ -235,6 +237,7 @@ ScenarioSpec ScenarioSpec::decode(serde::Reader& r) {
   s.volatile_trusted_state = r.u8() != 0;
   s.client_max_attempts = r.uvarint();
   s.checkpoint_interval = r.uvarint();
+  s.trace = r.u8() != 0;
   return s;
 }
 
@@ -403,6 +406,7 @@ RunOutcome run_scenario(const ScenarioSpec& spec,
         });
   }
 
+  if (spec.trace) world.tracer().enable();
   world.start();
   out.events = world.run_to_quiescence(
       static_cast<std::size_t>(spec.max_events));
@@ -415,6 +419,9 @@ RunOutcome run_scenario(const ScenarioSpec& spec,
   out.sim = world.simulator().stats();
   out.sig = world.keys().verify_stats();
   out.wire = world.wire_stats();
+  world.publish_stats();
+  out.metrics = world.metrics().snapshot();
+  if (spec.trace) out.trace_json = world.tracer().to_chrome_json();
   out.fingerprint = fingerprint_of(world, out.completed, out.final_time);
 
   ExplorationContext ctx;

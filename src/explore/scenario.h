@@ -17,6 +17,7 @@
 #include "crypto/signature.h"
 #include "explore/invariants.h"
 #include "explore/trace.h"
+#include "obs/metrics.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "wire/stats.h"
@@ -104,6 +105,12 @@ struct ScenarioSpec {
 
   std::uint64_t max_events = 2'000'000;
 
+  /// Record a virtual-time trace and a metrics snapshot into the outcome
+  /// (RunOutcome::trace_json / RunOutcome::metrics). Purely observational:
+  /// tracing must not change the execution (golden tests compare
+  /// fingerprints with the flag on and off).
+  bool trace = false;
+
   bool operator==(const ScenarioSpec&) const = default;
 
   /// Draws a randomized scenario the way the fault sweep does: random
@@ -159,6 +166,12 @@ struct RunOutcome {
   ScheduleTrace trace;
   /// Replay mode: consults that found no recorded decision.
   std::size_t replay_missed = 0;
+  /// Unified metrics snapshot (layer counters + protocol histograms),
+  /// published after the run. Wall-clock values are excluded, so equal
+  /// seeds yield equal snapshots.
+  obs::MetricsSnapshot metrics;
+  /// Chrome-trace JSON; empty unless spec.trace was set.
+  std::string trace_json;
   /// Fingerprint of everything processes observed (all transcripts) plus
   /// completion and final time. Two runs with equal fingerprints executed
   /// indistinguishably.

@@ -1,0 +1,22 @@
+// Shared wall-clock rate arithmetic.
+//
+// Several stats structs report "things per wall second" (simulator events,
+// sweep scenarios); each used to carry its own copy of the guard-against-
+// zero division. One helper means the guard can't drift between copies —
+// and the zero case (nothing was measured, or the clock was too coarse to
+// tick) uniformly reports 0 instead of inf/NaN.
+#pragma once
+
+#include <cstdint>
+
+namespace unidir::obs {
+
+/// `count` events over `wall_ns` nanoseconds, as events per second.
+/// Returns 0.0 when no wall time was recorded.
+inline double rate_per_sec(std::uint64_t count, std::uint64_t wall_ns) {
+  return wall_ns == 0 ? 0.0
+                      : static_cast<double>(count) * 1e9 /
+                            static_cast<double>(wall_ns);
+}
+
+}  // namespace unidir::obs

@@ -1,0 +1,110 @@
+#include "obs/tracer.h"
+
+namespace unidir::obs {
+
+#if !defined(UNIDIR_OBS_NO_TRACING)
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[20];
+  char* p = buf + sizeof(buf);
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  out.append(p, buf + sizeof(buf));
+}
+
+// Arg keys are trusted literals (identifiers), but event names may contain
+// spaces; neither may contain quotes/backslashes/control bytes, so plain
+// append is safe. Assert-free: literals are reviewed at the call site.
+void append_event(std::string& out, const TraceEvent& e) {
+  out += "{\"name\":\"";
+  out += e.name;
+  out += "\",\"cat\":\"";
+  out += e.cat;
+  out += "\",\"ph\":\"";
+  out += e.ph;
+  out += "\",\"pid\":0,\"tid\":";
+  append_u64(out, e.tid);
+  out += ",\"ts\":";
+  append_u64(out, e.ts);
+  if (e.ph == 'X') {
+    out += ",\"dur\":";
+    append_u64(out, e.dur);
+  } else {
+    out += ",\"s\":\"t\"";  // instant scoped to its thread lane
+  }
+  if (e.k0 != nullptr || e.k1 != nullptr) {
+    out += ",\"args\":{";
+    bool first = true;
+    if (e.k0 != nullptr) {
+      out += "\"";
+      out += e.k0;
+      out += "\":";
+      append_u64(out, e.v0);
+      first = false;
+    }
+    if (e.k1 != nullptr) {
+      if (!first) out += ",";
+      out += "\"";
+      out += e.k1;
+      out += "\":";
+      append_u64(out, e.v1);
+    }
+    out += "}";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+void Tracer::enable(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  if (ring_.size() != capacity) {
+    ring_.assign(capacity, TraceEvent{});
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+  }
+  enabled_ = true;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::string out;
+  out.reserve(64 + size_ * 96);
+  out += "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (i != 0) out += ",";
+    out += "\n";
+    append_event(out, ring_[(head_ + i) % ring_.size()]);
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void Tracer::clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+#else
+
+std::string Tracer::to_chrome_json() const {
+  return "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+#endif  // UNIDIR_OBS_NO_TRACING
+
+}  // namespace unidir::obs

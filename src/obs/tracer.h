@@ -1,0 +1,154 @@
+// Virtual-time tracer: spans and instant events in a bounded ring buffer,
+// exported as Chrome trace-event JSON (load in chrome://tracing or
+// Perfetto).
+//
+// Determinism rules (DESIGN.md §10):
+//  * Timestamps are virtual ticks straight off the simulator clock; the
+//    tracer never consults wall time, so a seed's trace is byte-identical
+//    across runs, machines, and record/replay.
+//  * Event names, categories and arg keys must be string literals with
+//    static storage duration — TraceEvent stores the pointers, never
+//    copies, so recording allocates nothing after enable().
+//  * The exporter prints integers only (no doubles), keeping the JSON
+//    byte-stable.
+//
+// Cost model: tracing is off by default at runtime (a single branch per
+// call site), and the whole recording path can be compiled out with
+// -DUNIDIR_OBS_TRACING=OFF (UNIDIR_OBS_NO_TRACING), leaving empty inline
+// stubs the optimizer erases. The bench smoke gate runs against that
+// build to keep the "zero-cost when disabled" claim honest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace unidir::obs {
+
+/// One recorded event. POD of pointers and integers so the ring buffer is
+/// a flat preallocated array; `name`/`cat`/`k0`/`k1` must point at string
+/// literals.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  char ph = 'i';        // 'X' complete span, 'i' instant
+  ProcessId tid = 0;    // owning process (kNoProcess → tid 0 lane)
+  Time ts = 0;          // virtual start tick
+  Time dur = 0;         // span length in ticks ('X' only)
+  const char* k0 = nullptr;  // optional args, key literal + integer value
+  std::uint64_t v0 = 0;
+  const char* k1 = nullptr;
+  std::uint64_t v1 = 0;
+};
+
+#if !defined(UNIDIR_OBS_NO_TRACING)
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  /// Turns recording on and preallocates the ring. All later record calls
+  /// are allocation-free; once the ring is full the oldest events are
+  /// overwritten (counted in dropped()).
+  void enable(std::size_t capacity = kDefaultCapacity);
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void complete(const char* name, const char* cat, ProcessId tid, Time ts,
+                Time dur, const char* k0 = nullptr, std::uint64_t v0 = 0,
+                const char* k1 = nullptr, std::uint64_t v1 = 0) {
+    if (!enabled_) return;
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'X';
+    e.tid = tid;
+    e.ts = ts;
+    e.dur = dur;
+    e.k0 = k0;
+    e.v0 = v0;
+    e.k1 = k1;
+    e.v1 = v1;
+    push(e);
+  }
+
+  void instant(const char* name, const char* cat, ProcessId tid, Time ts,
+               const char* k0 = nullptr, std::uint64_t v0 = 0,
+               const char* k1 = nullptr, std::uint64_t v1 = 0) {
+    if (!enabled_) return;
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'i';
+    e.tid = tid;
+    e.ts = ts;
+    e.k0 = k0;
+    e.v0 = v0;
+    e.k1 = k1;
+    e.v1 = v1;
+    push(e);
+  }
+
+  /// Events currently held (≤ capacity).
+  std::size_t recorded() const { return size_; }
+  /// Events overwritten after the ring filled.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Buffered events, oldest first.
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}); byte-deterministic
+  /// for a given event sequence.
+  std::string to_chrome_json() const;
+
+  void clear();
+
+ private:
+  void push(const TraceEvent& e) {
+    if (ring_.empty()) return;
+    if (size_ == ring_.size()) {
+      ring_[head_] = e;
+      head_ = (head_ + 1) % ring_.size();
+      ++dropped_;
+    } else {
+      ring_[(head_ + size_) % ring_.size()] = e;
+      ++size_;
+    }
+  }
+
+  bool enabled_ = false;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+#else  // UNIDIR_OBS_NO_TRACING: compile-time no-op mirror
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 0;
+
+  void enable(std::size_t = 0) {}
+  void disable() {}
+  bool enabled() const { return false; }
+
+  void complete(const char*, const char*, ProcessId, Time, Time,
+                const char* = nullptr, std::uint64_t = 0,
+                const char* = nullptr, std::uint64_t = 0) {}
+  void instant(const char*, const char*, ProcessId, Time,
+               const char* = nullptr, std::uint64_t = 0,
+               const char* = nullptr, std::uint64_t = 0) {}
+
+  std::size_t recorded() const { return 0; }
+  std::uint64_t dropped() const { return 0; }
+  std::vector<TraceEvent> events() const { return {}; }
+  std::string to_chrome_json() const;
+  void clear() {}
+};
+
+#endif  // UNIDIR_OBS_NO_TRACING
+
+}  // namespace unidir::obs

@@ -30,33 +30,56 @@ void Network::send(ProcessId from, ProcessId to, Channel channel,
 
   if (crashed_ && (crashed_(from) || crashed_(to))) {
     ++stats_.messages_dropped;
+    stats_.bytes_dropped += env.payload.size();
+    if (tracer_) {
+      tracer_->instant("drop-crashed", "net", env.to, env.sent_at, "from",
+                       env.from, "ch", env.channel);
+    }
     return;
   }
+
+  // Mutation may resize the payload after bytes_sent was counted; tracking
+  // the deltas keeps the byte ledger exact (see network_byte_conservation
+  // in src/explore/invariants.cpp).
+  auto mutate_copy = [this](Envelope& copy) {
+    const std::size_t before = copy.payload.size();
+    if (!adversary_->mutate(copy, rng_)) return;
+    ++stats_.messages_mutated;
+    const std::size_t after = copy.payload.size();
+    if (after > before) {
+      stats_.bytes_mutation_added += after - before;
+    } else {
+      stats_.bytes_mutation_removed += before - after;
+    }
+  };
 
   const unsigned copies = std::max(1u, adversary_->copies(env, rng_));
   for (unsigned i = 0; i + 1 < copies; ++i) {
     Envelope dup = env;  // shares the payload buffer (COW)
+    stats_.bytes_duplicated += dup.payload.size();
     // Mutation before on_send: the scheduling decision, the observer tap
     // and any trace key all see the bytes that will be delivered. Payload
     // is COW, so mutating the duplicate detaches it from the original.
-    if (adversary_->mutate(dup, rng_)) ++stats_.messages_mutated;
+    mutate_copy(dup);
     const std::optional<Time> delay = adversary_->on_send(dup, rng_);
     if (observer_) observer_(dup, DecisionPoint::Duplicate, delay);
     ++stats_.messages_duplicated;
     if (!delay) {
-      held_.push_back(std::move(dup));
       ++stats_.messages_held;
+      stats_.bytes_held += dup.payload.size();
+      held_.push_back(std::move(dup));
       continue;
     }
     schedule_delivery(std::move(dup), *delay);
   }
 
-  if (adversary_->mutate(env, rng_)) ++stats_.messages_mutated;
+  mutate_copy(env);
   const std::optional<Time> delay = adversary_->on_send(env, rng_);
   if (observer_) observer_(env, DecisionPoint::Send, delay);
   if (!delay) {
-    held_.push_back(std::move(env));
     ++stats_.messages_held;
+    stats_.bytes_held += env.payload.size();
+    held_.push_back(std::move(env));
     return;
   }
   schedule_delivery(std::move(env), *delay);
@@ -70,9 +93,20 @@ void Network::schedule_delivery(Envelope env, Time delay) {
       // experiments can see exactly what a restarting replica missed.
       ++stats_.messages_dropped;
       ++stats_.dropped_crashed;
+      stats_.bytes_dropped += env.payload.size();
+      if (tracer_) {
+        tracer_->instant("drop-crashed", "net", env.to, simulator_.now(),
+                         "from", env.from, "ch", env.channel);
+      }
       return;
     }
     ++stats_.messages_delivered;
+    stats_.bytes_delivered += env.payload.size();
+    if (tracer_) {
+      tracer_->complete("msg", "net", env.to, env.sent_at,
+                        simulator_.now() - env.sent_at, "from", env.from,
+                        "ch", env.channel);
+    }
     deliver_(env);
   });
 }
@@ -96,14 +130,27 @@ void Network::flush_held_if(const std::function<bool(const Envelope&)>& pred) {
       continue;
     }
     --stats_.messages_held;
+    stats_.bytes_held -= env.payload.size();
     schedule_delivery(std::move(env), *delay);
   }
   held_ = std::move(keep);
 }
 
 void Network::drop_held() {
+  // Held-then-abandoned is a deliberate adversary choice, not a crash;
+  // counting it separately (dropped_held vs dropped_crashed) keeps drop
+  // attribution exhaustive. messages_dropped stays the all-causes total.
+  stats_.dropped_held += held_.size();
   stats_.messages_dropped += held_.size();
+  for (const Envelope& env : held_) {
+    stats_.bytes_dropped += env.payload.size();
+    if (tracer_) {
+      tracer_->instant("drop-held", "net", env.to, simulator_.now(), "from",
+                       env.from, "ch", env.channel);
+    }
+  }
   stats_.messages_held = 0;
+  stats_.bytes_held = 0;
   held_.clear();
 }
 

@@ -18,6 +18,7 @@
 #include "common/bytes.h"
 #include "common/payload.h"
 #include "common/types.h"
+#include "obs/tracer.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -80,13 +81,21 @@ class Adversary {
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_dropped = 0;     // to/from crashed processes
+  std::uint64_t messages_dropped = 0;     // total, every cause
   std::uint64_t dropped_crashed = 0;      // of those: in flight when the
                                           // destination (or source) crashed
+  std::uint64_t dropped_held = 0;         // of those: held by the adversary,
+                                          // then abandoned via drop_held()
   std::uint64_t messages_held = 0;        // currently held by the adversary
   std::uint64_t messages_duplicated = 0;  // extra copies injected
   std::uint64_t messages_mutated = 0;     // payloads rewritten in flight
-  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_sent = 0;           // original sends, pre-mutation
+  std::uint64_t bytes_delivered = 0;      // as handed to the destination
+  std::uint64_t bytes_dropped = 0;        // attributed at each drop site
+  std::uint64_t bytes_held = 0;           // currently sitting in held_
+  std::uint64_t bytes_duplicated = 0;     // extra copies, pre-mutation
+  std::uint64_t bytes_mutation_added = 0;    // payload growth from mutate()
+  std::uint64_t bytes_mutation_removed = 0;  // payload shrink from mutate()
 };
 
 /// Where in the send path a scheduling decision was made: the original
@@ -111,6 +120,9 @@ class Network {
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
   void set_crashed(CrashedFn fn) { crashed_ = std::move(fn); }
   void set_observer(ObserverFn fn) { observer_ = std::move(fn); }
+  /// Optional virtual-time tracer; the network records a span per delivered
+  /// message (send→deliver) and instants for drops. May be null.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Sends a message; the adversary picks its fate. The Payload overload is
   /// the core path — broadcasts wrap their bytes once and every per-link
@@ -142,6 +154,7 @@ class Network {
   DeliverFn deliver_;
   CrashedFn crashed_;
   ObserverFn observer_;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<Envelope> held_;
   std::uint64_t next_id_ = 1;
   NetworkStats stats_;

@@ -34,6 +34,7 @@
 
 #include "common/check.h"
 #include "common/types.h"
+#include "obs/rate.h"
 
 namespace unidir::sim {
 
@@ -137,10 +138,7 @@ struct SimulatorStats {
 
   /// Executed events per wall second across all run calls (0 if unmeasured).
   double events_per_sec() const {
-    return run_wall_ns == 0
-               ? 0.0
-               : static_cast<double>(executed) * 1e9 /
-                     static_cast<double>(run_wall_ns);
+    return obs::rate_per_sec(executed, run_wall_ns);
   }
 };
 

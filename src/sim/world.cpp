@@ -60,6 +60,7 @@ World::World(std::uint64_t seed, std::unique_ptr<Adversary> adversary)
       network_(simulator_, Rng(seed ^ 0xA5A5A5A5A5A5A5A5ULL),
                std::move(adversary)) {
   network_.set_deliver([this](const Envelope& env) { deliver(env); });
+  network_.set_tracer(&tracer_);
   // Tolerate out-of-range ids here (a Byzantine process can address anyone);
   // deliver() drops them.
   network_.set_crashed([this](ProcessId p) {
@@ -78,6 +79,7 @@ void World::adopt(std::unique_ptr<Process> p) {
   transcripts_.emplace_back();
   durables_.emplace_back();
   epochs_.push_back(0);
+  crashed_at_.push_back(0);
   crashed_.push_back(false);
   byzantine_.push_back(false);
 }
@@ -120,6 +122,10 @@ ProcessId World::owner_of(crypto::KeyId key) const {
 
 void World::crash(ProcessId id) {
   UNIDIR_REQUIRE(id < crashed_.size());
+  if (!crashed_[id]) {
+    crashed_at_[id] = simulator_.now();
+    tracer_.instant("crash", "fault", id, simulator_.now());
+  }
   crashed_[id] = true;
 }
 
@@ -133,6 +139,10 @@ void World::restart(ProcessId id) {
   UNIDIR_REQUIRE_MSG(crashed_[id], "restart of a process that is not down");
   crashed_[id] = false;
   ++epochs_[id];
+  const Time down = simulator_.now() - crashed_at_[id];
+  tracer_.complete("down", "fault", id, crashed_at_[id], down);
+  metrics_.histogram("fault.down_ticks").record(down);
+  metrics_.add("fault.restarts");
   // Recovery runs synchronously: sends and timers it issues are scheduled
   // from `now`, exactly as if the process's recovery code ran at the instant
   // power came back.
@@ -181,6 +191,49 @@ Transcript& World::transcript(ProcessId id) {
 const Transcript& World::transcript(ProcessId id) const {
   UNIDIR_REQUIRE(id < transcripts_.size());
   return transcripts_[id];
+}
+
+void World::publish_stats() {
+  // set_counter (not add): publishing is idempotent, so callers may refresh
+  // mid-run and again at the end. SimulatorStats::run_wall_ns stays out —
+  // it is wall-clock and would break snapshot determinism.
+  const SimulatorStats& sim = simulator_.stats();
+  metrics_.set_counter("sim.scheduled", sim.scheduled);
+  metrics_.set_counter("sim.executed", sim.executed);
+  metrics_.set_counter("sim.ring_fast_path", sim.ring_fast_path);
+  metrics_.set_counter("sim.heap_events", sim.heap_events);
+  metrics_.set_gauge("sim.peak_pending",
+                     static_cast<std::int64_t>(sim.peak_pending));
+
+  const NetworkStats& net = network_.stats();
+  metrics_.set_counter("net.messages_sent", net.messages_sent);
+  metrics_.set_counter("net.messages_delivered", net.messages_delivered);
+  metrics_.set_counter("net.messages_dropped", net.messages_dropped);
+  metrics_.set_counter("net.dropped_crashed", net.dropped_crashed);
+  metrics_.set_counter("net.dropped_held", net.dropped_held);
+  metrics_.set_counter("net.messages_held", net.messages_held);
+  metrics_.set_counter("net.messages_duplicated", net.messages_duplicated);
+  metrics_.set_counter("net.messages_mutated", net.messages_mutated);
+  metrics_.set_counter("net.bytes_sent", net.bytes_sent);
+  metrics_.set_counter("net.bytes_delivered", net.bytes_delivered);
+  metrics_.set_counter("net.bytes_dropped", net.bytes_dropped);
+  metrics_.set_counter("net.bytes_held", net.bytes_held);
+  metrics_.set_counter("net.bytes_duplicated", net.bytes_duplicated);
+  metrics_.set_counter("net.bytes_mutation_added", net.bytes_mutation_added);
+  metrics_.set_counter("net.bytes_mutation_removed",
+                       net.bytes_mutation_removed);
+
+  const crypto::VerifyStats& sig = keys_.verify_stats();
+  metrics_.set_counter("sig.verifies", sig.verifies);
+  metrics_.set_counter("sig.memo_hits", sig.memo_hits);
+  metrics_.set_counter("sig.macs", sig.macs);
+
+  metrics_.set_counter("wire.received", wire_stats_.total_received());
+  metrics_.set_counter("wire.dropped_malformed",
+                       wire_stats_.total_dropped_malformed());
+  metrics_.set_counter("wire.dropped_unknown_tag",
+                       wire_stats_.total_dropped_unknown_tag());
+  metrics_.set_counter("wire.dropped", wire_stats_.total_dropped());
 }
 
 void World::deliver(const Envelope& env) {

@@ -31,6 +31,8 @@
 #include "common/check.h"
 #include "common/types.h"
 #include "crypto/signature.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/durable.h"
 #include "sim/network.h"
 #include "sim/rng.h"
@@ -128,7 +130,9 @@ class World {
 
   // -- execution ------------------------------------------------------------
   Simulator& simulator() { return simulator_; }
+  const Simulator& simulator() const { return simulator_; }
   Network& network() { return network_; }
+  const Network& network() const { return network_; }
   crypto::KeyRegistry& keys() { return keys_; }
   const crypto::KeyRegistry& keys() const { return keys_; }
   Rng& rng() { return rng_; }
@@ -138,6 +142,21 @@ class World {
   /// stats so experiments read all observability from one place.
   wire::StatsHub& wire_stats() { return wire_stats_; }
   const wire::StatsHub& wire_stats() const { return wire_stats_; }
+
+  // -- observability ----------------------------------------------------
+  /// Unified registry: protocols record histograms/counters here directly;
+  /// publish_stats() folds the layer stats structs in on demand.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// Virtual-time tracer, shared by the network and the protocols. Off by
+  /// default; call tracer().enable() before start() to record.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+  /// Publishes the simulator / network / signature / wire counters into the
+  /// registry (set-semantics, so it is safe to call repeatedly). Wall-clock
+  /// figures are deliberately excluded: a snapshot of one seed must be
+  /// identical across runs.
+  void publish_stats();
 
   /// Runs until the event queue drains (all messages delivered or held).
   /// Returns events executed.
@@ -183,12 +202,15 @@ class World {
   Rng rng_;
   Network network_;
   wire::StatsHub wire_stats_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   crypto::KeyRegistry keys_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Transcript> transcripts_;
   std::vector<crypto::KeyId> process_keys_;
   std::vector<DurableStore> durables_;
   std::vector<std::uint64_t> epochs_;
+  std::vector<Time> crashed_at_;
   std::vector<bool> crashed_;
   std::vector<bool> byzantine_;
   bool started_ = false;

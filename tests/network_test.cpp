@@ -143,6 +143,65 @@ TEST(Network, DropHeldDiscards) {
   EXPECT_EQ(b.pings, 0);
 }
 
+TEST(Network, DropHeldCountsHeldSeparately) {
+  // Regression: drop_held() used to fold abandoned held messages into the
+  // generic messages_dropped with no way to tell them from crash drops.
+  auto adversary = std::make_unique<PartitionAdversary>();
+  PartitionAdversary* part = adversary.get();
+  World w(7, std::move(adversary));
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  w.start();
+  part->block({a.id()}, {b.id()});
+  for (int i = 0; i < 3; ++i) a.ping(b.id());
+  w.run_to_quiescence();
+  EXPECT_EQ(w.network().stats().messages_held, 3u);
+  EXPECT_EQ(w.network().stats().bytes_held, 12u);  // 3 x "ping"
+
+  w.network().drop_held();
+  const NetworkStats& s = w.network().stats();
+  EXPECT_EQ(s.dropped_held, 3u);
+  EXPECT_EQ(s.messages_dropped, 3u);  // total still includes them
+  EXPECT_EQ(s.messages_held, 0u);
+  EXPECT_EQ(s.bytes_held, 0u);
+  EXPECT_EQ(s.bytes_dropped, 12u);
+  // Ledger: everything sent is now accounted as dropped.
+  EXPECT_EQ(s.messages_sent, s.messages_delivered + s.messages_dropped);
+}
+
+TEST(Network, BytesDeliveredTracked) {
+  // Regression: the network counted bytes_sent but never bytes_delivered,
+  // so byte-level conservation was unverifiable.
+  World w(1, std::make_unique<ImmediateAdversary>());
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  w.start();
+  a.ping(b.id());
+  w.run_to_quiescence();
+  const NetworkStats& s = w.network().stats();
+  EXPECT_EQ(s.bytes_sent, 8u);  // "ping" + "pong"
+  EXPECT_EQ(s.bytes_delivered, 8u);
+  EXPECT_EQ(s.bytes_dropped, 0u);
+}
+
+TEST(Network, BytesDroppedAttributedOnCrash) {
+  World w(1, std::make_unique<ImmediateAdversary>(/*delay=*/10));
+  auto& a = w.spawn<Echo>();
+  auto& b = w.spawn<Echo>();
+  w.start();
+  a.ping(b.id());       // in flight, arrives t=10
+  w.simulator().run_to_time(5);
+  w.crash(b.id());      // dropped at delivery
+  a.ping(b.id());       // dropped at send (receiver already down)
+  w.run_to_quiescence();
+  const NetworkStats& s = w.network().stats();
+  EXPECT_EQ(s.messages_dropped, 2u);
+  EXPECT_EQ(s.dropped_held, 0u);
+  EXPECT_EQ(s.bytes_dropped, 8u);
+  EXPECT_EQ(s.bytes_delivered, 0u);
+  EXPECT_EQ(s.bytes_sent, s.bytes_delivered + s.bytes_dropped);
+}
+
 TEST(Network, GstDeliversEverythingByGstPlusDelta) {
   constexpr Time kGst = 100;
   constexpr Time kDelta = 5;

@@ -1,0 +1,113 @@
+// Golden determinism of the observability artifacts: the same scenario
+// run twice — serially or through ParallelRunner — must yield byte-identical
+// trace JSON and equal metrics snapshots, and turning tracing on must not
+// perturb the execution itself (fingerprints are the witness).
+#include <gtest/gtest.h>
+
+#include "explore/parallel.h"
+#include "explore/scenario.h"
+
+namespace unidir::explore {
+namespace {
+
+ScenarioSpec traced_spec(ProtocolKind p, AdversaryKind a, std::uint64_t seed) {
+  ScenarioSpec s = ScenarioSpec::materialize(p, a, seed);
+  s.trace = true;
+  return s;
+}
+
+TEST(ObsDeterminism, SameSeedTwiceYieldsIdenticalArtifacts) {
+  const InvariantRegistry reg = InvariantRegistry::standard_smr();
+  const ScenarioSpec spec =
+      traced_spec(ProtocolKind::MinBft, AdversaryKind::RandomDelay, 7);
+
+  const RunOutcome a = run_scenario(spec, reg);
+  const RunOutcome b = run_scenario(spec, reg);
+
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.trace_json, b.trace_json) << "trace JSON must be byte-stable";
+#if !defined(UNIDIR_OBS_NO_TRACING)
+  EXPECT_NE(a.trace_json.find("\"cat\":\"net\""), std::string::npos);
+  EXPECT_NE(a.trace_json.find("\"cat\":\"smr\""), std::string::npos);
+  EXPECT_NE(a.trace_json.find("\"cat\":\"client\""), std::string::npos);
+#endif
+}
+
+TEST(ObsDeterminism, ParallelRunMatchesSerialArtifacts) {
+  const InvariantRegistry reg = InvariantRegistry::standard_smr();
+  std::vector<ScenarioSpec> specs;
+  for (ProtocolKind p : {ProtocolKind::MinBft, ProtocolKind::Pbft})
+    for (std::uint64_t seed = 1; seed <= 3; ++seed)
+      specs.push_back(traced_spec(p, AdversaryKind::Duplicating, seed));
+
+  const ParallelRunner serial(1);
+  const std::vector<RunOutcome> s = serial.run_scenarios(specs, reg);
+  const ParallelRunner parallel(4);
+  const std::vector<RunOutcome> p = parallel.run_scenarios(specs, reg);
+
+  ASSERT_EQ(s.size(), specs.size());
+  ASSERT_EQ(p.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(s[i].fingerprint, p[i].fingerprint) << specs[i].describe();
+    EXPECT_EQ(s[i].metrics, p[i].metrics) << specs[i].describe();
+    EXPECT_EQ(s[i].trace_json, p[i].trace_json) << specs[i].describe();
+  }
+}
+
+TEST(ObsDeterminism, TracingIsObservationOnly) {
+  // The trace flag must never leak into scheduling, Rng draws, or any
+  // published metric — flipping it changes the artifacts, nothing else.
+  const InvariantRegistry reg = InvariantRegistry::standard_smr();
+  ScenarioSpec off = ScenarioSpec::materialize(ProtocolKind::Pbft,
+                                               AdversaryKind::Gst, 11);
+  ScenarioSpec on = off;
+  on.trace = true;
+
+  const RunOutcome plain = run_scenario(off, reg);
+  const RunOutcome traced = run_scenario(on, reg);
+  EXPECT_EQ(plain.fingerprint, traced.fingerprint);
+  EXPECT_EQ(plain.metrics, traced.metrics);
+  EXPECT_EQ(plain.events, traced.events);
+  EXPECT_TRUE(plain.trace_json.empty());  // untraced runs carry no JSON
+  EXPECT_FALSE(traced.trace_json.empty());
+}
+
+TEST(ObsDeterminism, MetricsMatchOutcomeCounters) {
+  const InvariantRegistry reg = InvariantRegistry::standard_smr();
+  const ScenarioSpec spec =
+      traced_spec(ProtocolKind::MinBft, AdversaryKind::RandomDelay, 3);
+  const RunOutcome out = run_scenario(spec, reg);
+
+  // The registry is fed by the same stats structs RunOutcome carries; the
+  // two views must agree exactly.
+  EXPECT_EQ(out.metrics.counter_or("sim.executed", 0), out.sim.executed);
+  EXPECT_EQ(out.metrics.counter_or("net.messages_sent", 0),
+            out.net.messages_sent);
+  EXPECT_EQ(out.metrics.counter_or("net.bytes_delivered", 0),
+            out.net.bytes_delivered);
+  EXPECT_EQ(out.metrics.counter_or("net.dropped_held", 0),
+            out.net.dropped_held);
+  EXPECT_EQ(out.metrics.counter_or("sig.verifies", 0), out.sig.verifies);
+
+  const obs::HistogramData* lat =
+      out.metrics.find_histogram("client.latency_ticks");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, out.completed);
+  EXPECT_GT(lat->quantile(0.5), 0u);
+
+  // Wall-clock never reaches the published metrics: determinism would die.
+  EXPECT_EQ(out.metrics.counters.count("sim.run_wall_ns"), 0u);
+}
+
+TEST(ObsDeterminism, SpecRoundTripsTraceFlag) {
+  ScenarioSpec spec =
+      traced_spec(ProtocolKind::MinBft, AdversaryKind::Gst, 5);
+  const ScenarioSpec decoded = ScenarioSpec::from_hex(spec.to_hex());
+  EXPECT_TRUE(decoded.trace);
+  EXPECT_EQ(decoded.to_hex(), spec.to_hex());
+  EXPECT_NE(spec.describe().find("trace"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unidir::explore

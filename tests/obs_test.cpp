@@ -1,0 +1,249 @@
+// Unit tests for the obs layer: rate helper, histograms, metrics registry,
+// tracer ring buffer and the Chrome-trace exporter.
+//
+// The exporter test pins the JSON byte-for-byte — determinism of the trace
+// artifact is a stated guarantee (DESIGN.md §10), so any formatting drift
+// must be a deliberate golden update here.
+#include <gtest/gtest.h>
+
+#include "explore/parallel.h"
+#include "obs/metrics.h"
+#include "obs/rate.h"
+#include "obs/tracer.h"
+#include "sim/simulator.h"
+
+namespace unidir::obs {
+namespace {
+
+// ---- rate_per_sec (satellite: events_per_sec division-by-zero) -------------
+
+TEST(Rate, ZeroWallTimeIsZeroRateNotInfinity) {
+  EXPECT_EQ(rate_per_sec(0, 0), 0.0);
+  EXPECT_EQ(rate_per_sec(12345, 0), 0.0);
+}
+
+TEST(Rate, ConvertsNanosecondsToPerSecond) {
+  EXPECT_DOUBLE_EQ(rate_per_sec(1000, 1'000'000'000), 1000.0);
+  EXPECT_DOUBLE_EQ(rate_per_sec(1, 2'000'000'000), 0.5);
+}
+
+// Regression: SimulatorStats and ParallelStats used to each hand-roll this
+// division; a fresh (never-run) stats object must report 0, not NaN/inf.
+TEST(Rate, FreshStatsObjectsReportZero) {
+  sim::SimulatorStats sim_stats;
+  EXPECT_EQ(sim_stats.events_per_sec(), 0.0);
+  sim_stats.executed = 42;  // counted events but no measured wall time
+  EXPECT_EQ(sim_stats.events_per_sec(), 0.0);
+
+  explore::ParallelStats par_stats;
+  EXPECT_EQ(par_stats.events_per_sec(), 0.0);
+  par_stats.total_events = 42;
+  EXPECT_EQ(par_stats.events_per_sec(), 0.0);
+}
+
+// ---- histograms ------------------------------------------------------------
+
+TEST(Histogram, RecordsIntoPowerOfTwoBuckets) {
+  Histogram h;
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(10'000);  // above the last bound -> overflow bucket
+  const HistogramData& d = h.data();
+  EXPECT_EQ(d.count, 4u);
+  EXPECT_EQ(d.sum, 1u + 2u + 3u + 10'000u);
+  EXPECT_EQ(d.max, 10'000u);
+  EXPECT_EQ(d.counts.front(), 1u);  // bucket [0,1]
+  EXPECT_EQ(d.counts.back(), 1u);   // overflow
+}
+
+TEST(Histogram, QuantileReturnsBucketUpperBoundClampedToMax) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(3);  // bucket bound 4
+  h.record(100);  // bucket bound 128
+  const HistogramData& d = h.data();
+  EXPECT_EQ(d.quantile(0.50), 4u);
+  EXPECT_EQ(d.quantile(0.99), 4u);
+  // The p100 sample sits in the [65,128] bucket, but the observed max (100)
+  // is exact and tighter than the bound.
+  EXPECT_EQ(d.quantile(1.0), 100u);
+  EXPECT_EQ(d.max, 100u);
+}
+
+TEST(Histogram, QuantileOfEmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.data().quantile(0.5), 0u);
+  EXPECT_EQ(h.data().quantile(1.0), 0u);
+}
+
+TEST(Histogram, OverflowQuantileIsExactMax) {
+  Histogram h;
+  h.record(1'000'000);
+  EXPECT_EQ(h.data().quantile(0.5), 1'000'000u);
+}
+
+TEST(Histogram, MergeSumsBucketsAndIntoEmptyCopiesWholesale) {
+  Histogram a;
+  Histogram b;
+  a.record(2);
+  a.record(5);
+  b.record(5);
+  b.record(9'999);
+
+  HistogramData merged;  // starts empty, no bounds
+  merged.merge(a.data());
+  EXPECT_EQ(merged, a.data());
+  merged.merge(b.data());
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_EQ(merged.sum, 2u + 5u + 5u + 9'999u);
+  EXPECT_EQ(merged.max, 9'999u);
+  // Both 5s share a bucket after the merge.
+  EXPECT_EQ(merged.quantile(0.75), 8u);
+}
+
+// ---- metrics registry ------------------------------------------------------
+
+TEST(Metrics, CountersGaugesAndSnapshotsCompareEqual) {
+  MetricsRegistry reg;
+  reg.add("a.events");
+  reg.add("a.events", 9);
+  reg.set_counter("b.level", 7);
+  reg.set_gauge("c.depth", -3);
+  reg.histogram("d.ticks").record(42);
+
+  EXPECT_EQ(reg.counter_value("a.events"), 10u);
+  EXPECT_EQ(reg.counter_value("missing"), 0u);
+
+  const MetricsSnapshot s1 = reg.snapshot();
+  const MetricsSnapshot s2 = reg.snapshot();
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.counter_or("b.level", 0), 7u);
+  EXPECT_EQ(s1.counter_or("missing", 123), 123u);
+  ASSERT_NE(s1.find_histogram("d.ticks"), nullptr);
+  EXPECT_EQ(s1.find_histogram("d.ticks")->count, 1u);
+  EXPECT_EQ(s1.find_histogram("missing"), nullptr);
+
+  reg.add("a.events");
+  EXPECT_NE(reg.snapshot(), s1);
+}
+
+TEST(Metrics, HistogramReferencesStayStableAcrossInserts) {
+  MetricsRegistry reg;
+  Histogram& first = reg.histogram("one");
+  for (char c = 'a'; c <= 'z'; ++c) reg.histogram(std::string("h.") + c);
+  first.record(5);
+  EXPECT_EQ(reg.snapshot().find_histogram("one")->count, 1u);
+}
+
+TEST(Metrics, ToTextIsSortedAndDeterministic) {
+  MetricsRegistry reg;
+  reg.set_counter("zz", 1);
+  reg.set_counter("aa", 2);
+  reg.set_gauge("g", 5);
+  reg.histogram("h").record(3);
+  const std::string text = reg.snapshot().to_text();
+  EXPECT_EQ(text,
+            "counter aa 2\n"
+            "counter zz 1\n"
+            "gauge g 5\n"
+            "histogram h count=1 sum=3 p50=3 p95=3 p99=3 max=3\n");
+  EXPECT_EQ(text, reg.snapshot().to_text());
+}
+
+// ---- tracer ----------------------------------------------------------------
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer t;
+  t.complete("span", "cat", 1, 10, 5);
+  t.instant("mark", "cat", 2, 20);
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Tracer, EmptyTraceJsonSkeletonIsStable) {
+  // Both the real tracer and the UNIDIR_OBS_NO_TRACING stub must emit this
+  // exact skeleton so downstream tooling always gets valid JSON.
+  Tracer t;
+  EXPECT_EQ(t.to_chrome_json(),
+            "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+#if !defined(UNIDIR_OBS_NO_TRACING)
+
+TEST(Tracer, RecordsOldestFirstAfterEnable) {
+  Tracer t;
+  t.enable(8);
+  EXPECT_TRUE(t.enabled());
+  t.instant("first", "cat", 1, 100);
+  t.complete("second", "cat", 2, 200, 50);
+  ASSERT_EQ(t.recorded(), 2u);
+  const std::vector<TraceEvent> evs = t.events();
+  EXPECT_STREQ(evs[0].name, "first");
+  EXPECT_EQ(evs[0].ph, 'i');
+  EXPECT_STREQ(evs[1].name, "second");
+  EXPECT_EQ(evs[1].ph, 'X');
+  EXPECT_EQ(evs[1].dur, 50u);
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDropped) {
+  Tracer t;
+  t.enable(4);
+  const char* names[] = {"e0", "e1", "e2", "e3", "e4", "e5"};
+  for (std::uint64_t i = 0; i < 6; ++i)
+    t.instant(names[i], "cat", 0, static_cast<Time>(i));
+  EXPECT_EQ(t.recorded(), 4u);
+  EXPECT_EQ(t.dropped(), 2u);
+  const std::vector<TraceEvent> evs = t.events();
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_STREQ(evs.front().name, "e2");  // e0, e1 overwritten
+  EXPECT_STREQ(evs.back().name, "e5");
+}
+
+TEST(Tracer, DisableStopsRecordingClearResets) {
+  Tracer t;
+  t.enable(4);
+  t.instant("kept", "cat", 0, 1);
+  t.disable();
+  t.instant("ignored", "cat", 0, 2);
+  EXPECT_EQ(t.recorded(), 1u);
+  t.clear();
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, ChromeJsonGoldenBytes) {
+  Tracer t;
+  t.enable(8);
+  t.complete("commit", "smr", 3, 120, 17, "counter", 9);
+  t.instant("crash", "fault", 1, 400);
+  t.complete("msg", "net", 2, 10, 4, "from", 1, "ch", 50);
+  EXPECT_EQ(t.to_chrome_json(),
+            "{\"traceEvents\":[\n"
+            "{\"name\":\"commit\",\"cat\":\"smr\",\"ph\":\"X\",\"pid\":0,"
+            "\"tid\":3,\"ts\":120,\"dur\":17,\"args\":{\"counter\":9}},\n"
+            "{\"name\":\"crash\",\"cat\":\"fault\",\"ph\":\"i\",\"pid\":0,"
+            "\"tid\":1,\"ts\":400,\"s\":\"t\"},\n"
+            "{\"name\":\"msg\",\"cat\":\"net\",\"ph\":\"X\",\"pid\":0,"
+            "\"tid\":2,\"ts\":10,\"dur\":4,\"args\":{\"from\":1,\"ch\":50}}"
+            "\n],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+#else  // UNIDIR_OBS_NO_TRACING
+
+TEST(Tracer, StubStaysInertEvenWhenEnabled) {
+  Tracer t;
+  t.enable(1024);
+  EXPECT_FALSE(t.enabled());
+  t.instant("mark", "cat", 0, 1);
+  t.complete("span", "cat", 0, 1, 1);
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.to_chrome_json(),
+            "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+#endif  // UNIDIR_OBS_NO_TRACING
+
+}  // namespace
+}  // namespace unidir::obs

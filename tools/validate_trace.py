@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace JSON file against bench/trace_schema.json.
+
+Stdlib-only interpreter of the JSON-Schema keyword subset the schema
+actually uses: type, required, properties, additionalProperties, items,
+enum, minimum. Not a general validator — if the schema grows a keyword
+this script doesn't know, it fails loudly rather than silently passing.
+
+Usage:
+    python3 tools/validate_trace.py BENCH_trace.json bench/trace_schema.json
+"""
+
+import json
+import sys
+
+KNOWN_KEYWORDS = {
+    "$comment",
+    "type",
+    "required",
+    "properties",
+    "additionalProperties",
+    "items",
+    "enum",
+    "minimum",
+}
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; a JSON true is not an integer.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(value, schema, path, errors):
+    unknown = set(schema) - KNOWN_KEYWORDS
+    if unknown:
+        errors.append(f"{path}: schema uses unsupported keywords {sorted(unknown)}")
+        return
+
+    expected = schema.get("type")
+    if expected is not None and not TYPE_CHECKS[expected](value):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(extra, dict):
+                validate(item, extra, f"{path}.{key}", errors)
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    trace_path, schema_path = argv[1], argv[2]
+    with open(trace_path, "rb") as f:
+        trace = json.load(f)
+    with open(schema_path, "rb") as f:
+        schema = json.load(f)
+
+    errors = []
+    validate(trace, schema, "$", errors)
+    if errors:
+        for e in errors[:20]:
+            print(f"FAIL {trace_path}: {e}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"... and {len(errors) - 20} more", file=sys.stderr)
+        return 1
+
+    events = trace.get("traceEvents", [])
+    print(f"OK {trace_path}: {len(events)} events valid against {schema_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
