@@ -20,6 +20,15 @@
 //     ticks from restart until its execution log matches the peers'
 //     (durable image replay + state transfer, DESIGN.md §9). A replica
 //     that never catches up fails the benchmark regardless of flags.
+//  4. Batch x offered-load sweep — MinBFT n=4 under a closed-loop client
+//     fleet (16 clients), batch sizes {1, 4, 16, 32} crossed with three
+//     outstanding-window levels. Each cell reports requests/sec (wall
+//     clock) and client latency percentiles (virtual ticks); the full
+//     curve lands in BENCH_batch_curve.json and the high-load row's
+//     figures in the flat report. Any invariant violation fails the
+//     benchmark regardless of flags; under --check the high-load speedup
+//     at batch >= 16 must reach kBatchSpeedupFloor and requests/sec must
+//     stay within kRegressionTolerance of the baseline.
 //
 // The throughput phase also aggregates the obs-layer virtual-tick latency
 // histograms (per-slot commit latency at the replicas, end-to-end request
@@ -63,6 +72,10 @@ using namespace unidir::explore;
 namespace {
 
 constexpr double kRegressionTolerance = 0.20;
+/// Batching must buy at least this much at batch >= 16 on the high-load
+/// row — the whole point of amortizing one USIG/signature pair over a
+/// batch. Measured headroom is ~3.3-3.5x on one core.
+constexpr double kBatchSpeedupFloor = 3.0;
 /// Latency percentiles are virtual-tick figures — deterministic per seed —
 /// so the gate has no machine noise to absorb; 25% still leaves room for
 /// intentional protocol tuning without a baseline bump.
@@ -286,6 +299,110 @@ RecoveryResult measure_recovery(std::uint64_t seeds) {
   return res;
 }
 
+// ---- phase 4: batch x offered-load sweep ---------------------------------
+
+ScenarioSpec batch_spec(std::uint64_t batch, std::uint64_t window,
+                        std::uint64_t requests_per_client,
+                        std::uint64_t seed) {
+  ScenarioSpec s;
+  s.protocol = ProtocolKind::MinBft;
+  s.adversary = AdversaryKind::RandomDelay;
+  s.seed = seed;
+  s.n = 4;
+  s.f = 1;
+  s.max_delay = 5;
+  s.batch_size = batch;
+  s.batch_timeout_ticks = 4;
+  s.replica_pipeline = 4;
+  s.workload.clients = 16;
+  s.workload.requests_per_client = requests_per_client;
+  s.workload.open_loop = false;
+  s.workload.max_outstanding = window;
+  s.workload.key_space = 7;
+  s.workload.seed = seed;
+  return s;
+}
+
+struct BatchCell {
+  std::uint64_t batch = 0;
+  std::uint64_t window = 0;
+  double rps = 0;
+  double speedup_vs_b1 = 0;  // same window, batch 1
+  std::uint64_t completed = 0;
+  std::uint64_t client_p50 = 0;
+  std::uint64_t client_p95 = 0;
+};
+
+struct BatchSweepResult {
+  std::vector<BatchCell> cells;
+  std::uint64_t violations = 0;
+  std::uint64_t gate_window = 0;  // the high-load row the gates read
+  double rps_b1 = 0;
+  double rps_b16 = 0;
+  double rps_b32 = 0;
+  double speedup_16v1 = 0;
+  double speedup_32v1 = 0;
+};
+
+/// Requests/sec is completed requests over wall seconds — the client-fleet
+/// analogue of phase 1's events/sec. Latency percentiles come from the
+/// virtual-tick client histogram of the first seed, so they are
+/// deterministic while the rates absorb machine noise.
+BatchSweepResult measure_batching(bool smoke) {
+  const std::uint64_t requests_per_client = smoke ? 16 : 32;
+  const std::uint64_t seeds = smoke ? 3 : 6;
+  const std::uint64_t windows[] = {2, 8, 16};
+  const std::uint64_t batches[] = {1, 4, 16, 32};
+
+  const InvariantRegistry reg = InvariantRegistry::standard_smr();
+  (void)run_scenario(batch_spec(1, 8, requests_per_client, 1), reg);
+
+  BatchSweepResult res;
+  res.gate_window = 16;
+  for (std::uint64_t window : windows) {
+    double rps_b1 = 0;
+    for (std::uint64_t batch : batches) {
+      BatchCell cell;
+      cell.batch = batch;
+      cell.window = window;
+      obs::HistogramData latency;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        const RunOutcome out =
+            run_scenario(batch_spec(batch, window, requests_per_client, seed),
+                         reg);
+        cell.completed += out.completed;
+        if (out.violation) ++res.violations;
+        if (seed == 1)
+          if (const obs::HistogramData* h =
+                  out.metrics.find_histogram("client.latency_ticks"))
+            latency.merge(*h);
+      }
+      const double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      if (secs > 0) cell.rps = static_cast<double>(cell.completed) / secs;
+      if (batch == 1) rps_b1 = cell.rps;
+      cell.speedup_vs_b1 = rps_b1 > 0 ? cell.rps / rps_b1 : 0;
+      cell.client_p50 = latency.quantile(0.50);
+      cell.client_p95 = latency.quantile(0.95);
+      res.cells.push_back(cell);
+      if (window == res.gate_window) {
+        if (batch == 1) res.rps_b1 = cell.rps;
+        if (batch == 16) {
+          res.rps_b16 = cell.rps;
+          res.speedup_16v1 = cell.speedup_vs_b1;
+        }
+        if (batch == 32) {
+          res.rps_b32 = cell.rps;
+          res.speedup_32v1 = cell.speedup_vs_b1;
+        }
+      }
+    }
+  }
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -294,6 +411,7 @@ int main(int argc, char** argv) {
   std::string baseline_path = "bench/baseline_hotpath.json";
   std::string out_path = "BENCH_hotpath.json";
   std::string trace_out_path = "BENCH_trace.json";
+  std::string curve_out_path = "BENCH_batch_curve.json";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -314,10 +432,12 @@ int main(int argc, char** argv) {
       out_path = value();
     else if (arg == "--trace-out")
       trace_out_path = value();
+    else if (arg == "--curve-out")
+      curve_out_path = value();
     else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--check] [--baseline PATH] "
-                   "[--out PATH] [--trace-out PATH]\n",
+                   "[--out PATH] [--trace-out PATH] [--curve-out PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -398,6 +518,42 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(rec.entries_recovered),
       rec.all_caught_up ? "all caught up" : "CATCH-UP FAILED");
 
+  std::printf("phase 4: batch x offered-load sweep\n");
+  const BatchSweepResult bt = measure_batching(smoke);
+  for (const BatchCell& c : bt.cells)
+    std::printf(
+        "  window=%2llu batch=%2llu: %8.0f req/s (%.2fx vs batch 1), "
+        "client p50 %llu p95 %llu ticks, %llu completed\n",
+        static_cast<unsigned long long>(c.window),
+        static_cast<unsigned long long>(c.batch), c.rps, c.speedup_vs_b1,
+        static_cast<unsigned long long>(c.client_p50),
+        static_cast<unsigned long long>(c.client_p95),
+        static_cast<unsigned long long>(c.completed));
+  if (bt.violations > 0)
+    std::printf("  INVARIANT VIOLATIONS: %llu\n",
+                static_cast<unsigned long long>(bt.violations));
+
+  {
+    std::ofstream curve(curve_out_path);
+    curve << "{\n"
+          << "  \"scenario\": \"minbft-4replica-batch-curve\",\n"
+          << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+          << "  \"gate_window\": " << bt.gate_window << ",\n"
+          << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < bt.cells.size(); ++i) {
+      const BatchCell& c = bt.cells[i];
+      curve << "    {\"batch\": " << c.batch << ", \"window\": " << c.window
+            << ", \"requests_per_sec\": " << c.rps
+            << ", \"speedup_vs_b1\": " << c.speedup_vs_b1
+            << ", \"client_p50_ticks\": " << c.client_p50
+            << ", \"client_p95_ticks\": " << c.client_p95
+            << ", \"completed\": " << c.completed << "}"
+            << (i + 1 < bt.cells.size() ? "," : "") << "\n";
+    }
+    curve << "  ]\n}\n";
+    std::printf("wrote %s\n", curve_out_path.c_str());
+  }
+
   // One traced seed-1 run for the artifact: under UNIDIR_OBS_TRACING=OFF
   // this writes the empty-but-valid trace skeleton, which still validates.
   {
@@ -461,7 +617,14 @@ int main(int argc, char** argv) {
         << "  \"recovery_entries_recovered\": " << rec.entries_recovered
         << ",\n"
         << "  \"recovery_all_caught_up\": "
-        << (rec.all_caught_up ? "true" : "false") << "\n"
+        << (rec.all_caught_up ? "true" : "false") << ",\n"
+        << "  \"batch_gate_window\": " << bt.gate_window << ",\n"
+        << "  \"batch_rps_b1\": " << bt.rps_b1 << ",\n"
+        << "  \"batch_rps_b16\": " << bt.rps_b16 << ",\n"
+        << "  \"batch_rps_b32\": " << bt.rps_b32 << ",\n"
+        << "  \"batch_speedup_16v1\": " << bt.speedup_16v1 << ",\n"
+        << "  \"batch_speedup_32v1\": " << bt.speedup_32v1 << ",\n"
+        << "  \"batch_violations\": " << bt.violations << "\n"
         << "}\n";
     std::printf("wrote %s\n", out_path.c_str());
   }
@@ -476,6 +639,44 @@ int main(int argc, char** argv) {
                  "FAIL: restarted replica never reached its peers' "
                  "execution frontier\n");
     return 1;
+  }
+  if (bt.violations > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu invariant violations in the batching sweep\n",
+                 static_cast<unsigned long long>(bt.violations));
+    return 1;
+  }
+  if (check) {
+    // Requests/sec must still scale with the batch: the best high-load
+    // speedup at batch >= 16 carries the gate.
+    const double best = std::max(bt.speedup_16v1, bt.speedup_32v1);
+    if (best < kBatchSpeedupFloor) {
+      std::fprintf(stderr,
+                   "FAIL: batching speedup %.2fx at batch >= 16 is below "
+                   "the %.1fx floor\n",
+                   best, kBatchSpeedupFloor);
+      return 1;
+    }
+    struct RpsGate {
+      const char* key;
+      double current;
+    };
+    const RpsGate rps_gates[] = {
+        {"batch_rps_b1", bt.rps_b1},
+        {"batch_rps_b16", bt.rps_b16},
+    };
+    for (const RpsGate& g : rps_gates) {
+      const double base = json_number(baseline_text, g.key, 0);
+      if (base <= 0) continue;  // baseline predates the batching sweep
+      if (g.current < (1.0 - kRegressionTolerance) * base) {
+        std::fprintf(stderr,
+                     "FAIL: %s regressed >%.0f%% vs baseline "
+                     "(%.0f < %.0f)\n",
+                     g.key, 100.0 * kRegressionTolerance, g.current,
+                     (1.0 - kRegressionTolerance) * base);
+        return 1;
+      }
+    }
   }
   if (check && baseline_eps > 0 &&
       tp.events_per_sec < (1.0 - kRegressionTolerance) * baseline_eps) {

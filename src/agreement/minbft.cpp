@@ -27,6 +27,34 @@ Bytes commit_binding(ViewNum view, SeqNum primary_counter,
   return w.take();
 }
 
+/// Digest of the whole batch: what one UI attests to in batched mode.
+/// Hashing the serialized command vector (length included) makes batch
+/// boundaries part of the attestation — a batch cannot be split or merged
+/// without invalidating the UI.
+Bytes batch_digest(const std::vector<Command>& cmds) {
+  serde::Writer w;
+  serde::write(w, cmds);
+  return crypto::digest_bytes(crypto::Sha256::hash(w.take()));
+}
+
+Bytes batch_prepare_binding(ViewNum view, const std::vector<Command>& cmds) {
+  serde::Writer w;
+  w.str("minbft-bprep");
+  w.uvarint(view);
+  w.bytes(batch_digest(cmds));
+  return w.take();
+}
+
+Bytes batch_commit_binding(ViewNum view, SeqNum primary_counter,
+                           const std::vector<Command>& cmds) {
+  serde::Writer w;
+  w.str("minbft-bcomm");
+  w.uvarint(view);
+  w.uvarint(primary_counter);
+  w.bytes(batch_digest(cmds));
+  return w.take();
+}
+
 Bytes checkpoint_binding(std::uint64_t executed, const Bytes& digest) {
   serde::Writer w;
   w.str("minbft-cp");
@@ -294,6 +322,57 @@ struct Recover {
   }
 };
 
+/// Batched-mode PREPARE: one UI attests the digest of the whole command
+/// vector, amortizing the trusted-counter step across the batch (the
+/// paper's per-attestation cost argument; dsnet's MinBFT does the same).
+struct BatchPrepare {
+  static constexpr wire::MsgDesc kDesc{9, "minbft-batch-prepare"};
+
+  ViewNum view = 0;
+  std::vector<Command> cmds;
+  trusted::UniqueIdentifier ui;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(view);
+    serde::write(w, cmds);
+    ui.encode(w);
+  }
+  static BatchPrepare decode(serde::Reader& r) {
+    BatchPrepare p;
+    p.view = r.uvarint();
+    p.cmds = serde::read<std::vector<Command>>(r);
+    p.ui = trusted::UniqueIdentifier::decode(r);
+    return p;
+  }
+};
+
+/// Batched-mode COMMIT. Like the singleton COMMIT it carries the full
+/// PREPARE content, so it can open the slot at replicas the BATCH-PREPARE
+/// never reached.
+struct BatchCommit {
+  static constexpr wire::MsgDesc kDesc{10, "minbft-batch-commit"};
+
+  ViewNum view = 0;
+  std::vector<Command> cmds;
+  trusted::UniqueIdentifier primary_ui;
+  trusted::UniqueIdentifier replica_ui;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(view);
+    serde::write(w, cmds);
+    primary_ui.encode(w);
+    replica_ui.encode(w);
+  }
+  static BatchCommit decode(serde::Reader& r) {
+    BatchCommit c;
+    c.view = r.uvarint();
+    c.cmds = serde::read<std::vector<Command>>(r);
+    c.primary_ui = trusted::UniqueIdentifier::decode(r);
+    c.replica_ui = trusted::UniqueIdentifier::decode(r);
+    return c;
+  }
+};
+
 }  // namespace minbft_wire
 
 using namespace minbft_wire;
@@ -319,6 +398,16 @@ Bytes MinBftReplica::encode_prepare_for_test(UsigDirectory& usigs,
   p.view = view;
   p.cmd = cmd;
   p.ui = usigs.create_ui(as, prepare_binding(view, cmd));
+  return wire::encode_tagged(p);
+}
+
+Bytes MinBftReplica::encode_batch_prepare_for_test(
+    UsigDirectory& usigs, ProcessId as, ViewNum view,
+    const std::vector<Command>& cmds) {
+  BatchPrepare p;
+  p.view = view;
+  p.cmds = cmds;
+  p.ui = usigs.create_ui(as, batch_prepare_binding(view, cmds));
   return wire::encode_tagged(p);
 }
 
@@ -365,6 +454,12 @@ MinBftReplica::MinBftReplica(Options options, UsigDirectory& usigs,
   protocol_router_.on<Recover>([this](ProcessId from, Recover rc) {
     handle_recover(from, std::move(rc));
   });
+  protocol_router_.on<BatchPrepare>([this](ProcessId from, BatchPrepare p) {
+    handle_batch_prepare(from, std::move(p));
+  });
+  protocol_router_.on<BatchCommit>([this](ProcessId from, BatchCommit c) {
+    handle_batch_commit(from, std::move(c));
+  });
   initial_snapshot_ = machine_->snapshot();
 }
 
@@ -389,13 +484,21 @@ void MinBftReplica::on_request(ProcessId from, Command cmd) {
   }
   const bool fresh = pending_.emplace(cmd.key(), cmd).second;
   if (fresh) arm_request_timer(cmd);
-  if (!in_view_change_ && is_primary()) propose(cmd);
+  if (!in_view_change_ && is_primary()) {
+    if (batched()) {
+      enqueue_batch(cmd);
+      maybe_flush_batch();
+    } else {
+      propose(cmd);
+    }
+  }
 }
 
 void MinBftReplica::propose(const Command& cmd) {
   // A command may only occupy one slot per view.
   for (const auto& [counter, slot] : slots_)
-    if (slot.cmd.key() == cmd.key()) return;
+    for (const Command& slotted : slot.cmds)
+      if (slotted.key() == cmd.key()) return;
 
   Prepare p;
   p.view = view_;
@@ -406,21 +509,85 @@ void MinBftReplica::propose(const Command& cmd) {
   ui_high_[id()] = p.ui.counter;
   protocol_router_.broadcast(p);
   // Our own PREPARE is our commit vote.
-  accept_slot(p.view, p.cmd, p.ui);
+  accept_slot(p.view, {p.cmd}, p.ui);
+  try_execute();
+}
+
+void MinBftReplica::enqueue_batch(const Command& cmd) {
+  // Admission, not dedup-against-execution: view-change re-proposals must
+  // re-batch even already-executed commands (see maybe_assume_primacy).
+  if (slotted_keys_.contains(cmd.key())) return;
+  if (!queued_keys_.insert(cmd.key()).second) return;
+  batch_queue_.push_back(cmd);
+}
+
+std::size_t MinBftReplica::inflight_slots() const {
+  if (next_exec_counter_ == 0) return slots_.size();
+  return static_cast<std::size_t>(std::distance(
+      slots_.lower_bound(next_exec_counter_), slots_.end()));
+}
+
+void MinBftReplica::maybe_flush_batch() {
+  if (!batched() || batch_flushing_) return;
+  if (in_view_change_ || !is_primary()) return;
+  batch_flushing_ = true;
+  while (!batch_queue_.empty() &&
+         inflight_slots() < options_.pipeline_depth &&
+         (batch_queue_.size() >= options_.batch_size ||
+          options_.batch_timeout == 0 || batch_ripe_)) {
+    std::vector<Command> cmds;
+    const std::size_t take =
+        std::min<std::size_t>(options_.batch_size, batch_queue_.size());
+    cmds.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      queued_keys_.erase(batch_queue_.front().key());
+      cmds.push_back(std::move(batch_queue_.front()));
+      batch_queue_.pop_front();
+    }
+    propose_batch(std::move(cmds));
+  }
+  batch_flushing_ = false;
+  if (batch_queue_.empty()) {
+    batch_ripe_ = false;
+    return;
+  }
+  // A partial batch waits for batch_timeout before going out underfull;
+  // once ripe it (and anything queued behind a full pipeline) flushes at
+  // the next opportunity.
+  if (!batch_ripe_ && !batch_timer_armed_) {
+    batch_timer_armed_ = true;
+    set_timer(options_.batch_timeout, [this] {
+      batch_timer_armed_ = false;
+      if (batch_queue_.empty()) return;
+      batch_ripe_ = true;
+      maybe_flush_batch();
+    });
+  }
+}
+
+void MinBftReplica::propose_batch(std::vector<Command> cmds) {
+  BatchPrepare p;
+  p.view = view_;
+  p.cmds = std::move(cmds);
+  p.ui = usigs_.create_ui(id(), batch_prepare_binding(view_, p.cmds));
+  ui_high_[id()] = p.ui.counter;  // see propose()
+  protocol_router_.broadcast(p);
+  // As in the singleton path, the primary's BATCH-PREPARE is its vote.
+  accept_slot(p.view, p.cmds, p.ui);
   try_execute();
 }
 
 // ---- protocol messages ----------------------------------------------------------
 
 bool MinBftReplica::accept_slot(ViewNum view,
-                                const Command& cmd,
+                                const std::vector<Command>& cmds,
                                 const trusted::UniqueIdentifier& primary_ui) {
   if (view != view_ || in_view_change_) return false;
   auto it = slots_.find(primary_ui.counter);
   if (it != slots_.end()) {
-    // USIG uniqueness: a second, different command under the same counter
+    // USIG uniqueness: a second, different batch under the same counter
     // cannot verify; matching content just merges.
-    return it->second.cmd == cmd;
+    return it->second.cmds == cmds;
   }
   if (view_base_counter_ == 0) {
     view_base_counter_ = primary_ui.counter;
@@ -429,12 +596,18 @@ bool MinBftReplica::accept_slot(ViewNum view,
     return false;  // before this view's window
   }
   Slot slot;
-  slot.cmd = cmd;
+  slot.cmds = cmds;
   slot.primary_ui = primary_ui;
   slot.committers.insert(primary_of(view_));
   slot.accepted_at = world().now();
   slots_.emplace(primary_ui.counter, std::move(slot));
-  vc_archive_.push_back({view, primary_ui.counter, cmd});
+  // One archive entry per command: batch members share (view, counter) in
+  // batch order, so a new primary can rebuild proposal order command by
+  // command even if it only ever saw parts of the history.
+  for (const Command& cmd : cmds) {
+    vc_archive_.push_back({view, primary_ui.counter, cmd});
+    if (batched()) slotted_keys_.insert(cmd.key());
+  }
   return true;
 }
 
@@ -482,7 +655,7 @@ void MinBftReplica::handle_prepare(ProcessId from, Prepare p) {
   sequenced(from, p.ui.counter, [this, from, p]() {
     when_in_view(p.view, [this, from, p]() {
       if (from != primary_of(view_)) return;
-      if (!accept_slot(p.view, p.cmd, p.ui)) return;
+      if (!accept_slot(p.view, {p.cmd}, p.ui)) return;
       maybe_send_own_commit(p.ui.counter);
       // The request is now in flight under this view; make sure a timer
       // guards it even if the client's REQUEST never reached us directly.
@@ -511,7 +684,51 @@ void MinBftReplica::handle_commit(ProcessId from, Commit c) {
         if (from == primary_of(view_)) return;  // its vote is its PREPARE
         // A COMMIT carries the full PREPARE, so it can open the slot (and
         // prompt our own vote) even if the PREPARE itself never reached us.
-        if (!accept_slot(c.view, c.cmd, c.primary_ui)) return;
+        if (!accept_slot(c.view, {c.cmd}, c.primary_ui)) return;
+        slots_.at(c.primary_ui.counter).committers.insert(from);
+        maybe_send_own_commit(c.primary_ui.counter);
+        try_execute();
+      });
+    });
+  });
+}
+
+void MinBftReplica::handle_batch_prepare(ProcessId from, BatchPrepare p) {
+  if (from == id()) return;
+  if (p.cmds.empty()) return;  // an attested empty batch orders nothing
+  if (!usigs_.verify(from, p.ui, batch_prepare_binding(p.view, p.cmds)))
+    return;
+  sequenced(from, p.ui.counter, [this, from, p]() {
+    when_in_view(p.view, [this, from, p]() {
+      if (from != primary_of(view_)) return;
+      if (!accept_slot(p.view, p.cmds, p.ui)) return;
+      maybe_send_own_commit(p.ui.counter);
+      // Guard every batch member with a timer, as the singleton path does
+      // for its one command (see handle_prepare).
+      for (const Command& cmd : p.cmds)
+        if (!dedup_.lookup(cmd) && pending_.emplace(cmd.key(), cmd).second)
+          arm_request_timer(cmd);
+      try_execute();
+    });
+  });
+}
+
+void MinBftReplica::handle_batch_commit(ProcessId from, BatchCommit c) {
+  if (from == id()) return;
+  if (c.cmds.empty()) return;
+  const ProcessId prepare_author = primary_of(c.view);
+  if (!usigs_.verify(prepare_author, c.primary_ui,
+                     batch_prepare_binding(c.view, c.cmds)))
+    return;
+  if (!usigs_.verify(from, c.replica_ui,
+                     batch_commit_binding(c.view, c.primary_ui.counter,
+                                          c.cmds)))
+    return;
+  sequenced(from, c.replica_ui.counter, [this, from, c, prepare_author]() {
+    sequenced(prepare_author, c.primary_ui.counter, [this, from, c]() {
+      when_in_view(c.view, [this, from, c]() {
+        if (from == primary_of(view_)) return;  // its vote is its PREPARE
+        if (!accept_slot(c.view, c.cmds, c.primary_ui)) return;
         slots_.at(c.primary_ui.counter).committers.insert(from);
         maybe_send_own_commit(c.primary_ui.counter);
         try_execute();
@@ -533,31 +750,49 @@ void MinBftReplica::maybe_send_own_commit(SeqNum primary_counter) {
   if (is_primary()) return;
   Slot& slot = slots_.at(primary_counter);
   if (!slot.committers.insert(id()).second) return;
+  if (batched()) {
+    BatchCommit c;
+    c.view = view_;
+    c.cmds = slot.cmds;
+    c.primary_ui = slot.primary_ui;
+    c.replica_ui = usigs_.create_ui(
+        id(), batch_commit_binding(view_, primary_counter, slot.cmds));
+    ui_high_[id()] = c.replica_ui.counter;  // see propose()
+    protocol_router_.broadcast(c);
+    return;
+  }
   Commit c;
   c.view = view_;
-  c.cmd = slot.cmd;
+  c.cmd = slot.cmds.front();
   c.primary_ui = slot.primary_ui;
   c.replica_ui = usigs_.create_ui(
-      id(), commit_binding(view_, primary_counter, slot.cmd));
+      id(), commit_binding(view_, primary_counter, slot.cmds.front()));
   ui_high_[id()] = c.replica_ui.counter;  // see propose()
   protocol_router_.broadcast(c);
 }
 
 void MinBftReplica::try_execute() {
-  if (next_exec_counter_ == 0) return;
-  while (true) {
+  while (next_exec_counter_ != 0) {
     auto it = slots_.find(next_exec_counter_);
-    if (it == slots_.end()) return;
+    if (it == slots_.end()) break;
     Slot& slot = it->second;
     if (slot.executed) {
       ++next_exec_counter_;
       continue;
     }
-    if (slot.committers.size() < options_.commit_quorum) return;
+    if (slot.committers.size() < options_.commit_quorum) break;
     // Below a NEW-VIEW's execution floor, a fresh command would land at
     // the wrong log index; wait for state transfer. Dedup'd re-executions
-    // never append, so they stay allowed (and keep clients served).
-    if (log_.size() < exec_floor_ && !dedup_.lookup(slot.cmd)) return;
+    // never append, so they stay allowed (and keep clients served). A
+    // batch executes only once *every* member is settled or executable.
+    if (log_.size() < exec_floor_) {
+      const bool all_deduped =
+          std::all_of(slot.cmds.begin(), slot.cmds.end(),
+                      [this](const Command& cmd) {
+                        return dedup_.lookup(cmd).has_value();
+                      });
+      if (!all_deduped) break;
+    }
     // Advance the cursor before executing: execute() may hit a checkpoint
     // boundary and persist(), and the durable image must record the
     // *post*-execution cursor. An image saying "log holds k entries, next
@@ -567,26 +802,47 @@ void MinBftReplica::try_execute() {
     ++next_exec_counter_;
     execute(slot);
   }
+  // Executions free pipeline room; admit whatever is queued behind it.
+  if (batched()) maybe_flush_batch();
 }
 
 void MinBftReplica::execute(Slot& slot) {
   slot.executed = true;
-  Bytes result;
-  if (const auto cached = dedup_.lookup(slot.cmd)) {
-    result = *cached;  // exactly-once: re-proposed after a view change
-  } else {
-    result = machine_->apply(slot.cmd.op);
-    dedup_.record(slot.cmd, result);
-    log_.append({slot.cmd, result});
-    const Time latency = world().now() - slot.accepted_at;
-    world().metrics().histogram("smr.commit_latency_ticks").record(latency);
-    world().tracer().complete("commit", "smr", id(), slot.accepted_at,
-                              latency, "counter", slot.primary_ui.counter);
-    output("smr-exec", serde::encode(slot.cmd));
-    maybe_checkpoint();
+  if (batched()) {
+    // Atomicity witness for the explorer: which requests this slot
+    // committed as one batch, in execution order (see the batch-atomicity
+    // invariant). Only emitted in batched mode, so unbatched transcripts —
+    // and hence fingerprints — are unchanged.
+    serde::Writer w;
+    w.uvarint(view_);
+    w.uvarint(slot.primary_ui.counter);
+    w.uvarint(slot.cmds.size());
+    for (const Command& cmd : slot.cmds) {
+      w.uvarint(cmd.client);
+      w.uvarint(cmd.request_id);
+    }
+    output("smr-batch", w.take());
   }
-  pending_.erase(slot.cmd.key());
-  reply_to(slot.cmd, result);
+  for (const Command& cmd : slot.cmds) {
+    Bytes result;
+    if (const auto cached = dedup_.lookup(cmd)) {
+      // Exactly-once: re-proposed after a view change, or a retry that
+      // landed in a later batch than its first commit.
+      result = *cached;
+    } else {
+      result = machine_->apply(cmd.op);
+      dedup_.record(cmd, result);
+      log_.append({cmd, result});
+      const Time latency = world().now() - slot.accepted_at;
+      world().metrics().histogram("smr.commit_latency_ticks").record(latency);
+      world().tracer().complete("commit", "smr", id(), slot.accepted_at,
+                                latency, "counter", slot.primary_ui.counter);
+      output("smr-exec", serde::encode(cmd));
+      maybe_checkpoint();
+    }
+    pending_.erase(cmd.key());
+    reply_to(cmd, result);
+  }
 }
 
 void MinBftReplica::reply_to(const Command& cmd, const Bytes& result) {
@@ -748,8 +1004,17 @@ void MinBftReplica::handle_view_change(ProcessId from, ViewChange vc) {
 void MinBftReplica::maybe_assume_primacy(ViewNum target) {
   if (primary_of(target) != id()) return;
   if (target <= view_) return;
+  // Merge quorum: n - f reports (= f + 1 at MinBFT's native n = 2f + 1).
+  // The count must intersect every commit quorum — commit_quorum + (n - f)
+  // > n whenever commit_quorum > f — or a slot committed at a replica
+  // outside the reports vanishes from the new view's re-proposals and the
+  // logs fork. At n > 2f + 1 (the bench's n = 4, f = 1) f + 1 reports do
+  // not intersect a commit quorum of f + 1; pipelined slots keep enough
+  // proposals in flight at view-change time to hit that hole constantly.
+  const std::size_t merge_quorum = std::max<std::size_t>(
+      options_.f + 1, options_.replicas.size() - options_.f);
   auto it = vc_msgs_.find(target);
-  if (it == vc_msgs_.end() || it->second.size() < options_.f + 1) return;
+  if (it == vc_msgs_.end() || it->second.size() < merge_quorum) return;
 
   // Archives are pruned below stable checkpoints, so re-proposals can only
   // realign peers above the reported stable frontier. A primary still
@@ -774,19 +1039,58 @@ void MinBftReplica::maybe_assume_primacy(ViewNum target) {
   protocol_router_.broadcast(nv);
   enter_view(target);
 
-  // Re-propose in a consistent order: first every reported slot, sorted
-  // by its ORIGINAL (view, counter) — so replicas that already executed a
-  // command and replicas executing it only now agree on its position —
-  // then never-slotted requests in deterministic key order. Exactly-once
-  // is preserved by per-client deduplication at execution time.
-  std::map<std::tuple<ViewNum, SeqNum>, Command> slotted;
+  // Re-propose in a consistent order: every reported slot, ranked by its
+  // most RECENT reported (view, counter) — newest view first, counter
+  // order within a view — then never-slotted requests in deterministic
+  // key order. Exactly-once is preserved by per-client deduplication at
+  // execution time.
+  //
+  // Why newest view first: the order must extend every correct replica's
+  // execution order above the stable frontier. If some replica executed A
+  // before B there, B's commit quorum intersects this merge quorum, so a
+  // reporter accepted B's latest slot — and per-primary USIG sequencing
+  // makes within-view accepts prefixes of the proposal stream, so that
+  // reporter accepted A's slot in the same view too (agendas re-propose A
+  // before B inductively). Hence A's newest reported view >= B's, and
+  // ranking views downward never inverts an executed pair. Ascending
+  // original (view, counter) — the obvious order — is WRONG: a stale slot
+  // from an old view that never committed (so was never executed, never
+  // pruned) sorts ahead of newer slots, and a replica that executed one of
+  // those newer slots pre-view-change holds its command at an earlier log
+  // position than peers replaying the agenda — divergent logs (found by
+  // the batching sweep under pipelined view changes).
+  //
+  // Batch members share their slot's (view, counter); stable sort keeps
+  // their first-reported (= batch) order.
+  struct Ranked {
+    ViewNum view;
+    SeqNum counter;
+    Command cmd;
+  };
+  std::map<std::pair<ProcessId, std::uint64_t>, std::size_t> index;
+  std::vector<Ranked> ranked;
   std::map<std::pair<ProcessId, std::uint64_t>, Command> loose;
-  std::set<std::pair<ProcessId, std::uint64_t>> seen;
   for (const auto& [reporter, report] : it->second) {
-    for (const VcEntry& e : report.entries)
-      slotted.emplace(std::make_tuple(e.view, e.counter), e.cmd);
+    for (const VcEntry& e : report.entries) {
+      auto [pos, fresh] = index.emplace(e.cmd.key(), ranked.size());
+      if (fresh) {
+        ranked.push_back({e.view, e.counter, e.cmd});
+      } else {
+        Ranked& r = ranked[pos->second];
+        if (std::tie(e.view, e.counter) > std::tie(r.view, r.counter)) {
+          r.view = e.view;
+          r.counter = e.counter;
+        }
+      }
+    }
     for (const Command& cmd : report.pending) loose.emplace(cmd.key(), cmd);
   }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) {
+                     if (a.view != b.view) return a.view > b.view;
+                     return a.counter < b.counter;
+                   });
+  std::set<std::pair<ProcessId, std::uint64_t>> seen;
   auto consider = [&](const Command& cmd) {
     if (!seen.insert(cmd.key()).second) return;
     // Re-propose even commands this replica has already executed: a
@@ -799,10 +1103,16 @@ void MinBftReplica::maybe_assume_primacy(ViewNum target) {
     // by dedup at execution time.
     if (!dedup_.lookup(cmd) && pending_.emplace(cmd.key(), cmd).second)
       arm_request_timer(cmd);
-    propose(cmd);
+    if (batched())
+      enqueue_batch(cmd);
+    else
+      propose(cmd);
   };
-  for (const auto& [order, cmd] : slotted) consider(cmd);
+  for (const Ranked& r : ranked) consider(r.cmd);
   for (const auto& [key, cmd] : loose) consider(cmd);
+  // Batched mode re-proposes through the same queue/flush machinery, so
+  // re-proposals regroup into fresh batches under the new view's keys.
+  if (batched()) maybe_flush_batch();
 }
 
 void MinBftReplica::handle_new_view(ProcessId from, NewView nv) {
@@ -833,6 +1143,13 @@ void MinBftReplica::enter_view(ViewNum v) {
   slots_.clear();
   view_base_counter_ = 0;
   next_exec_counter_ = 0;
+  // Per-view batching state dies with the view: queued commands stay in
+  // pending_ (and in peers' view-change reports), so the new primary —
+  // whoever it is — re-admits them.
+  batch_queue_.clear();
+  queued_keys_.clear();
+  slotted_keys_.clear();
+  batch_ripe_ = false;
   if (deferred_primacy_ && *deferred_primacy_ <= v) deferred_primacy_.reset();
   persist();  // view entry is a durability boundary (see DESIGN.md §9)
   // Replay protocol messages that arrived for this view before we entered
@@ -885,6 +1202,12 @@ void MinBftReplica::on_recover(sim::DurableStore& durable) {
   deferred_primacy_.reset();
   state_probe_ = false;
   state_attempts_ = 0;
+  batch_queue_.clear();
+  queued_keys_.clear();
+  slotted_keys_.clear();
+  batch_ripe_ = false;
+  batch_timer_armed_ = false;
+  batch_flushing_ = false;
   machine_->restore(initial_snapshot_);
   if (const auto img =
           durable.get_value<DurableImage>(std::string(kDurableKey))) {
@@ -997,6 +1320,20 @@ void MinBftReplica::install_bundle(const StateReply& b) {
     log_ = b.core.log;
     machine_->restore(b.core.machine_snapshot);
     dedup_ = b.core.dedup;
+    if (batched()) {
+      // Witness for the batch-atomicity checker: these commands' effects
+      // arrived via state transfer, so no "smr-exec" output will ever
+      // record them. Batched mode only — unbatched transcripts (and their
+      // golden fingerprints) must not change.
+      serde::Writer iw;
+      const auto installed = dedup_.keys();
+      iw.uvarint(installed.size());
+      for (const auto& [client, rid] : installed) {
+        iw.uvarint(client);
+        iw.uvarint(rid);
+      }
+      output("smr-install", iw.take());
+    }
   }
   if (b.stable > stable_checkpoint_) stable_checkpoint_ = b.stable;
   exec_floor_ = std::max(exec_floor_, b.exec_floor);

@@ -43,6 +43,7 @@
 // skip a committed slot.
 #pragma once
 
+#include <deque>
 #include <set>
 
 #include "agreement/client.h"
@@ -75,6 +76,8 @@ struct NewView;
 struct StateRequest;
 struct StateReply;
 struct Recover;
+struct BatchPrepare;
+struct BatchCommit;
 }  // namespace minbft_wire
 
 class MinBftReplica final : public sim::Process {
@@ -89,6 +92,17 @@ class MinBftReplica final : public sim::Process {
     /// certainty per slot, more latency, and liveness only while that
     /// many replicas are responsive.
     std::size_t commit_quorum = 0;
+    /// Max client requests amortized into one attested slot. With the
+    /// defaults (batch_size = 1, pipeline_depth = 1) the replica runs the
+    /// original one-command-per-slot wire protocol bit-for-bit; any other
+    /// setting switches the proposal path to BATCH-PREPARE/BATCH-COMMIT,
+    /// where one UI signs the whole batch digest.
+    std::size_t batch_size = 1;
+    /// How long (ticks) a non-empty partial batch may wait for more
+    /// requests before the primary flushes it anyway. 0 = never hold.
+    Time batch_timeout = 4;
+    /// Max proposed-but-unexecuted slots the primary keeps in flight.
+    std::size_t pipeline_depth = 1;
   };
 
   MinBftReplica(Options options, UsigDirectory& usigs,
@@ -112,6 +126,11 @@ class MinBftReplica final : public sim::Process {
   /// adversarial tests can drive Byzantine primaries by hand.
   static Bytes encode_prepare_for_test(UsigDirectory& usigs, ProcessId as,
                                        ViewNum view, const Command& cmd);
+  /// Batched analogue of encode_prepare_for_test: one UI over the batch
+  /// digest, so tests can plant batches (including malformed ones).
+  static Bytes encode_batch_prepare_for_test(UsigDirectory& usigs,
+                                             ProcessId as, ViewNum view,
+                                             const std::vector<Command>& cmds);
 
  protected:
   void on_start() override;
@@ -119,12 +138,16 @@ class MinBftReplica final : public sim::Process {
 
  private:
   struct Slot {
-    Command cmd;
+    std::vector<Command> cmds;  // the batch, in execution order (size 1 unbatched)
     trusted::UniqueIdentifier primary_ui;
     std::set<ProcessId> committers;  // includes the primary and self
     bool executed = false;
     Time accepted_at = 0;  // when this replica first saw the proposal
   };
+
+  bool batched() const {
+    return options_.batch_size > 1 || options_.pipeline_depth > 1;
+  }
 
   ProcessId primary_of(ViewNum v) const {
     return options_.replicas[static_cast<std::size_t>(v) %
@@ -137,6 +160,8 @@ class MinBftReplica final : public sim::Process {
   void on_request(ProcessId from, Command cmd);
   void handle_prepare(ProcessId from, minbft_wire::Prepare p);
   void handle_commit(ProcessId from, minbft_wire::Commit c);
+  void handle_batch_prepare(ProcessId from, minbft_wire::BatchPrepare p);
+  void handle_batch_commit(ProcessId from, minbft_wire::BatchCommit c);
 
   /// The sequential-UI rule of MinBFT: a receiver processes each sender's
   /// UI-stamped messages strictly in counter order. `action` runs when
@@ -182,7 +207,15 @@ class MinBftReplica final : public sim::Process {
 
   // normal path
   void propose(const Command& cmd);
-  bool accept_slot(ViewNum view, const Command& cmd,
+  /// Batched proposal path (see Options::batch_size): queue admission,
+  /// flush policy (full batch / ripe timeout / pipeline room), and the
+  /// BATCH-PREPARE broadcast itself.
+  void enqueue_batch(const Command& cmd);
+  void maybe_flush_batch();
+  void propose_batch(std::vector<Command> cmds);
+  /// Proposed-but-unexecuted slots (the primary's in-flight window).
+  std::size_t inflight_slots() const;
+  bool accept_slot(ViewNum view, const std::vector<Command>& cmds,
                    const trusted::UniqueIdentifier& primary_ui);
   /// Casts and broadcasts this replica's COMMIT for an accepted slot
   /// (no-op for the primary, whose PREPARE is its vote).
@@ -233,6 +266,15 @@ class MinBftReplica final : public sim::Process {
   std::map<std::pair<ProcessId, std::uint64_t>, Command> pending_;
   ExecutionDeduper dedup_;
   ExecutionLog log_;
+
+  // Batched-mode primary state: admitted-but-unproposed requests in
+  // arrival order, with key sets for O(log n) duplicate admission checks.
+  std::deque<Command> batch_queue_;
+  std::set<std::pair<ProcessId, std::uint64_t>> queued_keys_;
+  std::set<std::pair<ProcessId, std::uint64_t>> slotted_keys_;
+  bool batch_ripe_ = false;         // queue head has waited batch_timeout
+  bool batch_timer_armed_ = false;
+  bool batch_flushing_ = false;     // re-entrancy guard for the flush loop
 
   // Checkpoints.
   std::uint64_t stable_checkpoint_ = 0;

@@ -23,6 +23,25 @@ Bytes preprepare_binding(ViewNum view, SeqNum seq, const Command& cmd) {
   return w.take();
 }
 
+/// Digest of the whole batch; the PREPARE/COMMIT votes of a batched slot
+/// carry this instead of a single command's digest, so batch boundaries
+/// are part of what the quorum agrees on.
+Bytes batch_digest(const std::vector<Command>& cmds) {
+  serde::Writer w;
+  serde::write(w, cmds);
+  return crypto::digest_bytes(crypto::Sha256::hash(w.take()));
+}
+
+Bytes batch_preprepare_binding(ViewNum view, SeqNum seq,
+                               const std::vector<Command>& cmds) {
+  serde::Writer w;
+  w.str("pbft-bpp");
+  w.uvarint(view);
+  w.uvarint(seq);
+  w.bytes(batch_digest(cmds));
+  return w.take();
+}
+
 Bytes vote_binding(std::string_view phase, ViewNum view, SeqNum seq,
                    const Bytes& digest) {
   serde::Writer w;
@@ -281,6 +300,32 @@ struct StateReply {
   }
 };
 
+/// Batched-mode PRE-PREPARE: one signed proposal covers the whole command
+/// vector; the quorum's PREPARE/COMMIT votes then carry the batch digest.
+struct BatchPrePrepare {
+  static constexpr wire::MsgDesc kDesc{9, "pbft-batch-pre-prepare"};
+
+  ViewNum view = 0;
+  SeqNum seq = 0;
+  std::vector<Command> cmds;
+  crypto::Signature sig;
+
+  void encode(serde::Writer& w) const {
+    w.uvarint(view);
+    w.uvarint(seq);
+    serde::write(w, cmds);
+    sig.encode(w);
+  }
+  static BatchPrePrepare decode(serde::Reader& r) {
+    BatchPrePrepare p;
+    p.view = r.uvarint();
+    p.seq = r.uvarint();
+    p.cmds = serde::read<std::vector<Command>>(r);
+    p.sig = crypto::Signature::decode(r);
+    return p;
+  }
+};
+
 }  // namespace pbft_wire
 
 using namespace pbft_wire;
@@ -307,6 +352,17 @@ Bytes PbftReplica::encode_preprepare_for_test(const crypto::Signer& signer,
   pp.seq = seq;
   pp.cmd = cmd;
   pp.sig = signer.sign(preprepare_binding(view, seq, cmd));
+  return wire::encode_tagged(pp);
+}
+
+Bytes PbftReplica::encode_batch_preprepare_for_test(
+    const crypto::Signer& signer, ViewNum view, SeqNum seq,
+    const std::vector<Command>& cmds) {
+  BatchPrePrepare pp;
+  pp.view = view;
+  pp.seq = seq;
+  pp.cmds = cmds;
+  pp.sig = signer.sign(batch_preprepare_binding(view, seq, cmds));
   return wire::encode_tagged(pp);
 }
 
@@ -348,6 +404,10 @@ PbftReplica::PbftReplica(Options options,
   protocol_router_.on<StateReply>([this](ProcessId from, StateReply rep) {
     handle_state_reply(from, std::move(rep));
   });
+  protocol_router_.on<BatchPrePrepare>(
+      [this](ProcessId from, BatchPrePrepare pp) {
+        handle_batch_preprepare(from, std::move(pp));
+      });
   initial_snapshot_ = machine_->snapshot();
 }
 
@@ -371,12 +431,20 @@ void PbftReplica::on_request(ProcessId from, Command cmd) {
   }
   const bool fresh = pending_.emplace(cmd.key(), cmd).second;
   if (fresh) arm_request_timer(cmd);
-  if (!in_view_change_ && is_primary()) propose(cmd);
+  if (!in_view_change_ && is_primary()) {
+    if (batched()) {
+      enqueue_batch(cmd);
+      maybe_flush_batch();
+    } else {
+      propose(cmd);
+    }
+  }
 }
 
 void PbftReplica::propose(const Command& cmd) {
   for (const auto& [seq, slot] : slots_)
-    if (slot.cmd.key() == cmd.key()) return;
+    for (const Command& slotted : slot.cmds)
+      if (slotted.key() == cmd.key()) return;
 
   PrePrepare pp;
   pp.view = view_;
@@ -389,11 +457,79 @@ void PbftReplica::propose(const Command& cmd) {
   protocol_router_.broadcast(pp);
 
   Slot& slot = slots_[pp.seq];
-  slot.cmd = cmd;
+  slot.cmds = {cmd};
   slot.digest = command_digest(cmd);
   slot.have_preprepare = true;
   slot.accepted_at = world().now();
   vc_archive_.push_back({view_, pp.seq, cmd});
+  step(pp.seq);
+}
+
+void PbftReplica::enqueue_batch(const Command& cmd) {
+  // Admission, not dedup-against-execution: view-change re-proposals must
+  // re-batch even already-executed commands (see maybe_assume_primacy).
+  if (slotted_keys_.contains(cmd.key())) return;
+  if (!queued_keys_.insert(cmd.key()).second) return;
+  batch_queue_.push_back(cmd);
+}
+
+void PbftReplica::maybe_flush_batch() {
+  if (!batched() || batch_flushing_) return;
+  if (in_view_change_ || !is_primary()) return;
+  batch_flushing_ = true;
+  while (!batch_queue_.empty() &&
+         inflight_slots() < options_.pipeline_depth &&
+         (batch_queue_.size() >= options_.batch_size ||
+          options_.batch_timeout == 0 || batch_ripe_)) {
+    std::vector<Command> cmds;
+    const std::size_t take =
+        std::min<std::size_t>(options_.batch_size, batch_queue_.size());
+    cmds.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      queued_keys_.erase(batch_queue_.front().key());
+      cmds.push_back(std::move(batch_queue_.front()));
+      batch_queue_.pop_front();
+    }
+    propose_batch(std::move(cmds));
+  }
+  batch_flushing_ = false;
+  if (batch_queue_.empty()) {
+    batch_ripe_ = false;
+    return;
+  }
+  // A partial batch waits for batch_timeout before going out underfull;
+  // once ripe it (and anything queued behind a full pipeline) flushes at
+  // the next opportunity.
+  if (!batch_ripe_ && !batch_timer_armed_) {
+    batch_timer_armed_ = true;
+    set_timer(options_.batch_timeout, [this] {
+      batch_timer_armed_ = false;
+      if (batch_queue_.empty()) return;
+      batch_ripe_ = true;
+      maybe_flush_batch();
+    });
+  }
+}
+
+void PbftReplica::propose_batch(std::vector<Command> cmds) {
+  BatchPrePrepare pp;
+  pp.view = view_;
+  pp.seq = next_propose_seq_++;
+  pp.cmds = std::move(cmds);
+  pp.sig = signer().sign(batch_preprepare_binding(pp.view, pp.seq, pp.cmds));
+  // Journal before the broadcast can take effect (see propose()).
+  persist_journal();
+  protocol_router_.broadcast(pp);
+
+  Slot& slot = slots_[pp.seq];
+  slot.cmds = pp.cmds;
+  slot.digest = batch_digest(pp.cmds);
+  slot.have_preprepare = true;
+  slot.accepted_at = world().now();
+  for (const Command& cmd : pp.cmds) {
+    vc_archive_.push_back({view_, pp.seq, cmd});
+    slotted_keys_.insert(cmd.key());
+  }
   step(pp.seq);
 }
 
@@ -409,7 +545,7 @@ void PbftReplica::handle_preprepare(ProcessId from, PrePrepare pp) {
     if (from != primary_of(view_)) return;
     Slot& slot = slots_[pp.seq];
     if (slot.have_preprepare) return;  // first pre-prepare per slot wins
-    slot.cmd = pp.cmd;
+    slot.cmds = {pp.cmd};
     slot.digest = command_digest(pp.cmd);
     slot.have_preprepare = true;
     slot.accepted_at = world().now();
@@ -418,6 +554,45 @@ void PbftReplica::handle_preprepare(ProcessId from, PrePrepare pp) {
     if (!dedup_.lookup(pp.cmd) &&
         pending_.emplace(pp.cmd.key(), pp.cmd).second)
       arm_request_timer(pp.cmd);
+
+    if (!slot.sent_prepare) {
+      slot.sent_prepare = true;
+      slot.prepares[slot.digest].insert(id());
+      Prepare v;
+      v.view = view_;
+      v.seq = pp.seq;
+      v.digest = slot.digest;
+      v.sig = signer().sign(vote_binding("pbft-prepare", v.view, v.seq,
+                                         v.digest));
+      protocol_router_.broadcast(v);
+    }
+    step(pp.seq);
+  });
+}
+
+void PbftReplica::handle_batch_preprepare(ProcessId from, BatchPrePrepare pp) {
+  if (from == id() || pp.seq == 0) return;
+  if (pp.cmds.empty()) return;  // an empty batch orders nothing
+  if (pp.sig.key != world().key_of(from)) return;
+  if (!world().keys().verify(
+          pp.sig, batch_preprepare_binding(pp.view, pp.seq, pp.cmds)))
+    return;
+  when_in_view(pp.view, [this, from, pp]() {
+    if (from != primary_of(view_)) return;
+    Slot& slot = slots_[pp.seq];
+    if (slot.have_preprepare) return;  // first pre-prepare per slot wins
+    slot.cmds = pp.cmds;
+    slot.digest = batch_digest(pp.cmds);
+    slot.have_preprepare = true;
+    slot.accepted_at = world().now();
+    for (const Command& cmd : pp.cmds) {
+      vc_archive_.push_back({view_, pp.seq, cmd});
+      if (batched()) slotted_keys_.insert(cmd.key());
+      // Guard every batch member with a timer, as the singleton path does
+      // for its one command.
+      if (!dedup_.lookup(cmd) && pending_.emplace(cmd.key(), cmd).second)
+        arm_request_timer(cmd);
+    }
 
     if (!slot.sent_prepare) {
       slot.sent_prepare = true;
@@ -495,43 +670,72 @@ void PbftReplica::step(SeqNum seq) {
 void PbftReplica::try_execute() {
   while (true) {
     auto it = slots_.find(next_exec_seq_);
-    if (it == slots_.end()) return;
+    if (it == slots_.end()) break;
     Slot& slot = it->second;
     if (slot.executed) {
       ++next_exec_seq_;
       continue;
     }
-    if (!slot.have_preprepare || !slot.sent_commit) return;
-    if (slot.commits[slot.digest].size() < 2 * options_.f + 1) return;
+    if (!slot.have_preprepare || !slot.sent_commit) break;
+    if (slot.commits[slot.digest].size() < 2 * options_.f + 1) break;
     // Below a NEW-VIEW's execution floor, fresh commands wait for state
-    // transfer (see MinBftReplica::try_execute).
-    if (log_.size() < exec_floor_ && !dedup_.lookup(slot.cmd)) return;
+    // transfer (see MinBftReplica::try_execute). A batch executes only
+    // once every member is settled or executable.
+    if (log_.size() < exec_floor_) {
+      const bool all_deduped =
+          std::all_of(slot.cmds.begin(), slot.cmds.end(),
+                      [this](const Command& cmd) {
+                        return dedup_.lookup(cmd).has_value();
+                      });
+      if (!all_deduped) break;
+    }
     // Advance before executing: execute() can persist() at a checkpoint
     // boundary, and the durable image must record the post-execution
     // cursor (see MinBftReplica::try_execute for the recovery hazard).
+    const SeqNum seq = next_exec_seq_;
     ++next_exec_seq_;
-    execute(slot);
+    execute(slot, seq);
   }
+  // Executions free pipeline room; admit whatever is queued behind it.
+  if (batched()) maybe_flush_batch();
 }
 
-void PbftReplica::execute(Slot& slot) {
+void PbftReplica::execute(Slot& slot, SeqNum seq) {
   slot.executed = true;
-  Bytes result;
-  if (const auto cached = dedup_.lookup(slot.cmd)) {
-    result = *cached;
-  } else {
-    result = machine_->apply(slot.cmd.op);
-    dedup_.record(slot.cmd, result);
-    log_.append({slot.cmd, result});
-    const Time latency = world().now() - slot.accepted_at;
-    world().metrics().histogram("smr.commit_latency_ticks").record(latency);
-    world().tracer().complete("commit", "smr", id(), slot.accepted_at,
-                              latency, "log_index", log_.size());
-    output("smr-exec", serde::encode(slot.cmd));
-    maybe_checkpoint();
+  if (batched()) {
+    // Atomicity witness for the explorer (see the batch-atomicity
+    // invariant); only emitted in batched mode, so unbatched transcripts
+    // — and hence fingerprints — are unchanged.
+    serde::Writer w;
+    w.uvarint(view_);
+    w.uvarint(seq);
+    w.uvarint(slot.cmds.size());
+    for (const Command& cmd : slot.cmds) {
+      w.uvarint(cmd.client);
+      w.uvarint(cmd.request_id);
+    }
+    output("smr-batch", w.take());
   }
-  pending_.erase(slot.cmd.key());
-  reply_to(slot.cmd, result);
+  for (const Command& cmd : slot.cmds) {
+    Bytes result;
+    if (const auto cached = dedup_.lookup(cmd)) {
+      // Exactly-once: re-proposed after a view change, or a retry that
+      // landed in a later batch than its first commit.
+      result = *cached;
+    } else {
+      result = machine_->apply(cmd.op);
+      dedup_.record(cmd, result);
+      log_.append({cmd, result});
+      const Time latency = world().now() - slot.accepted_at;
+      world().metrics().histogram("smr.commit_latency_ticks").record(latency);
+      world().tracer().complete("commit", "smr", id(), slot.accepted_at,
+                                latency, "log_index", log_.size());
+      output("smr-exec", serde::encode(cmd));
+      maybe_checkpoint();
+    }
+    pending_.erase(cmd.key());
+    reply_to(cmd, result);
+  }
 }
 
 void PbftReplica::reply_to(const Command& cmd, const Bytes& result) {
@@ -681,8 +885,12 @@ void PbftReplica::maybe_assume_primacy(ViewNum target) {
   if (primary_of(target) != id()) return;
   if (target <= view_) return;
   auto it = vc_msgs_.find(target);
-  // PBFT requires a 2f+1 quorum of view-change messages.
-  if (it == vc_msgs_.end() || it->second.size() < 2 * options_.f + 1) return;
+  // PBFT requires a 2f+1 quorum of view-change messages; at n > 4f + 1
+  // that no longer intersects every 2f+1 commit quorum, so widen to n - f
+  // (a no-op at the native n = 3f + 1, where n - f = 2f + 1).
+  const std::size_t merge_quorum = std::max<std::size_t>(
+      2 * options_.f + 1, options_.replicas.size() - options_.f);
+  if (it == vc_msgs_.end() || it->second.size() < merge_quorum) return;
 
   // Defer primacy below the reported stable frontier: archives are pruned
   // below it, so re-proposals cannot realign peers there (see
@@ -704,14 +912,42 @@ void PbftReplica::maybe_assume_primacy(ViewNum target) {
   protocol_router_.broadcast(nv);
   enter_view(target);
 
-  std::map<std::tuple<ViewNum, SeqNum>, Command> slotted;
+  // Rank every reported key by its most RECENT (view, seq) — newest view
+  // first, seq order within a view, stale old-view strays after — then
+  // never-slotted requests last. Ascending original order lets a stale
+  // never-committed old-view slot sort ahead of newer executed slots and
+  // fork the logs; see MinBftReplica::maybe_assume_primacy for the full
+  // argument. Batch members share (view, seq); stable sort keeps their
+  // first-reported (= batch) order.
+  struct Ranked {
+    ViewNum view;
+    SeqNum seq;
+    Command cmd;
+  };
+  std::map<std::pair<ProcessId, std::uint64_t>, std::size_t> index;
+  std::vector<Ranked> ranked;
   std::map<std::pair<ProcessId, std::uint64_t>, Command> loose;
-  std::set<std::pair<ProcessId, std::uint64_t>> seen;
   for (const auto& [reporter, report] : it->second) {
-    for (const PbftVcEntry& e : report.entries)
-      slotted.emplace(std::make_tuple(e.view, e.seq), e.cmd);
+    for (const PbftVcEntry& e : report.entries) {
+      auto [pos, fresh] = index.emplace(e.cmd.key(), ranked.size());
+      if (fresh) {
+        ranked.push_back({e.view, e.seq, e.cmd});
+      } else {
+        Ranked& r = ranked[pos->second];
+        if (std::tie(e.view, e.seq) > std::tie(r.view, r.seq)) {
+          r.view = e.view;
+          r.seq = e.seq;
+        }
+      }
+    }
     for (const Command& cmd : report.pending) loose.emplace(cmd.key(), cmd);
   }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) {
+                     if (a.view != b.view) return a.view > b.view;
+                     return a.seq < b.seq;
+                   });
+  std::set<std::pair<ProcessId, std::uint64_t>> seen;
   auto consider = [&](const Command& cmd) {
     if (!seen.insert(cmd.key()).second) return;
     // Re-propose even commands this replica has already executed: a
@@ -724,10 +960,15 @@ void PbftReplica::maybe_assume_primacy(ViewNum target) {
     // by dedup at execution time.
     if (!dedup_.lookup(cmd) && pending_.emplace(cmd.key(), cmd).second)
       arm_request_timer(cmd);
-    propose(cmd);
+    if (batched())
+      enqueue_batch(cmd);
+    else
+      propose(cmd);
   };
-  for (const auto& [order, cmd] : slotted) consider(cmd);
+  for (const Ranked& r : ranked) consider(r.cmd);
   for (const auto& [key, cmd] : loose) consider(cmd);
+  // Batched re-proposals flow through the same queue/flush machinery.
+  if (batched()) maybe_flush_batch();
 }
 
 void PbftReplica::handle_new_view(ProcessId from, NewView nv) {
@@ -755,6 +996,13 @@ void PbftReplica::enter_view(ViewNum v) {
   slots_.clear();
   next_propose_seq_ = 1;
   next_exec_seq_ = 1;
+  // Per-view batching state dies with the view: queued commands stay in
+  // pending_ (and in peers' view-change reports), so the new primary —
+  // whoever it is — re-admits them.
+  batch_queue_.clear();
+  queued_keys_.clear();
+  slotted_keys_.clear();
+  batch_ripe_ = false;
   if (deferred_primacy_ && *deferred_primacy_ <= v) deferred_primacy_.reset();
   persist();  // view entry is a durability boundary (see DESIGN.md §9)
   auto stale_end = view_waiting_.lower_bound(v);
@@ -805,6 +1053,12 @@ void PbftReplica::on_recover(sim::DurableStore& durable) {
   deferred_primacy_.reset();
   state_probe_ = false;
   state_attempts_ = 0;
+  batch_queue_.clear();
+  queued_keys_.clear();
+  slotted_keys_.clear();
+  batch_ripe_ = false;
+  batch_timer_armed_ = false;
+  batch_flushing_ = false;
   machine_->restore(initial_snapshot_);
   if (const auto img =
           durable.get_value<DurableImage>(std::string(kDurableKey))) {
@@ -896,6 +1150,20 @@ void PbftReplica::install_bundle(const StateReply& b) {
     log_ = b.core.log;
     machine_->restore(b.core.machine_snapshot);
     dedup_ = b.core.dedup;
+    if (batched()) {
+      // Witness for the batch-atomicity checker: these commands' effects
+      // arrived via state transfer, so no "smr-exec" output will ever
+      // record them. Batched mode only — unbatched transcripts (and their
+      // golden fingerprints) must not change.
+      serde::Writer iw;
+      const auto installed = dedup_.keys();
+      iw.uvarint(installed.size());
+      for (const auto& [client, rid] : installed) {
+        iw.uvarint(client);
+        iw.uvarint(rid);
+      }
+      output("smr-install", iw.take());
+    }
   }
   if (b.stable > stable_checkpoint_) stable_checkpoint_ = b.stable;
   exec_floor_ = std::max(exec_floor_, b.exec_floor);

@@ -31,6 +31,7 @@
 // primary journals (view, next sequence) durably on every propose.
 #pragma once
 
+#include <deque>
 #include <set>
 
 #include "agreement/client.h"
@@ -62,6 +63,7 @@ struct ViewChange;
 struct NewView;
 struct StateRequest;
 struct StateReply;
+struct BatchPrePrepare;
 }  // namespace pbft_wire
 
 class PbftReplica final : public sim::Process {
@@ -71,6 +73,17 @@ class PbftReplica final : public sim::Process {
     std::size_t f = 0;
     Time view_change_timeout = 300;
     SeqNum checkpoint_interval = 16;
+    /// Max client requests amortized into one slot. With the defaults
+    /// (batch_size = 1, pipeline_depth = 1) the replica runs the original
+    /// one-command-per-slot wire protocol bit-for-bit; any other setting
+    /// switches proposals to BATCH-PRE-PREPARE, where the PREPARE/COMMIT
+    /// votes carry the batch digest.
+    std::size_t batch_size = 1;
+    /// How long (ticks) a non-empty partial batch may wait for more
+    /// requests before the primary flushes it anyway. 0 = never hold.
+    Time batch_timeout = 4;
+    /// Max proposed-but-unexecuted slots the primary keeps in flight.
+    std::size_t pipeline_depth = 1;
   };
 
   PbftReplica(Options options, std::unique_ptr<StateMachine> machine);
@@ -92,6 +105,11 @@ class PbftReplica final : public sim::Process {
   static Bytes encode_preprepare_for_test(const crypto::Signer& signer,
                                           ViewNum view, SeqNum seq,
                                           const Command& cmd);
+  /// Batched analogue: one signature over the batch digest, so tests can
+  /// plant batches (including malformed ones).
+  static Bytes encode_batch_preprepare_for_test(
+      const crypto::Signer& signer, ViewNum view, SeqNum seq,
+      const std::vector<Command>& cmds);
 
  protected:
   void on_start() override;
@@ -99,8 +117,8 @@ class PbftReplica final : public sim::Process {
 
  private:
   struct Slot {
-    Command cmd;
-    Bytes digest;  // digest of the command, as voted on
+    std::vector<Command> cmds;  // the batch, in execution order (size 1 unbatched)
+    Bytes digest;  // digest of the command (or batch), as voted on
     bool have_preprepare = false;
     bool sent_prepare = false;
     bool sent_commit = false;
@@ -109,6 +127,10 @@ class PbftReplica final : public sim::Process {
     std::map<Bytes, std::set<ProcessId>> prepares;  // digest -> voters
     std::map<Bytes, std::set<ProcessId>> commits;
   };
+
+  bool batched() const {
+    return options_.batch_size > 1 || options_.pipeline_depth > 1;
+  }
 
   ProcessId primary_of(ViewNum v) const {
     return options_.replicas[static_cast<std::size_t>(v) %
@@ -119,6 +141,8 @@ class PbftReplica final : public sim::Process {
 
   void on_request(ProcessId from, Command cmd);
   void handle_preprepare(ProcessId from, pbft_wire::PrePrepare pp);
+  void handle_batch_preprepare(ProcessId from,
+                               pbft_wire::BatchPrePrepare pp);
   void handle_prepare(ProcessId from, pbft_wire::Prepare v);
   void handle_commit(ProcessId from, pbft_wire::Commit v);
   void handle_checkpoint(ProcessId from, pbft_wire::Checkpoint cp);
@@ -146,9 +170,20 @@ class PbftReplica final : public sim::Process {
   void when_in_view(ViewNum view, std::function<void()> action);
 
   void propose(const Command& cmd);
+  /// Batched proposal path (see Options::batch_size): queue admission,
+  /// flush policy, and the BATCH-PRE-PREPARE broadcast itself.
+  void enqueue_batch(const Command& cmd);
+  void maybe_flush_batch();
+  void propose_batch(std::vector<Command> cmds);
+  /// Proposed-but-unexecuted slots (the primary's in-flight window).
+  std::size_t inflight_slots() const {
+    return next_propose_seq_ > next_exec_seq_
+               ? static_cast<std::size_t>(next_propose_seq_ - next_exec_seq_)
+               : 0;
+  }
   void step(SeqNum seq);
   void try_execute();
-  void execute(Slot& slot);
+  void execute(Slot& slot, SeqNum seq);
   void reply_to(const Command& cmd, const Bytes& result);
   void maybe_checkpoint();
 
@@ -180,6 +215,14 @@ class PbftReplica final : public sim::Process {
   std::map<std::pair<ProcessId, std::uint64_t>, Command> pending_;
   ExecutionDeduper dedup_;
   ExecutionLog log_;
+
+  // Batched-mode primary state (same semantics as MinBftReplica's).
+  std::deque<Command> batch_queue_;
+  std::set<std::pair<ProcessId, std::uint64_t>> queued_keys_;
+  std::set<std::pair<ProcessId, std::uint64_t>> slotted_keys_;
+  bool batch_ripe_ = false;
+  bool batch_timer_armed_ = false;
+  bool batch_flushing_ = false;
 
   std::uint64_t stable_checkpoint_ = 0;
   std::map<std::uint64_t, std::map<Bytes, std::set<ProcessId>>> cp_votes_;

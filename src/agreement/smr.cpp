@@ -156,6 +156,14 @@ void ExecutionDeduper::record(const Command& cmd, const Bytes& result) {
   clients_[cmd.client].emplace(cmd.request_id, result);
 }
 
+std::vector<std::pair<ProcessId, std::uint64_t>> ExecutionDeduper::keys()
+    const {
+  std::vector<std::pair<ProcessId, std::uint64_t>> out;
+  for (const auto& [client, replies] : clients_)
+    for (const auto& [rid, result] : replies) out.emplace_back(client, rid);
+  return out;
+}
+
 void ExecutionDeduper::encode(serde::Writer& w) const {
   serde::write(w, clients_);
 }

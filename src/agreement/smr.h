@@ -133,6 +133,12 @@ class ExecutionDeduper {
   std::optional<Bytes> lookup(const Command& cmd) const;
   void record(const Command& cmd, const Bytes& result);
 
+  /// Every (client, request_id) with a cached reply, in client order. The
+  /// state-transfer install witness ("smr-install") publishes these so the
+  /// batch-atomicity checker can tell transferred effects from skipped
+  /// executions.
+  std::vector<std::pair<ProcessId, std::uint64_t>> keys() const;
+
   void encode(serde::Writer& w) const;
   static ExecutionDeduper decode(serde::Reader& r);
 

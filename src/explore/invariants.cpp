@@ -1,5 +1,7 @@
 #include "explore/invariants.h"
 
+#include <map>
+#include <set>
 #include <sstream>
 
 namespace unidir::explore {
@@ -25,6 +27,7 @@ InvariantRegistry InvariantRegistry::standard_smr() {
   r.add(smr_digest_equality());
   r.add(client_completion());
   r.add(network_byte_conservation());
+  r.add(batch_atomicity());
   return r;
 }
 
@@ -151,6 +154,122 @@ Invariant tagged_output_total_order(std::string tag) {
               }
             return std::nullopt;
           }};
+}
+
+Invariant batch_atomicity() {
+  return {
+      "batch-atomicity",
+      [](const ExplorationContext& ctx) -> std::optional<std::string> {
+        using Key = std::pair<ProcessId, std::uint64_t>;
+        // Canonical member list per (view, counter), first reporter wins;
+        // (view, counter) identifies a slot globally in both protocols
+        // (PBFT sequence numbers restart per view, but the view number
+        // disambiguates).
+        std::map<std::pair<std::uint64_t, std::uint64_t>,
+                 std::pair<ProcessId, std::vector<Key>>>
+            canonical;
+        for (const auto& [id, tr] : ctx.transcripts) {
+          if (!tr) continue;
+          // A restarted replica rewinds to its last durable checkpoint and
+          // legitimately re-executes (and re-groups) what the crash wiped,
+          // all in the same transcript. Exactly-once and order checks
+          // don't apply to it — but its batch markers still feed the
+          // cross-replica membership check below.
+          const bool restarted =
+              ctx.world != nullptr && ctx.world->incarnation(id) > 0;
+          std::set<Key> executed;
+          std::vector<Key> open;  // the open batch's members, in order
+          std::size_t open_idx = 0;
+          std::uint64_t open_view = 0, open_ctr = 0;
+          bool in_batch = false;
+          // A batch member missing from the exec stream is legal only if
+          // some earlier batch already executed it (dedup of a client
+          // retry); anything else is a split batch.
+          auto close_open = [&]() -> std::optional<std::string> {
+            if (restarted) return std::nullopt;
+            for (; open_idx < open.size(); ++open_idx) {
+              if (executed.count(open[open_idx])) continue;
+              std::ostringstream os;
+              os << "replica " << id << ": batch (view=" << open_view
+                 << ", counter=" << open_ctr << ") member client="
+                 << open[open_idx].first << " rid=" << open[open_idx].second
+                 << " was never executed (split batch)";
+              return os.str();
+            }
+            return std::nullopt;
+          };
+          for (const sim::ObservedEvent& ev : tr->events()) {
+            if (ev.kind != sim::ObservedEvent::Kind::LocalOutput) continue;
+            if (ev.tag == "smr-batch") {
+              if (auto bad = close_open()) return bad;
+              serde::Reader r(ev.payload.span());
+              open_view = r.uvarint();
+              open_ctr = r.uvarint();
+              const std::uint64_t count = r.uvarint();
+              open.clear();
+              for (std::uint64_t k = 0; k < count; ++k) {
+                const auto client = serde::read<ProcessId>(r);
+                const std::uint64_t rid = r.uvarint();
+                open.emplace_back(client, rid);
+              }
+              r.expect_done();
+              open_idx = 0;
+              in_batch = true;
+              auto [it, fresh] = canonical.try_emplace(
+                  std::make_pair(open_view, open_ctr), id, open);
+              if (!fresh && it->second.second != open) {
+                std::ostringstream os;
+                os << "replicas " << it->second.first << " and " << id
+                   << " disagree on batch (view=" << open_view
+                   << ", counter=" << open_ctr << ") membership";
+                return os.str();
+              }
+            } else if (ev.tag == "smr-install") {
+              // State transfer installed these commands' effects without
+              // executing them; treat them as executed from here on so
+              // later batches may legally skip them.
+              serde::Reader r(ev.payload.span());
+              const std::uint64_t count = r.uvarint();
+              for (std::uint64_t k = 0; k < count; ++k) {
+                const auto client = serde::read<ProcessId>(r);
+                const std::uint64_t rid = r.uvarint();
+                executed.emplace(client, rid);
+              }
+              r.expect_done();
+            } else if (ev.tag == "smr-exec") {
+              if (restarted) continue;
+              const auto cmd =
+                  serde::decode<agreement::Command>(ev.payload.span());
+              const Key k = cmd.key();
+              if (executed.count(k)) {
+                std::ostringstream os;
+                os << "replica " << id << " executed client=" << k.first
+                   << " rid=" << k.second << " twice";
+                return os.str();
+              }
+              if (in_batch) {
+                // Members already satisfied by an earlier batch are
+                // skipped at execution; skip them here too.
+                while (open_idx < open.size() &&
+                       executed.count(open[open_idx]))
+                  ++open_idx;
+                if (open_idx >= open.size() || open[open_idx] != k) {
+                  std::ostringstream os;
+                  os << "replica " << id << " executed client=" << k.first
+                     << " rid=" << k.second
+                     << " outside its batch (view=" << open_view
+                     << ", counter=" << open_ctr << ") order";
+                  return os.str();
+                }
+                ++open_idx;
+              }
+              executed.insert(k);
+            }
+          }
+          if (auto bad = close_open()) return bad;
+        }
+        return std::nullopt;
+      }};
 }
 
 Invariant bounded_executions(std::uint64_t limit) {

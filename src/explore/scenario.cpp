@@ -1,5 +1,6 @@
 #include "explore/scenario.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -141,6 +142,45 @@ ScenarioSpec ScenarioSpec::materialize_recovery(ProtocolKind protocol,
   return s;
 }
 
+namespace {
+
+/// The batched-mode knob draw shared by materialize_batched and
+/// materialize_batched_recovery. Its own stream, so the base scenarios
+/// (and every existing sweep seed) stay untouched.
+void apply_batched_draw(ScenarioSpec& s, std::uint64_t seed) {
+  sim::Rng b(seed * 0xA24BAED4963EE407ULL + 3);
+  const std::uint64_t sizes[] = {2, 4, 8, 16};
+  s.batch_size = sizes[b.below(4)];
+  s.batch_timeout_ticks = b.range(0, 6);
+  s.replica_pipeline = b.range(2, 6);
+  s.workload.clients = b.range(2, 6);
+  s.workload.requests_per_client = b.range(3, 8);
+  s.workload.open_loop = b.chance(1, 2);
+  s.workload.mean_interarrival = b.range(3, 15);
+  s.workload.max_outstanding = b.range(1, 3);
+  s.workload.key_space = b.range(4, 12);
+  s.workload.hot_key_percent = b.chance(1, 2) ? b.range(50, 90) : 0;
+  s.workload.hot_keys = b.range(1, 2);
+  s.workload.seed = seed;
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::materialize_batched(ProtocolKind protocol,
+                                               AdversaryKind adversary,
+                                               std::uint64_t seed) {
+  ScenarioSpec s = materialize(protocol, adversary, seed);
+  apply_batched_draw(s, seed);
+  return s;
+}
+
+ScenarioSpec ScenarioSpec::materialize_batched_recovery(
+    ProtocolKind protocol, AdversaryKind adversary, std::uint64_t seed) {
+  ScenarioSpec s = materialize_recovery(protocol, adversary, seed);
+  apply_batched_draw(s, seed);
+  return s;
+}
+
 std::string ScenarioSpec::describe() const {
   std::ostringstream os;
   os << protocol_name(protocol) << " n=" << n << " f=" << f << " seed=" << seed
@@ -178,6 +218,10 @@ std::string ScenarioSpec::describe() const {
   if (client_max_attempts) os << " max-attempts=" << client_max_attempts;
   if (checkpoint_interval) os << " ckpt=" << checkpoint_interval;
   if (trace) os << " trace";
+  if (batch_size > 1 || replica_pipeline > 1)
+    os << " batch=" << batch_size << "/t" << batch_timeout_ticks << "/p"
+       << replica_pipeline;
+  if (workload.enabled()) os << " " << workload.describe();
   return os.str();
 }
 
@@ -205,6 +249,10 @@ void ScenarioSpec::encode(serde::Writer& w) const {
   w.uvarint(client_max_attempts);
   w.uvarint(checkpoint_interval);
   w.u8(trace ? 1 : 0);
+  w.uvarint(batch_size);
+  w.uvarint(batch_timeout_ticks);
+  w.uvarint(replica_pipeline);
+  workload.encode(w);
 }
 
 ScenarioSpec ScenarioSpec::decode(serde::Reader& r) {
@@ -238,6 +286,13 @@ ScenarioSpec ScenarioSpec::decode(serde::Reader& r) {
   s.client_max_attempts = r.uvarint();
   s.checkpoint_interval = r.uvarint();
   s.trace = r.u8() != 0;
+  s.batch_size = r.uvarint();
+  if (s.batch_size == 0) throw serde::DecodeError("batch_size must be >= 1");
+  s.batch_timeout_ticks = r.uvarint();
+  s.replica_pipeline = r.uvarint();
+  if (s.replica_pipeline == 0)
+    throw serde::DecodeError("replica_pipeline must be >= 1");
+  s.workload = sim::WorkloadSpec::decode(r);
   return s;
 }
 
@@ -308,7 +363,9 @@ RunOutcome run_scenario(const ScenarioSpec& spec,
                         const ScheduleTrace* trace) {
   UNIDIR_REQUIRE_MSG(mode != RunMode::Replay || trace != nullptr,
                      "Replay mode needs a trace");
-  UNIDIR_REQUIRE(spec.n >= 1 && !spec.requests.empty());
+  UNIDIR_REQUIRE(spec.n >= 1 &&
+                 (!spec.requests.empty() || spec.workload.enabled()));
+  UNIDIR_REQUIRE(spec.batch_size >= 1 && spec.replica_pipeline >= 1);
 
   RecordingAdversary* recorder = nullptr;
   ReplayAdversary* replayer = nullptr;
@@ -355,6 +412,9 @@ RunOutcome run_scenario(const ScenarioSpec& spec,
       o.commit_quorum = static_cast<std::size_t>(spec.commit_quorum);
       if (spec.checkpoint_interval != 0)
         o.checkpoint_interval = spec.checkpoint_interval;
+      o.batch_size = static_cast<std::size_t>(spec.batch_size);
+      o.batch_timeout = spec.batch_timeout_ticks;
+      o.pipeline_depth = static_cast<std::size_t>(spec.replica_pipeline);
       auto& r = world.spawn<agreement::MinBftReplica>(
           o, *usigs, std::make_unique<agreement::KvStateMachine>());
       handles.push_back({r.id(),
@@ -370,6 +430,9 @@ RunOutcome run_scenario(const ScenarioSpec& spec,
       o.view_change_timeout = spec.view_change_timeout;
       if (spec.checkpoint_interval != 0)
         o.checkpoint_interval = spec.checkpoint_interval;
+      o.batch_size = static_cast<std::size_t>(spec.batch_size);
+      o.batch_timeout = spec.batch_timeout_ticks;
+      o.pipeline_depth = static_cast<std::size_t>(spec.replica_pipeline);
       auto& r = world.spawn<agreement::PbftReplica>(
           o, std::make_unique<agreement::KvStateMachine>());
       handles.push_back({r.id(),
@@ -385,8 +448,45 @@ RunOutcome run_scenario(const ScenarioSpec& spec,
   copt.resend_timeout = spec.resend_timeout;
   copt.max_attempts = static_cast<std::size_t>(spec.client_max_attempts);
   copt.max_outstanding = static_cast<std::size_t>(spec.pipeline_depth);
-  auto& client = world.spawn<agreement::SmrClient>(copt);
-  for (const Bytes& op : spec.requests) client.submit(op);
+
+  // Every client in the run — the legacy spec.requests client (if any)
+  // plus the workload fleet; completion is aggregated across all of them.
+  std::vector<agreement::SmrClient*> fleet;
+  if (!spec.requests.empty()) {
+    auto& client = world.spawn<agreement::SmrClient>(copt);
+    for (const Bytes& op : spec.requests) client.submit(op);
+    fleet.push_back(&client);
+  }
+  if (spec.workload.enabled()) {
+    const std::vector<sim::WorkloadSpec::ClientPlan> plans =
+        spec.workload.plan();
+    for (std::size_t c = 0; c < plans.size(); ++c) {
+      agreement::SmrClient::Options wopt = copt;
+      // Closed-loop clients are throttled by their outstanding window;
+      // open-loop clients must never queue behind it — arrivals fire
+      // regardless of completions.
+      wopt.max_outstanding = spec.workload.open_loop
+                                 ? static_cast<std::size_t>(
+                                       spec.workload.requests_per_client)
+                                 : static_cast<std::size_t>(std::max<
+                                       std::uint64_t>(
+                                       1, spec.workload.max_outstanding));
+      auto& wc = world.spawn<agreement::SmrClient>(wopt);
+      fleet.push_back(&wc);
+      for (std::size_t k = 0; k < plans[c].arrivals.size(); ++k) {
+        const sim::WorkloadSpec::Arrival& a = plans[c].arrivals[k];
+        Bytes op = agreement::KvStateMachine::put_op(
+            "wk" + std::to_string(a.key),
+            "c" + std::to_string(c) + "." + std::to_string(k));
+        if (spec.workload.open_loop)
+          world.simulator().at(a.at, [&wc, op = std::move(op)] {
+            wc.submit(op);
+          });
+        else
+          wc.submit(std::move(op));
+      }
+    }
+  }
 
   for (const CrashEvent& ev : spec.crashes)
     world.simulator().at(ev.when,
@@ -411,9 +511,13 @@ RunOutcome run_scenario(const ScenarioSpec& spec,
   out.events = world.run_to_quiescence(
       static_cast<std::size_t>(spec.max_events));
 
-  out.completed = client.completed();
-  out.expected = spec.requests.size();
-  out.gave_up = client.gave_up();
+  out.completed = 0;
+  out.gave_up = 0;
+  for (const agreement::SmrClient* c : fleet) {
+    out.completed += c->completed();
+    out.gave_up += c->gave_up();
+  }
+  out.expected = spec.requests.size() + spec.workload.total_requests();
   out.final_time = world.now();
   out.net = world.network().stats();
   out.sim = world.simulator().stats();

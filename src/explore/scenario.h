@@ -20,6 +20,7 @@
 #include "obs/metrics.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "sim/workload.h"
 #include "wire/stats.h"
 
 namespace unidir::explore {
@@ -105,6 +106,22 @@ struct ScenarioSpec {
 
   std::uint64_t max_events = 2'000'000;
 
+  // Batched-mode replica knobs (DESIGN.md §11). The defaults keep both
+  // protocols on their original one-command-per-slot wire path bit-for-bit
+  // — batching regression tests rely on that.
+  /// Max requests amortized into one slot (replica Options::batch_size).
+  std::uint64_t batch_size = 1;
+  /// Partial-batch hold time in ticks (replica Options::batch_timeout).
+  Time batch_timeout_ticks = 4;
+  /// Primary's in-flight slot window (replica Options::pipeline_depth).
+  /// Distinct from `pipeline_depth` above, which is the *client's*
+  /// outstanding-request window.
+  std::uint64_t replica_pipeline = 1;
+  /// Client-fleet workload; disabled (inert) by default. When enabled the
+  /// run spawns `workload.clients` extra SmrClients after the replicas and
+  /// the legacy `requests` client (if any), and `expected` counts both.
+  sim::WorkloadSpec workload;
+
   /// Record a virtual-time trace and a metrics snapshot into the outcome
   /// (RunOutcome::trace_json / RunOutcome::metrics). Purely observational:
   /// tracing must not change the execution (golden tests compare
@@ -125,6 +142,19 @@ struct ScenarioSpec {
   static ScenarioSpec materialize_recovery(ProtocolKind protocol,
                                            AdversaryKind adversary,
                                            std::uint64_t seed);
+
+  /// Draws a batched scenario: the same base draw as `materialize`, then
+  /// batching knobs (batch_size 2–16, replica pipeline 2–6) and a client
+  /// fleet (2–6 clients, closed- or open-loop) from a separate stream.
+  static ScenarioSpec materialize_batched(ProtocolKind protocol,
+                                          AdversaryKind adversary,
+                                          std::uint64_t seed);
+
+  /// `materialize_recovery` plus the `materialize_batched` knob draw:
+  /// crash+restart pairs over a batched, fleet-driven run.
+  static ScenarioSpec materialize_batched_recovery(ProtocolKind protocol,
+                                                   AdversaryKind adversary,
+                                                   std::uint64_t seed);
 
   std::string describe() const;
 

@@ -97,11 +97,82 @@ ShrinkOutcome shrink_failure(const ScenarioSpec& spec,
     }
   }
 
-  // 2. Drop client requests. run_scenario requires a non-empty workload, so
-  //    an empty candidate is never offered.
+  // 2. Coarse dimensions before fine-grained request trimming: reset the
+  //    batching knobs toward their (unbatched) defaults — all at once
+  //    first, then per knob with halving steps — and try removing the
+  //    workload fleet wholesale while the legacy requests are still intact
+  //    enough to carry the failure alone. A failure that survives
+  //    batch_size = pipeline = 1 is not a batching bug.
+  {
+    auto accept = [&](ScenarioSpec candidate) {
+      if (!sh.fails(candidate, out.trace)) return false;
+      out.spec = std::move(candidate);
+      ++out.reductions;
+      return true;
+    };
+    if (out.spec.batch_size != 1 || out.spec.replica_pipeline != 1) {
+      ScenarioSpec all = out.spec;
+      all.batch_size = 1;
+      all.replica_pipeline = 1;
+      all.batch_timeout_ticks = 4;
+      accept(std::move(all));
+    }
+    while (out.spec.batch_size > 1) {
+      ScenarioSpec c = out.spec;
+      c.batch_size = std::max<std::uint64_t>(1, c.batch_size / 2);
+      if (!accept(std::move(c))) break;
+    }
+    while (out.spec.replica_pipeline > 1) {
+      ScenarioSpec c = out.spec;
+      c.replica_pipeline =
+          std::max<std::uint64_t>(1, c.replica_pipeline / 2);
+      if (!accept(std::move(c))) break;
+    }
+    if (out.spec.batch_timeout_ticks != 4) {
+      ScenarioSpec c = out.spec;
+      c.batch_timeout_ticks = 4;
+      accept(std::move(c));
+    }
+
+    // Workload fleet: drop it wholesale if the legacy requests alone still
+    // fail, else trim clients and per-client request counts, then strip
+    // the open-loop and skew refinements.
+    if (out.spec.workload.enabled()) {
+      if (!out.spec.requests.empty()) {
+        ScenarioSpec c = out.spec;
+        c.workload = sim::WorkloadSpec{};
+        accept(std::move(c));
+      }
+      while (out.spec.workload.clients > 1) {
+        ScenarioSpec c = out.spec;
+        c.workload.clients = std::max<std::uint64_t>(
+            1, c.workload.clients / 2);
+        if (!accept(std::move(c))) break;
+      }
+      while (out.spec.workload.requests_per_client > 1) {
+        ScenarioSpec c = out.spec;
+        c.workload.requests_per_client = std::max<std::uint64_t>(
+            1, c.workload.requests_per_client / 2);
+        if (!accept(std::move(c))) break;
+      }
+      if (out.spec.workload.open_loop) {
+        ScenarioSpec c = out.spec;
+        c.workload.open_loop = false;
+        accept(std::move(c));
+      }
+      if (out.spec.workload.hot_key_percent != 0) {
+        ScenarioSpec c = out.spec;
+        c.workload.hot_key_percent = 0;
+        accept(std::move(c));
+      }
+    }
+  }
+
+  // 2b. Drop client requests. run_scenario needs some load, so the empty
+  //     candidate is only offered while a workload fleet remains.
   out.reductions += minimize_list(
       out.spec.requests, [&](const std::vector<Bytes>& candidate) {
-        if (candidate.empty()) return false;
+        if (candidate.empty() && !out.spec.workload.enabled()) return false;
         ScenarioSpec s = out.spec;
         s.requests = candidate;
         return sh.fails(s, out.trace);
