@@ -1,55 +1,430 @@
-// Substrate microbenchmarks: the crypto layer every protocol pays for.
-#include <benchmark/benchmark.h>
+// Crypto benchmark: multi-buffer SHA-256 and batched signature
+// verification against their serial baselines, with bit-identity
+// cross-checks. Replaces the old google-benchmark microbench so the
+// figures land in a schema-validated JSON (BENCH_crypto.json) the same
+// way bench_hotpath's do.
+//
+// Phases:
+//
+//  1. Primitives — single-stream SHA-256 throughput, serial HMAC rate,
+//     and hmac_sha256_batch at 16 streams of 64 bytes (the hot shape: a
+//     quorum message's constituent MACs). The batch:serial ratio is the
+//     backend's measured multi-buffer speedup; the batch digests are
+//     asserted bit-identical to the serial ones, not sampled.
+//  2. Batched-verify sweep — KeyRegistry::verify_batch over batch sizes
+//     {1, 4, 16, 64} x verify-runner threads {1, 2, 4} on a memo-miss
+//     workload (every message distinct, a few deliberate forgeries mixed
+//     in). Each cell's verdict vector must equal the serial verify()
+//     reference bit-for-bit — a mismatch fails regardless of flags.
+//     Twin registries make this possible: key derivation is
+//     deterministic, so signatures minted by one registry verify under a
+//     fresh one, giving every cell a cold memo.
+//
+// --check gates are keyed to the detected backend rather than one
+// universal floor, because the hardware ceiling varies by an order of
+// magnitude across machines:
+//
+//  * hmac_batch_speedup — lanes >= 8 (AVX-512 16-wide) must reach 1.35x;
+//    lanes == 2 (SHA-NI pairing) 1.05x; lanes < 2 means no multi-buffer
+//    backend exists and there is nothing to gate. On an SHA-NI core the
+//    measured ceiling is ~1.9x (55.2 -> ~29 ns/block), so 1.35x leaves
+//    noise margin without being vacuous.
+//  * verify_speedup_b64_t1 — the registry-level win on one thread at
+//    batch 64. For lanes >= 8 the floor is 2x when the serial baseline
+//    is portable scalar code, 1.6x when the serial path itself runs on
+//    SHA-NI: serial SHA-NI does ~55 ns/block against ~29 ns/block for
+//    the 16-wide backend, so the hardware ceiling of the ratio is
+//    ~1.9x and a 2x floor would gate above physics. Below 8 lanes the
+//    floor is 1.0x (the batch path must never lose to the loop). The
+//    gate anchors at batch 64, not 16: a 16-job batch fills the 16
+//    lanes exactly once (~1.5x) while 64 amortizes dispatch and memo
+//    probing across four passes. The gated ratio is measured paired —
+//    batch-1 and batch-64 passes timed back-to-back within each round,
+//    median of per-round ratios — so a slow scheduler slice on a
+//    shared host hits both sides of the ratio equally.
+//  * Threaded cells gate only on hosts with >= 4 hardware threads:
+//    batch=64 threads=4 must hold 0.8x of the single-thread batch=64
+//    rate. On smaller hosts (CI runners, 1-core boxes) the cell is
+//    reported but oversubscription makes a wall-clock gate dishonest.
+//
+// Flags:
+//   --smoke      fewer messages/rounds (CI-sized)
+//   --check      apply the gates above (identity checks are always on)
+//   --out PATH   report path (default BENCH_crypto.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 #include "crypto/signature.h"
-
-namespace {
+#include "crypto/verify_runner.h"
 
 using namespace unidir;
 using namespace unidir::crypto;
 
-void BM_Sha256(benchmark::State& state) {
-  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Sha256::hash(data));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          state.range(0));
-}
-BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(1024)->Arg(16384);
+namespace {
 
-void BM_HmacSha256(benchmark::State& state) {
-  const Bytes key = bytes_of("per-process-secret-key-material!");
-  const Bytes msg(static_cast<std::size_t>(state.range(0)), 0x5A);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hmac_sha256(key, msg));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          state.range(0));
-}
-BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024)->Arg(16384);
+constexpr std::size_t kHmacStreams = 16;
+constexpr std::size_t kMsgBytes = 64;
 
-void BM_Sign(benchmark::State& state) {
-  KeyRegistry registry;
-  const Signer signer = registry.generate_key();
-  const Bytes msg(256, 0x11);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(signer.sign(msg));
-  }
+double now_secs() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
-BENCHMARK(BM_Sign);
 
-void BM_Verify(benchmark::State& state) {
-  KeyRegistry registry;
-  const Signer signer = registry.generate_key();
-  const Bytes msg(256, 0x11);
-  const Signature sig = signer.sign(msg);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(registry.verify(sig, msg));
+/// Median-of-rounds wall time for `fn`, in seconds.
+template <typename F>
+double median_secs(int rounds, F&& fn) {
+  std::vector<double> t;
+  t.reserve(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    const double t0 = now_secs();
+    fn();
+    t.push_back(now_secs() - t0);
   }
+  std::sort(t.begin(), t.end());
+  return t[t.size() / 2];
 }
-BENCHMARK(BM_Verify);
+
+Bytes make_message(std::size_t i) {
+  Bytes m(kMsgBytes, 0);
+  for (std::size_t k = 0; k < kMsgBytes; ++k)
+    m[k] = static_cast<std::uint8_t>((i * 131 + k * 7 + 3) & 0xFF);
+  return m;
+}
+
+struct PrimitiveResult {
+  double sha256_gib_per_sec = 0;
+  double hmac_serial_ns_per_mac = 0;
+  double hmac_batch_ns_per_mac = 0;
+  double hmac_batch_speedup = 0;
+  bool digests_identical = false;
+};
+
+PrimitiveResult measure_primitives(bool smoke) {
+  PrimitiveResult res;
+  const int rounds = smoke ? 3 : 7;
+
+  {  // single-stream SHA-256 over a 16 KiB buffer
+    Bytes buf(16 * 1024, 0);
+    for (std::size_t i = 0; i < buf.size(); ++i)
+      buf[i] = static_cast<std::uint8_t>(i * 37);
+    const std::size_t reps = smoke ? 256 : 1024;
+    volatile std::uint8_t sink = 0;
+    const double secs = median_secs(rounds, [&] {
+      for (std::size_t r = 0; r < reps; ++r)
+        sink = static_cast<std::uint8_t>(sink +
+                                         Sha256::hash(ByteSpan(buf))[0]);
+    });
+    if (secs > 0)
+      res.sha256_gib_per_sec = static_cast<double>(buf.size()) *
+                               static_cast<double>(reps) / secs /
+                               (1024.0 * 1024.0 * 1024.0);
+  }
+
+  // Serial vs multi-buffer HMAC over the same 16 distinct 64-byte
+  // messages, resuming the same precomputed key schedule.
+  const Bytes key_bytes = bytes_of("per-process-secret-key-material!");
+  const HmacKey key{ByteSpan(key_bytes)};
+  std::vector<Bytes> msgs;
+  for (std::size_t i = 0; i < kHmacStreams; ++i)
+    msgs.push_back(make_message(i));
+
+  std::vector<Digest> serial_digests(kHmacStreams);
+  std::vector<Digest> batch_digests(kHmacStreams);
+  const std::size_t reps = smoke ? 2'000 : 10'000;
+
+  const double serial_secs = median_secs(rounds, [&] {
+    for (std::size_t r = 0; r < reps; ++r)
+      for (std::size_t i = 0; i < kHmacStreams; ++i)
+        serial_digests[i] = key.mac(ByteSpan(msgs[i]));
+  });
+  const double batch_secs = median_secs(rounds, [&] {
+    for (std::size_t r = 0; r < reps; ++r) {
+      HmacJob jobs[kHmacStreams];
+      for (std::size_t i = 0; i < kHmacStreams; ++i)
+        jobs[i] = {&key, ByteSpan(msgs[i]), &batch_digests[i]};
+      hmac_sha256_batch(jobs, kHmacStreams);
+    }
+  });
+
+  const double n_macs = static_cast<double>(reps * kHmacStreams);
+  if (serial_secs > 0) res.hmac_serial_ns_per_mac = serial_secs / n_macs * 1e9;
+  if (batch_secs > 0) res.hmac_batch_ns_per_mac = batch_secs / n_macs * 1e9;
+  if (batch_secs > 0) res.hmac_batch_speedup = serial_secs / batch_secs;
+  res.digests_identical = serial_digests == batch_digests;
+  return res;
+}
+
+struct VerifyCell {
+  std::size_t batch = 0;
+  std::size_t threads = 0;
+  double verifies_per_sec = 0;
+  double speedup_vs_b1_t1 = 0;
+  bool verdicts_identical = false;
+};
+
+struct SweepResult {
+  std::vector<VerifyCell> cells;
+  double speedup_b64_t1 = 0;
+  double rate_b64_t1 = 0;
+  double rate_b64_t4 = 0;
+  bool all_verdicts_identical = true;
+};
+
+/// Distinct messages signed under 4 keys round-robin, with a sprinkling
+/// of corruption (flipped MAC byte every 97th, unknown key every 101st)
+/// so verdict identity covers the failure paths too. Reference verdicts
+/// come from the serial verify() on a fresh twin registry.
+struct Workload {
+  std::vector<Bytes> messages;
+  std::vector<Signature> sigs;
+  std::vector<char> expected;
+};
+
+Workload make_workload(std::size_t n) {
+  Workload w;
+  KeyRegistry mint;
+  std::vector<Signer> signers;
+  for (int i = 0; i < 4; ++i) signers.push_back(mint.generate_key());
+  for (std::size_t i = 0; i < n; ++i) {
+    w.messages.push_back(make_message(i));
+    Signature s = signers[i % signers.size()].sign(ByteSpan(w.messages[i]));
+    if (i % 97 == 0 && i > 0) s.mac[0] ^= 0x01;
+    if (i % 101 == 0 && i > 0) s.key = 9999;
+    w.sigs.push_back(std::move(s));
+  }
+  KeyRegistry ref;
+  for (int i = 0; i < 4; ++i) (void)ref.generate_key();
+  for (std::size_t i = 0; i < n; ++i)
+    w.expected.push_back(
+        ref.verify(w.sigs[i], ByteSpan(w.messages[i])) ? 1 : 0);
+  return w;
+}
+
+/// Wall seconds for `passes` full chunked verify_batch passes over the
+/// workload, each against a fresh twin registry (cold memo). Registry
+/// construction is outside the timed region.
+double verify_pass_secs(const Workload& w, VerifyRunner& runner,
+                        std::size_t batch, int passes) {
+  const std::size_t n = w.messages.size();
+  double total = 0;
+  std::vector<VerifyJob> jobs(batch);
+  for (int p = 0; p < passes; ++p) {
+    KeyRegistry reg;
+    for (int i = 0; i < 4; ++i) (void)reg.generate_key();
+    reg.attach_runner(&runner);
+    const double t0 = now_secs();
+    for (std::size_t base = 0; base < n; base += batch) {
+      const std::size_t m = std::min(batch, n - base);
+      for (std::size_t k = 0; k < m; ++k)
+        jobs[k] = {&w.sigs[base + k], ByteSpan(w.messages[base + k]), false};
+      reg.verify_batch(jobs.data(), m);
+    }
+    total += now_secs() - t0;
+  }
+  return total;
+}
+
+SweepResult measure_sweep(bool smoke) {
+  const std::size_t n = smoke ? 2'048 : 8'192;
+  const int rounds = smoke ? 3 : 5;
+  const Workload w = make_workload(n);
+
+  const std::size_t batches[] = {1, 4, 16, 64};
+  const std::size_t thread_counts[] = {1, 2, 4};
+
+  SweepResult res;
+  double rate_b1_t1 = 0;
+  for (std::size_t threads : thread_counts) {
+    VerifyRunner runner(threads);
+    for (std::size_t batch : batches) {
+      VerifyCell cell;
+      cell.batch = batch;
+      cell.threads = threads;
+      std::vector<char> verdicts(n, 0);
+      const double secs = median_secs(rounds, [&] {
+        // Fresh twin registry per round: cold memo, identical keys.
+        KeyRegistry reg;
+        for (int i = 0; i < 4; ++i) (void)reg.generate_key();
+        reg.attach_runner(&runner);
+        std::vector<VerifyJob> jobs(batch);
+        for (std::size_t base = 0; base < n; base += batch) {
+          const std::size_t m = std::min(batch, n - base);
+          for (std::size_t k = 0; k < m; ++k)
+            jobs[k] = {&w.sigs[base + k], ByteSpan(w.messages[base + k]),
+                       false};
+          reg.verify_batch(jobs.data(), m);
+          for (std::size_t k = 0; k < m; ++k)
+            verdicts[base + k] = jobs[k].ok ? 1 : 0;
+        }
+      });
+      cell.verdicts_identical = verdicts == w.expected;
+      res.all_verdicts_identical =
+          res.all_verdicts_identical && cell.verdicts_identical;
+      if (secs > 0) cell.verifies_per_sec = static_cast<double>(n) / secs;
+      if (batch == 1 && threads == 1) rate_b1_t1 = cell.verifies_per_sec;
+      cell.speedup_vs_b1_t1 =
+          rate_b1_t1 > 0 ? cell.verifies_per_sec / rate_b1_t1 : 0;
+      if (batch == 64 && threads == 1) res.rate_b64_t1 = cell.verifies_per_sec;
+      if (batch == 64 && threads == 4) res.rate_b64_t4 = cell.verifies_per_sec;
+      res.cells.push_back(cell);
+    }
+  }
+
+  // The gated ratio is measured *paired*, not taken from the sweep
+  // cells: on a time-sliced VM the batch-1 and batch-64 cells can land
+  // in slices of different speed, which skews a ratio of independently
+  // timed cells by 25%+ in either direction. Timing both passes
+  // back-to-back inside each round and taking the median of the
+  // per-round ratios makes a slow slice hit numerator and denominator
+  // alike.
+  {
+    VerifyRunner runner(1);
+    std::vector<double> ratios;
+    const int paired_rounds = smoke ? 3 : 7;
+    for (int r = 0; r < paired_rounds; ++r) {
+      const double s1 = verify_pass_secs(w, runner, 1, 2);
+      const double s64 = verify_pass_secs(w, runner, 64, 2);
+      if (s64 > 0) ratios.push_back(s1 / s64);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    if (!ratios.empty()) res.speedup_b64_t1 = ratios[ratios.size() / 2];
+  }
+  return res;
+}
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool check = false;
+  std::string out_path = "BENCH_crypto.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke")
+      smoke = true;
+    else if (arg == "--check")
+      check = true;
+    else if (arg == "--out" && i + 1 < argc)
+      out_path = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--check] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::size_t lanes = Sha256::batch_lanes();
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::printf("backend: sha-ni %s, %zu multi-buffer lanes, %u hw threads\n",
+              Sha256::hardware_accelerated() ? "yes" : "no", lanes,
+              hw_threads);
+
+  std::printf("phase 1: primitives (%s)\n", smoke ? "smoke" : "full");
+  const PrimitiveResult prim = measure_primitives(smoke);
+  std::printf("  sha256 single-stream: %.2f GiB/s\n", prim.sha256_gib_per_sec);
+  std::printf(
+      "  hmac 64B serial %.0f ns/mac, batch x%zu %.0f ns/mac "
+      "(%.2fx), digests %s\n",
+      prim.hmac_serial_ns_per_mac, kHmacStreams, prim.hmac_batch_ns_per_mac,
+      prim.hmac_batch_speedup,
+      prim.digests_identical ? "identical" : "MISMATCH");
+
+  std::printf("phase 2: batched-verify sweep\n");
+  const SweepResult sw = measure_sweep(smoke);
+  for (const VerifyCell& c : sw.cells)
+    std::printf(
+        "  threads=%zu batch=%2zu: %9.0f verifies/s (%.2fx vs b1/t1), "
+        "verdicts %s\n",
+        c.threads, c.batch, c.verifies_per_sec, c.speedup_vs_b1_t1,
+        c.verdicts_identical ? "identical" : "MISMATCH");
+  std::printf("  paired batch=64 vs batch=1 (t1): %.2fx (gated)\n",
+              sw.speedup_b64_t1);
+
+  {
+    std::ofstream out(out_path);
+    out << "{\n"
+        << "  \"bench\": \"crypto-batched-verify\",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"sha_ni\": "
+        << (Sha256::hardware_accelerated() ? "true" : "false") << ",\n"
+        << "  \"batch_lanes\": " << lanes << ",\n"
+        << "  \"hw_threads\": " << hw_threads << ",\n"
+        << "  \"sha256_gib_per_sec\": " << prim.sha256_gib_per_sec << ",\n"
+        << "  \"hmac_serial_ns_per_mac\": " << prim.hmac_serial_ns_per_mac
+        << ",\n"
+        << "  \"hmac_batch_ns_per_mac\": " << prim.hmac_batch_ns_per_mac
+        << ",\n"
+        << "  \"hmac_batch_speedup\": " << prim.hmac_batch_speedup << ",\n"
+        << "  \"hmac_digests_identical\": "
+        << (prim.digests_identical ? "true" : "false") << ",\n"
+        << "  \"verify_verdicts_identical\": "
+        << (sw.all_verdicts_identical ? "true" : "false") << ",\n"
+        << "  \"verify_speedup_b64_t1\": " << sw.speedup_b64_t1 << ",\n"
+        << "  \"verify_cells\": [\n";
+    for (std::size_t i = 0; i < sw.cells.size(); ++i) {
+      const VerifyCell& c = sw.cells[i];
+      out << "    {\"batch\": " << c.batch << ", \"threads\": " << c.threads
+          << ", \"verifies_per_sec\": " << c.verifies_per_sec
+          << ", \"speedup_vs_b1_t1\": " << c.speedup_vs_b1_t1 << "}"
+          << (i + 1 < sw.cells.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  // Identity checks are unconditional: a wall-clock figure can be noisy,
+  // a wrong digest or verdict never is.
+  if (!prim.digests_identical) {
+    std::fprintf(stderr, "FAIL: hmac batch digests diverge from serial\n");
+    return 1;
+  }
+  if (!sw.all_verdicts_identical) {
+    std::fprintf(stderr,
+                 "FAIL: batched verify verdicts diverge from serial\n");
+    return 1;
+  }
+
+  if (check) {
+    const double hmac_floor = lanes >= 8 ? 1.35 : lanes >= 2 ? 1.05 : 0.0;
+    if (hmac_floor > 0 && prim.hmac_batch_speedup < hmac_floor) {
+      std::fprintf(stderr,
+                   "FAIL: hmac batch speedup %.2fx below the %.2fx floor "
+                   "for a %zu-lane backend\n",
+                   prim.hmac_batch_speedup, hmac_floor, lanes);
+      return 1;
+    }
+    // The batch-vs-serial ceiling depends on what the *serial* path
+    // runs on: against portable scalar code the 16-wide backend wins
+    // 4x+, but against SHA-NI (~55 ns/block serial vs ~29 ns/block
+    // 16-wide) the hardware ceiling is ~1.9x, so demanding 2x there
+    // would gate above physics.
+    const bool serial_is_accelerated = Sha256::hardware_accelerated();
+    const double verify_floor =
+        lanes >= 8 ? (serial_is_accelerated ? 1.6 : 2.0) : 1.0;
+    if (sw.speedup_b64_t1 < verify_floor) {
+      std::fprintf(stderr,
+                   "FAIL: verify_batch speedup %.2fx at batch 64 below the "
+                   "%.2fx floor\n",
+                   sw.speedup_b64_t1, verify_floor);
+      return 1;
+    }
+    if (hw_threads >= 4 && sw.rate_b64_t1 > 0 &&
+        sw.rate_b64_t4 < 0.8 * sw.rate_b64_t1) {
+      std::fprintf(stderr,
+                   "FAIL: 4-thread batch-64 rate %.0f/s fell below 0.8x of "
+                   "the single-thread rate %.0f/s\n",
+                   sw.rate_b64_t4, sw.rate_b64_t1);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -670,12 +670,20 @@ void MinBftReplica::handle_prepare(ProcessId from, Prepare p) {
 void MinBftReplica::handle_commit(ProcessId from, Commit c) {
   if (from == id()) return;
   const ProcessId prepare_author = primary_of(c.view);
-  if (!usigs_.verify(prepare_author, c.primary_ui,
-                     prepare_binding(c.view, c.cmd)))
-    return;
-  if (!usigs_.verify(from, c.replica_ui,
-                     commit_binding(c.view, c.primary_ui.counter, c.cmd)))
-    return;
+  // A COMMIT carries two attestations (the embedded PREPARE's and the
+  // sender's); check them as one batch so their hashing shares the
+  // multi-buffer lanes. Unlike the old early-return pair, both UIs are
+  // always checked — same verdicts, one round trip through the backend.
+  const Bytes prepare_bind = prepare_binding(c.view, c.cmd);
+  const Bytes commit_bind =
+      commit_binding(c.view, c.primary_ui.counter, c.cmd);
+  UsigVerifyJob vj[2] = {
+      {prepare_author, &c.primary_ui, &prepare_bind, false},
+      {from, &c.replica_ui, &commit_bind, false},
+  };
+  usigs_.verify_batch(vj, 2);
+  world().wire_stats().note_verify_batch(kMinBftCh, 2);
+  if (!vj[0].ok || !vj[1].ok) return;
   // Double sequencing: the commit is ordered in the sender's UI stream,
   // and the embedded PREPARE in the primary's.
   sequenced(from, c.replica_ui.counter, [this, from, c, prepare_author]() {
@@ -717,13 +725,17 @@ void MinBftReplica::handle_batch_commit(ProcessId from, BatchCommit c) {
   if (from == id()) return;
   if (c.cmds.empty()) return;
   const ProcessId prepare_author = primary_of(c.view);
-  if (!usigs_.verify(prepare_author, c.primary_ui,
-                     batch_prepare_binding(c.view, c.cmds)))
-    return;
-  if (!usigs_.verify(from, c.replica_ui,
-                     batch_commit_binding(c.view, c.primary_ui.counter,
-                                          c.cmds)))
-    return;
+  // Both attestations as one batch, as in handle_commit.
+  const Bytes prepare_bind = batch_prepare_binding(c.view, c.cmds);
+  const Bytes commit_bind =
+      batch_commit_binding(c.view, c.primary_ui.counter, c.cmds);
+  UsigVerifyJob vj[2] = {
+      {prepare_author, &c.primary_ui, &prepare_bind, false},
+      {from, &c.replica_ui, &commit_bind, false},
+  };
+  usigs_.verify_batch(vj, 2);
+  world().wire_stats().note_verify_batch(kMinBftCh, 2);
+  if (!vj[0].ok || !vj[1].ok) return;
   sequenced(from, c.replica_ui.counter, [this, from, c, prepare_author]() {
     sequenced(prepare_author, c.primary_ui.counter, [this, from, c]() {
       when_in_view(c.view, [this, from, c]() {

@@ -26,6 +26,15 @@
 
 namespace unidir::agreement {
 
+/// One verification in a UsigDirectory::verify_batch call; `ok` is the
+/// output. Pointees must outlive the call.
+struct UsigVerifyJob {
+  ProcessId p = kNoProcess;
+  const trusted::UniqueIdentifier* ui = nullptr;
+  const Bytes* message = nullptr;
+  bool ok = false;
+};
+
 class UsigDirectory {
  public:
   virtual ~UsigDirectory() = default;
@@ -41,6 +50,15 @@ class UsigDirectory {
   /// Verifies that `ui` certifies `message` under replica `p`'s device.
   virtual bool verify(ProcessId p, const trusted::UniqueIdentifier& ui,
                       const Bytes& message) const = 0;
+
+  /// Verifies several UIs at once. Results equal calling verify() per job
+  /// (handlers may therefore batch the checks of a quorum message without
+  /// changing semantics); mechanisms override this when they can amortize
+  /// the underlying hashing. The default is the serial loop.
+  virtual void verify_batch(UsigVerifyJob* jobs, std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i)
+      jobs[i].ok = verify(jobs[i].p, *jobs[i].ui, *jobs[i].message);
+  }
 
   /// Models replica `p`'s trusted device going through a host restart
   /// (see DESIGN.md §9). With `durable_state` the device state round-trips
@@ -60,6 +78,9 @@ class SgxUsigDirectory final : public UsigDirectory {
                                       const Bytes& message) override;
   bool verify(ProcessId p, const trusted::UniqueIdentifier& ui,
               const Bytes& message) const override;
+  /// Routes all jobs' hashing and attestation checks through the batched
+  /// enclave verifier (UsigEnclave::verify_ui_batch).
+  void verify_batch(UsigVerifyJob* jobs, std::size_t n) const override;
   void restart_device(ProcessId p, bool durable_state) override;
 
   /// Direct enclave access (tests that hand-craft Byzantine UIs).

@@ -1,5 +1,6 @@
 #include "common/bytes.h"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace unidir {
@@ -57,6 +58,33 @@ std::uint64_t fnv1a64(ByteSpan data) {
     h ^= b;
     h *= 0x100000001B3ULL;
   }
+  return h;
+}
+
+std::uint64_t fingerprint64(ByteSpan data) {
+  // Seed with the length so a short input and its zero-padded extension
+  // differ even before the avalanche.
+  std::uint64_t h =
+      0xCBF29CE484222325ULL ^ (data.size() * 0x9E3779B97F4A7C15ULL);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  for (; n >= 8; n -= 8, p += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = (h ^ w) * 0x100000001B3ULL;
+    // The multiply only carries information upward; fold the high bits back
+    // so low-bit slot indices see the whole word.
+    h ^= h >> 29;
+  }
+  std::uint64_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) w |= std::uint64_t{p[i]} << (8 * i);
+  h = (h ^ w) * 0x100000001B3ULL;
+  // splitmix64 finalizer.
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
   return h;
 }
 

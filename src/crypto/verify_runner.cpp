@@ -1,0 +1,96 @@
+#include "crypto/verify_runner.h"
+
+#include "common/check.h"
+
+namespace unidir::crypto {
+
+VerifyRunner::VerifyRunner(std::size_t threads) : threads_(threads) {
+  if (threads_ <= 1) return;
+  workers_.reserve(threads_);
+  for (std::size_t i = 0; i < threads_; ++i)
+    workers_.emplace_back([this] { worker(); });
+}
+
+VerifyRunner::~VerifyRunner() {
+  if (workers_.empty()) return;
+  // Drain whatever a caller submitted but never flushed, so work closures
+  // are not destroyed while a worker still runs them.
+  flush();
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void VerifyRunner::worker() {
+  std::unique_lock lk(mu_);
+  while (true) {
+    cv_work_.wait(lk, [this] { return stop_ || next_claim_ < tasks_.size(); });
+    if (stop_) return;
+    const std::size_t i = next_claim_++;
+    Fn work = std::move(tasks_[i].work);
+    lk.unlock();
+    if (work) work();
+    lk.lock();
+    // Index, not pointer: flush() never shrinks tasks_ while work is
+    // outstanding, but submit() may reallocate it.
+    tasks_[i].done = true;
+    cv_done_.notify_all();
+  }
+}
+
+void VerifyRunner::submit(Fn work, Fn release) {
+  if (workers_.empty()) {
+    if (work) work();
+    tasks_.push_back(Task{nullptr, std::move(release), true});
+    ++stats_.submitted;
+    if (tasks_.size() > stats_.max_queue_depth)
+      stats_.max_queue_depth = tasks_.size();
+    return;
+  }
+  {
+    std::lock_guard lk(mu_);
+    tasks_.push_back(Task{std::move(work), std::move(release), false});
+    ++stats_.submitted;
+    // Epoch size, not live backlog: the backlog depends on worker timing
+    // and would make the counter nondeterministic.
+    if (tasks_.size() > stats_.max_queue_depth)
+      stats_.max_queue_depth = tasks_.size();
+  }
+  cv_work_.notify_one();
+}
+
+void VerifyRunner::flush() {
+  if (workers_.empty()) {
+    ++stats_.flushes;
+    for (Task& t : tasks_) {
+      if (t.release) t.release();
+      ++stats_.released;
+    }
+    tasks_.clear();
+    return;
+  }
+  std::unique_lock lk(mu_);
+  ++stats_.flushes;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    cv_done_.wait(lk, [this, i] { return tasks_[i].done; });
+    if (Fn release = std::move(tasks_[i].release)) {
+      lk.unlock();
+      release();
+      lk.lock();
+    }
+    ++stats_.released;
+  }
+  UNIDIR_CHECK(next_claim_ == tasks_.size());
+  tasks_.clear();
+  next_claim_ = 0;
+}
+
+VerifyRunner::Stats VerifyRunner::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+}  // namespace unidir::crypto

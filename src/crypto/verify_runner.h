@@ -1,0 +1,86 @@
+// Ordered verification runner (after dsnet's CTPLOrderedRunner).
+//
+// A small worker pool for signature-verification work with one extra
+// guarantee: *release callbacks run on the submitting thread, in submission
+// order*, no matter in which order the workers finish. The simulator's
+// determinism contract — parallelism may change wall-clock time, never
+// results — reduces to two rules, both enforced here by construction:
+//
+//  1. Work closures are pure: they read shared immutable inputs (key
+//     schedules, message bytes) and write only into slots preassigned to
+//     them by the submitter. Workers never touch the memo table, the stats
+//     counters, or any protocol state.
+//  2. Everything order-sensitive (memo installs, verdict comparison,
+//     protocol reaction) happens in release callbacks, which flush() runs
+//     on the calling thread in submission order — exactly the serial
+//     schedule, merely started later.
+//
+// With threads <= 1 no pool exists: submit() runs the work inline and
+// flush() runs the releases, which *is* the serial execution. The stats are
+// deterministic for any thread count: they count submissions and epochs,
+// never worker progress, so a metrics snapshot cannot leak scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace unidir::crypto {
+
+class VerifyRunner {
+ public:
+  using Fn = std::function<void()>;
+
+  /// Deterministic-by-construction counters (see header comment).
+  struct Stats {
+    std::uint64_t submitted = 0;        // tasks ever submitted
+    std::uint64_t released = 0;         // release callbacks run
+    std::uint64_t flushes = 0;          // flush() calls
+    std::uint64_t max_queue_depth = 0;  // largest epoch (tasks per flush)
+  };
+
+  /// `threads` <= 1 selects the inline serial mode; 0 is reserved for
+  /// "one per hardware thread" and resolved by the caller (see
+  /// World::set_verify_threads).
+  explicit VerifyRunner(std::size_t threads = 1);
+  ~VerifyRunner();
+  VerifyRunner(const VerifyRunner&) = delete;
+  VerifyRunner& operator=(const VerifyRunner&) = delete;
+
+  std::size_t threads() const { return threads_; }
+
+  /// Enqueues `work` for the pool (or runs it inline in serial mode).
+  /// `release`, if given, runs during flush() on the flushing thread once
+  /// every earlier submission's work has completed and released.
+  void submit(Fn work, Fn release = nullptr);
+
+  /// Blocks until all submitted work has completed, running releases in
+  /// submission order as their prefix completes, then starts a new epoch.
+  void flush();
+
+  Stats stats() const;
+
+ private:
+  struct Task {
+    Fn work;
+    Fn release;
+    bool done = false;
+  };
+
+  void worker();
+
+  const std::size_t threads_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<Task> tasks_;  // current epoch, cleared by flush()
+  std::size_t next_claim_ = 0;
+  bool stop_ = false;
+  Stats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace unidir::crypto

@@ -222,6 +222,7 @@ std::string ScenarioSpec::describe() const {
     os << " batch=" << batch_size << "/t" << batch_timeout_ticks << "/p"
        << replica_pipeline;
   if (workload.enabled()) os << " " << workload.describe();
+  if (verify_threads != 1) os << " vthreads=" << verify_threads;
   return os.str();
 }
 
@@ -253,6 +254,7 @@ void ScenarioSpec::encode(serde::Writer& w) const {
   w.uvarint(batch_timeout_ticks);
   w.uvarint(replica_pipeline);
   workload.encode(w);
+  w.uvarint(verify_threads);
 }
 
 ScenarioSpec ScenarioSpec::decode(serde::Reader& r) {
@@ -293,6 +295,9 @@ ScenarioSpec ScenarioSpec::decode(serde::Reader& r) {
   if (s.replica_pipeline == 0)
     throw serde::DecodeError("replica_pipeline must be >= 1");
   s.workload = sim::WorkloadSpec::decode(r);
+  s.verify_threads = r.uvarint();
+  if (s.verify_threads > 256)
+    throw serde::DecodeError("verify_threads exceeds 256");
   return s;
 }
 
@@ -391,6 +396,8 @@ RunOutcome run_scenario(const ScenarioSpec& spec,
   // The USIG directory must outlive the world whose replicas reference it.
   std::unique_ptr<agreement::SgxUsigDirectory> usigs;
   sim::World world(spec.seed, std::move(adversary));
+  if (spec.verify_threads != 1)
+    world.set_verify_threads(static_cast<std::size_t>(spec.verify_threads));
 
   RunOutcome out;
   world.network().set_observer(

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <bit>
 #include <chrono>
 
 #include "common/check.h"
@@ -109,13 +110,18 @@ void Simulator::at(Time t, Action fn) {
   UNIDIR_REQUIRE_MSG(t >= now_, "cannot schedule in the past");
   UNIDIR_REQUIRE(static_cast<bool>(fn));
   const Entry e{t, next_seq_++, acquire_slot(std::move(fn))};
-  if (t <= now_ + 1 && now_ != kTimeMax) {
-    rings_[t & 1].push(t, e);
+  // t >= now_ was checked above, so the subtraction cannot wrap — no
+  // separate overflow guard needed near kTimeMax.
+  if (t - now_ < kNumRings) {
+    const std::size_t i = t & (kNumRings - 1);
+    rings_[i].push(t, e);
+    ring_mask_ |= 1u << i;
     ++stats_.ring_fast_path;
   } else {
     heap_push(e);
     ++stats_.heap_events;
   }
+  ++live_;
   note_scheduled();
 }
 
@@ -129,8 +135,8 @@ void Simulator::after(Time delay, Action fn) {
 Time Simulator::min_time() const {
   Time best = kTimeMax;
   bool found = false;
-  for (const Ring& ring : rings_) {
-    if (ring.empty()) continue;
+  for (std::uint32_t m = ring_mask_; m != 0; m &= m - 1) {
+    const Ring& ring = rings_[static_cast<std::size_t>(std::countr_zero(m))];
     if (!found || ring.time() < best) best = ring.time();
     found = true;
   }
@@ -140,11 +146,12 @@ Time Simulator::min_time() const {
 }
 
 Simulator::Entry Simulator::pop_min() {
-  // Candidates: each ring's front (minimal seq for that ring's time) and
-  // the heap top. At most three comparisons by (time, seq).
+  // Candidates: each non-empty ring's front (minimal seq for that ring's
+  // time) and the heap top, compared by (time, seq). The mask keeps the
+  // scan proportional to the active rings, not the wheel width.
   int best_ring = -1;
-  for (int i = 0; i < 2; ++i) {
-    if (rings_[i].empty()) continue;
+  for (std::uint32_t m = ring_mask_; m != 0; m &= m - 1) {
+    const int i = std::countr_zero(m);
     if (best_ring < 0 ||
         earlier(rings_[i].time(), rings_[i].front().seq,
                 rings_[best_ring].time(), rings_[best_ring].front().seq))
@@ -153,14 +160,19 @@ Simulator::Entry Simulator::pop_min() {
   if (best_ring >= 0 &&
       (heap_.empty() ||
        earlier(rings_[best_ring].time(), rings_[best_ring].front().seq,
-               heap_.front().at, heap_.front().seq)))
-    return rings_[best_ring].pop();
+               heap_.front().at, heap_.front().seq))) {
+    Entry e = rings_[best_ring].pop();
+    if (rings_[best_ring].empty())
+      ring_mask_ &= ~(1u << static_cast<unsigned>(best_ring));
+    return e;
+  }
   return heap_pop();
 }
 
 bool Simulator::step() {
   if (idle()) return false;
   const Entry e = pop_min();
+  --live_;
   UNIDIR_CHECK(e.at >= now_);
   now_ = e.at;
   ++stats_.executed;

@@ -13,11 +13,13 @@
 //  * Callables live in a slab (recycled slots); the binary heap orders
 //    lightweight {time, seq, slot} entries, so sift operations move 24-byte
 //    PODs instead of whole closures.
-//  * Events scheduled at now or now+1 — the vast majority, since protocol
-//    messages are delivered with small delays and timers fire "next tick"
-//    — bypass the heap entirely through two FIFO rings (one per time
-//    parity). Ring order IS (time, seq) order because a ring holds a
-//    single virtual time at any moment.
+//  * Events scheduled within the next few ticks — the vast majority, since
+//    protocol messages are delivered with small delays and timers fire
+//    "next tick" — bypass the heap entirely through a wheel of FIFO rings
+//    (one per time residue mod kNumRings, covering [now, now+kNumRings)).
+//    Ring order IS (time, seq) order because a ring holds a single virtual
+//    time at any moment: within the wheel's window, each residue class
+//    names exactly one time.
 //
 // Scheduling semantics are unchanged: events run in strictly increasing
 // (time, seq) order regardless of which structure holds them.
@@ -174,9 +176,7 @@ class Simulator {
   void run_to_time(Time t, std::size_t max_events = kDefaultEventCap);
 
   bool idle() const { return pending() == 0; }
-  std::size_t pending() const {
-    return heap_.size() + rings_[0].size() + rings_[1].size();
-  }
+  std::size_t pending() const { return live_; }
   std::uint64_t executed() const { return stats_.executed; }
 
   const SimulatorStats& stats() const { return stats_; }
@@ -221,10 +221,17 @@ class Simulator {
   Time min_time() const;
   void note_scheduled();
 
+  /// Wheel width: events at [now, now + kNumRings) take a ring, the rest
+  /// the heap. Power of two so the residue is a mask. 8 covers the typical
+  /// adversarial delivery delays (1–7 ticks), not just next-tick timers.
+  static constexpr std::size_t kNumRings = 8;
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;  // heap_.size() + sum of ring sizes, kept O(1)
   std::vector<Entry> heap_;
-  Ring rings_[2];  // indexed by time parity; holds events at now and now+1
+  Ring rings_[kNumRings];       // indexed by time mod kNumRings
+  std::uint32_t ring_mask_ = 0;  // bit i set iff rings_[i] is non-empty
   std::vector<InlineFn> slab_;
   std::vector<std::uint32_t> free_slots_;
   SimulatorStats stats_;

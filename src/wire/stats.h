@@ -45,6 +45,11 @@ struct ChannelStats {
   std::uint64_t dropped_unknown_tag = 0;
   /// Sender rejected by the router's peer filter.
   std::uint64_t dropped_filtered = 0;
+  /// Signature/UI verifications this channel's handlers submitted as
+  /// grouped batches (quorum messages carrying several attestations), and
+  /// how many groups. jobs/batches is the channel's batch occupancy.
+  std::uint64_t verify_jobs = 0;
+  std::uint64_t verify_batches = 0;
 
   std::map<std::uint8_t, TypeStats> types;
 
@@ -70,7 +75,19 @@ class StatsHub {
     t.bytes_sent += bytes;
   }
 
+  void note_verify_batch(Channel ch, std::size_t jobs) {
+    ChannelStats& cs = channel(ch);
+    ++cs.verify_batches;
+    cs.verify_jobs += jobs;
+  }
+
   // -- aggregates (fuzz sweeps assert on these) -----------------------------
+  std::uint64_t total_verify_jobs() const {
+    return sum([](const ChannelStats& c) { return c.verify_jobs; });
+  }
+  std::uint64_t total_verify_batches() const {
+    return sum([](const ChannelStats& c) { return c.verify_batches; });
+  }
   std::uint64_t total_received() const {
     return sum([](const ChannelStats& c) { return c.received; });
   }

@@ -116,18 +116,19 @@ TEST(Simulator, ExecutedCounter) {
 
 TEST(Simulator, StatsCountRingAndHeapRouting) {
   Simulator sim;
-  // at(now) and at(now+1) take the FIFO rings; farther events the heap.
+  // Events within [now, now+8) take the ring wheel; farther ones the heap.
   sim.after(0, [] {});
   sim.after(1, [] {});
-  sim.after(10, [] {});
+  sim.after(7, [] {});   // last wheel slot
+  sim.after(8, [] {});   // first heap time
   sim.after(20, [] {});
-  EXPECT_EQ(sim.stats().ring_fast_path, 2u);
+  EXPECT_EQ(sim.stats().ring_fast_path, 3u);
   EXPECT_EQ(sim.stats().heap_events, 2u);
-  EXPECT_EQ(sim.stats().scheduled, 4u);
-  EXPECT_EQ(sim.stats().peak_pending, 4u);
+  EXPECT_EQ(sim.stats().scheduled, 5u);
+  EXPECT_EQ(sim.stats().peak_pending, 5u);
   sim.run();
-  EXPECT_EQ(sim.stats().executed, 4u);
-  EXPECT_EQ(sim.stats().peak_pending, 4u);  // high-water mark sticks
+  EXPECT_EQ(sim.stats().executed, 5u);
+  EXPECT_EQ(sim.stats().peak_pending, 5u);  // high-water mark sticks
   EXPECT_GT(sim.stats().run_wall_ns, 0u);
   EXPECT_GT(sim.stats().events_per_sec(), 0.0);
 }
@@ -137,15 +138,34 @@ TEST(Simulator, RingAndHeapInterleaveInTimeSeqOrder) {
   // check the global (time, seq) order survives the split data structures.
   Simulator sim;
   std::vector<int> order;
-  sim.at(2, [&] { order.push_back(20); });           // heap (t = now + 2)
+  sim.at(9, [&] { order.push_back(20); });           // heap (t = now + 9)
   sim.at(0, [&] {                                    // ring[0]
     order.push_back(0);
     sim.after(1, [&] { order.push_back(10); });      // ring at t=1, before 20
-    sim.after(2, [&] { order.push_back(21); });      // heap at t=2, after 20
+    sim.after(9, [&] { order.push_back(21); });      // heap at t=9, after 20
   });
   sim.at(1, [&] { order.push_back(11); });           // ring[1]
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{0, 11, 10, 20, 21}));
+}
+
+TEST(Simulator, WheelReusesRingsAcrossItsWindow) {
+  // Schedule onto every wheel slot repeatedly while time advances, so each
+  // ring cycles through many distinct virtual times; FIFO-within-time and
+  // global time order must both survive.
+  Simulator sim;
+  std::vector<Time> fired;
+  std::function<void(int)> wave = [&](int depth) {
+    if (depth == 0) return;
+    for (Time d = 0; d < 8; ++d)
+      sim.after(d, [&fired, &sim] { fired.push_back(sim.now()); });
+    sim.after(5, [&wave, depth] { wave(depth - 1); });
+  };
+  sim.at(0, [&] { wave(6); });
+  sim.run();
+  ASSERT_EQ(fired.size(), 6u * 8u);
+  for (std::size_t i = 1; i < fired.size(); ++i)
+    EXPECT_LE(fired[i - 1], fired[i]);
 }
 
 TEST(Simulator, ManySameTickEventsStayFifoThroughRingGrowth) {
