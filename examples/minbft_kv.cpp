@@ -1,22 +1,45 @@
 // A Byzantine fault tolerant key-value store on trusted hardware.
 //
-// Runs a MinBFT replica group (n = 2f+1 = 3, each replica holding a
-// simulated SGX USIG enclave), serves a client workload, then crashes the
-// primary mid-run and shows the view change recovering — all inside the
-// deterministic simulator.
+// Two modes, same protocol code either way (the point of the runtime
+// boundary):
 //
-// Build & run:  ./build/examples/minbft_kv
+//   Simulation (no arguments):  ./build/examples/minbft_kv
+//     Runs a MinBFT replica group (n = 2f+1 = 3, each replica holding a
+//     simulated SGX USIG enclave), serves a client workload, then crashes
+//     the primary mid-run and shows the view change recovering — all
+//     inside the deterministic simulator.
+//
+//   Real deployment (one OS process per flag set):
+//     ./build/examples/minbft_kv --id 0 --listen 127.0.0.1:9000
+//         --peers 127.0.0.1:9000,...,127.0.0.1:9004 --replicas 4
+//     The peer list is the membership: entry i is process i's UDP
+//     endpoint. Ids [0, --replicas) run MinBFT replicas; the remaining
+//     ids run closed-loop clients submitting --requests PUT/GET commands.
+//     Replicas serve until SIGINT/SIGTERM; a client exits 0 iff every
+//     request committed. All processes must share --seed: provisioning
+//     derives every process's keys from it, which is what lets USIG
+//     attestations verify across machine boundaries with no key exchange.
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "agreement/minbft.h"
 #include "agreement/state_machines.h"
+#include "runtime/real_runtime.h"
 #include "sim/adversaries.h"
 #include "wire/channels.h"
 
 using namespace unidir;
 using namespace unidir::agreement;
 
-int main() {
+namespace {
+
+// ---- simulation mode (the original demo, unchanged) ------------------------
+
+int run_sim_demo() {
   constexpr std::size_t kF = 1;
   constexpr std::size_t kN = 2 * kF + 1;
 
@@ -108,4 +131,197 @@ int main() {
               static_cast<unsigned long long>(ws.dropped_unknown_tag),
               static_cast<unsigned long long>(ws.dropped_filtered));
   return divergence ? 1 : 0;
+}
+
+// ---- real mode -------------------------------------------------------------
+
+// SIGINT/SIGTERM request shutdown. The flag is only ever read by run_until
+// predicates, which the loop re-checks at least every 50ms wait slice —
+// nothing async-signal-unsafe happens in the handler itself.
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+struct RealConfig {
+  ProcessId id = 0;
+  std::string listen;
+  std::vector<std::string> peers;  // entry i = process i's ip:port
+  std::size_t replicas = 4;
+  std::uint64_t requests = 8;
+  std::uint64_t tick_us = 200;  // 0.2ms: protocol tick constants -> wall time
+  std::uint64_t seed = 7;
+  std::uint64_t timeout_s = 30;  // client-side wall-clock give-up
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s                     (deterministic simulation demo)\n"
+      "       %s --id I --listen IP:PORT --peers IP:PORT,IP:PORT,...\n"
+      "          [--replicas R] [--requests N] [--tick-us T] [--seed S]\n"
+      "          [--timeout-s W]   (one real UDP process of a cluster)\n"
+      "peer list entry i is process i's endpoint; ids [0,R) are replicas,\n"
+      "the rest are clients. Every process must get the same --peers,\n"
+      "--replicas and --seed.\n",
+      argv0, argv0);
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_args(int argc, char** argv, RealConfig& cfg) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (flag == "--id" && (v = value()))
+      cfg.id = static_cast<ProcessId>(std::strtoul(v, nullptr, 10));
+    else if (flag == "--listen" && (v = value()))
+      cfg.listen = v;
+    else if (flag == "--peers" && (v = value()))
+      cfg.peers = split_commas(v);
+    else if (flag == "--replicas" && (v = value()))
+      cfg.replicas = std::strtoul(v, nullptr, 10);
+    else if (flag == "--requests" && (v = value()))
+      cfg.requests = std::strtoull(v, nullptr, 10);
+    else if (flag == "--tick-us" && (v = value()))
+      cfg.tick_us = std::strtoull(v, nullptr, 10);
+    else if (flag == "--seed" && (v = value()))
+      cfg.seed = std::strtoull(v, nullptr, 10);
+    else if (flag == "--timeout-s" && (v = value()))
+      cfg.timeout_s = std::strtoull(v, nullptr, 10);
+    else {
+      if (flag != "--help" && flag != "-h")
+        std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+    if (v == nullptr) return false;
+  }
+  if (cfg.listen.empty() || cfg.peers.empty() ||
+      cfg.id >= cfg.peers.size() || cfg.replicas >= cfg.peers.size() ||
+      cfg.replicas < 3 || cfg.tick_us == 0) {
+    std::fprintf(stderr, "need --listen, --peers with > --replicas (>= 3) "
+                         "entries, and --id within the peer list\n");
+    return false;
+  }
+  return true;
+}
+
+int run_real(const RealConfig& cfg) {
+  const std::size_t total = cfg.peers.size();
+  const std::size_t f = (cfg.replicas - 1) / 2;  // MinBFT: n = 2f+1
+
+  runtime::RealRuntimeOptions ropt;
+  ropt.tick_ns = cfg.tick_us * 1000;
+  ropt.listen = cfg.listen;
+  auto rt = std::make_unique<runtime::RealRuntime>(ropt);
+  runtime::RealRuntime* control = rt.get();
+  for (ProcessId p = 0; p < total; ++p) {
+    if (p == cfg.id) continue;
+    const std::string& ep = cfg.peers[p];
+    const std::size_t colon = ep.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "peer %u is not ip:port: %s\n", p, ep.c_str());
+      return 2;
+    }
+    control->add_peer(
+        p, ep.substr(0, colon),
+        static_cast<std::uint16_t>(
+            std::strtoul(ep.c_str() + colon + 1, nullptr, 10)));
+  }
+
+  sim::World world(cfg.seed, std::move(rt));
+  SgxUsigDirectory usigs(world.keys());
+  world.provision(total);
+  // Materialize replica enclaves in id order so every process derives the
+  // same key registry (see DESIGN.md §13).
+  for (ProcessId p = 0; p < cfg.replicas; ++p) usigs.enclave_for(p);
+
+  MinBftReplica::Options opt;
+  opt.f = f;
+  for (ProcessId p = 0; p < cfg.replicas; ++p) opt.replicas.push_back(p);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  if (cfg.id < cfg.replicas) {
+    auto& replica = world.spawn_at<MinBftReplica>(
+        cfg.id, opt, usigs, std::make_unique<KvStateMachine>());
+    world.start();
+    std::printf("replica %u: listening on %s (port %u), n=%zu f=%zu\n",
+                cfg.id, cfg.listen.c_str(), control->bound_port(),
+                cfg.replicas, f);
+    std::fflush(stdout);
+    world.run_until([] { return g_stop != 0; }, SIZE_MAX);
+    std::printf("replica %u: view=%llu executed=%llu digest=%s\n", cfg.id,
+                static_cast<unsigned long long>(replica.view()),
+                static_cast<unsigned long long>(replica.executed_count()),
+                to_hex(ByteSpan(replica.state_digest().data(), 8)).c_str());
+    return 0;
+  }
+
+  SmrClient::Options copt;
+  copt.replicas = opt.replicas;
+  copt.f = f;
+  auto& client = world.spawn_at<SmrClient>(cfg.id, copt);
+  for (std::uint64_t i = 0; i < cfg.requests; ++i) {
+    const std::string key = "k" + std::to_string(i % 3);
+    if (i % 3 == 2)
+      client.submit(KvStateMachine::get_op(key));
+    else
+      client.submit(KvStateMachine::put_op(key, "v" + std::to_string(i)));
+  }
+  world.start();
+  std::printf("client %u: %llu requests against %zu replicas\n", cfg.id,
+              static_cast<unsigned long long>(cfg.requests), cfg.replicas);
+  std::fflush(stdout);
+
+  // Give-up timer in Clock ticks, so the predicate needs no wall clock.
+  const Time deadline_ticks = cfg.timeout_s * 1'000'000 / cfg.tick_us;
+  world.run_until(
+      [&] {
+        return g_stop != 0 ||
+               client.completed() + client.gave_up() >= cfg.requests ||
+               world.now() > deadline_ticks;
+      },
+      SIZE_MAX);
+
+  const auto us = control->udp_stats();
+  std::printf("client %u: completed=%llu gave_up=%llu frames_sent=%llu "
+              "frames_received=%llu malformed=%llu\n",
+              cfg.id, static_cast<unsigned long long>(client.completed()),
+              static_cast<unsigned long long>(client.gave_up()),
+              static_cast<unsigned long long>(us.frames_sent),
+              static_cast<unsigned long long>(us.frames_received),
+              static_cast<unsigned long long>(us.frames_malformed));
+  return client.completed() >= cfg.requests ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc <= 1) return run_sim_demo();
+  RealConfig cfg;
+  if (!parse_args(argc, argv, cfg)) {
+    usage(argv[0]);
+    return 2;
+  }
+  return run_real(cfg);
 }

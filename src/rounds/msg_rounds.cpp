@@ -81,7 +81,7 @@ LockstepBiRoundDriver::LockstepBiRoundDriver(sim::Process& host,
 
 void LockstepBiRoundDriver::start_round(Bytes message, Callback done) {
   const RoundNum round = begin(message);
-  const Time now = host_.world().simulator().now();
+  const Time now = host_.world().now();
   const Time window_start = (round - 1) * round_length_;
   const Time window_end = round * round_length_;
   UNIDIR_REQUIRE_MSG(now <= window_start,

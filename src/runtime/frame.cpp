@@ -1,0 +1,44 @@
+#include "runtime/frame.h"
+
+#include <limits>
+
+#include "common/serde.h"
+
+namespace unidir::runtime {
+
+Bytes encode_frame(ProcessId from, ProcessId to, Channel channel,
+                   ByteSpan payload) {
+  serde::Writer w;
+  w.reserve(payload.size() + 24);
+  w.uvarint(kFrameMagic);
+  w.uvarint(from);
+  w.uvarint(to);
+  w.uvarint(channel);
+  w.bytes(payload);
+  return w.take();
+}
+
+std::optional<Frame> decode_frame(ByteSpan datagram) {
+  try {
+    serde::Reader r(datagram);
+    if (r.uvarint() != kFrameMagic) return std::nullopt;
+    const std::uint64_t from = r.uvarint();
+    const std::uint64_t to = r.uvarint();
+    const std::uint64_t channel = r.uvarint();
+    if (from > std::numeric_limits<ProcessId>::max() ||
+        to > std::numeric_limits<ProcessId>::max() ||
+        channel > std::numeric_limits<Channel>::max())
+      return std::nullopt;
+    Frame f;
+    f.from = static_cast<ProcessId>(from);
+    f.to = static_cast<ProcessId>(to);
+    f.channel = static_cast<Channel>(channel);
+    f.payload = r.bytes();
+    r.expect_done();  // trailing bytes are malformed, as on the wire layer
+    return f;
+  } catch (const serde::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace unidir::runtime

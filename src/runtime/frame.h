@@ -1,0 +1,40 @@
+// Datagram framing for the real-time UDP transport.
+//
+// One frame per datagram: a magic marker, the global sender/receiver
+// ProcessIds, the channel, and the length-prefixed protocol payload —
+// encoded with the same serde primitives as every wire message, and
+// decoded through the same hardened contract (DecodeError-only failures,
+// exact consume). A frame that fails any check is dropped and counted by
+// the transport; the payload inside a valid frame then flows into
+// Process::dispatch and the typed wire::Router boundary exactly as a
+// simulator delivery would, so protocol handlers only ever see bytes that
+// cleared BOTH hardening layers.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace unidir::runtime {
+
+/// Frame marker ("UF1" + version). A stray datagram on our port is
+/// overwhelmingly likely to miss it and be dropped before any field decode.
+inline constexpr std::uint64_t kFrameMagic = 0x1F554631ULL;
+
+struct Frame {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  Channel channel = 0;
+  Bytes payload;
+};
+
+/// Serializes one frame. The result is a complete datagram body.
+Bytes encode_frame(ProcessId from, ProcessId to, Channel channel,
+                   ByteSpan payload);
+
+/// Decodes one datagram. Returns nullopt — never throws — on a missing
+/// magic, truncated field, out-of-range id, or trailing bytes.
+std::optional<Frame> decode_frame(ByteSpan datagram);
+
+}  // namespace unidir::runtime

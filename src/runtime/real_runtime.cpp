@@ -1,0 +1,320 @@
+#include "runtime/real_runtime.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "runtime/frame.h"
+
+namespace unidir::runtime {
+
+namespace {
+
+/// Longest the loop or the receiver blocks before re-checking stop()/pred.
+constexpr std::uint64_t kMaxWaitSliceNs = 50'000'000;  // 50ms
+
+/// Packs an IPv4 (address, port) pair — both in network byte order as
+/// sockaddr_in wants them — into one map value, so the header needs no
+/// socket includes.
+std::uint64_t pack_addr(std::uint32_t s_addr_be, std::uint16_t port_be) {
+  return (static_cast<std::uint64_t>(s_addr_be) << 16) |
+         static_cast<std::uint64_t>(port_be);
+}
+
+sockaddr_in unpack_addr(std::uint64_t packed) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = static_cast<std::uint32_t>(packed >> 16);
+  sa.sin_port = static_cast<std::uint16_t>(packed & 0xFFFF);
+  return sa;
+}
+
+std::uint64_t resolve_ipv4(const std::string& host, std::uint16_t port) {
+  in_addr addr{};
+  UNIDIR_REQUIRE_MSG(inet_pton(AF_INET, host.c_str(), &addr) == 1,
+                     "RealRuntime: not an IPv4 address: " + host);
+  return pack_addr(addr.s_addr, htons(port));
+}
+
+/// Splits "ip:port"; throws on anything else.
+std::pair<std::string, std::uint16_t> split_host_port(const std::string& s) {
+  const std::size_t colon = s.rfind(':');
+  UNIDIR_REQUIRE_MSG(colon != std::string::npos && colon + 1 < s.size(),
+                     "RealRuntime: expected ip:port, got '" + s + "'");
+  const unsigned long port = std::stoul(s.substr(colon + 1));
+  UNIDIR_REQUIRE_MSG(port <= 65535, "RealRuntime: port out of range in " + s);
+  return {s.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace
+
+RealRuntime::RealRuntime(RealRuntimeOptions options)
+    : options_(std::move(options)),
+      clock_(*this),
+      transport_(*this),
+      epoch_(std::chrono::steady_clock::now()) {
+  UNIDIR_REQUIRE_MSG(options_.tick_ns > 0, "tick_ns must be positive");
+  for (const RealRuntimeOptions::Peer& p : options_.peers)
+    add_peer(p.id, p.host, p.port);
+  if (!options_.listen.empty()) {
+    open_socket();
+    receiver_ = std::thread([this] { receive_loop(); });
+  }
+}
+
+RealRuntime::~RealRuntime() {
+  stop();
+  if (receiver_.joinable()) receiver_.join();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void RealRuntime::add_peer(ProcessId id, const std::string& host,
+                           std::uint16_t port) {
+  peers_[id] = resolve_ipv4(host, port);
+}
+
+std::uint64_t RealRuntime::elapsed_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Time RealRuntime::now_ticks() const { return elapsed_ns() / options_.tick_ns; }
+
+// ---- timers ----------------------------------------------------------------
+
+TimerId RealRuntime::arm_timer(Time delay, std::function<void()> fn) {
+  UNIDIR_REQUIRE(fn != nullptr);
+  const TimerId id = ++next_timer_;
+  timer_fns_.emplace(id, std::move(fn));
+  timer_heap_.push_back(
+      TimerEntry{elapsed_ns() + delay * options_.tick_ns, next_timer_seq_++,
+                 id});
+  std::push_heap(timer_heap_.begin(), timer_heap_.end());
+  ++stats_.scheduled;
+  return id;
+}
+
+void RealRuntime::cancel_timer(TimerId id) {
+  // The heap entry stays behind as a tombstone; step() skips entries whose
+  // function is gone.
+  timer_fns_.erase(id);
+}
+
+// ---- transport -------------------------------------------------------------
+
+void RealRuntime::transport_send(ProcessId from, ProcessId to, Channel channel,
+                                 Payload payload) {
+  const auto peer = peers_.find(to);
+  if (peer != peers_.end()) {
+    const Bytes frame = encode_frame(
+        from, to, channel, ByteSpan(payload.data(), payload.size()));
+    const sockaddr_in sa = unpack_addr(peer->second);
+    UNIDIR_CHECK_MSG(fd_ >= 0, "RealRuntime: peer send without a socket");
+    // Best-effort, as UDP is: a full socket buffer or transient error is a
+    // dropped datagram; protocol retransmission owns recovery.
+    (void)::sendto(fd_, frame.data(), frame.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (is_local_ && is_local_(to)) {
+    loopback_messages_.fetch_add(1, std::memory_order_relaxed);
+    ++stats_.scheduled;
+    enqueue_local(Incoming{from, to, channel, std::move(payload)});
+    return;
+  }
+  frames_no_peer_.fetch_add(1, std::memory_order_relaxed);
+  if (warned_no_peer_.insert(to).second) {
+    UNIDIR_WARN("RealRuntime: dropping send to unaddressable process "
+                << to << " (no peer entry, not local)");
+  }
+}
+
+void RealRuntime::enqueue_local(Incoming in) {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    inbox_.push_back(std::move(in));
+  }
+  inbox_cv_.notify_one();
+}
+
+// ---- socket ----------------------------------------------------------------
+
+void RealRuntime::open_socket() {
+  const auto [host, port] = split_host_port(options_.listen);
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  UNIDIR_REQUIRE_MSG(fd_ >= 0, "RealRuntime: socket() failed: " +
+                                   std::string(std::strerror(errno)));
+  sockaddr_in sa = unpack_addr(resolve_ipv4(host, port));
+  UNIDIR_REQUIRE_MSG(
+      ::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) == 0,
+      "RealRuntime: bind(" + options_.listen +
+          ") failed: " + std::string(std::strerror(errno)));
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  UNIDIR_CHECK(::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+               0);
+  bound_port_ = ntohs(bound.sin_port);
+  // Bounded receive timeout: the receiver thread wakes periodically to
+  // check stop() — the portable way to unblock a UDP recvfrom.
+  timeval tv{};
+  tv.tv_usec = static_cast<suseconds_t>(kMaxWaitSliceNs / 1000);
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void RealRuntime::receive_loop() {
+  std::vector<std::uint8_t> buf(65536);
+  while (!stopped()) {
+    const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0, nullptr,
+                                 nullptr);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      if (stopped()) break;
+      UNIDIR_WARN("RealRuntime: recvfrom failed: " << std::strerror(errno));
+      break;
+    }
+    auto frame =
+        decode_frame(ByteSpan(buf.data(), static_cast<std::size_t>(n)));
+    if (!frame) {
+      frames_malformed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_local(Incoming{frame->from, frame->to, frame->channel,
+                           Payload(std::move(frame->payload))});
+  }
+}
+
+// ---- event loop ------------------------------------------------------------
+
+bool RealRuntime::step() {
+  // Due timers first (they were armed strictly earlier than any message
+  // that could race them on a single loop), skipping cancel tombstones.
+  const std::uint64_t now_ns = elapsed_ns();
+  while (!timer_heap_.empty()) {
+    const TimerEntry top = timer_heap_.front();
+    const auto fn_it = timer_fns_.find(top.id);
+    if (fn_it == timer_fns_.end()) {  // cancelled: drop silently
+      std::pop_heap(timer_heap_.begin(), timer_heap_.end());
+      timer_heap_.pop_back();
+      continue;
+    }
+    if (top.deadline_ns > now_ns) break;
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end());
+    timer_heap_.pop_back();
+    std::function<void()> fn = std::move(fn_it->second);
+    timer_fns_.erase(fn_it);
+    ++stats_.executed;
+    fn();
+    return true;
+  }
+  Incoming in;
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    if (inbox_.empty()) return false;
+    in = std::move(inbox_.front());
+    inbox_.pop_front();
+  }
+  ++stats_.executed;
+  if (deliver_) deliver_(in.from, in.to, in.channel, in.payload);
+  return true;
+}
+
+bool RealRuntime::idle() {
+  while (!timer_heap_.empty() &&
+         timer_fns_.find(timer_heap_.front().id) == timer_fns_.end()) {
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end());
+    timer_heap_.pop_back();
+  }
+  if (!timer_heap_.empty()) return false;
+  std::lock_guard<std::mutex> lock(inbox_mu_);
+  return inbox_.empty();
+}
+
+void RealRuntime::wait_for_work() {
+  std::uint64_t wait_ns = kMaxWaitSliceNs;
+  if (!timer_heap_.empty()) {
+    const std::uint64_t now_ns = elapsed_ns();
+    const std::uint64_t deadline = timer_heap_.front().deadline_ns;
+    wait_ns = deadline <= now_ns ? 0 : std::min(deadline - now_ns, wait_ns);
+  }
+  if (wait_ns == 0) return;
+  std::unique_lock<std::mutex> lock(inbox_mu_);
+  inbox_cv_.wait_for(lock, std::chrono::nanoseconds(wait_ns),
+                     [this] { return !inbox_.empty() || stopped(); });
+}
+
+std::size_t RealRuntime::run(std::size_t max_events) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t n = 0;
+  while (!stopped() && n < max_events) {
+    if (step()) {
+      ++n;
+      continue;
+    }
+    if (fd_ < 0 && idle()) break;  // loopback-only worlds can drain
+    wait_for_work();
+  }
+  stats_.run_wall_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return n;
+}
+
+bool RealRuntime::run_until(const std::function<bool()>& pred,
+                            std::size_t max_events) {
+  const auto t0 = std::chrono::steady_clock::now();
+  bool held = pred();
+  std::size_t n = 0;
+  while (!held && !stopped() && n < max_events) {
+    if (step()) {
+      ++n;
+      held = pred();
+      continue;
+    }
+    if (fd_ < 0 && idle()) {
+      held = pred();
+      break;
+    }
+    wait_for_work();
+    // Predicates may watch state flipped by another thread (a test's done
+    // flag), not just loop events — re-check after every wakeup.
+    held = pred();
+  }
+  stats_.run_wall_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return held;
+}
+
+RuntimeStats RealRuntime::stats() const {
+  RuntimeStats s = stats_;
+  // Frames arrive on the receiver thread; fold them into `scheduled` here
+  // so the figure covers socket traffic too.
+  s.scheduled += frames_received_.load(std::memory_order_relaxed);
+  return s;
+}
+
+UdpTransportStats RealRuntime::udp_stats() const {
+  UdpTransportStats s;
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.frames_malformed = frames_malformed_.load(std::memory_order_relaxed);
+  s.frames_no_peer = frames_no_peer_.load(std::memory_order_relaxed);
+  s.loopback_messages = loopback_messages_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace unidir::runtime

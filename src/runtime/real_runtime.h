@@ -1,0 +1,215 @@
+// RealRuntime: the same protocol stack on an OS thread, a monotonic-clock
+// timer heap, and UDP sockets.
+//
+// One RealRuntime hosts one event loop. The loop runs on whichever thread
+// calls run()/run_until() (the "loop thread"); all protocol handlers, timer
+// callbacks and transport sends execute there, one event at a time, so
+// protocol code needs no locking — the same thread-confinement contract the
+// simulator gives. Two auxiliary thread kinds exist:
+//
+//   * a receiver thread (only when `listen` is set) that blocks in
+//     recvfrom, decodes frames (runtime/frame.h) and enqueues them into a
+//     mutex-protected inbox the loop drains;
+//   * the signature-verification worker pool (crypto/verify_runner.h),
+//     attached through World::set_verify_threads exactly as under the sim.
+//
+// Time: a "tick" is Options::tick_ns of std::chrono::steady_clock (default
+// 1ms), so protocol timeouts written in ticks — a MinBFT view-change
+// timeout of 300, a client resend of 400 — become 300ms/400ms of wall
+// time. Timers fire in (deadline, arm-order) order on the loop thread.
+//
+// Addressing: sends to ids in the peer table leave through the UDP socket
+// as length-prefixed frames; sends to local ids (World registers which)
+// loop back through the inbox; anything else is dropped and counted.
+// Determinism, fingerprints and the adversary do NOT exist here — that is
+// the point of the boundary (DESIGN.md §13).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace unidir::runtime {
+
+/// Counters for the socket path. Frame drops are counted where they
+/// happen (receiver thread), so the fields tests read after a run are
+/// atomics; everything protocol-visible stays loop-thread-only.
+struct UdpTransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_malformed = 0;    // datagrams decode_frame rejected
+  std::uint64_t frames_no_peer = 0;      // sends to unaddressable ids
+  std::uint64_t loopback_messages = 0;   // local deliveries (no socket)
+};
+
+struct RealRuntimeOptions {
+  /// Wall duration of one tick. 1ms by default: protocol timeout constants
+  /// tuned for the simulator's "a few ticks per hop" then mean a few
+  /// milliseconds, which is the right order for localhost UDP.
+  std::uint64_t tick_ns = 1'000'000;
+
+  /// "ip:port" to bind the UDP socket to (IPv4). Port 0 binds an ephemeral
+  /// port — read it back with bound_port() and exchange it out of band
+  /// (the loopback tests do exactly this). Empty: no socket, loopback-only.
+  std::string listen;
+
+  struct Peer {
+    ProcessId id = kNoProcess;
+    std::string host;
+    std::uint16_t port = 0;
+  };
+  /// Remote id → address table. May also be filled after construction with
+  /// add_peer(), as long as it happens before the loop runs.
+  std::vector<Peer> peers;
+};
+
+class RealRuntime final : public Runtime {
+ public:
+  explicit RealRuntime(RealRuntimeOptions options);
+  ~RealRuntime() override;
+
+  /// The UDP port actually bound (resolves listen-port 0), 0 if no socket.
+  std::uint16_t bound_port() const { return bound_port_; }
+
+  /// Registers/overwrites a remote peer address. Call before run().
+  void add_peer(ProcessId id, const std::string& host, std::uint16_t port);
+
+  /// Asks the loop to return after the current event; callable from any
+  /// thread (and from signal-handler-adjacent contexts via the atomic).
+  void stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    inbox_cv_.notify_all();
+  }
+  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+
+  Clock& clock() override { return clock_; }
+  Transport& transport() override { return transport_; }
+
+  /// Runs until stop(), `max_events`, or quiescence — which here means
+  /// literally nothing pending: no timer armed, inbox empty, and no socket
+  /// to produce more (a socket-bound runtime never quiesces on its own,
+  /// since a datagram may always arrive; use stop() or run_until).
+  std::size_t run(std::size_t max_events) override;
+  bool run_until(const std::function<bool()>& pred,
+                 std::size_t max_events) override;
+
+  RuntimeStats stats() const override;
+  UdpTransportStats udp_stats() const;
+  bool real_time() const override { return true; }
+
+ private:
+  class RealClock final : public Clock {
+   public:
+    explicit RealClock(RealRuntime& rt) : rt_(rt) {}
+    Time now() const override { return rt_.now_ticks(); }
+    TimerId arm(Time delay, std::function<void()> fn) override {
+      return rt_.arm_timer(delay, std::move(fn));
+    }
+    void cancel(TimerId id) override { rt_.cancel_timer(id); }
+
+   private:
+    RealRuntime& rt_;
+  };
+
+  class UdpTransport final : public Transport {
+   public:
+    explicit UdpTransport(RealRuntime& rt) : rt_(rt) {}
+    void send(ProcessId from, ProcessId to, Channel channel,
+              Payload payload) override {
+      rt_.transport_send(from, to, channel, std::move(payload));
+    }
+    void set_deliver(DeliverFn fn) override { rt_.deliver_ = std::move(fn); }
+    void set_local(std::function<bool(ProcessId)> is_local) override {
+      rt_.is_local_ = std::move(is_local);
+    }
+    std::size_t peer_count() const override { return rt_.peers_.size(); }
+
+   private:
+    RealRuntime& rt_;
+  };
+
+  struct TimerEntry {
+    std::uint64_t deadline_ns = 0;
+    std::uint64_t seq = 0;  // arm order; ties on deadline fire in arm order
+    TimerId id = kNoTimer;
+
+    bool operator<(const TimerEntry& o) const {
+      // std::priority_queue is a max-heap; invert for earliest-first.
+      if (deadline_ns != o.deadline_ns) return deadline_ns > o.deadline_ns;
+      return seq > o.seq;
+    }
+  };
+
+  struct Incoming {
+    ProcessId from = kNoProcess;
+    ProcessId to = kNoProcess;
+    Channel channel = 0;
+    Payload payload;
+  };
+
+  std::uint64_t elapsed_ns() const;
+  Time now_ticks() const;
+  TimerId arm_timer(Time delay, std::function<void()> fn);
+  void cancel_timer(TimerId id);
+  void transport_send(ProcessId from, ProcessId to, Channel channel,
+                      Payload payload);
+  void enqueue_local(Incoming in);
+  void open_socket();
+  void receive_loop();
+  /// Executes at most one pending event (due timer first, then one inbox
+  /// message); returns false when nothing was due.
+  bool step();
+  /// True when no timer is armed and the inbox is empty.
+  bool idle();
+  /// Sleeps until the next timer deadline, an inbox arrival, stop(), or a
+  /// bounded slice (so run_until predicates and stop stay responsive).
+  void wait_for_work();
+
+  RealRuntimeOptions options_;
+  RealClock clock_;
+  UdpTransport transport_;
+  Transport::DeliverFn deliver_;
+  std::function<bool(ProcessId)> is_local_;
+
+  std::chrono::steady_clock::time_point epoch_;
+
+  // Timer heap — loop-thread-owned (armed from handlers, or from the
+  // owning thread before the loop starts; the std::thread handoff is the
+  // synchronization point, as for all pre-run setup).
+  std::vector<TimerEntry> timer_heap_;  // via std::push_heap/std::pop_heap
+  std::unordered_map<TimerId, std::function<void()>> timer_fns_;
+  TimerId next_timer_ = kNoTimer;
+  std::uint64_t next_timer_seq_ = 0;
+
+  // Inbox — shared between the receiver thread and the loop thread.
+  std::mutex inbox_mu_;
+  std::condition_variable inbox_cv_;
+  std::deque<Incoming> inbox_;
+
+  int fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::thread receiver_;
+  std::atomic<bool> stop_{false};
+  std::unordered_map<ProcessId, std::uint64_t> peers_;  // id -> packed addr
+  std::unordered_set<ProcessId> warned_no_peer_;
+
+  RuntimeStats stats_;  // loop-thread-owned
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> frames_malformed_{0};
+  std::atomic<std::uint64_t> frames_no_peer_{0};
+  std::atomic<std::uint64_t> loopback_messages_{0};
+};
+
+}  // namespace unidir::runtime

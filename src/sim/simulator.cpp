@@ -1,7 +1,6 @@
 #include "sim/simulator.h"
 
 #include <bit>
-#include <chrono>
 
 #include "common/check.h"
 
@@ -183,51 +182,29 @@ bool Simulator::step() {
 }
 
 std::size_t Simulator::run(std::size_t max_events) {
-  const auto t0 = std::chrono::steady_clock::now();
   std::size_t n = 0;
   while (n < max_events && step()) ++n;
-  stats_.run_wall_ns += static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - t0)
-          .count());
   return n;
 }
 
 bool Simulator::run_until(const std::function<bool()>& pred,
                           std::size_t max_events) {
   if (pred()) return true;
-  const auto t0 = std::chrono::steady_clock::now();
-  bool held = false;
   for (std::size_t n = 0; n < max_events; ++n) {
-    if (!step()) {
-      held = pred();
-      break;
-    }
-    if (pred()) {
-      held = true;
-      break;
-    }
+    if (!step()) return pred();
+    if (pred()) return true;
   }
-  stats_.run_wall_ns += static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - t0)
-          .count());
-  return held;
+  return false;
 }
 
 void Simulator::run_to_time(Time t, std::size_t max_events) {
   UNIDIR_REQUIRE(t >= now_);
-  const auto t0 = std::chrono::steady_clock::now();
   std::size_t n = 0;
   while (!idle() && min_time() <= t && n < max_events) {
     step();
     ++n;
   }
   now_ = t;
-  stats_.run_wall_ns += static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - t0)
-          .count());
 }
 
 }  // namespace unidir::sim

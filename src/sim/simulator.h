@@ -36,7 +36,6 @@
 
 #include "common/check.h"
 #include "common/types.h"
-#include "obs/rate.h"
 
 namespace unidir::sim {
 
@@ -130,18 +129,16 @@ class InlineFn {
 };
 
 /// Counters exposed by the simulator for benchmarks and capacity planning.
+/// Everything here is a function of the event sequence alone — deliberately
+/// no wall-clock fields, so snapshots of these counters are deterministic.
+/// Wall-time accounting (run_wall_ns, events/sec) lives one layer up, in
+/// runtime::RuntimeStats, where both backends report it honestly.
 struct SimulatorStats {
   std::uint64_t scheduled = 0;       // total events ever enqueued
   std::uint64_t executed = 0;        // total events run
   std::size_t peak_pending = 0;      // high-water mark of the queue depth
   std::uint64_t ring_fast_path = 0;  // events routed through the FIFO rings
   std::uint64_t heap_events = 0;     // events that took the binary heap
-  std::uint64_t run_wall_ns = 0;     // wall time spent inside run loops
-
-  /// Executed events per wall second across all run calls (0 if unmeasured).
-  double events_per_sec() const {
-    return obs::rate_per_sec(executed, run_wall_ns);
-  }
 };
 
 class Simulator {

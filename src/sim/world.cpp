@@ -17,7 +17,7 @@ void Process::register_channel(Channel channel, Handler handler) {
 }
 
 void Process::send(ProcessId to, Channel channel, Bytes payload) {
-  world().network().send(id_, to, channel, std::move(payload));
+  world().send_message(id_, to, channel, std::move(payload));
 }
 
 void Process::broadcast(Channel channel, const Bytes& payload,
@@ -27,7 +27,7 @@ void Process::broadcast(Channel channel, const Bytes& payload,
   const Payload shared = Payload::copy_of(payload);
   for (ProcessId p = 0; p < w.size(); ++p) {
     if (p == id_ && !include_self) continue;
-    w.network().send(id_, p, channel, shared);
+    w.send_message(id_, p, channel, shared);
   }
 }
 
@@ -36,9 +36,10 @@ void Process::set_timer(Time delay, std::function<void()> fn) {
   const ProcessId self = id_;
   // Capture the incarnation at arm time: a timer armed before a crash must
   // not fire into the recovered incarnation (its closure references state
-  // the model says was lost).
+  // the model says was lost). The filter sits above the Clock interface so
+  // the guarantee is backend-independent.
   const std::uint64_t epoch = w.incarnation(self);
-  w.simulator().after(delay, [&w, self, epoch, fn = std::move(fn)]() {
+  w.runtime().clock().arm(delay, [&w, self, epoch, fn = std::move(fn)]() {
     if (!w.crashed(self) && w.incarnation(self) == epoch) fn();
   });
 }
@@ -59,16 +60,46 @@ void Process::dispatch(ProcessId from, Channel channel, const Bytes& payload) {
 // ---- World -----------------------------------------------------------------
 
 World::World(std::uint64_t seed, std::unique_ptr<Adversary> adversary)
-    : rng_(seed),
-      network_(simulator_, Rng(seed ^ 0xA5A5A5A5A5A5A5A5ULL),
-               std::move(adversary)) {
-  network_.set_deliver([this](const Envelope& env) { deliver(env); });
-  network_.set_tracer(&tracer_);
-  // Tolerate out-of-range ids here (a Byzantine process can address anyone);
-  // deliver() drops them.
-  network_.set_crashed([this](ProcessId p) {
-    return p < crashed_.size() && crashed_[p];
-  });
+    : World(seed, std::make_unique<runtime::SimRuntime>(seed,
+                                                        std::move(adversary))) {
+}
+
+World::World(std::uint64_t seed, std::unique_ptr<runtime::Runtime> rt)
+    : rng_(seed), runtime_(std::move(rt)) {
+  UNIDIR_REQUIRE(runtime_ != nullptr);
+  sim_rt_ = dynamic_cast<runtime::SimRuntime*>(runtime_.get());
+  runtime_->transport().set_deliver(
+      [this](ProcessId from, ProcessId to, Channel channel,
+             const Payload& payload) { deliver(from, to, channel, payload); });
+  runtime_->transport().set_local([this](ProcessId p) { return is_local(p); });
+  if (sim_rt_ != nullptr) {
+    sim_rt_->network().set_tracer(&tracer_);
+    // Tolerate out-of-range ids here (a Byzantine process can address
+    // anyone); deliver() drops them.
+    sim_rt_->network().set_crashed([this](ProcessId p) {
+      return p < crashed_.size() && crashed_[p];
+    });
+  }
+}
+
+Simulator& World::simulator() {
+  UNIDIR_CHECK_MSG(sim_rt_ != nullptr, "simulator(): not a sim-backed world");
+  return sim_rt_->simulator();
+}
+
+const Simulator& World::simulator() const {
+  UNIDIR_CHECK_MSG(sim_rt_ != nullptr, "simulator(): not a sim-backed world");
+  return sim_rt_->simulator();
+}
+
+Network& World::network() {
+  UNIDIR_CHECK_MSG(sim_rt_ != nullptr, "network(): not a sim-backed world");
+  return sim_rt_->network();
+}
+
+const Network& World::network() const {
+  UNIDIR_CHECK_MSG(sim_rt_ != nullptr, "network(): not a sim-backed world");
+  return sim_rt_->network();
 }
 
 void World::adopt(std::unique_ptr<Process> p) {
@@ -87,28 +118,71 @@ void World::adopt(std::unique_ptr<Process> p) {
   byzantine_.push_back(false);
 }
 
+void World::provision(std::size_t total) {
+  UNIDIR_REQUIRE_MSG(!started_, "provision after start()");
+  UNIDIR_REQUIRE_MSG(!provisioned_, "provision called twice");
+  UNIDIR_REQUIRE_MSG(processes_.empty(), "provision on a non-empty world");
+  UNIDIR_REQUIRE(total > 0);
+  provisioned_ = true;
+  processes_.resize(total);  // null slots = not hosted here (yet)
+  transcripts_.resize(total);
+  durables_.resize(total);
+  epochs_.assign(total, 0);
+  crashed_at_.assign(total, 0);
+  crashed_.assign(total, false);
+  byzantine_.assign(total, false);
+  provisioned_signers_.reserve(total);
+  provisioned_rngs_.reserve(total);
+  process_keys_.reserve(total);
+  // Key and rng derivation happen here, for EVERY id, in id order — this
+  // is what makes the registry identical across OS processes that
+  // provision the same (seed, total), regardless of which subset of ids
+  // each one goes on to spawn_at.
+  for (std::size_t i = 0; i < total; ++i) {
+    provisioned_signers_.push_back(keys_.generate_key());
+    process_keys_.push_back(provisioned_signers_.back().key());
+    provisioned_rngs_.push_back(rng_.split());
+  }
+}
+
+void World::place(std::unique_ptr<Process> p, ProcessId id) {
+  p->world_ = this;
+  p->id_ = id;
+  p->signer_ = provisioned_signers_[id];
+  p->rng_ = provisioned_rngs_[id];
+  processes_[id] = std::move(p);
+}
+
 void World::start() {
   UNIDIR_REQUIRE_MSG(!started_, "start() called twice");
   started_ = true;
   for (auto& p : processes_) {
+    if (p == nullptr) continue;
     Process* raw = p.get();
-    simulator_.at(0, [this, raw]() {
+    runtime_->clock().arm(0, [this, raw]() {
       if (!crashed(raw->id())) raw->on_start();
     });
   }
 }
 
 std::size_t World::run_to_quiescence(std::size_t max_events) {
-  return simulator_.run(max_events);
+  return runtime_->run(max_events);
 }
 
 bool World::run_until(const std::function<bool()>& pred,
                       std::size_t max_events) {
-  return simulator_.run_until(pred, max_events);
+  return runtime_->run_until(pred, max_events);
+}
+
+void World::send_message(ProcessId from, ProcessId to, Channel channel,
+                         Payload payload) {
+  // Both backends route through their Transport: the sim's (adversary
+  // scheduling, crash drops) and the real one's (loopback or UDP).
+  runtime_->transport().send(from, to, channel, std::move(payload));
 }
 
 Process& World::process(ProcessId id) {
-  UNIDIR_REQUIRE(id < processes_.size());
+  UNIDIR_REQUIRE(is_local(id));
   return *processes_[id];
 }
 
@@ -124,10 +198,10 @@ ProcessId World::owner_of(crypto::KeyId key) const {
 }
 
 void World::crash(ProcessId id) {
-  UNIDIR_REQUIRE(id < crashed_.size());
+  UNIDIR_REQUIRE_MSG(is_local(id), "crash of a process not hosted here");
   if (!crashed_[id]) {
-    crashed_at_[id] = simulator_.now();
-    tracer_.instant("crash", "fault", id, simulator_.now());
+    crashed_at_[id] = now();
+    tracer_.instant("crash", "fault", id, now());
   }
   crashed_[id] = true;
 }
@@ -138,11 +212,11 @@ bool World::crashed(ProcessId id) const {
 }
 
 void World::restart(ProcessId id) {
-  UNIDIR_REQUIRE(id < crashed_.size());
+  UNIDIR_REQUIRE_MSG(is_local(id), "restart of a process not hosted here");
   UNIDIR_REQUIRE_MSG(crashed_[id], "restart of a process that is not down");
   crashed_[id] = false;
   ++epochs_[id];
-  const Time down = simulator_.now() - crashed_at_[id];
+  const Time down = now() - crashed_at_[id];
   tracer_.complete("down", "fault", id, crashed_at_[id], down);
   metrics_.histogram("fault.down_ticks").record(down);
   metrics_.add("fault.restarts");
@@ -198,33 +272,46 @@ const Transcript& World::transcript(ProcessId id) const {
 
 void World::publish_stats() {
   // set_counter (not add): publishing is idempotent, so callers may refresh
-  // mid-run and again at the end. SimulatorStats::run_wall_ns stays out —
-  // it is wall-clock and would break snapshot determinism.
-  const SimulatorStats& sim = simulator_.stats();
-  metrics_.set_counter("sim.scheduled", sim.scheduled);
-  metrics_.set_counter("sim.executed", sim.executed);
-  metrics_.set_counter("sim.ring_fast_path", sim.ring_fast_path);
-  metrics_.set_counter("sim.heap_events", sim.heap_events);
-  metrics_.set_gauge("sim.peak_pending",
-                     static_cast<std::int64_t>(sim.peak_pending));
+  // mid-run and again at the end.
+  if (sim_rt_ != nullptr) {
+    // Sim-backend counters. Wall-clock figures stay out of this section —
+    // a snapshot of one seed must be identical across runs (they are
+    // available programmatically via runtime().stats()).
+    const SimulatorStats& sim = sim_rt_->simulator().stats();
+    metrics_.set_counter("sim.scheduled", sim.scheduled);
+    metrics_.set_counter("sim.executed", sim.executed);
+    metrics_.set_counter("sim.ring_fast_path", sim.ring_fast_path);
+    metrics_.set_counter("sim.heap_events", sim.heap_events);
+    metrics_.set_gauge("sim.peak_pending",
+                       static_cast<std::int64_t>(sim.peak_pending));
 
-  const NetworkStats& net = network_.stats();
-  metrics_.set_counter("net.messages_sent", net.messages_sent);
-  metrics_.set_counter("net.messages_delivered", net.messages_delivered);
-  metrics_.set_counter("net.messages_dropped", net.messages_dropped);
-  metrics_.set_counter("net.dropped_crashed", net.dropped_crashed);
-  metrics_.set_counter("net.dropped_held", net.dropped_held);
-  metrics_.set_counter("net.messages_held", net.messages_held);
-  metrics_.set_counter("net.messages_duplicated", net.messages_duplicated);
-  metrics_.set_counter("net.messages_mutated", net.messages_mutated);
-  metrics_.set_counter("net.bytes_sent", net.bytes_sent);
-  metrics_.set_counter("net.bytes_delivered", net.bytes_delivered);
-  metrics_.set_counter("net.bytes_dropped", net.bytes_dropped);
-  metrics_.set_counter("net.bytes_held", net.bytes_held);
-  metrics_.set_counter("net.bytes_duplicated", net.bytes_duplicated);
-  metrics_.set_counter("net.bytes_mutation_added", net.bytes_mutation_added);
-  metrics_.set_counter("net.bytes_mutation_removed",
-                       net.bytes_mutation_removed);
+    const NetworkStats& net = sim_rt_->network().stats();
+    metrics_.set_counter("net.messages_sent", net.messages_sent);
+    metrics_.set_counter("net.messages_delivered", net.messages_delivered);
+    metrics_.set_counter("net.messages_dropped", net.messages_dropped);
+    metrics_.set_counter("net.dropped_crashed", net.dropped_crashed);
+    metrics_.set_counter("net.dropped_held", net.dropped_held);
+    metrics_.set_counter("net.messages_held", net.messages_held);
+    metrics_.set_counter("net.messages_duplicated", net.messages_duplicated);
+    metrics_.set_counter("net.messages_mutated", net.messages_mutated);
+    metrics_.set_counter("net.bytes_sent", net.bytes_sent);
+    metrics_.set_counter("net.bytes_delivered", net.bytes_delivered);
+    metrics_.set_counter("net.bytes_dropped", net.bytes_dropped);
+    metrics_.set_counter("net.bytes_held", net.bytes_held);
+    metrics_.set_counter("net.bytes_duplicated", net.bytes_duplicated);
+    metrics_.set_counter("net.bytes_mutation_added", net.bytes_mutation_added);
+    metrics_.set_counter("net.bytes_mutation_removed",
+                         net.bytes_mutation_removed);
+  } else {
+    // Real-time backend: determinism is off the table by construction, so
+    // honest wall-clock throughput goes into the registry.
+    const runtime::RuntimeStats rs = runtime_->stats();
+    metrics_.set_counter("runtime.scheduled", rs.scheduled);
+    metrics_.set_counter("runtime.executed", rs.executed);
+    metrics_.set_counter("runtime.run_wall_ns", rs.run_wall_ns);
+    metrics_.set_gauge("runtime.events_per_sec",
+                       static_cast<std::int64_t>(rs.events_per_sec()));
+  }
 
   const crypto::VerifyStats& sig = keys_.verify_stats();
   metrics_.set_counter("sig.verifies", sig.verifies);
@@ -278,12 +365,16 @@ void World::set_verify_threads(std::size_t threads) {
   keys_.attach_runner(verify_runner_.get());
 }
 
-void World::deliver(const Envelope& env) {
+void World::deliver(ProcessId from, ProcessId to, Channel channel,
+                    const Payload& payload) {
   // Messages addressed to ids that don't exist (e.g. a Byzantine process
-  // naming a bogus client) vanish, as on a real network.
-  if (env.to >= processes_.size()) return;
-  transcripts_[env.to].record_message(env.from, env.channel, env.payload);
-  processes_[env.to]->dispatch(env.from, env.channel, env.payload.bytes());
+  // naming a bogus client) or aren't hosted here vanish, as on a real
+  // network. The crashed check is what the sim network already enforced in
+  // flight; on the real backend it is THE drop point for downed processes.
+  if (to >= processes_.size() || processes_[to] == nullptr) return;
+  if (crashed_[to]) return;
+  transcripts_[to].record_message(from, channel, payload);
+  processes_[to]->dispatch(from, channel, payload.bytes());
 }
 
 }  // namespace unidir::sim

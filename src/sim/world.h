@@ -1,11 +1,25 @@
-// World: wires a simulator, a network, a key registry and a set of
-// processes into one executable distributed system.
+// World: wires a runtime, a key registry and a set of processes into one
+// executable distributed system.
 //
 // A Process is an event-driven state machine: it reacts to on_start, to
 // received messages, and to timers. Protocol implementations either derive
 // from Process directly or are *components* that attach handlers to a host
 // process's channels (see register_channel), which lets e.g. an SMR replica
 // host a broadcast component and a round driver side by side.
+//
+// Execution backend: the World owns a runtime::Runtime (runtime/runtime.h)
+// and speaks only its Clock/Transport/run interfaces, so the same protocol
+// code runs on two substrates:
+//
+//  * SimRuntime (the default, and what the seed-and-adversary constructor
+//    builds): the deterministic discrete-event simulator. All sim-only
+//    machinery — the adversary, crash/restart, transcript fingerprints,
+//    record/replay — lives behind simulator()/network(), which are only
+//    available on this backend.
+//  * RealRuntime: wall-clock ticks and a UDP transport. A World then hosts
+//    the subset of the global ProcessId space that lives in this OS
+//    process (see provision/spawn_at); sends to the rest leave through the
+//    runtime's peer table.
 //
 // Fault model: a process is `correct` unless it was crashed (the network
 // silently drops its traffic from the crash point on) or marked Byzantine
@@ -18,7 +32,9 @@
 // volatile: on_recover(DurableStore&) must rebuild state from what the
 // process explicitly persisted. Timers armed before the crash never fire
 // after a restart — each restart bumps the process's incarnation epoch and
-// set_timer checks the epoch it captured at arm time.
+// set_timer checks the epoch it captured at arm time. The epoch check
+// lives HERE, above the Clock interface, so it holds identically on both
+// backends.
 #pragma once
 
 #include <functional>
@@ -29,11 +45,14 @@
 
 #include "common/bytes.h"
 #include "common/check.h"
+#include "common/payload.h"
 #include "common/types.h"
 #include "crypto/signature.h"
 #include "crypto/verify_runner.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "runtime/runtime.h"
+#include "runtime/sim_runtime.h"
 #include "sim/durable.h"
 #include "sim/network.h"
 #include "sim/rng.h"
@@ -111,35 +130,92 @@ class Process {
 
 class World {
  public:
+  /// The classic form: a fully simulated world. Equivalent to handing the
+  /// runtime constructor a SimRuntime built from the same seed — and
+  /// bit-compatible with every pre-runtime execution.
   World(std::uint64_t seed, std::unique_ptr<Adversary> adversary);
+
+  /// Runs this world on an explicit backend. `seed` feeds the world's own
+  /// Rng stream (process rngs, workload generators); the backend's
+  /// scheduling randomness, if any, is its own.
+  World(std::uint64_t seed, std::unique_ptr<runtime::Runtime> rt);
+
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
   /// Creates a process of type P. Processes get ids 0,1,2,... in spawn
-  /// order. Must be called before start().
+  /// order. Must be called before start(). Mutually exclusive with
+  /// provision()/spawn_at().
   template <typename P, typename... Args>
   P& spawn(Args&&... args) {
     UNIDIR_REQUIRE_MSG(!started_, "spawn after start()");
+    UNIDIR_REQUIRE_MSG(!provisioned_, "spawn on a provisioned world");
     auto p = std::make_unique<P>(std::forward<Args>(args)...);
     P& ref = *p;
     adopt(std::move(p));
     return ref;
   }
 
-  /// Schedules every process's on_start at virtual time 0.
+  /// Declares the GLOBAL id space [0, total) without creating processes,
+  /// generating every process's key and rng stream in id order. Because
+  /// key generation is deterministic (crypto/signature.h), every OS
+  /// process that provisions the same total from the same seed derives the
+  /// SAME key registry — the simulated PKI doubles as the distributed
+  /// trusted setup. Follow with spawn_at() for the ids hosted here;
+  /// unfilled slots are remote (or absent), and sends to them go to the
+  /// runtime's transport.
+  void provision(std::size_t total);
+
+  /// Creates the process for global id `id` in a provisioned world.
+  template <typename P, typename... Args>
+  P& spawn_at(ProcessId id, Args&&... args) {
+    UNIDIR_REQUIRE_MSG(provisioned_, "spawn_at needs provision() first");
+    UNIDIR_REQUIRE_MSG(!started_, "spawn after start()");
+    UNIDIR_REQUIRE(id < processes_.size());
+    UNIDIR_REQUIRE_MSG(processes_[id] == nullptr, "id already spawned");
+    auto p = std::make_unique<P>(std::forward<Args>(args)...);
+    P& ref = *p;
+    place(std::move(p), id);
+    return ref;
+  }
+
+  /// Schedules every local process's on_start at tick 0 (in id order).
   void start();
 
   // -- execution ------------------------------------------------------------
-  Simulator& simulator() { return simulator_; }
-  const Simulator& simulator() const { return simulator_; }
-  Network& network() { return network_; }
-  const Network& network() const { return network_; }
+  /// The execution backend. Most callers want the wrappers below; direct
+  /// access is for arming raw (epoch-unfiltered) timers and reading
+  /// RuntimeStats.
+  runtime::Runtime& runtime() { return *runtime_; }
+  const runtime::Runtime& runtime() const { return *runtime_; }
+  /// True when this world runs on the deterministic simulator backend.
+  bool simulated() const { return sim_rt_ != nullptr; }
+
+  /// Sim-backend-only accessors (adversary control, held messages, virtual
+  /// time internals, record/replay). Throw on a real-time backend — code
+  /// that needs them is by definition sim-only.
+  Simulator& simulator();
+  const Simulator& simulator() const;
+  Network& network();
+  const Network& network() const;
+
   crypto::KeyRegistry& keys() { return keys_; }
   const crypto::KeyRegistry& keys() const { return keys_; }
   Rng& rng() { return rng_; }
-  Time now() const { return simulator_.now(); }
+  Time now() const { return runtime_->clock().now(); }
+
+  /// Routes one message: in-memory via the sim network or loopback, or out
+  /// a UDP socket — the runtime decides per destination. The single choke
+  /// point every Process::send, broadcast and wire helper goes through.
+  void send_message(ProcessId from, ProcessId to, Channel channel,
+                    Payload payload);
+  void send_message(ProcessId from, ProcessId to, Channel channel,
+                    Bytes payload) {
+    send_message(from, to, channel, Payload(std::move(payload)));
+  }
+
   /// Per-channel / per-message-type wire counters, maintained by the typed
-  /// routers (see wire/router.h). Lives next to the simulator and network
+  /// routers (see wire/router.h). Lives next to the runtime and network
   /// stats so experiments read all observability from one place.
   wire::StatsHub& wire_stats() { return wire_stats_; }
   const wire::StatsHub& wire_stats() const { return wire_stats_; }
@@ -153,10 +229,12 @@ class World {
   /// default; call tracer().enable() before start() to record.
   obs::Tracer& tracer() { return tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
-  /// Publishes the simulator / network / signature / wire counters into the
-  /// registry (set-semantics, so it is safe to call repeatedly). Wall-clock
-  /// figures are deliberately excluded: a snapshot of one seed must be
-  /// identical across runs.
+  /// Publishes the backend / network / signature / wire counters into the
+  /// registry (set-semantics, so it is safe to call repeatedly). Under the
+  /// sim backend, wall-clock figures are deliberately excluded: a snapshot
+  /// of one seed must be identical across runs. Under a real-time backend
+  /// that guarantee is void anyway, so honest wall-clock rates (runtime.*)
+  /// are published too.
   void publish_stats();
 
   /// Sets the signature-verification worker count and attaches the runner
@@ -175,14 +253,21 @@ class World {
   }
 
   /// Runs until the event queue drains (all messages delivered or held).
-  /// Returns events executed.
+  /// Returns events executed. On a socket-bound real-time backend the
+  /// queue never provably drains; use run_until or Runtime::stop there.
   std::size_t run_to_quiescence(
       std::size_t max_events = Simulator::kDefaultEventCap);
   bool run_until(const std::function<bool()>& pred,
                  std::size_t max_events = Simulator::kDefaultEventCap);
 
   // -- membership & faults ----------------------------------------------
+  /// Size of the GLOBAL id space (provisioned total, or processes spawned).
   std::size_t size() const { return processes_.size(); }
+  /// True iff `id` names a process hosted in this World (always, for a
+  /// plain spawned world; the filled slots, for a provisioned one).
+  bool is_local(ProcessId id) const {
+    return id < processes_.size() && processes_[id] != nullptr;
+  }
   Process& process(ProcessId id);
   crypto::KeyId key_of(ProcessId id) const;
   /// The process id owning a key, or kNoProcess.
@@ -212,11 +297,13 @@ class World {
  private:
   friend class Process;
   void adopt(std::unique_ptr<Process> p);
-  void deliver(const Envelope& env);
+  void place(std::unique_ptr<Process> p, ProcessId id);
+  void deliver(ProcessId from, ProcessId to, Channel channel,
+               const Payload& payload);
 
-  Simulator simulator_;
   Rng rng_;
-  Network network_;
+  std::unique_ptr<runtime::Runtime> runtime_;
+  runtime::SimRuntime* sim_rt_ = nullptr;  // non-null iff sim backend
   wire::StatsHub wire_stats_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
@@ -232,6 +319,10 @@ class World {
   std::vector<Time> crashed_at_;
   std::vector<bool> crashed_;
   std::vector<bool> byzantine_;
+  // Credentials generated up front by provision(), consumed by spawn_at.
+  std::vector<crypto::Signer> provisioned_signers_;
+  std::vector<Rng> provisioned_rngs_;
+  bool provisioned_ = false;
   bool started_ = false;
 };
 

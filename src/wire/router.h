@@ -52,7 +52,7 @@ void send(sim::World& world, ProcessId from, ProcessId to, Channel channel,
   Bytes bytes = encode_tagged(m);
   world.wire_stats().note_sent(channel, M::kDesc.tag, M::kDesc.name,
                                bytes.size());
-  world.network().send(from, to, channel, std::move(bytes));
+  world.send_message(from, to, channel, std::move(bytes));
 }
 
 /// Broadcasts one typed message: encoded once, every per-link send shares
@@ -65,7 +65,7 @@ void broadcast(sim::World& world, ProcessId from, Channel channel, const M& m,
     if (p == from && !include_self) continue;
     world.wire_stats().note_sent(channel, M::kDesc.tag, M::kDesc.name,
                                  shared.size());
-    world.network().send(from, p, channel, shared);
+    world.send_message(from, p, channel, shared);
   }
 }
 
@@ -78,7 +78,7 @@ void multicast(sim::World& world, ProcessId from,
   for (ProcessId p : to) {
     world.wire_stats().note_sent(channel, M::kDesc.tag, M::kDesc.name,
                                  shared.size());
-    world.network().send(from, p, channel, shared);
+    world.send_message(from, p, channel, shared);
   }
 }
 

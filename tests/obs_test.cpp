@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/rate.h"
 #include "obs/tracer.h"
+#include "runtime/runtime.h"
 #include "sim/simulator.h"
 
 namespace unidir::obs {
@@ -27,13 +28,15 @@ TEST(Rate, ConvertsNanosecondsToPerSecond) {
   EXPECT_DOUBLE_EQ(rate_per_sec(1, 2'000'000'000), 0.5);
 }
 
-// Regression: SimulatorStats and ParallelStats used to each hand-roll this
+// Regression: RuntimeStats and ParallelStats used to each hand-roll this
 // division; a fresh (never-run) stats object must report 0, not NaN/inf.
+// (The wall-time fields moved from SimulatorStats to runtime::RuntimeStats,
+// which both execution backends share — see also runtime_test.cpp.)
 TEST(Rate, FreshStatsObjectsReportZero) {
-  sim::SimulatorStats sim_stats;
-  EXPECT_EQ(sim_stats.events_per_sec(), 0.0);
-  sim_stats.executed = 42;  // counted events but no measured wall time
-  EXPECT_EQ(sim_stats.events_per_sec(), 0.0);
+  runtime::RuntimeStats rt_stats;
+  EXPECT_EQ(rt_stats.events_per_sec(), 0.0);
+  rt_stats.executed = 42;  // counted events but no measured wall time
+  EXPECT_EQ(rt_stats.events_per_sec(), 0.0);
 
   explore::ParallelStats par_stats;
   EXPECT_EQ(par_stats.events_per_sec(), 0.0);

@@ -1,0 +1,177 @@
+// Real-time loopback smoke (ctest label: realtime): the full MinBFT stack —
+// USIG attestation, batching, the typed wire boundary, the SMR client —
+// running over ACTUAL UDP sockets on 127.0.0.1, one World (= one modelled
+// OS process) per replica and one for the client, each on its own thread.
+//
+// What this buys beyond the simulator: the datagram framing, the receiver
+// thread / event-loop handoff, the peer addressing, the ephemeral-port
+// rendezvous, and the deterministic cross-process key derivation are all
+// exercised for real. What it deliberately does NOT claim: determinism —
+// delivery order is whatever the kernel does, which is exactly why the
+// invariant checked at the end is the protocol's (prefix-consistent
+// execution logs), not a fingerprint.
+//
+// Excluded from the ASan/UBSan CI shards (label filter) but included in
+// TSan: the interesting bugs here are cross-thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "agreement/minbft.h"
+#include "agreement/state_machines.h"
+#include "runtime/real_runtime.h"
+#include "sim/world.h"
+
+namespace unidir {
+namespace {
+
+using agreement::KvStateMachine;
+using agreement::MinBftReplica;
+using agreement::SgxUsigDirectory;
+using agreement::SmrClient;
+using runtime::RealRuntime;
+using runtime::RealRuntimeOptions;
+
+constexpr std::size_t kReplicas = 4;  // n = 4, f = 1 (commit quorum f+1)
+constexpr std::size_t kF = 1;
+constexpr std::size_t kTotal = kReplicas + 1;  // + the client, id 4
+constexpr ProcessId kClientId = 4;
+constexpr std::uint64_t kSeed = 42;
+constexpr std::uint64_t kRequests = 8;
+
+// 0.2ms ticks: MinBFT's view-change timeout (300 ticks) becomes 60ms and
+// the client's resend base (400 ticks) 80ms — snappy on loopback, yet far
+// above its RTT, so retries stay bounded.
+constexpr std::uint64_t kTickNs = 200'000;
+
+/// One modelled OS process: a World over its own RealRuntime + socket,
+/// the shared-by-derivation key registry, and its single local process.
+struct Host {
+  explicit Host(std::unique_ptr<runtime::Runtime> rt)
+      : world(kSeed, std::move(rt)), usigs(world.keys()) {
+    world.provision(kTotal);
+    // Materialize every replica's enclave in id order: enclave keys are
+    // generated deterministically after the provisioned process keys, so
+    // all five hosts derive identical registries and UIs verify anywhere.
+    for (ProcessId p = 0; p < kReplicas; ++p) usigs.enclave_for(p);
+  }
+
+  sim::World world;
+  SgxUsigDirectory usigs;
+};
+
+TEST(RealTimeLoopback, MinBftCommitsAClosedLoopWorkloadOverUdp) {
+  // Bind every socket first (port 0 = ephemeral), then exchange the
+  // resolved ports — the rendezvous a deployment would do via config.
+  std::vector<std::unique_ptr<RealRuntime>> runtimes;
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    RealRuntimeOptions o;
+    o.tick_ns = kTickNs;
+    o.listen = "127.0.0.1:0";
+    runtimes.push_back(std::make_unique<RealRuntime>(o));
+    ASSERT_GT(runtimes.back()->bound_port(), 0);
+  }
+  std::vector<std::uint16_t> ports;
+  for (const auto& rt : runtimes) ports.push_back(rt->bound_port());
+  for (std::size_t i = 0; i < kTotal; ++i)
+    for (ProcessId p = 0; p < kTotal; ++p)
+      if (p != i) runtimes[i]->add_peer(p, "127.0.0.1", ports[p]);
+
+  // Keep loop-control handles; ownership moves into the Worlds.
+  std::vector<RealRuntime*> controls;
+  for (auto& rt : runtimes) controls.push_back(rt.get());
+
+  MinBftReplica::Options ropt;
+  ropt.f = kF;
+  for (ProcessId p = 0; p < kReplicas; ++p) ropt.replicas.push_back(p);
+
+  std::vector<std::unique_ptr<Host>> hosts;
+  std::vector<MinBftReplica*> replicas;
+  for (ProcessId p = 0; p < kReplicas; ++p) {
+    hosts.push_back(std::make_unique<Host>(std::move(runtimes[p])));
+    replicas.push_back(&hosts.back()->world.spawn_at<MinBftReplica>(
+        p, ropt, hosts.back()->usigs,
+        std::make_unique<KvStateMachine>()));
+    hosts.back()->world.start();
+  }
+
+  auto client_host = std::make_unique<Host>(std::move(runtimes[kClientId]));
+  SmrClient::Options copt;
+  copt.replicas = ropt.replicas;
+  copt.f = kF;
+  copt.max_attempts = 25;  // bounded retries: give up instead of spinning
+  auto& client =
+      client_host->world.spawn_at<SmrClient>(kClientId, copt);
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    const std::string key = "k" + std::to_string(i % 3);
+    if (i % 3 == 2)
+      client.submit(KvStateMachine::get_op(key));
+    else
+      client.submit(KvStateMachine::put_op(key, "v" + std::to_string(i)));
+  }
+  client_host->world.start();
+
+  // Replica loops: run until the test says done. The predicate is an
+  // atomic read, re-checked after every event and every bounded wait, so
+  // shutdown needs no extra machinery beyond stores + stop().
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (ProcessId p = 0; p < kReplicas; ++p) {
+    sim::World* w = &hosts[p]->world;
+    threads.emplace_back([w, &done] {
+      w->run_until([&done] { return done.load(std::memory_order_relaxed); },
+                   SIZE_MAX);
+    });
+  }
+
+  // Client loop on this thread, with a wall-clock safety net far above
+  // anything a healthy run needs.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  const bool committed = client_host->world.run_until(
+      [&] {
+        return client.completed() + client.gave_up() >= kRequests ||
+               std::chrono::steady_clock::now() > deadline;
+      },
+      SIZE_MAX);
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(client.completed(), kRequests);
+  EXPECT_EQ(client.gave_up(), 0u) << "client abandoned requests";
+
+  done.store(true, std::memory_order_relaxed);
+  for (auto* c : controls) c->stop();  // wakes any loop parked in a wait
+  for (auto& t : threads) t.join();
+
+  // Threads are joined: replica state is safe to read from here.
+  std::vector<std::pair<ProcessId, const agreement::ExecutionLog*>> logs;
+  for (ProcessId p = 0; p < kReplicas; ++p)
+    logs.emplace_back(p, &replicas[p]->execution_log());
+  const auto divergence = agreement::check_execution_consistency(logs);
+  EXPECT_FALSE(divergence.has_value()) << *divergence;
+
+  // Commit quorum is f+1 = 2, so at least that many replicas executed the
+  // full workload.
+  std::size_t caught_up = 0;
+  for (auto* r : replicas)
+    if (r->executed_count() >= kRequests) ++caught_up;
+  EXPECT_GE(caught_up, kF + 1);
+
+  // The wire survived: every datagram either decoded through both
+  // hardening layers or was counted, and nothing was dropped for want of
+  // an address.
+  for (ProcessId p = 0; p < kTotal; ++p) {
+    const auto us = controls[p]->udp_stats();
+    EXPECT_EQ(us.frames_no_peer, 0u) << "host " << p;
+    EXPECT_EQ(us.frames_malformed, 0u) << "host " << p;
+    EXPECT_GT(us.frames_sent, 0u) << "host " << p;
+  }
+}
+
+}  // namespace
+}  // namespace unidir

@@ -129,8 +129,9 @@ TEST(Simulator, StatsCountRingAndHeapRouting) {
   sim.run();
   EXPECT_EQ(sim.stats().executed, 5u);
   EXPECT_EQ(sim.stats().peak_pending, 5u);  // high-water mark sticks
-  EXPECT_GT(sim.stats().run_wall_ns, 0u);
-  EXPECT_GT(sim.stats().events_per_sec(), 0.0);
+  // Wall-time accounting deliberately does NOT live here any more: it moved
+  // behind the runtime interface (runtime::RuntimeStats), so the simulator's
+  // own counters stay deterministic. See runtime_test.cpp for the rate tests.
 }
 
 TEST(Simulator, RingAndHeapInterleaveInTimeSeqOrder) {
