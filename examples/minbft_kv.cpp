@@ -19,15 +19,32 @@
 //     request committed. All processes must share --seed: provisioning
 //     derives every process's keys from it, which is what lets USIG
 //     attestations verify across machine boundaries with no key exchange.
+//   Chaos extensions (real mode; see DESIGN.md §14 and
+//   tools/run_chaos_cluster.py):
+//     --durable-dir DIR   persist replica state (protocol image + sealed
+//                         USIG counter) in a runtime::FileDurableStore; a
+//                         kill -9'd replica restarted with the same DIR
+//                         recovers from disk and rejoins via state transfer
+//     --volatile-usig     do NOT persist/reload the USIG counter (the PR-4
+//                         negative experiment: restarts rewind the counter
+//                         and the log can fork)
+//     --fault-plan FILE   runtime::FaultPlan text file: seeded drop/delay/
+//                         duplicate/corrupt rates and partition epochs
+//     --max-attempts N    client give-up bound (0 = retry forever); an
+//                         abandoned request makes the client exit 3
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "agreement/minbft.h"
 #include "agreement/state_machines.h"
+#include "runtime/durable_file.h"
+#include "runtime/fault.h"
 #include "runtime/real_runtime.h"
 #include "sim/adversaries.h"
 #include "wire/channels.h"
@@ -150,6 +167,13 @@ struct RealConfig {
   std::uint64_t tick_us = 200;  // 0.2ms: protocol tick constants -> wall time
   std::uint64_t seed = 7;
   std::uint64_t timeout_s = 30;  // client-side wall-clock give-up
+  std::string durable_dir;       // empty: replica state is memory-only
+  bool volatile_usig = false;    // skip USIG counter persistence (negative)
+  std::string fault_plan;        // FaultPlan text file; empty: no faults
+  std::uint64_t max_attempts = 10;  // client attempts per request; 0=forever
+  std::uint64_t vc_timeout_ticks = 0;  // 0: protocol default
+  std::uint64_t chain_interval = 0;  // chains= sample stride; 0: ckpt interval
+  std::uint64_t think_ticks = 0;     // client gap between requests
 };
 
 void usage(const char* argv0) {
@@ -158,10 +182,15 @@ void usage(const char* argv0) {
       "usage: %s                     (deterministic simulation demo)\n"
       "       %s --id I --listen IP:PORT --peers IP:PORT,IP:PORT,...\n"
       "          [--replicas R] [--requests N] [--tick-us T] [--seed S]\n"
-      "          [--timeout-s W]   (one real UDP process of a cluster)\n"
+      "          [--timeout-s W] [--durable-dir D] [--volatile-usig]\n"
+      "          [--fault-plan F] [--max-attempts A] [--vc-timeout-ticks V]\n"
+      "          [--chain-interval C] [--think-ticks G]\n"
+      "          (one real UDP process of a cluster)\n"
       "peer list entry i is process i's endpoint; ids [0,R) are replicas,\n"
       "the rest are clients. Every process must get the same --peers,\n"
-      "--replicas and --seed.\n",
+      "--replicas and --seed. A replica restarted with its previous\n"
+      "--durable-dir recovers from disk; clients exit 3 when any request\n"
+      "exhausted --max-attempts.\n",
       argv0, argv0);
 }
 
@@ -207,6 +236,22 @@ bool parse_args(int argc, char** argv, RealConfig& cfg) {
       cfg.seed = std::strtoull(v, nullptr, 10);
     else if (flag == "--timeout-s" && (v = value()))
       cfg.timeout_s = std::strtoull(v, nullptr, 10);
+    else if (flag == "--durable-dir" && (v = value()))
+      cfg.durable_dir = v;
+    else if (flag == "--volatile-usig") {
+      cfg.volatile_usig = true;
+      v = "";  // valueless flag; satisfy the missing-value check below
+    }
+    else if (flag == "--fault-plan" && (v = value()))
+      cfg.fault_plan = v;
+    else if (flag == "--max-attempts" && (v = value()))
+      cfg.max_attempts = std::strtoull(v, nullptr, 10);
+    else if (flag == "--vc-timeout-ticks" && (v = value()))
+      cfg.vc_timeout_ticks = std::strtoull(v, nullptr, 10);
+    else if (flag == "--chain-interval" && (v = value()))
+      cfg.chain_interval = std::strtoull(v, nullptr, 10);
+    else if (flag == "--think-ticks" && (v = value()))
+      cfg.think_ticks = std::strtoull(v, nullptr, 10);
     else {
       if (flag != "--help" && flag != "-h")
         std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
@@ -224,13 +269,64 @@ bool parse_args(int argc, char** argv, RealConfig& cfg) {
   return true;
 }
 
+/// Sampled chain digests of the execution log, "count:hex8" at every
+/// checkpoint-interval boundary plus the head — what the chaos harness
+/// compares across replicas for prefix consistency (matching counts must
+/// have matching digests; see ExecutionLog::digest_through).
+std::string chain_samples(const ExecutionLog& log, std::uint64_t interval) {
+  std::ostringstream os;
+  bool first = true;
+  auto emit = [&](std::uint64_t count) {
+    if (!first) os << ",";
+    first = false;
+    const crypto::Digest d = log.digest_through(count);
+    os << count << ":" << to_hex(ByteSpan(d.data(), 8));
+  };
+  // Start at the first interval boundary not pruned away (count 0 is the
+  // shared zero anchor — no information, skip it).
+  std::uint64_t at = (log.base() + interval - 1) / interval * interval;
+  if (at == 0) at = interval;
+  for (; at <= log.size(); at += interval) emit(at);
+  if (log.size() % interval != 0 || log.size() < log.base() + 1)
+    emit(log.size());
+  return os.str();
+}
+
 int run_real(const RealConfig& cfg) {
   const std::size_t total = cfg.peers.size();
   const std::size_t f = (cfg.replicas - 1) / 2;  // MinBFT: n = 2f+1
 
+  // The fault plan applies at two layers: frame-level tx corruption inside
+  // the runtime (so damage hits the wire format and dies in the peer's
+  // hardened frame decoder) and drop/delay/duplicate/partition at the
+  // World's transport boundary. The seed is mixed with the process id so
+  // every process mangles an independent stream.
+  runtime::FaultPlan plan;
+  if (!cfg.fault_plan.empty()) {
+    std::ifstream in(cfg.fault_plan);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+      std::fprintf(stderr, "cannot read fault plan %s\n",
+                   cfg.fault_plan.c_str());
+      return 2;
+    }
+    auto parsed = runtime::FaultPlan::parse_text(buf.str());
+    if (!parsed) {
+      std::fprintf(stderr, "malformed fault plan %s\n",
+                   cfg.fault_plan.c_str());
+      return 2;
+    }
+    plan = std::move(*parsed);
+    plan.seed = plan.seed * 1000003 + cfg.id;
+  }
+
   runtime::RealRuntimeOptions ropt;
   ropt.tick_ns = cfg.tick_us * 1000;
   ropt.listen = cfg.listen;
+  ropt.corrupt_tx_per_million = plan.corrupt_per_million;
+  ropt.corrupt_seed = plan.seed;
+  plan.corrupt_per_million = 0;  // corruption handled at the frame layer
   auto rt = std::make_unique<runtime::RealRuntime>(ropt);
   runtime::RealRuntime* control = rt.get();
   for (ProcessId p = 0; p < total; ++p) {
@@ -250,6 +346,7 @@ int run_real(const RealConfig& cfg) {
   sim::World world(cfg.seed, std::move(rt));
   SgxUsigDirectory usigs(world.keys());
   world.provision(total);
+  if (plan.any_faults()) world.install_fault_plan(plan);
   // Materialize replica enclaves in id order so every process derives the
   // same key registry (see DESIGN.md §13).
   for (ProcessId p = 0; p < cfg.replicas; ++p) usigs.enclave_for(p);
@@ -257,29 +354,71 @@ int run_real(const RealConfig& cfg) {
   MinBftReplica::Options opt;
   opt.f = f;
   for (ProcessId p = 0; p < cfg.replicas; ++p) opt.replicas.push_back(p);
+  if (cfg.vc_timeout_ticks != 0)
+    opt.view_change_timeout = cfg.vc_timeout_ticks;
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
   if (cfg.id < cfg.replicas) {
+    bool recovering = false;
+    if (!cfg.durable_dir.empty()) {
+      // A non-empty image on disk means this OS process is a restarted
+      // incarnation: boot through on_recover (reload image, announce
+      // RECOVER, state-transfer past it) instead of on_start.
+      auto store =
+          std::make_unique<runtime::FileDurableStore>(cfg.durable_dir);
+      runtime::FileDurableStore* durable = store.get();
+      recovering = durable->size() > 0;
+      trusted::UsigEnclave& enclave = usigs.enclave_for(cfg.id);
+      if (!cfg.volatile_usig) {
+        // Counter-then-send ordering: reload the sealed counter from the
+        // last incarnation, then write every advance through before the
+        // UI can leave the enclave. With --volatile-usig neither happens,
+        // so a restart rewinds the counter — the forkable configuration.
+        if (const Bytes* sealed = durable->get("usig/sealed"))
+          enclave.load_state(*sealed);
+        enclave.set_nvram([durable](const Bytes& sealed) {
+          durable->put("usig/sealed", sealed);
+        });
+      }
+      world.install_durable(cfg.id, std::move(store));
+      if (recovering) world.boot_recovering(cfg.id);
+    }
     auto& replica = world.spawn_at<MinBftReplica>(
         cfg.id, opt, usigs, std::make_unique<KvStateMachine>());
     world.start();
-    std::printf("replica %u: listening on %s (port %u), n=%zu f=%zu\n",
+    std::printf("replica %u: listening on %s (port %u), n=%zu f=%zu%s\n",
                 cfg.id, cfg.listen.c_str(), control->bound_port(),
-                cfg.replicas, f);
+                cfg.replicas, f,
+                recovering ? " (recovering from durable image)" : "");
     std::fflush(stdout);
     world.run_until([] { return g_stop != 0; }, SIZE_MAX);
-    std::printf("replica %u: view=%llu executed=%llu digest=%s\n", cfg.id,
-                static_cast<unsigned long long>(replica.view()),
+    const auto us = control->udp_stats();
+    std::printf("replica %u: view=%llu executed=%llu digest=%s "
+                "recoveries=%llu malformed=%llu corrupt_tx=%llu chains=%s\n",
+                cfg.id, static_cast<unsigned long long>(replica.view()),
                 static_cast<unsigned long long>(replica.executed_count()),
-                to_hex(ByteSpan(replica.state_digest().data(), 8)).c_str());
+                to_hex(ByteSpan(replica.state_digest().data(), 8)).c_str(),
+                static_cast<unsigned long long>(replica.recoveries()),
+                static_cast<unsigned long long>(us.frames_malformed),
+                static_cast<unsigned long long>(us.frames_corrupt_tx),
+                chain_samples(replica.execution_log(),
+                              cfg.chain_interval != 0
+                                  ? cfg.chain_interval
+                                  : opt.checkpoint_interval).c_str());
     return 0;
   }
 
   SmrClient::Options copt;
   copt.replicas = opt.replicas;
   copt.f = f;
+  copt.max_attempts = cfg.max_attempts;
+  // Deterministic jitter de-synchronizes resends across a client fleet;
+  // harmless for a single client, vital under chaos (all clients backing
+  // off in lockstep re-collide forever).
+  copt.resend_jitter = 64;
+  copt.think_ticks = cfg.think_ticks;
   auto& client = world.spawn_at<SmrClient>(cfg.id, copt);
   for (std::uint64_t i = 0; i < cfg.requests; ++i) {
     const std::string key = "k" + std::to_string(i % 3);
@@ -311,7 +450,11 @@ int run_real(const RealConfig& cfg) {
               static_cast<unsigned long long>(us.frames_sent),
               static_cast<unsigned long long>(us.frames_received),
               static_cast<unsigned long long>(us.frames_malformed));
-  return client.completed() >= cfg.requests ? 0 : 1;
+  // Distinct exit codes so harnesses can tell "cluster never answered and
+  // the client gave up cleanly" (3) from "ran out of wall clock with work
+  // still in flight" (1).
+  if (client.completed() >= cfg.requests) return 0;
+  return client.gave_up() > 0 ? 3 : 1;
 }
 
 }  // namespace

@@ -42,6 +42,16 @@ void SmrClient::issue_ready() {
   }
 }
 
+void SmrClient::issue_after_think() {
+  if (options_.think_ticks == 0) {
+    issue_ready();
+    return;
+  }
+  // A timer per completion is fine: issue_ready() re-checks queue depth
+  // and pipeline capacity, so a stale wake-up is a no-op.
+  set_timer(options_.think_ticks, [this] { issue_ready(); });
+}
+
 void SmrClient::send_request(const Command& cmd) {
   wire::multicast(world(), id(), options_.replicas, kClientRequestCh, cmd);
 }
@@ -60,13 +70,16 @@ void SmrClient::arm_resend(std::uint64_t request_id) {
     world().tracer().instant("request-gave-up", "client", id(), world().now(),
                              "request_id", request_id);
     output("smr-gave-up", serde::encode(request_id));
-    issue_ready();
+    issue_after_think();
     return;
   }
   // Exponential backoff (capped shifts keep the arithmetic sane): replicas
   // that are merely slow get room, dead ones stop eating bandwidth.
   const std::size_t shift = std::min<std::size_t>(req.attempts - 1, 10);
-  set_timer(options_.resend_timeout << shift, [this, request_id] {
+  const Time jitter = options_.resend_jitter == 0
+                          ? 0
+                          : rng().below(options_.resend_jitter + 1);
+  set_timer((options_.resend_timeout << shift) + jitter, [this, request_id] {
     auto it = in_flight_.find(request_id);
     if (it == in_flight_.end()) return;  // completed meanwhile
     ++it->second.attempts;
@@ -95,7 +108,7 @@ void SmrClient::on_reply(ProcessId from, Reply reply) {
   DoneFn done = std::move(req.done);
   const Bytes result = reply.result;
   in_flight_.erase(it);
-  issue_ready();
+  issue_after_think();
   if (done) done(result);
 }
 

@@ -38,8 +38,19 @@ class SmrClient final : public sim::Process {
     /// (0 = retry forever). Bounding attempts is what lets a run quiesce
     /// when a quorum is durably unreachable.
     std::size_t max_attempts = 0;
+    /// Upper bound, in ticks, on the deterministic random jitter added to
+    /// every backed-off resend (0 = none, the default — existing goldens
+    /// hold). Jitter is drawn from the process rng, so sim runs stay
+    /// seed-reproducible; its job is to de-synchronize a client fleet
+    /// hammering a recovering cluster in lockstep.
+    Time resend_jitter = 0;
     /// Requests allowed in flight simultaneously (pipeline depth).
     std::size_t max_outstanding = 1;
+    /// Think time: ticks to wait after a request completes (or is
+    /// abandoned) before issuing the next queued one (0 = back-to-back,
+    /// the default). Real-mode chaos runs use this to stretch a workload
+    /// across a kill/restart window instead of finishing in one burst.
+    Time think_ticks = 0;
   };
 
   explicit SmrClient(Options options);
@@ -73,6 +84,7 @@ class SmrClient final : public sim::Process {
   };
 
   void issue_ready();
+  void issue_after_think();
   void send_request(const Command& cmd);
   void arm_resend(std::uint64_t request_id);
   void on_reply(ProcessId from, Reply reply);

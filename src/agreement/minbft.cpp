@@ -930,7 +930,7 @@ void MinBftReplica::prune_stable() {
 void MinBftReplica::arm_request_timer(const Command& cmd) {
   const auto key = cmd.key();
   const ViewNum armed_view = view_;
-  set_timer(options_.view_change_timeout, [this, key, armed_view] {
+  set_timer(vc_timeout(), [this, key, armed_view] {
     if (!pending_.contains(key)) return;  // executed meanwhile
     if (in_view_change_) return;          // one attempt at a time
     // Still pending after a full timeout in the same view: the primary is
@@ -970,8 +970,12 @@ void MinBftReplica::start_view_change(ViewNum target) {
   // view is broken — the next primary may be dead too) or abandon and
   // rejoin the current view (when we are alone: a spurious timeout, e.g.
   // pre-GST straggling, must not strand us outside a healthy view).
-  set_timer(options_.view_change_timeout, [this, target] {
+  // The attempt timer backs off with every consecutive failure: repeated
+  // failed views mean the cluster needs longer to heal (restarting quorum,
+  // partition epoch), and re-firing at a fixed period just burns messages.
+  set_timer(vc_timeout(), [this, target] {
     if (!in_view_change_ || vc_target_ != target) return;
+    ++vc_backoff_;
     if (vc_msgs_[target].size() >= options_.f + 1) {
       start_view_change(target + 1);
     } else {
@@ -1152,6 +1156,7 @@ void MinBftReplica::enter_view(ViewNum v) {
   }
   view_ = v;
   in_view_change_ = false;
+  vc_backoff_ = 0;  // a view actually entered resets the failure streak
   slots_.clear();
   view_base_counter_ = 0;
   next_exec_counter_ = 0;
@@ -1197,6 +1202,7 @@ void MinBftReplica::on_recover(sim::DurableStore& durable) {
   view_ = 0;
   in_view_change_ = false;
   vc_target_ = 0;
+  vc_backoff_ = 0;
   slots_.clear();
   view_base_counter_ = 0;
   next_exec_counter_ = 0;

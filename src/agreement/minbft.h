@@ -43,6 +43,7 @@
 // skip a committed slot.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <set>
 
@@ -247,6 +248,16 @@ class MinBftReplica final : public sim::Process {
   ViewNum view_ = 0;
   bool in_view_change_ = false;
   ViewNum vc_target_ = 0;
+  // Consecutive failed view-change attempts (escalations + abandonments)
+  // since the last successful view entry. Doubles the view-change timers
+  // up to 64x so repeated failed views probe ever more patiently instead
+  // of re-firing at a fixed period into a cluster that needs longer to
+  // heal (e.g. a partitioned or restarting quorum).
+  std::uint32_t vc_backoff_ = 0;
+  Time vc_timeout() const {
+    return options_.view_change_timeout
+           << std::min<std::uint32_t>(vc_backoff_, 6);
+  }
 
   // Current-view ordering state.
   std::map<SeqNum, Slot> slots_;        // primary UI counter -> slot

@@ -809,7 +809,7 @@ void PbftReplica::prune_stable() {
 void PbftReplica::arm_request_timer(const Command& cmd) {
   const auto key = cmd.key();
   const ViewNum armed_view = view_;
-  set_timer(options_.view_change_timeout, [this, key, armed_view] {
+  set_timer(vc_timeout(), [this, key, armed_view] {
     if (!pending_.contains(key)) return;
     if (in_view_change_) return;
     if (view_ == armed_view) start_view_change(view_ + 1);
@@ -841,9 +841,11 @@ void PbftReplica::start_view_change(ViewNum target) {
   maybe_assume_primacy(target);
 
   // Escalate only with f+1 supporters; otherwise abandon the attempt and
-  // rejoin the current view (see MinBftReplica::start_view_change).
-  set_timer(options_.view_change_timeout, [this, target] {
+  // rejoin the current view (see MinBftReplica::start_view_change). The
+  // timer backs off with each consecutive failed attempt.
+  set_timer(vc_timeout(), [this, target] {
     if (!in_view_change_ || vc_target_ != target) return;
+    ++vc_backoff_;
     if (vc_msgs_[target].size() >= options_.f + 1) {
       start_view_change(target + 1);
     } else {
@@ -993,6 +995,7 @@ void PbftReplica::enter_view(ViewNum v) {
   }
   view_ = v;
   in_view_change_ = false;
+  vc_backoff_ = 0;  // a view actually entered resets the failure streak
   slots_.clear();
   next_propose_seq_ = 1;
   next_exec_seq_ = 1;
@@ -1038,6 +1041,7 @@ void PbftReplica::on_recover(sim::DurableStore& durable) {
   view_ = 0;
   in_view_change_ = false;
   vc_target_ = 0;
+  vc_backoff_ = 0;
   slots_.clear();
   next_propose_seq_ = 1;
   next_exec_seq_ = 1;

@@ -31,6 +31,7 @@
 // primary journals (view, next sequence) durably on every propose.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <set>
 
@@ -207,6 +208,13 @@ class PbftReplica final : public sim::Process {
   ViewNum view_ = 0;
   bool in_view_change_ = false;
   ViewNum vc_target_ = 0;
+  // Consecutive failed view-change attempts since the last successful view
+  // entry; doubles the view-change timers up to 64x (see MinBftReplica).
+  std::uint32_t vc_backoff_ = 0;
+  Time vc_timeout() const {
+    return options_.view_change_timeout
+           << std::min<std::uint32_t>(vc_backoff_, 6);
+  }
 
   std::map<SeqNum, Slot> slots_;  // current-view slots by sequence number
   SeqNum next_propose_seq_ = 1;   // primary's next sequence number

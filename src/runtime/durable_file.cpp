@@ -1,0 +1,258 @@
+#include "runtime/durable_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+#include "common/check.h"
+
+namespace unidir::runtime {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31534455;  // "UDS1" little-endian
+constexpr std::uint32_t kVersion = 1;
+// A record needs two u32 lengths and a u32 CRC even when key and value are
+// empty; anything claiming more payload than the remaining bytes is torn.
+constexpr std::size_t kRecordOverhead = 12;
+constexpr std::size_t kHeaderSize = 24;  // magic + version + gen + count
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(ByteSpan data, std::size_t at) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    v |= std::uint32_t(data[at + i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(ByteSpan data, std::size_t at) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    v |= std::uint64_t(data[at + i]) << (8 * i);
+  return v;
+}
+
+/// Reads a whole regular file; nullopt when it does not exist or cannot be
+/// read (either way the image is unusable, which the caller treats the same
+/// as corrupt).
+std::optional<Bytes> read_file(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  Bytes out;
+  std::array<std::uint8_t, 65536> buf;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf.data(), buf.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf.data(), buf.data() + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+void write_all(int fd, ByteSpan data, const std::filesystem::path& path) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      UNIDIR_CHECK_MSG(false, "durable store write failed: " + path.string() +
+                                  ": " + std::strerror(errno));
+    }
+    done += std::size_t(n);
+  }
+}
+
+void fsync_path(const std::filesystem::path& path, int flags) {
+  const int fd = ::open(path.c_str(), flags | O_CLOEXEC);
+  UNIDIR_CHECK_MSG(fd >= 0, "durable store open for fsync failed: " +
+                                path.string() + ": " + std::strerror(errno));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  UNIDIR_CHECK_MSG(rc == 0, "durable store fsync failed: " + path.string() +
+                                ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::uint32_t FileDurableStore::crc32(ByteSpan data) {
+  static constexpr auto kTable = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) c = kTable[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+Bytes FileDurableStore::serialize_image(
+    const std::map<std::string, Bytes>& entries, std::uint64_t generation) {
+  Bytes out;
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_u64(out, generation);
+  put_u64(out, entries.size());
+  for (const auto& [key, value] : entries) {
+    const std::size_t record_start = out.size();
+    put_u32(out, std::uint32_t(key.size()));
+    put_u32(out, std::uint32_t(value.size()));
+    out.insert(out.end(), key.begin(), key.end());
+    out.insert(out.end(), value.begin(), value.end());
+    put_u32(out, crc32(ByteSpan(out.data() + record_start,
+                                out.size() - record_start)));
+  }
+  put_u32(out, crc32(ByteSpan(out.data(), out.size())));
+  return out;
+}
+
+std::optional<std::map<std::string, Bytes>> FileDurableStore::parse_image(
+    ByteSpan data, std::uint64_t* generation_out) {
+  if (data.size() < kHeaderSize + 4) return std::nullopt;
+  // Trailer first: a CRC over everything is the cheapest whole-image torn
+  // check, and makes every single-byte garble detectable even when it lands
+  // in a length field that would otherwise parse plausibly.
+  const std::size_t body = data.size() - 4;
+  if (get_u32(data, body) != crc32(data.first(body))) return std::nullopt;
+  if (get_u32(data, 0) != kMagic) return std::nullopt;
+  if (get_u32(data, 4) != kVersion) return std::nullopt;
+  const std::uint64_t generation = get_u64(data, 8);
+  const std::uint64_t count = get_u64(data, 16);
+
+  std::map<std::string, Bytes> entries;
+  std::size_t at = kHeaderSize;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (body - at < kRecordOverhead) return std::nullopt;
+    const std::uint32_t key_len = get_u32(data, at);
+    const std::uint32_t val_len = get_u32(data, at + 4);
+    const std::size_t payload = std::size_t(key_len) + val_len;
+    if (body - at - kRecordOverhead < payload) return std::nullopt;
+    const std::size_t record_len = kRecordOverhead + payload;
+    if (get_u32(data, at + record_len - 4) !=
+        crc32(data.subspan(at, record_len - 4)))
+      return std::nullopt;
+    std::string key(reinterpret_cast<const char*>(data.data() + at + 8),
+                    key_len);
+    Bytes value(data.begin() + long(at + 8 + key_len),
+                data.begin() + long(at + 8 + key_len + val_len));
+    // Duplicate keys cannot come from serialize_image (std::map); treat
+    // them as corruption rather than letting one silently win.
+    if (!entries.emplace(std::move(key), std::move(value)).second)
+      return std::nullopt;
+    at += record_len;
+  }
+  if (at != body) return std::nullopt;  // trailing garbage
+  if (generation_out != nullptr) *generation_out = generation;
+  return entries;
+}
+
+FileDurableStore::FileDurableStore(std::filesystem::path dir)
+    : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  UNIDIR_CHECK_MSG(!ec, "durable store mkdir failed: " + dir_.string() +
+                            ": " + ec.message());
+
+  // Newest valid image wins: store.img normally, store.prev when store.img
+  // is torn/absent. Generations disambiguate the (possible-but-benign)
+  // case where a crash between the two renames left prev newer than img.
+  struct Candidate {
+    std::map<std::string, Bytes> entries;
+    std::uint64_t generation = 0;
+    bool fallback = false;
+  };
+  std::optional<Candidate> best;
+  bool primary_valid = false;
+  for (const auto& [path, fallback] :
+       {std::pair{image_path(), false}, std::pair{prev_path(), true}}) {
+    const auto raw = read_file(path);
+    if (!raw) continue;  // absent: not corruption, just nothing there
+    std::uint64_t generation = 0;
+    auto parsed = parse_image(*raw, &generation);
+    if (!parsed) {
+      ++stats_.images_rejected;
+      continue;
+    }
+    if (!fallback) primary_valid = true;
+    if (!best || generation > best->generation)
+      best = Candidate{std::move(*parsed), generation, fallback};
+  }
+  if (best) {
+    data_ = std::move(best->entries);
+    generation_ = best->generation;
+    stats_.recovered = true;
+    stats_.loaded_fallback = best->fallback || !primary_valid;
+  }
+}
+
+void FileDurableStore::put(std::string key, Bytes value) {
+  DurableStore::put(std::move(key), std::move(value));
+  commit();
+}
+
+void FileDurableStore::erase(const std::string& key) {
+  DurableStore::erase(key);
+  commit();
+}
+
+void FileDurableStore::clear() {
+  DurableStore::clear();
+  commit();
+}
+
+void FileDurableStore::commit() {
+  const Bytes image = serialize_image(entries(), generation_ + 1);
+  const std::filesystem::path tmp = dir_ / "store.tmp";
+
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  UNIDIR_CHECK_MSG(fd >= 0, "durable store open failed: " + tmp.string() +
+                                ": " + std::strerror(errno));
+  write_all(fd, image, tmp);
+  const int frc = ::fsync(fd);
+  ::close(fd);
+  UNIDIR_CHECK_MSG(frc == 0, "durable store fsync failed: " + tmp.string() +
+                                 ": " + std::strerror(errno));
+
+  // Keep the last committed image reachable as store.prev for the torn-
+  // image fallback. rename(2) replaces atomically; ENOENT just means there
+  // was no previous image yet.
+  if (::rename(image_path().c_str(), prev_path().c_str()) != 0)
+    UNIDIR_CHECK_MSG(errno == ENOENT,
+                     "durable store rotate failed: " + image_path().string() +
+                         ": " + std::strerror(errno));
+  UNIDIR_CHECK_MSG(::rename(tmp.c_str(), image_path().c_str()) == 0,
+                   "durable store rename failed: " + tmp.string() + ": " +
+                       std::strerror(errno));
+  // The renames live in the directory, so the directory itself must reach
+  // disk before the commit counts.
+  fsync_path(dir_, O_RDONLY | O_DIRECTORY);
+
+  ++generation_;
+  ++stats_.commits;
+}
+
+}  // namespace unidir::runtime

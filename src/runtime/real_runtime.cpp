@@ -44,6 +44,15 @@ std::uint64_t resolve_ipv4(const std::string& host, std::uint16_t port) {
   return pack_addr(addr.s_addr, htons(port));
 }
 
+/// splitmix64 step — the corrupt_tx decision stream. Self-contained so the
+/// runtime layer does not pull in sim/rng.h.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 /// Splits "ip:port"; throws on anything else.
 std::pair<std::string, std::uint16_t> split_host_port(const std::string& s) {
   const std::size_t colon = s.rfind(':');
@@ -62,6 +71,7 @@ RealRuntime::RealRuntime(RealRuntimeOptions options)
       transport_(*this),
       epoch_(std::chrono::steady_clock::now()) {
   UNIDIR_REQUIRE_MSG(options_.tick_ns > 0, "tick_ns must be positive");
+  corrupt_rng_ = options_.corrupt_seed;
   for (const RealRuntimeOptions::Peer& p : options_.peers)
     add_peer(p.id, p.host, p.port);
   if (!options_.listen.empty()) {
@@ -116,8 +126,19 @@ void RealRuntime::transport_send(ProcessId from, ProcessId to, Channel channel,
                                  Payload payload) {
   const auto peer = peers_.find(to);
   if (peer != peers_.end()) {
-    const Bytes frame = encode_frame(
+    Bytes frame = encode_frame(
         from, to, channel, ByteSpan(payload.data(), payload.size()));
+    if (options_.corrupt_tx_per_million != 0 && !frame.empty() &&
+        splitmix64(corrupt_rng_) % 1'000'000 <
+            options_.corrupt_tx_per_million) {
+      // One flipped byte anywhere in the encoded frame: magic, varint
+      // header or payload — the peer's decode_frame must reject it (or,
+      // for a payload hit that survives framing, the wire::Router must).
+      const std::uint64_t roll = splitmix64(corrupt_rng_);
+      frame[roll % frame.size()] ^=
+          std::uint8_t(1 + (roll >> 32) % 255);
+      frames_corrupt_tx_.fetch_add(1, std::memory_order_relaxed);
+    }
     const sockaddr_in sa = unpack_addr(peer->second);
     UNIDIR_CHECK_MSG(fd_ >= 0, "RealRuntime: peer send without a socket");
     // Best-effort, as UDP is: a full socket buffer or transient error is a
@@ -314,6 +335,7 @@ UdpTransportStats RealRuntime::udp_stats() const {
   s.frames_malformed = frames_malformed_.load(std::memory_order_relaxed);
   s.frames_no_peer = frames_no_peer_.load(std::memory_order_relaxed);
   s.loopback_messages = loopback_messages_.load(std::memory_order_relaxed);
+  s.frames_corrupt_tx = frames_corrupt_tx_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -51,6 +51,7 @@ struct UdpTransportStats {
   std::uint64_t frames_malformed = 0;    // datagrams decode_frame rejected
   std::uint64_t frames_no_peer = 0;      // sends to unaddressable ids
   std::uint64_t loopback_messages = 0;   // local deliveries (no socket)
+  std::uint64_t frames_corrupt_tx = 0;   // datagrams mangled before sendto
 };
 
 struct RealRuntimeOptions {
@@ -72,6 +73,16 @@ struct RealRuntimeOptions {
   /// Remote id → address table. May also be filled after construction with
   /// add_peer(), as long as it happens before the loop runs.
   std::vector<Peer> peers;
+
+  /// Mangles this many outgoing datagrams per million (0 = off) by flipping
+  /// one byte AFTER frame encoding, so the damage lands on the wire format
+  /// itself — the chaos harness's proof that the peer's hardened
+  /// decode_frame rejects and counts garbage instead of crashing. Payload-
+  /// level corruption (inside a valid frame) is FaultyTransport's job
+  /// (runtime/fault.h); this knob covers the layer below it. Decisions are
+  /// deterministic in (corrupt_seed, send index).
+  std::uint32_t corrupt_tx_per_million = 0;
+  std::uint64_t corrupt_seed = 1;
 };
 
 class RealRuntime final : public Runtime {
@@ -197,6 +208,9 @@ class RealRuntime final : public Runtime {
   std::condition_variable inbox_cv_;
   std::deque<Incoming> inbox_;
 
+  // Loop-thread-owned PRNG state (splitmix64) for corrupt_tx decisions.
+  std::uint64_t corrupt_rng_ = 0;
+
   int fd_ = -1;
   std::uint16_t bound_port_ = 0;
   std::thread receiver_;
@@ -210,6 +224,7 @@ class RealRuntime final : public Runtime {
   std::atomic<std::uint64_t> frames_malformed_{0};
   std::atomic<std::uint64_t> frames_no_peer_{0};
   std::atomic<std::uint64_t> loopback_messages_{0};
+  std::atomic<std::uint64_t> frames_corrupt_tx_{0};
 };
 
 }  // namespace unidir::runtime

@@ -21,7 +21,12 @@ namespace unidir::sim {
 
 class DurableStore {
  public:
-  void put(std::string key, Bytes value) {
+  virtual ~DurableStore() = default;
+
+  /// The mutators are virtual so backends (runtime::FileDurableStore) can
+  /// write through to stable media at commit granularity; reads always come
+  /// from the in-memory image, which a backend rebuilds at construction.
+  virtual void put(std::string key, Bytes value) {
     data_[std::move(key)] = std::move(value);
   }
   /// nullptr when absent; the pointer is invalidated by the next put/erase.
@@ -32,9 +37,11 @@ class DurableStore {
   bool contains(const std::string& key) const {
     return data_.find(key) != data_.end();
   }
-  void erase(const std::string& key) { data_.erase(key); }
-  void clear() { data_.clear(); }
+  virtual void erase(const std::string& key) { data_.erase(key); }
+  virtual void clear() { data_.clear(); }
   std::size_t size() const { return data_.size(); }
+  /// The full in-memory image, for backends that serialize it wholesale.
+  const std::map<std::string, Bytes>& entries() const { return data_; }
 
   /// Typed wrappers over the serde codec. get_value throws DecodeError on a
   /// corrupt record — durable storage is written only by the process itself,
@@ -50,7 +57,7 @@ class DurableStore {
     return serde::decode<T>(*raw);
   }
 
- private:
+ protected:
   std::map<std::string, Bytes> data_;
 };
 

@@ -68,6 +68,7 @@ World::World(std::uint64_t seed, std::unique_ptr<runtime::Runtime> rt)
     : rng_(seed), runtime_(std::move(rt)) {
   UNIDIR_REQUIRE(runtime_ != nullptr);
   sim_rt_ = dynamic_cast<runtime::SimRuntime*>(runtime_.get());
+  transport_ = &runtime_->transport();
   runtime_->transport().set_deliver(
       [this](ProcessId from, ProcessId to, Channel channel,
              const Payload& payload) { deliver(from, to, channel, payload); });
@@ -111,7 +112,8 @@ void World::adopt(std::unique_ptr<Process> p) {
   process_keys_.push_back(p->signer_.key());
   processes_.push_back(std::move(p));
   transcripts_.emplace_back();
-  durables_.emplace_back();
+  durables_.push_back(std::make_unique<DurableStore>());
+  boot_recovering_.push_back(false);
   epochs_.push_back(0);
   crashed_at_.push_back(0);
   crashed_.push_back(false);
@@ -126,7 +128,10 @@ void World::provision(std::size_t total) {
   provisioned_ = true;
   processes_.resize(total);  // null slots = not hosted here (yet)
   transcripts_.resize(total);
-  durables_.resize(total);
+  durables_.clear();
+  for (std::size_t i = 0; i < total; ++i)
+    durables_.push_back(std::make_unique<DurableStore>());
+  boot_recovering_.assign(total, false);
   epochs_.assign(total, 0);
   crashed_at_.assign(total, 0);
   crashed_.assign(total, false);
@@ -153,12 +158,45 @@ void World::place(std::unique_ptr<Process> p, ProcessId id) {
   processes_[id] = std::move(p);
 }
 
+void World::install_durable(ProcessId id,
+                            std::unique_ptr<DurableStore> store) {
+  UNIDIR_REQUIRE_MSG(!started_, "install_durable after start()");
+  UNIDIR_REQUIRE(id < durables_.size());
+  UNIDIR_REQUIRE(store != nullptr);
+  durables_[id] = std::move(store);
+}
+
+void World::boot_recovering(ProcessId id) {
+  UNIDIR_REQUIRE_MSG(!started_, "boot_recovering after start()");
+  UNIDIR_REQUIRE(id < boot_recovering_.size());
+  boot_recovering_[id] = true;
+}
+
+void World::install_fault_plan(runtime::FaultPlan plan) {
+  UNIDIR_REQUIRE_MSG(!started_, "install_fault_plan after start()");
+  UNIDIR_REQUIRE_MSG(fault_transport_ == nullptr,
+                     "install_fault_plan called twice");
+  fault_transport_ = std::make_unique<runtime::FaultyTransport>(
+      runtime_->transport(), runtime_->clock(), std::move(plan));
+  transport_ = fault_transport_.get();
+}
+
 void World::start() {
   UNIDIR_REQUIRE_MSG(!started_, "start() called twice");
   started_ = true;
   for (auto& p : processes_) {
     if (p == nullptr) continue;
     Process* raw = p.get();
+    if (boot_recovering_[raw->id()]) {
+      // Real-process recovery boot: this incarnation rebuilds from disk the
+      // way restart() rebuilds from the sim's NVRAM model, then never sees
+      // on_start (the fresh-boot path would re-run trusted setup).
+      runtime_->clock().arm(0, [this, raw]() {
+        if (!crashed(raw->id())) raw->on_recover(*durables_[raw->id()]);
+      });
+      metrics_.add("fault.recovery_boots");
+      continue;
+    }
     runtime_->clock().arm(0, [this, raw]() {
       if (!crashed(raw->id())) raw->on_start();
     });
@@ -177,8 +215,9 @@ bool World::run_until(const std::function<bool()>& pred,
 void World::send_message(ProcessId from, ProcessId to, Channel channel,
                          Payload payload) {
   // Both backends route through their Transport: the sim's (adversary
-  // scheduling, crash drops) and the real one's (loopback or UDP).
-  runtime_->transport().send(from, to, channel, std::move(payload));
+  // scheduling, crash drops) and the real one's (loopback or UDP) — via
+  // the fault decorator when a plan is installed.
+  transport_->send(from, to, channel, std::move(payload));
 }
 
 Process& World::process(ProcessId id) {
@@ -223,12 +262,12 @@ void World::restart(ProcessId id) {
   // Recovery runs synchronously: sends and timers it issues are scheduled
   // from `now`, exactly as if the process's recovery code ran at the instant
   // power came back.
-  processes_[id]->on_recover(durables_[id]);
+  processes_[id]->on_recover(*durables_[id]);
 }
 
 DurableStore& World::durable(ProcessId id) {
   UNIDIR_REQUIRE(id < durables_.size());
-  return durables_[id];
+  return *durables_[id];
 }
 
 std::uint64_t World::incarnation(ProcessId id) const {
@@ -338,6 +377,16 @@ void World::publish_stats() {
                        static_cast<std::int64_t>(rs.max_queue_depth));
     metrics_.set_gauge("runner.threads",
                        static_cast<std::int64_t>(verify_runner_->threads()));
+  }
+
+  if (fault_transport_ != nullptr) {
+    const runtime::FaultyTransportStats& fs = fault_transport_->stats();
+    metrics_.set_counter("fault.forwarded", fs.forwarded);
+    metrics_.set_counter("fault.dropped", fs.dropped);
+    metrics_.set_counter("fault.partitioned", fs.partitioned);
+    metrics_.set_counter("fault.duplicated", fs.duplicated);
+    metrics_.set_counter("fault.delayed", fs.delayed);
+    metrics_.set_counter("fault.corrupted", fs.corrupted);
   }
 
   metrics_.set_counter("wire.received", wire_stats_.total_received());

@@ -51,6 +51,7 @@
 #include "crypto/verify_runner.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "runtime/fault.h"
 #include "runtime/runtime.h"
 #include "runtime/sim_runtime.h"
 #include "sim/durable.h"
@@ -180,7 +181,28 @@ class World {
   }
 
   /// Schedules every local process's on_start at tick 0 (in id order).
+  /// Processes marked via boot_recovering get on_recover instead.
   void start();
+
+  /// Replaces process `id`'s durable store (default: the in-memory model)
+  /// with `store` — e.g. a runtime::FileDurableStore, whose already-loaded
+  /// image then feeds on_recover after a real-process restart. Must precede
+  /// start().
+  void install_durable(ProcessId id, std::unique_ptr<DurableStore> store);
+
+  /// Marks `id` to boot through on_recover(durable) instead of on_start —
+  /// the real-process analogue of restart(): the OS process died and this
+  /// incarnation must rebuild from its durable store. Must precede start().
+  void boot_recovering(ProcessId id);
+
+  /// Interposes a runtime::FaultyTransport between every send and the
+  /// backend transport. Works on both backends; must precede start() so no
+  /// message bypasses it. Stats surface via publish_stats() ("fault.*")
+  /// and fault_stats().
+  void install_fault_plan(runtime::FaultPlan plan);
+  const runtime::FaultyTransportStats* fault_stats() const {
+    return fault_transport_ == nullptr ? nullptr : &fault_transport_->stats();
+  }
 
   // -- execution ------------------------------------------------------------
   /// The execution backend. Most callers want the wrappers below; direct
@@ -304,6 +326,9 @@ class World {
   Rng rng_;
   std::unique_ptr<runtime::Runtime> runtime_;
   runtime::SimRuntime* sim_rt_ = nullptr;  // non-null iff sim backend
+  // Send path: the backend transport, or the fault decorator wrapping it.
+  std::unique_ptr<runtime::FaultyTransport> fault_transport_;
+  runtime::Transport* transport_ = nullptr;
   wire::StatsHub wire_stats_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
@@ -314,7 +339,8 @@ class World {
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Transcript> transcripts_;
   std::vector<crypto::KeyId> process_keys_;
-  std::vector<DurableStore> durables_;
+  std::vector<std::unique_ptr<DurableStore>> durables_;
+  std::vector<bool> boot_recovering_;
   std::vector<std::uint64_t> epochs_;
   std::vector<Time> crashed_at_;
   std::vector<bool> crashed_;

@@ -59,6 +59,9 @@ UniqueIdentifier UsigEnclave::create_ui(const Bytes& message) {
   ui.sig = out.sig;
   UNIDIR_CHECK_MSG(out.output == ui_output_bytes(ui.counter, digest),
                    "USIG mirror desynchronized from enclave");
+  // Persist BEFORE returning: the caller only gets (and can only send) the
+  // UI after the advanced counter reached the nvram sink.
+  if (nvram_) nvram_(enclave_.sealed_state());
   return ui;
 }
 

@@ -8,7 +8,9 @@
 // primitive MinBFT builds its n = 2f+1 protocol on.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <utility>
 
 #include "crypto/sha256.h"
 #include "trusted/sgx.h"
@@ -68,9 +70,20 @@ class UsigEnclave {
   /// counter values for different messages. Negative-test only.
   void reset_for_power_loss();
 
+  /// Write-through persistence: after every create_ui the freshly sealed
+  /// counter blob is handed to `sink` before the UI escapes the enclave.
+  /// Wired to a durable-store put, this is the counter-then-send ordering
+  /// that makes the counter survive kill -9: no UI a peer can ever see has
+  /// a counter value that was not first on stable media. Leaving the sink
+  /// unset models the PR-4 "volatile counter" negative experiment.
+  void set_nvram(std::function<void(const Bytes&)> sink) {
+    nvram_ = std::move(sink);
+  }
+
  private:
   SgxEnclave enclave_;
   SeqNum last_ = 0;  // mirror for introspection; truth lives in the enclave
+  std::function<void(const Bytes&)> nvram_;
 };
 
 }  // namespace unidir::trusted

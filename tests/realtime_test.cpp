@@ -173,5 +173,98 @@ TEST(RealTimeLoopback, MinBftCommitsAClosedLoopWorkloadOverUdp) {
   }
 }
 
+// ---- shutdown ordering -----------------------------------------------------------
+//
+// The teardown path is where loop thread, receiver thread and destructor
+// meet; these tests (TSan-covered) pin the contract: stop() is callable
+// from any thread and from inside a handler, and the destructor joins the
+// receiver and discards still-armed timers no matter what state the run
+// was abandoned in.
+
+TEST(RealTimeShutdown, StopMidDeliveryWithTimersArmedJoinsCleanly) {
+  auto make = [] {
+    RealRuntimeOptions o;
+    o.tick_ns = 100'000;  // 0.1ms ticks keep the pump hot
+    o.listen = "127.0.0.1:0";
+    return std::make_unique<RealRuntime>(o);
+  };
+  auto a = make();
+  auto b = make();
+  a->add_peer(1, "127.0.0.1", b->bound_port());
+  b->add_peer(0, "127.0.0.1", a->bound_port());
+  a->transport().set_local([](ProcessId p) { return p == 0; });
+  b->transport().set_local([](ProcessId p) { return p == 1; });
+  a->transport().set_deliver(
+      [](ProcessId, ProcessId, Channel, const Payload&) {});
+  std::atomic<std::uint64_t> received_b{0};
+  b->transport().set_deliver(
+      [&](ProcessId, ProcessId, Channel, const Payload&) {
+        received_b.fetch_add(1, std::memory_order_relaxed);
+      });
+
+  // Long-deadline timers that will still be armed at teardown, on both
+  // sides — the destructor must discard them, not wait for them.
+  for (int k = 0; k < 64; ++k) {
+    a->clock().arm(10'000'000, [] {});
+    b->clock().arm(10'000'000, [] {});
+  }
+  // A self-rearming pump keeps datagrams in flight for the whole test, so
+  // stop() lands while the receiver thread is mid-delivery.
+  std::function<void()> pump = [&] {
+    for (int k = 0; k < 8; ++k)
+      a->transport().send(0, 1, 7, bytes_of("chaff"));
+    a->clock().arm(1, pump);
+  };
+  a->clock().arm(1, pump);
+
+  std::thread loop_a([&] { a->run(SIZE_MAX); });
+  std::thread loop_b([&] { b->run(SIZE_MAX); });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (received_b.load(std::memory_order_relaxed) < 100 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GE(received_b.load(std::memory_order_relaxed), 100u)
+      << "traffic never flowed; the shutdown below would prove nothing";
+
+  // Stop the RECEIVING side first: a keeps firing datagrams at a runtime
+  // that is tearing down, which is exactly the hazardous interleaving.
+  b->stop();
+  loop_b.join();
+  b.reset();  // destructor: joins b's receiver while a still sends
+  a->stop();
+  loop_a.join();
+  EXPECT_GT(a->udp_stats().frames_sent, 0u);
+}
+
+TEST(RealTimeShutdown, StopFromInsideATimerHandler) {
+  RealRuntimeOptions o;
+  o.tick_ns = 100'000;
+  o.listen = "127.0.0.1:0";
+  RealRuntime rt(o);
+  rt.transport().set_deliver(
+      [](ProcessId, ProcessId, Channel, const Payload&) {});
+  for (int k = 0; k < 32; ++k) rt.clock().arm(10'000'000, [] {});
+  bool late_fired = false;
+  rt.clock().arm(1, [&] { rt.stop(); });
+  rt.clock().arm(10'000'000, [&] { late_fired = true; });
+  rt.run(SIZE_MAX);
+  EXPECT_TRUE(rt.stopped());
+  EXPECT_FALSE(late_fired) << "run() outlived stop() by a long timer";
+}
+
+TEST(RealTimeShutdown, DestroyWithoutEverRunningJoinsTheReceiver) {
+  // Construction starts the receiver thread; destruction must join it even
+  // if run() was never called and timers are still armed. Iterate a few
+  // times to give TSan interleavings to chew on.
+  for (int i = 0; i < 8; ++i) {
+    RealRuntimeOptions o;
+    o.listen = "127.0.0.1:0";
+    RealRuntime rt(o);
+    rt.clock().arm(10'000'000, [] {});
+    ASSERT_GT(rt.bound_port(), 0);
+  }
+}
+
 }  // namespace
 }  // namespace unidir
