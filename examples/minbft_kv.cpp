@@ -174,6 +174,9 @@ struct RealConfig {
   std::uint64_t vc_timeout_ticks = 0;  // 0: protocol default
   std::uint64_t chain_interval = 0;  // chains= sample stride; 0: ckpt interval
   std::uint64_t think_ticks = 0;     // client gap between requests
+  std::size_t shards = 1;        // event-loop shards (processes pin by id)
+  std::size_t recv_batch = 32;   // datagrams per recvmmsg burst
+  std::size_t send_batch = 64;   // frames coalesced per sendmmsg flush
 };
 
 void usage(const char* argv0) {
@@ -184,13 +187,15 @@ void usage(const char* argv0) {
       "          [--replicas R] [--requests N] [--tick-us T] [--seed S]\n"
       "          [--timeout-s W] [--durable-dir D] [--volatile-usig]\n"
       "          [--fault-plan F] [--max-attempts A] [--vc-timeout-ticks V]\n"
-      "          [--chain-interval C] [--think-ticks G]\n"
+      "          [--chain-interval C] [--think-ticks G] [--shards K]\n"
+      "          [--recv-batch B] [--send-batch B]\n"
       "          (one real UDP process of a cluster)\n"
       "peer list entry i is process i's endpoint; ids [0,R) are replicas,\n"
       "the rest are clients. Every process must get the same --peers,\n"
       "--replicas and --seed. A replica restarted with its previous\n"
       "--durable-dir recovers from disk; clients exit 3 when any request\n"
-      "exhausted --max-attempts.\n",
+      "exhausted --max-attempts. Any process exits 4 if its UDP receiver\n"
+      "dies (it would otherwise keep running deaf).\n",
       argv0, argv0);
 }
 
@@ -252,6 +257,12 @@ bool parse_args(int argc, char** argv, RealConfig& cfg) {
       cfg.chain_interval = std::strtoull(v, nullptr, 10);
     else if (flag == "--think-ticks" && (v = value()))
       cfg.think_ticks = std::strtoull(v, nullptr, 10);
+    else if (flag == "--shards" && (v = value()))
+      cfg.shards = std::strtoul(v, nullptr, 10);
+    else if (flag == "--recv-batch" && (v = value()))
+      cfg.recv_batch = std::strtoul(v, nullptr, 10);
+    else if (flag == "--send-batch" && (v = value()))
+      cfg.send_batch = std::strtoul(v, nullptr, 10);
     else {
       if (flag != "--help" && flag != "-h")
         std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
@@ -321,9 +332,19 @@ int run_real(const RealConfig& cfg) {
     plan.seed = plan.seed * 1000003 + cfg.id;
   }
 
+  if (plan.any_faults() && cfg.shards > 1) {
+    std::fprintf(stderr,
+                 "--fault-plan needs --shards 1 (FaultyTransport is not "
+                 "shard-safe)\n");
+    return 2;
+  }
+
   runtime::RealRuntimeOptions ropt;
   ropt.tick_ns = cfg.tick_us * 1000;
   ropt.listen = cfg.listen;
+  ropt.shards = cfg.shards;
+  ropt.recv_batch = cfg.recv_batch;
+  ropt.send_batch = cfg.send_batch;
   ropt.corrupt_tx_per_million = plan.corrupt_per_million;
   ropt.corrupt_seed = plan.seed;
   plan.corrupt_per_million = 0;  // corruption handled at the frame layer
@@ -393,8 +414,22 @@ int run_real(const RealConfig& cfg) {
                 cfg.replicas, f,
                 recovering ? " (recovering from durable image)" : "");
     std::fflush(stdout);
-    world.run_until([] { return g_stop != 0; }, SIZE_MAX);
+    // A replica whose receiver thread died is deaf: its loop would keep
+    // running (and answering nothing) forever. Exit 4 instead so cluster
+    // harnesses see a failed member, not a mysteriously silent one.
+    world.run_until(
+        [control] {
+          return g_stop != 0 || control->stats().receiver_dead;
+        },
+        SIZE_MAX);
     const auto us = control->udp_stats();
+    if (us.receiver_dead) {
+      std::fprintf(stderr,
+                   "replica %u: UDP receiver died (see warning above); "
+                   "refusing to serve deaf\n",
+                   cfg.id);
+      return 4;
+    }
     std::printf("replica %u: view=%llu executed=%llu digest=%s "
                 "recoveries=%llu malformed=%llu corrupt_tx=%llu chains=%s\n",
                 cfg.id, static_cast<unsigned long long>(replica.view()),
@@ -438,11 +473,16 @@ int run_real(const RealConfig& cfg) {
       [&] {
         return g_stop != 0 ||
                client.completed() + client.gave_up() >= cfg.requests ||
-               world.now() > deadline_ticks;
+               world.now() > deadline_ticks ||
+               control->stats().receiver_dead;
       },
       SIZE_MAX);
 
   const auto us = control->udp_stats();
+  if (us.receiver_dead && client.completed() < cfg.requests) {
+    std::fprintf(stderr, "client %u: UDP receiver died; aborting\n", cfg.id);
+    return 4;
+  }
   std::printf("client %u: completed=%llu gave_up=%llu frames_sent=%llu "
               "frames_received=%llu malformed=%llu\n",
               cfg.id, static_cast<unsigned long long>(client.completed()),

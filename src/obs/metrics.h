@@ -63,6 +63,7 @@ class Histogram {
   explicit Histogram(std::vector<std::uint64_t> bounds = default_tick_bounds());
 
   void record(std::uint64_t value) { data_.record(value); }
+  void merge(const HistogramData& other) { data_.merge(other); }
   const HistogramData& data() const { return data_; }
 
  private:
@@ -102,6 +103,13 @@ class MetricsRegistry {
 
   MetricsSnapshot snapshot() const;
   void clear();
+
+  /// Folds `other` into this registry and clears it: counters add,
+  /// histograms merge (bounds must match — every histogram here uses the
+  /// default tick bounds), gauges overwrite. The fold half of the World's
+  /// per-execution-shard registries; draining keeps repeated folds from
+  /// double-counting.
+  void merge_from(MetricsRegistry& other);
 
  private:
   std::map<std::string, std::uint64_t, std::less<>> counters_;

@@ -1,3 +1,29 @@
+// Sharded, batched implementation of the real-time backend. Layout:
+//
+//   timers      — per-shard binary heap + id->fn map; cancel leaves a
+//                 tombstone in the heap and erases the fn (and the
+//                 pending-event count) immediately.
+//   transport   — peer sends encode to a frame, refuse oversized ones,
+//                 maybe corrupt (chaos), then stage on the calling shard's
+//                 send queue for a sendmmsg flush; local sends route to the
+//                 owning shard's inbox (same-shard: no lock at all).
+//   receiver    — one thread draining recvmmsg bursts, grouping decoded
+//                 frames by destination shard, one inbox lock per shard
+//                 per burst.
+//   loops       — shard_loop is the one event-loop body; run/run_until run
+//                 shard 0 on the calling thread and the rest on temporary
+//                 threads for the duration of the call.
+//
+// Quiescence (loopback-only runtimes) is detected with a global
+// pending-event counter: every armed timer and queued message holds one
+// count until its handler RETURNS (cancel releases it early), so
+// pending_ == 0 really means "nothing is queued anywhere and no handler
+// is mid-flight that could queue more" — sound termination detection
+// without stopping the world.
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE 1  // recvmmsg/sendmmsg/MSG_WAITFORONE on glibc
+#endif
+
 #include "runtime/real_runtime.h"
 
 #include <arpa/inet.h>
@@ -18,8 +44,17 @@ namespace unidir::runtime {
 
 namespace {
 
-/// Longest the loop or the receiver blocks before re-checking stop()/pred.
+/// Longest the loops or the receiver block before re-checking stop()/pred.
 constexpr std::uint64_t kMaxWaitSliceNs = 50'000'000;  // 50ms
+
+/// TimerIds carry their shard in the low bits so cancel() can find the
+/// owning heap without a registry: id = (per-shard counter << 6) | shard.
+constexpr std::size_t kShardBits = 6;
+constexpr std::size_t kMaxShards = std::size_t{1} << kShardBits;
+
+/// Largest UDP datagram we will ever read; also the per-slot receive
+/// buffer size for recvmmsg bursts.
+constexpr std::size_t kRecvBufBytes = 65536;
 
 /// Packs an IPv4 (address, port) pair — both in network byte order as
 /// sockaddr_in wants them — into one map value, so the header needs no
@@ -63,6 +98,26 @@ std::pair<std::string, std::uint16_t> split_host_port(const std::string& s) {
   return {s.substr(0, colon), static_cast<std::uint16_t>(port)};
 }
 
+/// Which runtime's shard loop (if any) the current thread is executing.
+/// Keyed by runtime pointer because one OS process routinely hosts several
+/// RealRuntimes (every realtime test does).
+thread_local const void* tl_runtime = nullptr;
+thread_local std::size_t tl_shard = kNoShard;
+
+struct ShardScope {
+  const void* prev_rt;
+  std::size_t prev_shard;
+  ShardScope(const void* rt, std::size_t shard)
+      : prev_rt(tl_runtime), prev_shard(tl_shard) {
+    tl_runtime = rt;
+    tl_shard = shard;
+  }
+  ~ShardScope() {
+    tl_runtime = prev_rt;
+    tl_shard = prev_shard;
+  }
+};
+
 }  // namespace
 
 RealRuntime::RealRuntime(RealRuntimeOptions options)
@@ -71,7 +126,19 @@ RealRuntime::RealRuntime(RealRuntimeOptions options)
       transport_(*this),
       epoch_(std::chrono::steady_clock::now()) {
   UNIDIR_REQUIRE_MSG(options_.tick_ns > 0, "tick_ns must be positive");
-  corrupt_rng_ = options_.corrupt_seed;
+  if (options_.shards == 0) options_.shards = 1;
+  UNIDIR_REQUIRE_MSG(options_.shards <= kMaxShards,
+                     "RealRuntime: shards capped at 64");
+  if (options_.recv_batch == 0) options_.recv_batch = 1;
+  if (options_.send_batch == 0) options_.send_batch = 1;
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_[i]->corrupt_rng =
+        options_.corrupt_seed + 0x9E3779B97F4A7C15ull * i;
+  }
+  foreign_corrupt_rng_ =
+      options_.corrupt_seed + 0x9E3779B97F4A7C15ull * kMaxShards;
   for (const RealRuntimeOptions::Peer& p : options_.peers)
     add_peer(p.id, p.host, p.port);
   if (!options_.listen.empty()) {
@@ -102,22 +169,55 @@ Time RealRuntime::now_ticks() const { return elapsed_ns() / options_.tick_ns; }
 
 // ---- timers ----------------------------------------------------------------
 
-TimerId RealRuntime::arm_timer(Time delay, std::function<void()> fn) {
+std::size_t RealRuntime::calling_shard() const {
+  return tl_runtime == this ? tl_shard : kNoShard;
+}
+
+std::size_t RealRuntime::arm_shard() const {
+  const std::size_t cs = calling_shard();
+  return cs == kNoShard ? 0 : cs;
+}
+
+TimerId RealRuntime::arm_for(ProcessId owner, Time delay,
+                             std::function<void()> fn) {
+  return arm_timer(shard_of(owner), delay, std::move(fn));
+}
+
+TimerId RealRuntime::arm_timer(std::size_t shard, Time delay,
+                               std::function<void()> fn) {
   UNIDIR_REQUIRE(fn != nullptr);
-  const TimerId id = ++next_timer_;
-  timer_fns_.emplace(id, std::move(fn));
-  timer_heap_.push_back(
-      TimerEntry{elapsed_ns() + delay * options_.tick_ns, next_timer_seq_++,
-                 id});
-  std::push_heap(timer_heap_.begin(), timer_heap_.end());
-  ++stats_.scheduled;
+  UNIDIR_REQUIRE(shard < shards_.size());
+  if (running_.load(std::memory_order_relaxed)) {
+    // Timer structures are loop-thread-owned: while loops run, only the
+    // shard's own handlers may touch them. Pre-run arms (World::start,
+    // bench schedule injection) synchronize via the thread handoff.
+    UNIDIR_REQUIRE_MSG(calling_shard() == shard,
+                       "RealRuntime: cross-shard timer arm while loops run");
+  }
+  Shard& s = *shards_[shard];
+  const TimerId id = (++s.next_timer_id << kShardBits) |
+                     static_cast<TimerId>(shard);
+  s.timer_fns.emplace(id, std::move(fn));
+  s.timer_heap.push_back(TimerEntry{elapsed_ns() + delay * options_.tick_ns,
+                                    s.next_timer_seq++, id});
+  std::push_heap(s.timer_heap.begin(), s.timer_heap.end());
+  s.scheduled.fetch_add(1, std::memory_order_relaxed);
+  pending_.fetch_add(1);
   return id;
 }
 
 void RealRuntime::cancel_timer(TimerId id) {
+  if (id == kNoTimer) return;
+  const std::size_t shard = static_cast<std::size_t>(id) & (kMaxShards - 1);
+  if (shard >= shards_.size()) return;  // unknown id: no-op, per contract
+  if (running_.load(std::memory_order_relaxed)) {
+    UNIDIR_REQUIRE_MSG(calling_shard() == shard,
+                       "RealRuntime: cross-shard timer cancel while loops run");
+  }
   // The heap entry stays behind as a tombstone; step() skips entries whose
-  // function is gone.
-  timer_fns_.erase(id);
+  // function is gone. The pending count is released NOW — this timer will
+  // never execute, and quiescence must not wait for its deadline.
+  if (shards_[shard]->timer_fns.erase(id) > 0) pending_.fetch_sub(1);
 }
 
 // ---- transport -------------------------------------------------------------
@@ -126,35 +226,54 @@ void RealRuntime::transport_send(ProcessId from, ProcessId to, Channel channel,
                                  Payload payload) {
   const auto peer = peers_.find(to);
   if (peer != peers_.end()) {
-    Bytes frame = encode_frame(
-        from, to, channel, ByteSpan(payload.data(), payload.size()));
-    if (options_.corrupt_tx_per_million != 0 && !frame.empty() &&
-        splitmix64(corrupt_rng_) % 1'000'000 <
-            options_.corrupt_tx_per_million) {
-      // One flipped byte anywhere in the encoded frame: magic, varint
-      // header or payload — the peer's decode_frame must reject it (or,
-      // for a payload hit that survives framing, the wire::Router must).
-      const std::uint64_t roll = splitmix64(corrupt_rng_);
-      frame[roll % frame.size()] ^=
-          std::uint8_t(1 + (roll >> 32) % 255);
-      frames_corrupt_tx_.fetch_add(1, std::memory_order_relaxed);
-    }
-    const sockaddr_in sa = unpack_addr(peer->second);
     UNIDIR_CHECK_MSG(fd_ >= 0, "RealRuntime: peer send without a socket");
-    // Best-effort, as UDP is: a full socket buffer or transient error is a
-    // dropped datagram; protocol retransmission owns recovery.
-    (void)::sendto(fd_, frame.data(), frame.size(), 0,
-                   reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
-    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    Bytes frame = encode_frame(from, to, channel,
+                               ByteSpan(payload.data(), payload.size()));
+    if (frame.size() > options_.max_datagram) {
+      // Refused here, where the channel is still known, instead of dying
+      // as a silent kernel EMSGSIZE deep in a sendmmsg burst. Large frames
+      // need the TCP transport (ROADMAP item 3); until then the sender's
+      // retransmission logic sees the loss honestly.
+      frames_oversized_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(warn_mu_);
+      if (warned_oversized_.insert(channel).second) {
+        UNIDIR_WARN("RealRuntime: dropping "
+                    << frame.size() << "-byte frame on channel " << channel
+                    << " (> max_datagram " << options_.max_datagram
+                    << "); fragmenting needs the TCP transport — ROADMAP "
+                       "item 3. Further drops on this channel are silent.");
+      }
+      return;
+    }
+    if (options_.corrupt_tx_per_million != 0 && !frame.empty()) {
+      const std::size_t cs = calling_shard();
+      std::unique_lock<std::mutex> foreign_lock;
+      std::uint64_t* rng = nullptr;
+      if (cs != kNoShard) {
+        rng = &shards_[cs]->corrupt_rng;
+      } else {
+        foreign_lock = std::unique_lock<std::mutex>(foreign_mu_);
+        rng = &foreign_corrupt_rng_;
+      }
+      if (splitmix64(*rng) % 1'000'000 < options_.corrupt_tx_per_million) {
+        // One flipped byte anywhere in the encoded frame: magic, varint
+        // header or payload — the peer's decode_frame must reject it (or,
+        // for a payload hit that survives framing, the wire::Router must).
+        const std::uint64_t roll = splitmix64(*rng);
+        frame[roll % frame.size()] ^= std::uint8_t(1 + (roll >> 32) % 255);
+        frames_corrupt_tx_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    stage_or_send(peer->second, std::move(frame));
     return;
   }
   if (is_local_ && is_local_(to)) {
     loopback_messages_.fetch_add(1, std::memory_order_relaxed);
-    ++stats_.scheduled;
     enqueue_local(Incoming{from, to, channel, std::move(payload)});
     return;
   }
   frames_no_peer_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(warn_mu_);
   if (warned_no_peer_.insert(to).second) {
     UNIDIR_WARN("RealRuntime: dropping send to unaddressable process "
                 << to << " (no peer entry, not local)");
@@ -162,11 +281,111 @@ void RealRuntime::transport_send(ProcessId from, ProcessId to, Channel channel,
 }
 
 void RealRuntime::enqueue_local(Incoming in) {
-  {
-    std::lock_guard<std::mutex> lock(inbox_mu_);
-    inbox_.push_back(std::move(in));
+  Shard& s = *shards_[shard_of(in.to)];
+  s.scheduled.fetch_add(1, std::memory_order_relaxed);
+  pending_.fetch_add(1);
+  if (calling_shard() == shard_of(in.to)) {
+    // Same-shard delivery from the shard's own loop thread: the drained
+    // queue is ours, no lock, no wakeup (we are plainly awake).
+    s.local.push_back(std::move(in));
+    return;
   }
-  inbox_cv_.notify_one();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.inbox.push_back(std::move(in));
+  }
+  s.cv.notify_one();
+}
+
+// ---- outbound batching -----------------------------------------------------
+
+void RealRuntime::stage_or_send(std::uint64_t addr, Bytes frame) {
+  const std::size_t cs = calling_shard();
+  if (cs == kNoShard || !options_.use_sendmmsg || options_.send_batch <= 1) {
+    // Not on a loop thread (pre-run sends), or batching is off: one
+    // syscall now, full failure accounting either way.
+    send_now(addr, frame);
+    return;
+  }
+  Shard& s = *shards_[cs];
+  s.send_queue.push_back(PendingSend{addr, std::move(frame)});
+  if (s.send_queue.size() >= options_.send_batch) flush_sends(s);
+}
+
+void RealRuntime::send_now(std::uint64_t addr, const Bytes& frame) {
+  const sockaddr_in sa = unpack_addr(addr);
+  send_syscalls_.fetch_add(1, std::memory_order_relaxed);
+  const ssize_t r =
+      ::sendto(fd_, frame.data(), frame.size(), 0,
+               reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  if (r < 0) {
+    frames_send_failed_.fetch_add(1, std::memory_order_relaxed);
+    note_send_failure(errno);
+    return;
+  }
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RealRuntime::flush_sends(Shard& s) {
+  if (s.send_queue.empty()) return;
+#if defined(__linux__)
+  if (options_.use_sendmmsg) {
+    // Scratch is thread_local (each shard loop is its own thread) so the
+    // header stays free of socket types and the hot path free of allocs.
+    static thread_local std::vector<mmsghdr> msgs;
+    static thread_local std::vector<iovec> iovs;
+    static thread_local std::vector<sockaddr_in> addrs;
+    std::size_t i = 0;
+    while (i < s.send_queue.size()) {
+      const std::size_t n =
+          std::min(s.send_queue.size() - i, options_.send_batch);
+      msgs.assign(n, mmsghdr{});
+      iovs.resize(n);
+      addrs.resize(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        PendingSend& p = s.send_queue[i + k];
+        addrs[k] = unpack_addr(p.addr);
+        iovs[k].iov_base = p.frame.data();
+        iovs[k].iov_len = p.frame.size();
+        msgs[k].msg_hdr.msg_name = &addrs[k];
+        msgs[k].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+        msgs[k].msg_hdr.msg_iov = &iovs[k];
+        msgs[k].msg_hdr.msg_iovlen = 1;
+      }
+      send_syscalls_.fetch_add(1, std::memory_order_relaxed);
+      const int sent =
+          ::sendmmsg(fd_, msgs.data(), static_cast<unsigned>(n), 0);
+      if (sent <= 0) {
+        // sendmmsg fails (-1) only when the FIRST datagram is rejected;
+        // count that one, skip it, and keep flushing the rest. A mid-batch
+        // rejection surfaces as a short count here and as the -1 of the
+        // next iteration's first slot — so every loss is counted exactly
+        // once, never attributed to frames_sent_.
+        frames_send_failed_.fetch_add(1, std::memory_order_relaxed);
+        note_send_failure(sent < 0 ? errno : EIO);
+        ++i;
+        continue;
+      }
+      frames_sent_.fetch_add(static_cast<std::uint64_t>(sent),
+                             std::memory_order_relaxed);
+      i += static_cast<std::size_t>(sent);
+    }
+    s.send_queue.clear();
+    return;
+  }
+#endif
+  for (const PendingSend& p : s.send_queue) send_now(p.addr, p.frame);
+  s.send_queue.clear();
+}
+
+void RealRuntime::note_send_failure(int err) {
+  std::lock_guard<std::mutex> lock(warn_mu_);
+  if (warned_send_errno_.insert(err).second) {
+    UNIDIR_WARN("RealRuntime: datagram send failed: "
+                << std::strerror(err) << " (errno " << err
+                << "); counting frames_send_failed, further occurrences "
+                   "of this errno are silent");
+  }
 }
 
 // ---- socket ----------------------------------------------------------------
@@ -187,145 +406,270 @@ void RealRuntime::open_socket() {
                0);
   bound_port_ = ntohs(bound.sin_port);
   // Bounded receive timeout: the receiver thread wakes periodically to
-  // check stop() — the portable way to unblock a UDP recvfrom.
+  // check stop() — the portable way to unblock a UDP receive.
   timeval tv{};
   tv.tv_usec = static_cast<suseconds_t>(kMaxWaitSliceNs / 1000);
   (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  // Saturation benchmarks overflow the default buffers long before the
+  // loops fall behind; ask for more (best-effort — the kernel clamps to
+  // net.core.{r,w}mem_max, and UDP stays lossy either way).
+  const int bufsz = 4 * 1024 * 1024;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bufsz, sizeof(bufsz));
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bufsz, sizeof(bufsz));
 }
 
 void RealRuntime::receive_loop() {
-  std::vector<std::uint8_t> buf(65536);
+  const std::size_t batch = options_.recv_batch;
+  std::vector<std::vector<std::uint8_t>> bufs(
+      batch, std::vector<std::uint8_t>(kRecvBufBytes));
+  std::vector<std::size_t> lens(batch, 0);
+#if defined(__linux__)
+  std::vector<mmsghdr> msgs(batch);
+  std::vector<iovec> iovs(batch);
+  for (std::size_t k = 0; k < batch; ++k) {
+    iovs[k].iov_base = bufs[k].data();
+    iovs[k].iov_len = bufs[k].size();
+    msgs[k] = mmsghdr{};
+    msgs[k].msg_hdr.msg_iov = &iovs[k];
+    msgs[k].msg_hdr.msg_iovlen = 1;
+  }
+#endif
+  // Decoded frames grouped by destination shard, so each burst costs one
+  // inbox lock per TARGET SHARD, not one per datagram.
+  std::vector<std::vector<Incoming>> per_shard(shards_.size());
   while (!stopped()) {
-    const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0, nullptr,
-                                 nullptr);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+    int got = 0;
+#if defined(__linux__)
+    if (options_.use_recvmmsg && batch > 1) {
+      // Block (bounded by SO_RCVTIMEO) for the first datagram, then take
+      // whatever else is already queued — one syscall per burst.
+      got = ::recvmmsg(fd_, msgs.data(), static_cast<unsigned>(batch),
+                       MSG_WAITFORONE, nullptr);
+      if (got > 0)
+        for (int k = 0; k < got; ++k) lens[static_cast<std::size_t>(k)] =
+            msgs[static_cast<std::size_t>(k)].msg_len;
+    } else
+#endif
+    {
+      const ssize_t n =
+          ::recvfrom(fd_, bufs[0].data(), bufs[0].size(), 0, nullptr, nullptr);
+      if (n < 0) {
+        got = -1;
+      } else {
+        lens[0] = static_cast<std::size_t>(n);
+        got = 1;
+      }
+    }
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        recv_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       if (stopped()) break;
-      UNIDIR_WARN("RealRuntime: recvfrom failed: " << std::strerror(errno));
+      UNIDIR_WARN("RealRuntime: receive failed: "
+                  << std::strerror(errno) << " (errno " << errno
+                  << "); receiver thread exiting — this runtime is DEAF. "
+                     "Poll stats().receiver_dead.");
+      receiver_dead_.store(true, std::memory_order_relaxed);
       break;
     }
-    auto frame =
-        decode_frame(ByteSpan(buf.data(), static_cast<std::size_t>(n)));
-    if (!frame) {
-      frames_malformed_.fetch_add(1, std::memory_order_relaxed);
-      continue;
+    if (got == 0) continue;
+    recv_syscalls_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t decoded = 0;
+    for (std::size_t k = 0; k < static_cast<std::size_t>(got); ++k) {
+      auto frame = decode_frame(ByteSpan(bufs[k].data(), lens[k]));
+      if (!frame) {
+        frames_malformed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      ++decoded;
+      per_shard[shard_of(frame->to)].push_back(
+          Incoming{frame->from, frame->to, frame->channel,
+                   Payload(std::move(frame->payload))});
     }
-    frames_received_.fetch_add(1, std::memory_order_relaxed);
-    enqueue_local(Incoming{frame->from, frame->to, frame->channel,
-                           Payload(std::move(frame->payload))});
+    frames_received_.fetch_add(decoded, std::memory_order_relaxed);
+    for (std::size_t si = 0; si < per_shard.size(); ++si) {
+      std::vector<Incoming>& group = per_shard[si];
+      if (group.empty()) continue;
+      Shard& s = *shards_[si];
+      s.scheduled.fetch_add(group.size(), std::memory_order_relaxed);
+      pending_.fetch_add(group.size());
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        for (Incoming& in : group) s.inbox.push_back(std::move(in));
+      }
+      s.cv.notify_one();
+      group.clear();
+    }
   }
 }
 
-// ---- event loop ------------------------------------------------------------
+// ---- event loops -----------------------------------------------------------
 
-bool RealRuntime::step() {
+bool RealRuntime::step(Shard& s) {
   // Due timers first (they were armed strictly earlier than any message
-  // that could race them on a single loop), skipping cancel tombstones.
+  // that could race them on this shard), skipping cancel tombstones.
   const std::uint64_t now_ns = elapsed_ns();
-  while (!timer_heap_.empty()) {
-    const TimerEntry top = timer_heap_.front();
-    const auto fn_it = timer_fns_.find(top.id);
-    if (fn_it == timer_fns_.end()) {  // cancelled: drop silently
-      std::pop_heap(timer_heap_.begin(), timer_heap_.end());
-      timer_heap_.pop_back();
+  while (!s.timer_heap.empty()) {
+    const TimerEntry top = s.timer_heap.front();
+    const auto fn_it = s.timer_fns.find(top.id);
+    if (fn_it == s.timer_fns.end()) {  // cancelled: drop silently
+      std::pop_heap(s.timer_heap.begin(), s.timer_heap.end());
+      s.timer_heap.pop_back();
       continue;
     }
     if (top.deadline_ns > now_ns) break;
-    std::pop_heap(timer_heap_.begin(), timer_heap_.end());
-    timer_heap_.pop_back();
+    std::pop_heap(s.timer_heap.begin(), s.timer_heap.end());
+    s.timer_heap.pop_back();
     std::function<void()> fn = std::move(fn_it->second);
-    timer_fns_.erase(fn_it);
-    ++stats_.executed;
+    s.timer_fns.erase(fn_it);
+    s.executed.fetch_add(1, std::memory_order_relaxed);
     fn();
+    pending_.fetch_sub(1);  // released only after the handler returns
     return true;
   }
-  Incoming in;
-  {
-    std::lock_guard<std::mutex> lock(inbox_mu_);
-    if (inbox_.empty()) return false;
-    in = std::move(inbox_.front());
-    inbox_.pop_front();
+  if (s.local.empty()) {
+    // Drain the whole inbox in one lock acquisition; the burst is then
+    // consumed lock-free from the loop thread's own queue.
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.local.swap(s.inbox);
   }
-  ++stats_.executed;
+  if (s.local.empty()) return false;
+  Incoming in = std::move(s.local.front());
+  s.local.pop_front();
+  s.executed.fetch_add(1, std::memory_order_relaxed);
   if (deliver_) deliver_(in.from, in.to, in.channel, in.payload);
+  pending_.fetch_sub(1);
   return true;
 }
 
-bool RealRuntime::idle() {
-  while (!timer_heap_.empty() &&
-         timer_fns_.find(timer_heap_.front().id) == timer_fns_.end()) {
-    std::pop_heap(timer_heap_.begin(), timer_heap_.end());
-    timer_heap_.pop_back();
-  }
-  if (!timer_heap_.empty()) return false;
-  std::lock_guard<std::mutex> lock(inbox_mu_);
-  return inbox_.empty();
-}
-
-void RealRuntime::wait_for_work() {
+void RealRuntime::wait_for_work(Shard& s) {
   std::uint64_t wait_ns = kMaxWaitSliceNs;
-  if (!timer_heap_.empty()) {
+  if (!s.timer_heap.empty()) {
     const std::uint64_t now_ns = elapsed_ns();
-    const std::uint64_t deadline = timer_heap_.front().deadline_ns;
+    const std::uint64_t deadline = s.timer_heap.front().deadline_ns;
     wait_ns = deadline <= now_ns ? 0 : std::min(deadline - now_ns, wait_ns);
   }
   if (wait_ns == 0) return;
-  std::unique_lock<std::mutex> lock(inbox_mu_);
-  inbox_cv_.wait_for(lock, std::chrono::nanoseconds(wait_ns),
-                     [this] { return !inbox_.empty() || stopped(); });
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.cv.wait_for(lock, std::chrono::nanoseconds(wait_ns), [this, &s] {
+    return !s.inbox.empty() || stopped() ||
+           run_done_.load(std::memory_order_relaxed);
+  });
+}
+
+void RealRuntime::wake_all_shards() {
+  for (const std::unique_ptr<Shard>& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->cv.notify_all();
+  }
+}
+
+std::pair<bool, std::size_t> RealRuntime::shard_loop(
+    std::size_t index, const std::function<bool()>* pred,
+    std::size_t max_events) {
+  Shard& s = *shards_[index];
+  ShardScope scope(this, index);
+  const auto t0 = std::chrono::steady_clock::now();
+  bool held = false;
+  std::size_t n = 0;
+  for (;;) {
+    if (pred && (held = (*pred)())) break;
+    if (stopped() || run_done_.load(std::memory_order_relaxed)) break;
+    if (events_this_run_.load(std::memory_order_relaxed) >= max_events) break;
+    if (step(s)) {
+      ++n;
+      events_this_run_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Out of immediately-due events: a batch boundary. Flush staged sends
+    // before any wait so coalescing never adds idle latency.
+    flush_sends(s);
+    if (fd_ < 0 && pending_.load() == 0) {
+      // Loopback-only and nothing pending anywhere — quiesced. Sharded
+      // runs re-check from every shard; whoever sees it first leaves, and
+      // pending_ can only rise again from an (unsupported) foreign thread.
+      if (pred) held = (*pred)();
+      break;
+    }
+    wait_for_work(s);
+  }
+  flush_sends(s);
+  s.run_wall_ns.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()),
+      std::memory_order_relaxed);
+  return {held, n};
+}
+
+std::pair<bool, std::size_t> RealRuntime::run_impl(
+    const std::function<bool()>* pred, std::size_t max_events) {
+  UNIDIR_REQUIRE_MSG(!running_.exchange(true),
+                     "RealRuntime: nested or concurrent run");
+  run_done_.store(false, std::memory_order_relaxed);
+  events_this_run_.store(0, std::memory_order_relaxed);
+  std::vector<std::size_t> counts(shards_.size(), 0);
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size() - 1);
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    threads.emplace_back([this, i, max_events, &counts] {
+      counts[i] = shard_loop(i, nullptr, max_events).second;
+    });
+  }
+  // Shard 0 runs on the calling thread and is the only one checking the
+  // predicate (which may read caller-side state).
+  const auto [held, n0] = shard_loop(0, pred, max_events);
+  counts[0] = n0;
+  run_done_.store(true, std::memory_order_relaxed);
+  wake_all_shards();
+  for (std::thread& t : threads) t.join();
+  running_.store(false, std::memory_order_relaxed);
+  std::size_t total = 0;
+  for (const std::size_t c : counts) total += c;
+  return {held, total};
 }
 
 std::size_t RealRuntime::run(std::size_t max_events) {
-  const auto t0 = std::chrono::steady_clock::now();
-  std::size_t n = 0;
-  while (!stopped() && n < max_events) {
-    if (step()) {
-      ++n;
-      continue;
-    }
-    if (fd_ < 0 && idle()) break;  // loopback-only worlds can drain
-    wait_for_work();
-  }
-  stats_.run_wall_ns += static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - t0)
-          .count());
-  return n;
+  return run_impl(nullptr, max_events).second;
 }
 
 bool RealRuntime::run_until(const std::function<bool()>& pred,
                             std::size_t max_events) {
-  const auto t0 = std::chrono::steady_clock::now();
-  bool held = pred();
-  std::size_t n = 0;
-  while (!held && !stopped() && n < max_events) {
-    if (step()) {
-      ++n;
-      held = pred();
-      continue;
-    }
-    if (fd_ < 0 && idle()) {
-      held = pred();
-      break;
-    }
-    wait_for_work();
-    // Predicates may watch state flipped by another thread (a test's done
-    // flag), not just loop events — re-check after every wakeup.
-    held = pred();
-  }
-  stats_.run_wall_ns += static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - t0)
-          .count());
-  return held;
+  UNIDIR_REQUIRE(pred != nullptr);
+  return run_impl(&pred, max_events).first;
 }
 
+// ---- stats -----------------------------------------------------------------
+
 RuntimeStats RealRuntime::stats() const {
-  RuntimeStats s = stats_;
-  // Frames arrive on the receiver thread; fold them into `scheduled` here
-  // so the figure covers socket traffic too.
-  s.scheduled += frames_received_.load(std::memory_order_relaxed);
-  return s;
+  RuntimeStats out;
+  for (const std::unique_ptr<Shard>& s : shards_) {
+    out.scheduled += s->scheduled.load(std::memory_order_relaxed);
+    out.executed += s->executed.load(std::memory_order_relaxed);
+    // MAX, not sum: shards run in parallel, so summing their loop times
+    // would overstate wall time and understate events/sec.
+    out.run_wall_ns = std::max(
+        out.run_wall_ns, s->run_wall_ns.load(std::memory_order_relaxed));
+  }
+  out.frames_send_failed =
+      frames_send_failed_.load(std::memory_order_relaxed);
+  out.frames_oversized = frames_oversized_.load(std::memory_order_relaxed);
+  out.receiver_dead = receiver_dead_.load(std::memory_order_relaxed);
+  return out;
+}
+
+RuntimeStats RealRuntime::shard_stats(std::size_t shard) const {
+  UNIDIR_REQUIRE(shard < shards_.size());
+  const Shard& s = *shards_[shard];
+  RuntimeStats out;
+  out.scheduled = s.scheduled.load(std::memory_order_relaxed);
+  out.executed = s.executed.load(std::memory_order_relaxed);
+  out.run_wall_ns = s.run_wall_ns.load(std::memory_order_relaxed);
+  // Transport-health fields are process-global (one socket, one receiver);
+  // read them from stats(), not per shard, or they would double-count.
+  return out;
 }
 
 UdpTransportStats RealRuntime::udp_stats() const {
@@ -336,6 +680,12 @@ UdpTransportStats RealRuntime::udp_stats() const {
   s.frames_no_peer = frames_no_peer_.load(std::memory_order_relaxed);
   s.loopback_messages = loopback_messages_.load(std::memory_order_relaxed);
   s.frames_corrupt_tx = frames_corrupt_tx_.load(std::memory_order_relaxed);
+  s.frames_send_failed = frames_send_failed_.load(std::memory_order_relaxed);
+  s.frames_oversized = frames_oversized_.load(std::memory_order_relaxed);
+  s.recv_syscalls = recv_syscalls_.load(std::memory_order_relaxed);
+  s.recv_timeouts = recv_timeouts_.load(std::memory_order_relaxed);
+  s.send_syscalls = send_syscalls_.load(std::memory_order_relaxed);
+  s.receiver_dead = receiver_dead_.load(std::memory_order_relaxed);
   return s;
 }
 

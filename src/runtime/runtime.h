@@ -42,6 +42,10 @@ namespace unidir::runtime {
 using TimerId = std::uint64_t;
 inline constexpr TimerId kNoTimer = 0;
 
+/// "Not an execution shard": what Runtime::calling_shard returns on the
+/// single-loop backends and on any thread that is not a shard loop.
+inline constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
 /// Work accounting shared by both backends. Wall-clock rate arithmetic
 /// lives HERE, not in SimulatorStats: the simulator's own counters must
 /// stay wall-clock-free so metric snapshots are deterministic, while a
@@ -50,6 +54,14 @@ struct RuntimeStats {
   std::uint64_t scheduled = 0;    // timers armed + messages queued
   std::uint64_t executed = 0;     // handler invocations (timers + deliveries)
   std::uint64_t run_wall_ns = 0;  // wall time spent inside run loops
+
+  // Transport health, surfaced here (not only in backend-specific structs)
+  // so generic harnesses can poll one struct for "is this process still a
+  // functioning cluster member". Always 0/false on the sim backend, whose
+  // network cannot fail this way.
+  std::uint64_t frames_send_failed = 0;  // sendto/sendmmsg kernel rejections
+  std::uint64_t frames_oversized = 0;    // frames over the datagram max
+  bool receiver_dead = false;  // receive loop exited on an unexpected errno
 
   /// Executed events per wall second across all run calls; 0 when no wall
   /// time was recorded (fresh stats, or a clock too coarse to tick).
@@ -138,6 +150,36 @@ class Runtime {
                          std::size_t max_events) = 0;
 
   virtual RuntimeStats stats() const = 0;
+
+  // -- execution shards ------------------------------------------------------
+  // A backend may split its event loop into several shards, each running
+  // local processes pinned to it on its own thread (RealRuntime with
+  // options.shards > 1). Single-loop backends report one shard and route
+  // arm_for through the plain clock, so callers can use these uniformly.
+
+  /// Number of event-loop shards this backend executes handlers on.
+  virtual std::size_t execution_shards() const { return 1; }
+
+  /// The shard index whose loop the calling thread is currently running,
+  /// or kNoShard (always kNoShard on single-loop backends, where handlers
+  /// run on the caller's own thread).
+  virtual std::size_t calling_shard() const { return kNoShard; }
+
+  /// Arms a timer whose callback touches `owner`'s state. Sharded backends
+  /// route it onto `owner`'s shard so the callback is serialized with the
+  /// owner's message handlers; everywhere else this is exactly clock().arm.
+  virtual TimerId arm_for(ProcessId owner, Time delay,
+                          std::function<void()> fn) {
+    (void)owner;
+    return clock().arm(delay, std::move(fn));
+  }
+
+  /// Per-shard work accounting; index < execution_shards(). The default
+  /// single-loop implementation returns the aggregate for shard 0.
+  virtual RuntimeStats shard_stats(std::size_t shard) const {
+    (void)shard;
+    return stats();
+  }
 
   /// True when ticks are wall-clock (RealRuntime): fingerprints and other
   /// determinism claims do not apply, and wall-time figures may be

@@ -92,6 +92,53 @@ TEST(RuntimeStats, RealBackendAccountsWallTimeAcrossRuns) {
   EXPECT_GT(rt.stats().run_wall_ns, 0u);
 }
 
+// ---- transport-health fields and shard virtuals ---------------------------
+
+TEST(RuntimeStats, TransportHealthFieldsDefaultClean) {
+  // Generic harnesses poll these to decide "is this process still a
+  // functioning cluster member"; both backends must start clean, and the
+  // sim backend (whose network cannot fail this way) stays clean forever.
+  RuntimeStats s;
+  EXPECT_EQ(s.frames_send_failed, 0u);
+  EXPECT_EQ(s.frames_oversized, 0u);
+  EXPECT_FALSE(s.receiver_dead);
+
+  SimRuntime sim_rt(/*seed=*/1, std::make_unique<sim::ImmediateAdversary>());
+  sim_rt.clock().arm(1, [] {});
+  sim_rt.run(SIZE_MAX);
+  EXPECT_EQ(sim_rt.stats().frames_send_failed, 0u);
+  EXPECT_FALSE(sim_rt.stats().receiver_dead);
+}
+
+TEST(RuntimeShards, SingleLoopBackendsReportOneShardAndRouteArmFor) {
+  // The shard interface must be callable uniformly: a single-loop backend
+  // is one shard, never reports a calling shard, aggregates into
+  // shard_stats(0), and arm_for degenerates to a plain clock arm.
+  SimRuntime rt(/*seed=*/1, std::make_unique<sim::ImmediateAdversary>());
+  EXPECT_EQ(rt.execution_shards(), 1u);
+  EXPECT_EQ(rt.calling_shard(), kNoShard);
+  bool fired = false;
+  rt.arm_for(/*owner=*/3, 1, [&fired] { fired = true; });
+  rt.run(SIZE_MAX);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(rt.shard_stats(0).executed, rt.stats().executed);
+}
+
+TEST(RuntimeShards, ShardedRealBackendSplitsStatsByShard) {
+  RealRuntimeOptions o = loopback_options();
+  o.shards = 2;
+  RealRuntime rt(o);
+  EXPECT_EQ(rt.execution_shards(), 2u);
+  EXPECT_EQ(rt.calling_shard(), kNoShard);  // not a loop thread
+  // Three timers for owner 0 (shard 0), one for owner 1 (shard 1).
+  for (int i = 0; i < 3; ++i) rt.arm_for(0, 1, [] {});
+  rt.arm_for(1, 1, [] {});
+  rt.run(SIZE_MAX);
+  EXPECT_EQ(rt.shard_stats(0).executed, 3u);
+  EXPECT_EQ(rt.shard_stats(1).executed, 1u);
+  EXPECT_EQ(rt.stats().executed, 4u);  // the aggregate is the sum
+}
+
 // ---- Clock::cancel ---------------------------------------------------------
 
 TEST(Clock, CancelSuppressesPendingTimerOnSimBackend) {
